@@ -1,0 +1,100 @@
+// Ablations of DIKNN's design choices (Sections 3.3 and 4.3):
+//   - sector count S (parallelism vs contention);
+//   - rendezvous-based dynamic boundary adjustment on/off;
+//   - mobility-assurance gain g;
+//   - itinerary width w vs the sqrt(3)/2*r optimum;
+//   - KNNB area model (paper's rectangle vs exact lune);
+//   - DIKNN vs the naive flooding strawman of Section 3.3.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace diknn;
+  using namespace diknn::bench;
+
+  PrintHeader("Ablation: sector count S (k = 40)", "S");
+  for (int sectors : {2, 4, 8, 16}) {
+    ExperimentConfig config = PaperDefaults(ProtocolKind::kDiknn);
+    config.diknn.num_sectors = sectors;
+    PrintRow(std::to_string(sectors), ProtocolKind::kDiknn,
+             RunExperiment(config));
+  }
+
+  PrintHeader("Ablation: rendezvous adjustment (k = 40)", "rendezvous");
+  for (bool on : {true, false}) {
+    ExperimentConfig config = PaperDefaults(ProtocolKind::kDiknn);
+    config.diknn.rendezvous = on;
+    PrintRow(on ? "on" : "off", ProtocolKind::kDiknn,
+             RunExperiment(config));
+  }
+
+  PrintHeader("Ablation: assurance gain g (k = 40, mu_max = 20)", "g");
+  for (double g : {0.0, 0.1, 0.5, 1.0}) {
+    ExperimentConfig config = PaperDefaults(ProtocolKind::kDiknn);
+    config.network.max_speed = 20.0;
+    config.diknn.assurance_gain = g;
+    config.diknn.mobility_assurance = g > 0.0;
+    char label[16];
+    std::snprintf(label, sizeof(label), "%.1f", g);
+    PrintRow(label, ProtocolKind::kDiknn, RunExperiment(config));
+  }
+
+  PrintHeader("Ablation: itinerary width w (k = 40, r = 20)", "w");
+  for (double w : {8.0, 12.0, 17.32, 22.0}) {
+    ExperimentConfig config = PaperDefaults(ProtocolKind::kDiknn);
+    config.diknn.width = w;
+    char label[16];
+    std::snprintf(label, sizeof(label), "%.1fm", w);
+    PrintRow(label, ProtocolKind::kDiknn, RunExperiment(config));
+  }
+
+  PrintHeader("Ablation: data collection scheme (k = 40; footnote 1)",
+              "scheme");
+  {
+    const std::pair<const char*, CollectionScheme> schemes[] = {
+        {"contention", CollectionScheme::kContention},
+        {"precedence", CollectionScheme::kPrecedenceList},
+        {"hybrid", CollectionScheme::kHybrid},
+    };
+    for (const auto& [label, scheme] : schemes) {
+      ExperimentConfig config = PaperDefaults(ProtocolKind::kDiknn);
+      config.diknn.collection_scheme = scheme;
+      PrintRow(label, ProtocolKind::kDiknn, RunExperiment(config));
+    }
+  }
+
+  PrintHeader("Ablation: KNNB area model (k = 40)", "model");
+  for (bool lune : {true, false}) {
+    ExperimentConfig config = PaperDefaults(ProtocolKind::kDiknn);
+    config.diknn.knnb_area_model =
+        lune ? KnnbAreaModel::kLune : KnnbAreaModel::kPaperRectangle;
+    PrintRow(lune ? "lune" : "rect", ProtocolKind::kDiknn,
+             RunExperiment(config));
+  }
+
+  PrintHeader("Mobility model: i.i.d. random waypoint vs RPGM herds "
+              "(k = 40)", "model");
+  {
+    ExperimentConfig config = PaperDefaults(ProtocolKind::kDiknn);
+    PrintRow("rwp", ProtocolKind::kDiknn, RunExperiment(config));
+    config.network.mobility = MobilityKind::kGroup;
+    config.network.group_size = 25;
+    config.network.group_radius = 18.0;
+    PrintRow("herds", ProtocolKind::kDiknn, RunExperiment(config));
+  }
+
+  PrintHeader("Strawman: naive flooding (Section 3.3) vs DIKNN (k = 40)",
+              "scheme");
+  {
+    ExperimentConfig config = PaperDefaults(ProtocolKind::kDiknn);
+    PrintRow("DIKNN", ProtocolKind::kDiknn, RunExperiment(config));
+    config = PaperDefaults(ProtocolKind::kFlooding);
+    PrintRow("Flooding", ProtocolKind::kFlooding, RunExperiment(config));
+    // Fig. 1's other branch: the centralized index. Near-zero latency at
+    // the station, but the update stream's maintenance energy dwarfs
+    // every in-network scheme.
+    config = PaperDefaults(ProtocolKind::kCentralized);
+    PrintRow("Central", ProtocolKind::kCentralized, RunExperiment(config));
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Shared plumbing for the figure-reproduction benches.
+//
+// Each bench binary regenerates one table/figure of the paper's Section 5
+// by running full simulations through the experiment harness and printing
+// the same series the paper plots. The repetition count defaults to a
+// small value so the whole bench suite runs in minutes; set DIKNN_RUNS=20
+// to reproduce the paper's averaging protocol exactly.
+
+#ifndef DIKNN_BENCH_BENCH_COMMON_H_
+#define DIKNN_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "harness/experiment.h"
+
+namespace diknn::bench {
+
+/// Repetitions per configuration (paper: 20). Override with DIKNN_RUNS.
+inline int RunsFromEnv(int fallback = 3) {
+  const char* env = std::getenv("DIKNN_RUNS");
+  if (env == nullptr) return fallback;
+  const int runs = std::atoi(env);
+  return runs > 0 ? runs : fallback;
+}
+
+/// Simulated seconds per run (paper: 100). Override with DIKNN_DURATION.
+inline double DurationFromEnv(double fallback = 100.0) {
+  const char* env = std::getenv("DIKNN_DURATION");
+  if (env == nullptr) return fallback;
+  const double d = std::atof(env);
+  return d > 0 ? d : fallback;
+}
+
+/// The paper's Section 5.1 default experiment, parameterized by protocol.
+inline ExperimentConfig PaperDefaults(ProtocolKind kind) {
+  ExperimentConfig config;
+  config.protocol = kind;
+  config.k = 40;
+  config.runs = RunsFromEnv();
+  config.duration = DurationFromEnv();
+  return config;
+}
+
+inline void PrintHeader(const char* title, const char* x_label) {
+  std::printf("\n=== %s ===\n", title);
+  std::printf("runs/config=%d, duration=%.0fs (DIKNN_RUNS / DIKNN_DURATION"
+              " env vars override)\n",
+              RunsFromEnv(), DurationFromEnv());
+  std::printf("%-10s %-10s %12s %12s %10s %10s %10s\n", x_label, "protocol",
+              "latency(s)", "energy(J)", "pre_acc", "post_acc", "timeout%");
+}
+
+inline void PrintRow(const std::string& x, ProtocolKind kind,
+                     const ExperimentMetrics& m) {
+  std::printf("%-10s %-10s %9.3f±%-5.2f %9.3f %10.3f %10.3f %9.1f%%\n",
+              x.c_str(), ProtocolName(kind), m.latency.mean,
+              m.latency.stddev, m.energy.mean, m.pre_accuracy.mean,
+              m.post_accuracy.mean, 100.0 * m.timeout_rate.mean);
+  std::fflush(stdout);
+}
+
+}  // namespace diknn::bench
+
+#endif  // DIKNN_BENCH_BENCH_COMMON_H_

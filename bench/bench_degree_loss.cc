@@ -1,0 +1,44 @@
+// Section 5.1's remaining knobs: node degree (5-20, by shrinking the
+// field from 200x200 to 115x115 m^2 at a fixed 200 nodes) and packet loss
+// rate (the Section 5 intro lists it among the studied network
+// conditions, though the paper prints no dedicated figure).
+//
+// Expected shape: all protocols improve with density (greedy routing and
+// coverage get easier); DIKNN degrades most gracefully with loss because
+// no per-query infrastructure must survive the losses.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace diknn;
+  using namespace diknn::bench;
+
+  const ProtocolKind kinds[] = {ProtocolKind::kDiknn,
+                                ProtocolKind::kKptKnnb,
+                                ProtocolKind::kPeerTree};
+
+  PrintHeader("Node degree sweep (field size 200x200 -> 115x115, n=200)",
+              "field");
+  // Degree ~= n * pi r^2 / A: 200x200 -> ~5, 160 -> ~8, 135 -> ~11,
+  // 115 -> ~19 (the paper's 5..20 range).
+  for (double side : {200.0, 160.0, 135.0, 115.0}) {
+    for (ProtocolKind kind : kinds) {
+      ExperimentConfig config = PaperDefaults(kind);
+      config.network.field = Rect::Field(side, side);
+      PrintRow(std::to_string(static_cast<int>(side)) + "m", kind,
+               RunExperiment(config));
+    }
+  }
+
+  PrintHeader("Packet loss sweep (k = 40, default field)", "loss");
+  for (double loss : {0.0, 0.1, 0.2, 0.3}) {
+    for (ProtocolKind kind : kinds) {
+      ExperimentConfig config = PaperDefaults(kind);
+      config.network.loss_rate = loss;
+      char label[16];
+      std::snprintf(label, sizeof(label), "%.0f%%", loss * 100);
+      PrintRow(label, kind, RunExperiment(config));
+    }
+  }
+  return 0;
+}

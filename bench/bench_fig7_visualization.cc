@@ -1,0 +1,142 @@
+// Fig. 7 — DIKNN execution over spatially irregular deployments.
+//
+// The paper applies DIKNN to real-world caribou distributions from Gros
+// Morne National Park and visualizes (a) the concurrent itinerary
+// traversals and (b) itinerary voids bypassed by perimeter forwarding,
+// reporting a 0.2%-1% accuracy loss from nodes isolated within a sector.
+//
+// We substitute a clustered synthetic field (Gaussian herds + uniform
+// background; see DESIGN.md) and reproduce the same qualitative outputs:
+// an ASCII rendering of the Q-node traversal per sector, the void /
+// skip-ahead counts, and the accuracy cost of isolated nodes.
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace diknn;
+
+constexpr int kGridW = 100;
+constexpr int kGridH = 46;
+
+struct Canvas {
+  std::vector<std::string> rows;
+  Rect field;
+
+  explicit Canvas(const Rect& f)
+      : rows(kGridH, std::string(kGridW, ' ')), field(f) {}
+
+  void Plot(const Point& p, char c, bool overwrite = true) {
+    const int x = static_cast<int>((p.x - field.min.x) / field.Width() *
+                                   (kGridW - 1));
+    const int y = static_cast<int>((p.y - field.min.y) / field.Height() *
+                                   (kGridH - 1));
+    if (x < 0 || x >= kGridW || y < 0 || y >= kGridH) return;
+    char& cell = rows[kGridH - 1 - y][x];
+    if (overwrite || cell == ' ') cell = c;
+  }
+
+  void Print() const {
+    for (const std::string& row : rows) std::printf("|%s|\n", row.c_str());
+  }
+};
+
+}  // namespace
+
+int main() {
+  using namespace diknn;
+  using namespace diknn::bench;
+
+  std::printf("\n=== Fig. 7: DIKNN over a spatially irregular field ===\n");
+  std::printf("(caribou trace substituted by clustered placement; see "
+              "DESIGN.md)\n");
+
+  // A large clustered deployment, k = 500-style relative to population:
+  // 600 nodes in herds, querying for the 150 nearest.
+  ExperimentConfig config;
+  config.protocol = ProtocolKind::kDiknn;
+  config.network.node_count = 600;
+  config.network.field = Rect::Field(300, 300);
+  config.network.placement = PlacementKind::kClustered;
+  config.network.clusters.num_clusters = 6;
+  config.network.clusters.sigma_fraction = 0.07;
+  config.network.clusters.background_fraction = 0.10;
+  config.network.max_speed = 5.0;
+  config.diknn.query_timeout = 20.0;
+  const int k = 150;
+
+  ProtocolStack stack(config, /*seed=*/4242);
+  Network& net = stack.network();
+  net.Warmup(2.5);
+
+  Canvas canvas(config.network.field);
+  for (int i = 0; i < net.size(); ++i) {
+    canvas.Plot(net.node(i)->Position(), '.', /*overwrite=*/false);
+  }
+
+  // Trace the itinerary: each sector's Q-node hops get a digit mark.
+  std::map<int, int> hops_by_sector;
+  stack.diknn()->set_hop_observer([&](uint64_t, int sector, Point p) {
+    canvas.Plot(p, static_cast<char>('0' + (sector % 8)));
+    ++hops_by_sector[sector];
+  });
+
+  // Query "around an arbitrary query point" within the herds: anchor q at
+  // the most crowded node, mirroring the paper's caribou-rich region.
+  Point q{150, 150};
+  int best_degree = -1;
+  for (int i = 0; i < net.size(); ++i) {
+    const int degree =
+        net.node(i)->neighbors().CountFresh(net.sim().Now());
+    if (degree > best_degree) {
+      best_degree = degree;
+      q = net.node(i)->Position();
+    }
+  }
+  canvas.Plot(q, 'Q');
+  const auto truth = net.TrueKnn(q, k);
+
+  double accuracy = 0.0;
+  bool done = false;
+  SimTime completed = 0;
+  stack.protocol().IssueQuery(0, q, k, [&](const KnnResult& r) {
+    done = true;
+    completed = r.Latency();
+    accuracy = Accuracy(r.CandidateIds(), net.TrueKnn(q, k));
+  });
+  while (!done && net.sim().Now() < 25.0) {
+    net.sim().RunUntil(net.sim().Now() + 0.25);
+  }
+
+  std::printf("\n(a) concurrent itinerary traversals "
+              "(digits = Q-nodes by sector, '.' = sensor, Q = query "
+              "point)\n\n");
+  canvas.Print();
+
+  const DiknnStats& stats = stack.diknn()->stats();
+  std::printf("\n(b) itinerary voids and perimeter-forwarding bypasses\n");
+  std::printf("  Q-node hops          : %llu\n",
+              static_cast<unsigned long long>(stats.qnode_hops));
+  std::printf("  voids encountered    : %llu (bypassed by skipping along "
+              "the conceptual path)\n",
+              static_cast<unsigned long long>(stats.voids_encountered));
+  std::printf("  sectors abandoned    : %llu\n",
+              static_cast<unsigned long long>(stats.sectors_abandoned));
+  std::printf("  boundary extensions  : %llu, truncations: %llu\n",
+              static_cast<unsigned long long>(stats.boundary_extensions),
+              static_cast<unsigned long long>(stats.boundary_truncations));
+  std::printf("  query latency        : %.2f s, accuracy: %.1f%% "
+              "(paper: isolated-node losses cost 0.2%%-1%%)\n",
+              completed, accuracy * 100.0);
+
+  std::printf("\nper-sector Q-node hops:");
+  for (const auto& [sector, hops] : hops_by_sector) {
+    std::printf(" s%d=%d", sector, hops);
+  }
+  std::printf("\n");
+  return done ? 0 : 1;
+}

@@ -1,0 +1,138 @@
+// Microbenchmarks (google-benchmark) for the library's hot paths:
+// KNNB estimation, itinerary geometry, Gabriel planarization, R-tree
+// operations, the discrete-event queue, and ground-truth KNN scans.
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/rtree.h"
+#include "core/rng.h"
+#include "knn/itinerary.h"
+#include "knn/knnb.h"
+#include "routing/planarize.h"
+#include "sim/simulator.h"
+
+namespace diknn {
+namespace {
+
+std::vector<RouteHopInfo> MakeList(int hops) {
+  std::vector<RouteHopInfo> list;
+  for (int i = 0; i < hops; ++i) {
+    list.push_back({{i * 15.0, 0.0}, 12});
+  }
+  return list;
+}
+
+void BM_Knnb(benchmark::State& state) {
+  const auto list = MakeList(static_cast<int>(state.range(0)));
+  const Point q{state.range(0) * 15.0, 0.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Knnb(list, q, 20.0, 40, 200.0));
+  }
+}
+BENCHMARK(BM_Knnb)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_ItineraryConstruction(benchmark::State& state) {
+  ItineraryParams params;
+  params.q = {50, 50};
+  params.radius = static_cast<double>(state.range(0));
+  params.num_sectors = 8;
+  params.width = DefaultItineraryWidth(20.0);
+  for (auto _ : state) {
+    Itinerary it(params);
+    benchmark::DoNotOptimize(it.TotalLength());
+  }
+}
+BENCHMARK(BM_ItineraryConstruction)->Arg(40)->Arg(100)->Arg(400);
+
+void BM_ItineraryPointAt(benchmark::State& state) {
+  ItineraryParams params;
+  params.q = {50, 50};
+  params.radius = 100.0;
+  params.num_sectors = 8;
+  params.width = DefaultItineraryWidth(20.0);
+  const Itinerary it(params);
+  double s = 0.0;
+  for (auto _ : state) {
+    s += 7.3;
+    if (s > it.TotalLength()) s = 0.0;
+    benchmark::DoNotOptimize(it.PointAt(s));
+  }
+}
+BENCHMARK(BM_ItineraryPointAt);
+
+void BM_GabrielPlanarization(benchmark::State& state) {
+  Rng rng(42);
+  std::vector<NeighborEntry> neighbors;
+  for (int i = 0; i < state.range(0); ++i) {
+    NeighborEntry e;
+    e.id = i;
+    e.position = rng.PointInDisk({0, 0}, 20.0);
+    neighbors.push_back(e);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GabrielNeighbors({0, 0}, neighbors));
+  }
+}
+BENCHMARK(BM_GabrielPlanarization)->Arg(10)->Arg(20)->Arg(40);
+
+void BM_RTreeInsert(benchmark::State& state) {
+  Rng rng(7);
+  for (auto _ : state) {
+    state.PauseTiming();
+    RTree tree(8);
+    std::vector<Point> pts;
+    for (int i = 0; i < state.range(0); ++i) {
+      pts.push_back(rng.PointInRect({{0, 0}, {1000, 1000}}));
+    }
+    state.ResumeTiming();
+    for (int i = 0; i < state.range(0); ++i) {
+      tree.Insert(i, pts[i]);
+    }
+    benchmark::DoNotOptimize(tree.Size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RTreeInsert)->Arg(100)->Arg(1000);
+
+void BM_RTreeKnn(benchmark::State& state) {
+  Rng rng(8);
+  RTree tree(8);
+  for (int i = 0; i < 5000; ++i) {
+    tree.Insert(i, rng.PointInRect({{0, 0}, {1000, 1000}}));
+  }
+  for (auto _ : state) {
+    const Point q = rng.PointInRect({{0, 0}, {1000, 1000}});
+    benchmark::DoNotOptimize(tree.Knn(q, static_cast<int>(state.range(0))));
+  }
+}
+BENCHMARK(BM_RTreeKnn)->Arg(1)->Arg(10)->Arg(100);
+
+void BM_EventQueueThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    Rng rng(3);
+    int fired = 0;
+    for (int i = 0; i < state.range(0); ++i) {
+      sim.ScheduleAt(rng.NextDouble() * 100.0, [&fired] { ++fired; });
+    }
+    sim.Run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueueThroughput)->Arg(1000)->Arg(100000);
+
+void BM_LuneArea(benchmark::State& state) {
+  double d = 0.0;
+  for (auto _ : state) {
+    d += 0.37;
+    if (d > 40.0) d = 0.1;
+    benchmark::DoNotOptimize(LuneArea(20.0, d));
+  }
+}
+BENCHMARK(BM_LuneArea);
+
+}  // namespace
+}  // namespace diknn
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+// Itinerary window queries (the DIKNN lineage's ancestor protocol, ICDE
+// 2006 [31]): sweep recall, latency and energy as the window grows, on
+// the paper's default network.
+
+#include <cstdio>
+#include <unordered_set>
+
+#include "bench_common.h"
+#include "knn/window.h"
+
+int main() {
+  using namespace diknn;
+  using namespace diknn::bench;
+
+  std::printf("\n=== Itinerary window queries (reference [31] lineage) "
+              "===\n");
+  std::printf("%-10s %10s %10s %10s %10s\n", "window", "latency(s)",
+              "energy(J)", "recall", "nodes");
+
+  const int samples = RunsFromEnv(3) * 4;
+  for (double side : {20.0, 40.0, 60.0, 80.0}) {
+    double lat = 0, energy = 0, recall = 0, nodes = 0;
+    int n = 0;
+    Rng rng(99 + static_cast<int>(side));
+    for (int s = 0; s < samples; ++s) {
+      NetworkConfig net_config;
+      net_config.seed = 500 + s;
+      net_config.static_node_count = 1;
+      Network net(net_config);
+      GpsrRouting gpsr(&net);
+      ItineraryWindowQuery protocol(&net, &gpsr);
+      gpsr.Install();
+      protocol.Install();
+      net.Warmup(2.5);
+
+      const Point center = rng.PointInRect(
+          Rect{{side / 2, side / 2},
+               {115.0 - side / 2, 115.0 - side / 2}});
+      const Rect window{{center.x - side / 2, center.y - side / 2},
+                        {center.x + side / 2, center.y + side / 2}};
+
+      std::unordered_set<NodeId> truth;
+      for (int i = 0; i < net.size(); ++i) {
+        if (window.Contains(net.node(i)->Position())) truth.insert(i);
+      }
+      const double e0 = net.TotalEnergy(EnergyCategory::kQuery);
+      bool done = false;
+      WindowResult result;
+      protocol.IssueQuery(0, window, [&](const WindowResult& r) {
+        done = true;
+        result = r;
+      });
+      while (!done && net.sim().Now() < 40.0) {
+        net.sim().RunUntil(net.sim().Now() + 0.25);
+      }
+      if (!done) continue;
+
+      int hits = 0;
+      for (const KnnCandidate& c : result.nodes) {
+        if (truth.contains(c.id)) ++hits;
+      }
+      lat += result.Latency();
+      energy += net.TotalEnergy(EnergyCategory::kQuery) - e0;
+      recall += truth.empty()
+                    ? 1.0
+                    : static_cast<double>(hits) / truth.size();
+      nodes += static_cast<double>(result.nodes.size());
+      ++n;
+    }
+    if (n == 0) continue;
+    std::printf("%4.0fx%-5.0f %10.2f %10.3f %9.0f%% %10.1f\n", side, side,
+                lat / n, energy / n, 100 * recall / n, nodes / n);
+    std::fflush(stdout);
+  }
+  std::printf("\nrecall is scored against issue-time membership; the\n"
+              "single serpentine's latency grows with window area, so\n"
+              "mobility churns large windows badly — exactly the\n"
+              "serialization problem DIKNN's concurrent sector\n"
+              "itineraries were designed to remove (Section 3.3).\n");
+  return 0;
+}

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Convert bench output tables into CSV (and optionally plots).
+
+The figure benches print fixed-width tables like:
+
+    === Fig. 8: impact of k (scalability), mu_max = 10 m/s ===
+    k          protocol     latency(s)    energy(J)    pre_acc   post_acc   timeout%
+    20         DIKNN          1.634+-0.22      8.095      0.923      0.868       0.0%
+
+This script parses every such table from a capture (e.g. the repository's
+bench_output.txt) into tidy CSV, one file per table, and — when
+matplotlib is importable — renders the paper's four panels per figure.
+
+Usage:
+    scripts/plot_results.py bench_output.txt -o out_dir
+"""
+
+import argparse
+import csv
+import os
+import re
+import sys
+
+HEADER_RE = re.compile(r"^=== (.+) ===$")
+COLUMNS = ["x", "protocol", "latency_s", "latency_std", "energy_j",
+           "pre_acc", "post_acc", "timeout_pct"]
+ROW_RE = re.compile(
+    r"^(\S+)\s+(\S+)\s+([\d.]+)(?:±|\+-)([\d.]+)\s+([\d.]+)\s+"
+    r"([\d.]+)\s+([\d.]+)\s+([\d.]+)%\s*$")
+
+
+def slugify(title):
+    slug = re.sub(r"[^a-zA-Z0-9]+", "_", title).strip("_").lower()
+    return slug[:60]
+
+
+def parse(path):
+    """Yields (title, rows) for each table found in the capture."""
+    title, rows = None, []
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            header = HEADER_RE.match(line.strip())
+            if header:
+                if title and rows:
+                    yield title, rows
+                title, rows = header.group(1), []
+                continue
+            row = ROW_RE.match(line.rstrip())
+            if row and title:
+                rows.append(list(row.groups()))
+    if title and rows:
+        yield title, rows
+
+
+def write_csv(out_dir, title, rows):
+    path = os.path.join(out_dir, slugify(title) + ".csv")
+    with open(path, "w", newline="", encoding="utf-8") as f:
+        writer = csv.writer(f)
+        writer.writerow(COLUMNS)
+        writer.writerows(rows)
+    return path
+
+
+def try_plot(out_dir, title, rows):
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        return None
+
+    panels = [("latency_s", 2, "latency (s)"), ("energy_j", 4, "energy (J)"),
+              ("post_acc", 6, "post-accuracy"), ("pre_acc", 5, "pre-accuracy")]
+    protocols = sorted({r[1] for r in rows})
+    fig, axes = plt.subplots(2, 2, figsize=(9, 7))
+    fig.suptitle(title)
+    for ax, (name, idx, label) in zip(axes.flat, panels):
+        for protocol in protocols:
+            xs, ys = [], []
+            for r in rows:
+                if r[1] != protocol:
+                    continue
+                xs.append(re.sub(r"[^\d.]", "", r[0]) or r[0])
+                ys.append(float(r[idx]))
+            ax.plot(xs, ys, marker="o", label=protocol)
+        ax.set_ylabel(label)
+        ax.grid(True, alpha=0.3)
+    axes.flat[0].legend()
+    path = os.path.join(out_dir, slugify(title) + ".png")
+    fig.tight_layout()
+    fig.savefig(path, dpi=120)
+    plt.close(fig)
+    return path
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("capture", help="bench output capture to parse")
+    parser.add_argument("-o", "--out", default="plots",
+                        help="output directory (default: plots/)")
+    args = parser.parse_args()
+
+    os.makedirs(args.out, exist_ok=True)
+    count = 0
+    for title, rows in parse(args.capture):
+        csv_path = write_csv(args.out, title, rows)
+        png_path = try_plot(args.out, title, rows)
+        print(f"{title}: {len(rows)} rows -> {csv_path}"
+              + (f", {png_path}" if png_path else ""))
+        count += 1
+    if count == 0:
+        print("no tables found", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

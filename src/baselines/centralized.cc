@@ -1,0 +1,191 @@
+#include "baselines/centralized.h"
+
+#include <algorithm>
+
+namespace diknn {
+
+namespace {
+constexpr size_t kUpdateBytes = 12;
+constexpr size_t kQueryBytes = 26;
+constexpr size_t kCandidateBytes = 12;
+
+struct QueryEnvelope : Message {
+  KnnQuery query;
+};
+
+struct ResultEnvelope : Message {
+  KnnResult result;
+  NodeId sink = kInvalidNodeId;
+};
+
+}  // namespace
+
+CentralizedIndex::CentralizedIndex(Network* network, GpsrRouting* gpsr,
+                                   CentralizedParams params)
+    : network_(network),
+      gpsr_(gpsr),
+      params_(params),
+      index_(params.rtree_fanout) {}
+
+void CentralizedIndex::Install() {
+  gpsr_->RegisterDelivery(
+      MessageType::kCentralUpdate,
+      [this](Node* node, const GeoRoutedMessage& msg) {
+        OnUpdate(node, *static_cast<const UpdateMessage*>(msg.inner.get()));
+      });
+  gpsr_->RegisterDelivery(
+      MessageType::kCentralQuery,
+      [this](Node* node, const GeoRoutedMessage& msg) {
+        // A remote sink's query reached the station: answer and ship the
+        // result back.
+        if (node->id() != params_.center) return;
+        const auto& query =
+            static_cast<const QueryEnvelope*>(msg.inner.get())->query;
+        auto envelope = std::make_shared<ResultEnvelope>();
+        envelope->result = AnswerLocally(query);
+        envelope->sink = query.sink;
+        const size_t bytes =
+            10 + envelope->result.candidates.size() * kCandidateBytes;
+        // Address the reply to the sink's freshest *recorded* position —
+        // the station's one advantage is that it tracks everyone.
+        const auto sink_record = records_.find(query.sink);
+        const Point reply_to = sink_record != records_.end()
+                                   ? sink_record->second.position
+                                   : query.sink_position;
+        network_->sim().ScheduleAfter(
+            params_.processing_delay,
+            [this, node, envelope, bytes, reply_to, query]() {
+              gpsr_->Send(node, reply_to, MessageType::kCentralResult,
+                          envelope, bytes, EnergyCategory::kQuery, false,
+                          query.sink);
+            });
+      });
+  gpsr_->RegisterDelivery(
+      MessageType::kCentralResult,
+      [this](Node* node, const GeoRoutedMessage& msg) {
+        const auto* envelope =
+            static_cast<const ResultEnvelope*>(msg.inner.get());
+        if (node->id() != envelope->sink) return;
+        // Completion bookkeeping happens in the issue-side record; here
+        // the handler stored there fires.
+        auto it = pending_.find(envelope->result.query_id);
+        if (it == pending_.end() || it->second.completed) return;
+        it->second.completed = true;
+        network_->sim().Cancel(it->second.timeout_event);
+        ++stats_.queries_completed;
+        KnnResult result = envelope->result;
+        result.issued_at = it->second.issued_at;
+        result.completed_at = network_->sim().Now();
+        ResultHandler handler = std::move(it->second.handler);
+        pending_.erase(it);
+        if (handler) handler(result);
+      });
+
+  // Location update loops on every sensor except the station itself.
+  Node* center = network_->node(params_.center);
+  for (Node* node : network_->AllNodes()) {
+    if (node->is_infrastructure() || node->id() == params_.center) continue;
+    const double phase =
+        node->rng().Uniform(0.0, params_.update_interval);
+    network_->sim().SchedulePeriodic(
+        phase, params_.update_interval, [this, node, center]() {
+          if (!node->alive()) return true;
+          auto update = std::make_shared<UpdateMessage>();
+          update->node = node->id();
+          update->position = node->Position();
+          update->speed = node->Speed();
+          gpsr_->Send(node, center->Position(), MessageType::kCentralUpdate,
+                      std::move(update), kUpdateBytes,
+                      EnergyCategory::kMaintenance, false, center->id(),
+                      /*cheap_delivery=*/true);
+          ++stats_.updates_sent;
+          return true;
+        });
+  }
+}
+
+void CentralizedIndex::OnUpdate(Node* node, const UpdateMessage& msg) {
+  if (node->id() != params_.center) return;  // Stranded update.
+  ++stats_.updates_received;
+  auto [it, inserted] = records_.try_emplace(msg.node);
+  if (!inserted) {
+    index_.Remove(msg.node, it->second.position);
+  }
+  it->second =
+      Record{msg.position, msg.speed, network_->sim().Now()};
+  index_.Insert(msg.node, msg.position);
+}
+
+KnnResult CentralizedIndex::AnswerLocally(const KnnQuery& query) {
+  KnnResult result;
+  result.query_id = query.id;
+  for (int64_t id : index_.Knn(query.q, query.k)) {
+    const auto it = records_.find(static_cast<NodeId>(id));
+    if (it == records_.end()) continue;
+    KnnCandidate c;
+    c.id = static_cast<NodeId>(id);
+    c.position = it->second.position;
+    c.speed = it->second.speed;
+    c.sampled_at = it->second.received_at;
+    result.candidates.push_back(c);
+  }
+  return result;
+}
+
+void CentralizedIndex::IssueQuery(NodeId sink, Point q, int k,
+                                  ResultHandler handler) {
+  KnnQuery query;
+  query.id = next_query_id_++;
+  query.q = q;
+  query.k = std::max(1, k);
+  query.sink = sink;
+  query.sink_position = network_->node(sink)->Position();
+  ++stats_.queries_issued;
+
+  const SimTime issued_at = network_->sim().Now();
+  if (sink == params_.center) {
+    // The station queries its own index: only the processing delay.
+    KnnResult result = AnswerLocally(query);
+    result.issued_at = issued_at;
+    network_->sim().ScheduleAfter(
+        params_.processing_delay,
+        [this, result, handler = std::move(handler)]() mutable {
+          ++stats_.queries_completed;
+          result.completed_at = network_->sim().Now();
+          if (handler) handler(result);
+        });
+    return;
+  }
+
+  // Remote sink: ship the query to the station, the result back.
+  PendingQuery pending;
+  pending.query = query;
+  pending.handler = std::move(handler);
+  pending.issued_at = issued_at;
+  const uint64_t id = query.id;
+  pending.timeout_event = network_->sim().ScheduleAfter(
+      params_.query_timeout, [this, id]() {
+        auto it = pending_.find(id);
+        if (it == pending_.end() || it->second.completed) return;
+        it->second.completed = true;
+        ++stats_.timeouts;
+        KnnResult result;
+        result.query_id = id;
+        result.issued_at = it->second.issued_at;
+        result.completed_at = network_->sim().Now();
+        result.timed_out = true;
+        ResultHandler handler = std::move(it->second.handler);
+        pending_.erase(it);
+        if (handler) handler(result);
+      });
+  pending_.emplace(id, std::move(pending));
+
+  auto envelope = std::make_shared<QueryEnvelope>();
+  envelope->query = query;
+  Node* center = network_->node(params_.center);
+  gpsr_->Send(network_->node(sink), center->Position(),
+              MessageType::kCentralQuery, std::move(envelope), kQueryBytes,
+              EnergyCategory::kQuery, false, center->id());
+}
+
+}  // namespace diknn

@@ -1,0 +1,92 @@
+// Naive infrastructure-free baseline (Section 3.3): flood the query within
+// the KNNB boundary; every node inside routes its response back to the
+// sink end-to-end and rebroadcasts the query. The paper rejects this
+// design as "extremely resource-consuming ... because of the excessive
+// number of independent routing paths"; it is implemented here for the
+// ablation benches that quantify exactly that.
+
+#ifndef DIKNN_BASELINES_FLOODING_H_
+#define DIKNN_BASELINES_FLOODING_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "knn/knnb.h"
+#include "knn/query.h"
+#include "net/network.h"
+#include "routing/gpsr.h"
+
+namespace diknn {
+
+/// Flooding tunables.
+struct FloodingParams {
+  double rebroadcast_jitter = 0.02;  ///< Max forwarding jitter (s).
+  SimTime collect_window = 3.0;      ///< Sink waits this long for replies.
+  SimTime query_timeout = 8.0;
+  double max_radius_factor = 1.5;
+  KnnbAreaModel knnb_area_model = KnnbAreaModel::kLune;  ///< See knnb.h.
+};
+
+/// Flooding behaviour counters.
+struct FloodingStats {
+  uint64_t queries_issued = 0;
+  uint64_t queries_completed = 0;
+  uint64_t rebroadcasts = 0;
+  uint64_t replies_sent = 0;
+  uint64_t replies_received = 0;
+};
+
+/// Boundary-bounded flooding with per-node response routing.
+class Flooding : public KnnProtocol {
+ public:
+  Flooding(Network* network, GpsrRouting* gpsr, FloodingParams params = {});
+
+  void Install() override;
+  void IssueQuery(NodeId sink, Point q, int k, ResultHandler handler) override;
+  std::string name() const override { return "Flooding"; }
+
+  const FloodingStats& stats() const { return stats_; }
+
+ private:
+  struct QueryBootstrap : Message {
+    KnnQuery query;
+  };
+
+  struct FloodMessage : Message {
+    KnnQuery query;
+    double radius = 0.0;
+  };
+
+  struct ReplyMessage : Message {
+    uint64_t query_id = 0;
+    KnnCandidate candidate;
+  };
+
+  struct PendingQuery {
+    KnnQuery query;
+    ResultHandler handler;
+    std::vector<KnnCandidate> candidates;
+    SimTime issued_at = 0;
+    EventId complete_event = 0;
+    bool completed = false;
+  };
+
+  void OnHomeNodeArrival(Node* node, const GeoRoutedMessage& msg);
+  void OnFlood(Node* node, const FloodMessage& msg);
+  void OnReply(Node* node, const ReplyMessage& msg);
+  void CompleteQuery(uint64_t query_id);
+
+  Network* network_;
+  GpsrRouting* gpsr_;
+  FloodingParams params_;
+  FloodingStats stats_;
+
+  uint64_t next_query_id_ = 1;
+  std::unordered_map<uint64_t, PendingQuery> pending_;
+  std::unordered_map<uint64_t, std::unordered_set<NodeId>> seen_;
+};
+
+}  // namespace diknn
+
+#endif  // DIKNN_BASELINES_FLOODING_H_

@@ -1,0 +1,338 @@
+#include "baselines/rtree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <queue>
+
+namespace diknn {
+
+Rect RTree::Node::Mbr() const {
+  Rect mbr = Rect::Empty();
+  for (const Entry& e : entries) mbr = mbr.Union(e.mbr);
+  return mbr;
+}
+
+RTree::RTree(int max_entries)
+    : max_entries_(std::max(4, max_entries)),
+      min_entries_(std::max(2, static_cast<int>(max_entries_ * 0.4))) {}
+
+RTree::~RTree() = default;
+RTree::RTree(RTree&&) noexcept = default;
+RTree& RTree::operator=(RTree&&) noexcept = default;
+
+void RTree::Insert(int64_t id, const Point& position) {
+  if (!root_) {
+    root_ = std::make_unique<Node>();
+    root_->leaf = true;
+  }
+
+  // Descend to a leaf, enlarging MBRs on the way and recording the path.
+  std::vector<Node*> path;
+  Node* node = root_.get();
+  while (!node->leaf) {
+    path.push_back(node);
+    Entry* best = nullptr;
+    double best_enlargement = std::numeric_limits<double>::infinity();
+    double best_area = std::numeric_limits<double>::infinity();
+    for (Entry& e : node->entries) {
+      const double area = e.mbr.Area();
+      const double enlargement = e.mbr.Expanded(position).Area() - area;
+      if (enlargement < best_enlargement ||
+          (enlargement == best_enlargement && area < best_area)) {
+        best_enlargement = enlargement;
+        best_area = area;
+        best = &e;
+      }
+    }
+    assert(best != nullptr);
+    best->mbr = best->mbr.Expanded(position);
+    node = best->child.get();
+  }
+
+  Entry record;
+  record.id = id;
+  record.position = position;
+  record.mbr = Rect{position, position};
+  node->entries.push_back(std::move(record));
+  ++size_;
+
+  // Split overflowing nodes bottom-up.
+  Node* current = node;
+  while (current->entries.size() >
+         static_cast<size_t>(max_entries_)) {
+    auto sibling = std::make_unique<Node>();
+    QuadraticSplit(current, sibling.get());
+    if (current == root_.get()) {
+      auto new_root = std::make_unique<Node>();
+      new_root->leaf = false;
+      Entry left;
+      left.mbr = root_->Mbr();
+      left.child = std::move(root_);
+      Entry right;
+      right.mbr = sibling->Mbr();
+      right.child = std::move(sibling);
+      new_root->entries.push_back(std::move(left));
+      new_root->entries.push_back(std::move(right));
+      root_ = std::move(new_root);
+      break;
+    }
+    Node* parent = path.back();
+    path.pop_back();
+    for (Entry& pe : parent->entries) {
+      if (pe.child.get() == current) {
+        pe.mbr = current->Mbr();
+        break;
+      }
+    }
+    Entry fresh;
+    fresh.mbr = sibling->Mbr();
+    fresh.child = std::move(sibling);
+    parent->entries.push_back(std::move(fresh));
+    current = parent;
+  }
+}
+
+void RTree::QuadraticSplit(Node* node, Node* sibling) const {
+  std::vector<Entry> entries = std::move(node->entries);
+  node->entries.clear();
+  sibling->leaf = node->leaf;
+
+  // Pick the two seeds wasting the most area when paired.
+  size_t seed_a = 0, seed_b = 1;
+  double worst = -1.0;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    for (size_t j = i + 1; j < entries.size(); ++j) {
+      const double waste = entries[i].mbr.Union(entries[j].mbr).Area() -
+                           entries[i].mbr.Area() - entries[j].mbr.Area();
+      if (waste > worst) {
+        worst = waste;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+
+  Rect mbr_a = entries[seed_a].mbr;
+  Rect mbr_b = entries[seed_b].mbr;
+  node->entries.push_back(std::move(entries[seed_a]));
+  sibling->entries.push_back(std::move(entries[seed_b]));
+
+  std::vector<Entry> remaining;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (i == seed_a || i == seed_b) continue;
+    remaining.push_back(std::move(entries[i]));
+  }
+
+  const size_t total = remaining.size() + 2;
+  const size_t min_fill = static_cast<size_t>(min_entries_);
+  for (Entry& e : remaining) {
+    // Force-assign when one side must take all the rest to reach minimum.
+    const size_t left = node->entries.size();
+    const size_t right = sibling->entries.size();
+    const size_t assigned = left + right;
+    const size_t left_needed = min_fill > left ? min_fill - left : 0;
+    const size_t right_needed = min_fill > right ? min_fill - right : 0;
+    const size_t pending = total - assigned;
+    bool to_a;
+    if (left_needed >= pending) {
+      to_a = true;
+    } else if (right_needed >= pending) {
+      to_a = false;
+    } else {
+      const double grow_a = mbr_a.Union(e.mbr).Area() - mbr_a.Area();
+      const double grow_b = mbr_b.Union(e.mbr).Area() - mbr_b.Area();
+      to_a = grow_a < grow_b ||
+             (grow_a == grow_b && mbr_a.Area() <= mbr_b.Area());
+    }
+    if (to_a) {
+      mbr_a = mbr_a.Union(e.mbr);
+      node->entries.push_back(std::move(e));
+    } else {
+      mbr_b = mbr_b.Union(e.mbr);
+      sibling->entries.push_back(std::move(e));
+    }
+  }
+}
+
+bool RTree::RemoveRecursive(Node* node, int64_t id, const Point& position,
+                            std::vector<Entry>* orphan_entries) {
+  if (node->leaf) {
+    for (size_t i = 0; i < node->entries.size(); ++i) {
+      if (node->entries[i].id == id &&
+          node->entries[i].position == position) {
+        node->entries.erase(node->entries.begin() + i);
+        return true;
+      }
+    }
+    return false;
+  }
+  for (size_t i = 0; i < node->entries.size(); ++i) {
+    Entry& e = node->entries[i];
+    if (!e.mbr.Contains(position)) continue;
+    if (!RemoveRecursive(e.child.get(), id, position, orphan_entries)) {
+      continue;
+    }
+    if (e.child->entries.size() < static_cast<size_t>(min_entries_)) {
+      // Condense: orphan the underflowing child's records for reinsertion.
+      std::vector<Node*> stack{e.child.get()};
+      while (!stack.empty()) {
+        Node* n = stack.back();
+        stack.pop_back();
+        for (Entry& ce : n->entries) {
+          if (n->leaf) {
+            orphan_entries->push_back(std::move(ce));
+          } else {
+            stack.push_back(ce.child.get());
+          }
+        }
+      }
+      node->entries.erase(node->entries.begin() + i);
+    } else {
+      e.mbr = e.child->Mbr();
+    }
+    return true;
+  }
+  return false;
+}
+
+bool RTree::Remove(int64_t id, const Point& position) {
+  if (!root_) return false;
+  std::vector<Entry> orphans;
+  if (!RemoveRecursive(root_.get(), id, position, &orphans)) {
+    return false;
+  }
+  --size_;
+
+  // Shrink the root while it has a single internal child.
+  while (!root_->leaf && root_->entries.size() == 1) {
+    root_ = std::move(root_->entries[0].child);
+  }
+  if (root_->entries.empty()) {
+    root_.reset();  // Reinsertion below recreates the root if needed.
+  }
+
+  // Reinsert orphaned records. Insert() increments size_, but these
+  // records never left the tree's logical contents, so compensate.
+  for (Entry& e : orphans) {
+    Insert(e.id, e.position);
+    --size_;
+  }
+  return true;
+}
+
+std::vector<int64_t> RTree::Range(const Rect& rect) const {
+  std::vector<int64_t> out;
+  if (!root_) return out;
+  std::vector<const Node*> stack{root_.get()};
+  while (!stack.empty()) {
+    const Node* node = stack.back();
+    stack.pop_back();
+    for (const Entry& e : node->entries) {
+      if (!rect.Intersects(e.mbr)) continue;
+      if (node->leaf) {
+        out.push_back(e.id);
+      } else {
+        stack.push_back(e.child.get());
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<int64_t> RTree::Knn(const Point& q, int k) const {
+  std::vector<int64_t> out;
+  if (!root_ || k <= 0) return out;
+
+  struct QueueEntry {
+    double dist;
+    const Node* node;      // Non-null for subtrees.
+    int64_t id;            // Valid when node == nullptr.
+    bool operator>(const QueueEntry& o) const { return dist > o.dist; }
+  };
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<>> heap;
+  heap.push({0.0, root_.get(), 0});
+
+  while (!heap.empty() && out.size() < static_cast<size_t>(k)) {
+    QueueEntry top = heap.top();
+    heap.pop();
+    if (top.node == nullptr) {
+      out.push_back(top.id);
+      continue;
+    }
+    for (const Entry& e : top.node->entries) {
+      if (top.node->leaf) {
+        heap.push({Distance(e.position, q), nullptr, e.id});
+      } else {
+        heap.push({e.mbr.MinDistance(q), e.child.get(), 0});
+      }
+    }
+  }
+  return out;
+}
+
+RTree::NearestIterator::NearestIterator(const RTree* tree, Point q)
+    : q_(q) {
+  if (tree->root_) {
+    heap_.push(HeapEntry{0.0, tree->root_.get(), 0, {}});
+  }
+  Settle();
+}
+
+void RTree::NearestIterator::Settle() {
+  while (!heap_.empty() && heap_.top().node != nullptr) {
+    const Node* node = heap_.top().node;
+    heap_.pop();
+    for (const RTree::Entry& e : node->entries) {
+      if (node->leaf) {
+        heap_.push(HeapEntry{Distance(e.position, q_), nullptr, e.id,
+                             e.position});
+      } else {
+        heap_.push(HeapEntry{e.mbr.MinDistance(q_), e.child.get(), 0, {}});
+      }
+    }
+  }
+}
+
+std::pair<int64_t, double> RTree::NearestIterator::Next() {
+  assert(HasNext());
+  const HeapEntry top = heap_.top();
+  heap_.pop();
+  Settle();
+  return {top.id, top.dist};
+}
+
+Rect RTree::Bounds() const {
+  return root_ ? root_->Mbr() : Rect::Empty();
+}
+
+int RTree::HeightOf(const Node* node) const {
+  if (node == nullptr) return 0;
+  if (node->leaf) return 1;
+  return 1 + HeightOf(node->entries.front().child.get());
+}
+
+int RTree::Height() const { return HeightOf(root_.get()); }
+
+bool RTree::CheckNode(const Node* node, int depth, int leaf_depth) const {
+  const bool is_root = node == root_.get();
+  if (!is_root && (node->entries.size() < static_cast<size_t>(min_entries_) ||
+                   node->entries.size() > static_cast<size_t>(max_entries_))) {
+    return false;
+  }
+  if (node->leaf) return depth == leaf_depth;
+  for (const Entry& e : node->entries) {
+    if (!e.child) return false;
+    if (!e.mbr.Contains(e.child->Mbr())) return false;
+    if (!CheckNode(e.child.get(), depth + 1, leaf_depth)) return false;
+  }
+  return true;
+}
+
+bool RTree::CheckInvariants() const {
+  if (!root_) return size_ == 0;
+  return CheckNode(root_.get(), 1, Height());
+}
+
+}  // namespace diknn

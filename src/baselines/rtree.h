@@ -1,0 +1,140 @@
+// In-memory R-tree (Guttman, SIGMOD 1984) over 2-D points.
+//
+// Peer-tree (Demirbas & Ferhatosmanoglu) decentralizes an R-tree into an
+// MBR hierarchy over the sensor field; our Peer-tree baseline uses this
+// structure inside every clusterhead to index member locations and at the
+// root to index cell MBRs. It is also used by tests as a KNN ground-truth
+// cross-check.
+//
+// Implementation: quadratic-split insertion, condense-tree deletion, and
+// best-first (priority queue on MinDist) KNN search.
+
+#ifndef DIKNN_BASELINES_RTREE_H_
+#define DIKNN_BASELINES_RTREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "core/geometry.h"
+
+namespace diknn {
+
+/// R-tree over (id, point) records. Ids need not be unique; removal
+/// matches on both id and position.
+class RTree {
+ private:
+  // Forward declarations so the public NearestIterator can refer to the
+  // node type; definitions follow in the private section below.
+  struct Node;
+  struct Entry;
+
+ public:
+  /// `max_entries` M >= 4; min entries is M * 0.4 (Guttman's suggestion).
+  explicit RTree(int max_entries = 8);
+  ~RTree();
+
+  RTree(const RTree&) = delete;
+  RTree& operator=(const RTree&) = delete;
+  RTree(RTree&&) noexcept;
+  RTree& operator=(RTree&&) noexcept;
+
+  /// Inserts a record.
+  void Insert(int64_t id, const Point& position);
+
+  /// Removes the record with the given id at the given position.
+  /// Returns false if no such record exists.
+  bool Remove(int64_t id, const Point& position);
+
+  /// Number of records.
+  size_t Size() const { return size_; }
+  bool Empty() const { return size_ == 0; }
+
+  /// Records inside (or on the border of) `rect`.
+  std::vector<int64_t> Range(const Rect& rect) const;
+
+  /// Up to k record ids nearest to `q`, best first.
+  std::vector<int64_t> Knn(const Point& q, int k) const;
+
+  /// Incremental nearest-neighbor browsing (Hjaltason & Samet, TODS
+  /// 1999 — the paper's reference [12]): yields records in increasing
+  /// distance from `q`, one at a time, without fixing k in advance.
+  /// The iterator observes a snapshot-by-contract: do not modify the
+  /// tree while one is live.
+  class NearestIterator {
+   public:
+    /// True while more records remain.
+    bool HasNext() const { return !heap_.empty(); }
+
+    /// The next-nearest record id and its distance. Requires HasNext().
+    std::pair<int64_t, double> Next();
+
+   private:
+    friend class RTree;
+    struct HeapEntry {
+      double dist;
+      const Node* node;  // Non-null for subtrees.
+      int64_t id;
+      Point position;
+      bool operator>(const HeapEntry& o) const { return dist > o.dist; }
+    };
+    explicit NearestIterator(const RTree* tree, Point q);
+
+    // Expands subtree entries until a record is at the heap top.
+    void Settle();
+
+    Point q_;
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>
+        heap_;
+  };
+
+  /// Begins distance browsing from `q`.
+  NearestIterator Browse(const Point& q) const {
+    return NearestIterator(this, q);
+  }
+
+  /// Bounding rectangle of all records (empty Rect when empty).
+  Rect Bounds() const;
+
+  /// Tree height (0 when empty, 1 when the root is a leaf).
+  int Height() const;
+
+  /// Structural invariant check used by tests: every child MBR is
+  /// contained in its parent entry's MBR, leaf depths are uniform, and
+  /// node occupancies are within [min, max] (root excepted).
+  bool CheckInvariants() const;
+
+ private:
+  struct Node;
+  struct Entry {
+    Rect mbr;
+    std::unique_ptr<Node> child;  // Internal entries.
+    int64_t id = 0;               // Leaf entries.
+    Point position;               // Leaf entries.
+  };
+  struct Node {
+    bool leaf = true;
+    std::vector<Entry> entries;
+    Rect Mbr() const;
+  };
+
+  // Splits an overflowing node in place, moving roughly half its entries
+  // into a fresh sibling (Guttman's quadratic split). Both sides end with
+  // at least min_entries_ entries.
+  void QuadraticSplit(Node* node, Node* sibling) const;
+  bool RemoveRecursive(Node* node, int64_t id, const Point& position,
+                       std::vector<Entry>* orphan_entries);
+  int HeightOf(const Node* node) const;
+  bool CheckNode(const Node* node, int depth, int leaf_depth) const;
+
+  std::unique_ptr<Node> root_;
+  int max_entries_;
+  int min_entries_;
+  size_t size_ = 0;
+};
+
+}  // namespace diknn
+
+#endif  // DIKNN_BASELINES_RTREE_H_

@@ -1,0 +1,62 @@
+// Minimal leveled logging for simulation tracing.
+//
+// Logging defaults to kWarn so that tests and benchmarks stay quiet; the
+// Fig. 7 visualization bench raises the level to emit itinerary traces.
+
+#ifndef DIKNN_CORE_LOGGING_H_
+#define DIKNN_CORE_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace diknn {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Process-wide minimum level; messages below it are dropped cheaply.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Emits a formatted line to stderr. Not intended for direct use; call the
+/// DIKNN_LOG macro instead so disabled levels skip message formatting.
+void EmitLog(LogLevel level, const char* file, int line,
+             const std::string& message);
+
+}  // namespace internal
+}  // namespace diknn
+
+/// Streams a log message at the given level, e.g.
+///   DIKNN_LOG(kInfo) << "query " << id << " finished";
+#define DIKNN_LOG(level)                                                   \
+  if (::diknn::LogLevel::level < ::diknn::GetLogLevel()) {                 \
+  } else                                                                   \
+    ::diknn::internal::LogMessage(::diknn::LogLevel::level, __FILE__,      \
+                                  __LINE__)
+
+namespace diknn::internal {
+
+/// RAII stream that emits on destruction; created by DIKNN_LOG.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { EmitLog(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace diknn::internal
+
+#endif  // DIKNN_CORE_LOGGING_H_

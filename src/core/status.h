@@ -1,0 +1,141 @@
+// Lightweight Status / StatusOr error-handling primitives.
+//
+// The library does not use exceptions on hot paths; fallible operations
+// return Status (or StatusOr<T> when they produce a value). This mirrors
+// the convention used by Arrow / RocksDB style C++ database code.
+
+#ifndef DIKNN_CORE_STATUS_H_
+#define DIKNN_CORE_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace diknn {
+
+/// Error taxonomy for the library. Kept deliberately small: simulation and
+/// query-processing failures fall into a handful of actionable classes.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Caller passed a value outside the contract.
+  kNotFound,          ///< Lookup target does not exist (node id, neighbor...).
+  kFailedPrecondition,///< Object is not in a state that allows the call.
+  kUnavailable,       ///< Transient network-level failure (void, no route).
+  kInternal,          ///< Invariant violation inside the library.
+};
+
+/// Human-readable name of a StatusCode ("OK", "InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Value-semantic error carrier: a code plus an optional message.
+///
+/// `Status::OK()` is cheap (no allocation). Statuses must be checked by the
+/// caller; conversion to bool tests success.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and diagnostic message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  explicit operator bool() const { return ok(); }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Status with a payload: either an OK status and a value, or an error.
+///
+/// Access the value only after checking `ok()`; `value()` asserts in debug
+/// builds when called on an error.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value (OK).
+  StatusOr(T value) : status_(Status::OK()), value_(std::move(value)) {}  // NOLINT
+
+  /// Implicit construction from an error status. Must not be OK.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "StatusOr constructed from OK status w/o value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  explicit operator bool() const { return ok(); }
+
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value, or `fallback` on error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace diknn
+
+/// Propagates a non-OK Status from the evaluated expression to the caller.
+#define DIKNN_RETURN_IF_ERROR(expr)            \
+  do {                                         \
+    ::diknn::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+#endif  // DIKNN_CORE_STATUS_H_

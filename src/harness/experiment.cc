@@ -1,0 +1,199 @@
+#include "harness/experiment.h"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+
+namespace diknn {
+
+const char* ProtocolName(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kDiknn:
+      return "DIKNN";
+    case ProtocolKind::kKptKnnb:
+      return "KPT+KNNB";
+    case ProtocolKind::kPeerTree:
+      return "PeerTree";
+    case ProtocolKind::kFlooding:
+      return "Flooding";
+    case ProtocolKind::kCentralized:
+      return "Centralized";
+  }
+  return "?";
+}
+
+ProtocolStack::ProtocolStack(const ExperimentConfig& config, uint64_t seed) {
+  NetworkConfig net_config = config.network;
+  net_config.seed = seed;
+  if (config.static_sink) {
+    net_config.static_node_count =
+        std::max(net_config.static_node_count, 1);
+  }
+  if (config.protocol == ProtocolKind::kPeerTree) {
+    net_config.infrastructure_positions = PeerTree::ClusterheadPositions(
+        net_config.field, config.peertree.grid_dim);
+  }
+  network_ = std::make_unique<Network>(net_config);
+  gpsr_ = std::make_unique<GpsrRouting>(network_.get());
+  gpsr_->Install();
+
+  switch (config.protocol) {
+    case ProtocolKind::kDiknn: {
+      auto p = std::make_unique<Diknn>(network_.get(), gpsr_.get(),
+                                       config.diknn);
+      diknn_ = p.get();
+      protocol_ = std::move(p);
+      break;
+    }
+    case ProtocolKind::kKptKnnb: {
+      auto p = std::make_unique<KptKnnb>(network_.get(), gpsr_.get(),
+                                         config.kpt);
+      kpt_ = p.get();
+      protocol_ = std::move(p);
+      break;
+    }
+    case ProtocolKind::kPeerTree: {
+      auto p = std::make_unique<PeerTree>(network_.get(), gpsr_.get(),
+                                          config.peertree);
+      peertree_ = p.get();
+      protocol_ = std::move(p);
+      break;
+    }
+    case ProtocolKind::kFlooding: {
+      auto p = std::make_unique<Flooding>(network_.get(), gpsr_.get(),
+                                          config.flooding);
+      flooding_ = p.get();
+      protocol_ = std::move(p);
+      break;
+    }
+    case ProtocolKind::kCentralized: {
+      auto p = std::make_unique<CentralizedIndex>(
+          network_.get(), gpsr_.get(), config.centralized);
+      centralized_ = p.get();
+      protocol_ = std::move(p);
+      break;
+    }
+  }
+  protocol_->Install();
+}
+
+RunMetrics RunOnce(const ExperimentConfig& config, uint64_t seed,
+                   std::vector<QueryRecord>* records_out) {
+  ProtocolStack stack(config, seed);
+  Network& net = stack.network();
+  Simulator& sim = net.sim();
+  KnnProtocol& protocol = stack.protocol();
+
+  net.Warmup(config.warmup);
+
+  // Exclude warm-up traffic (registration floods, initial beacons) from
+  // the energy accounting, matching a steady-state measurement.
+  const double maintenance_baseline =
+      net.TotalEnergy(EnergyCategory::kMaintenance);
+  const double query_baseline = net.TotalEnergy(EnergyCategory::kQuery);
+  const double beacon_baseline = net.TotalEnergy(EnergyCategory::kBeacon);
+
+  Rng workload_rng(seed * 0x9e3779b97f4a7c15ULL + 17);
+  auto records = std::make_shared<std::vector<QueryRecord>>();
+
+  // Query generator: Poisson arrivals from a random (mobile) sink to a
+  // uniformly random query point. Each issue snapshots the ground truth
+  // for pre-accuracy; the completion handler snapshots it again for
+  // post-accuracy.
+  const SimTime start = sim.Now();
+  const SimTime deadline = start + config.duration;
+  struct Generator {
+    ExperimentConfig config;
+    Network* net;
+    KnnProtocol* protocol;
+    std::shared_ptr<std::vector<QueryRecord>> records;
+    Rng rng;
+    SimTime deadline;
+
+    void IssueNext() {
+      Simulator& sim = net->sim();
+      const SimTime next =
+          sim.Now() + rng.Exponential(config.query_interval_mean);
+      if (next >= deadline) return;
+      sim.ScheduleAt(next, [this]() {
+        const NodeId sink =
+            config.static_sink
+                ? 0
+                : rng.UniformInt(0, config.network.node_count - 1);
+        const Point q = rng.PointInRect(config.network.field);
+        const auto truth_pre = net->TrueKnn(q, config.k);
+        const SimTime issued = net->sim().Now();
+        auto records_ref = records;
+        Network* net_ref = net;
+        const int k = config.k;
+        protocol->IssueQuery(
+            sink, q, k,
+            [records_ref, net_ref, q, k, truth_pre,
+             issued](const KnnResult& result) {
+              QueryRecord rec;
+              rec.query_id = result.query_id;
+              rec.latency = result.Latency();
+              rec.timed_out = result.timed_out;
+              const auto returned = result.CandidateIds();
+              rec.pre_accuracy = Accuracy(returned, truth_pre);
+              rec.post_accuracy =
+                  Accuracy(returned, net_ref->TrueKnn(q, k));
+              records_ref->push_back(rec);
+            });
+        IssueNext();
+      });
+    }
+  };
+  auto generator = std::make_shared<Generator>(
+      Generator{config, &net, &protocol, records, workload_rng, deadline});
+  generator->IssueNext();
+
+  sim.RunUntil(deadline + config.drain);
+
+  RunMetrics metrics;
+  metrics.queries = static_cast<int>(records->size());
+  std::vector<double> lat, pre, post;
+  for (const QueryRecord& r : *records) {
+    if (r.timed_out) ++metrics.timeouts;
+    lat.push_back(r.latency);
+    pre.push_back(r.pre_accuracy);
+    post.push_back(r.post_accuracy);
+  }
+  metrics.avg_latency = Summarize(lat).mean;
+  metrics.p95_latency = Percentile(lat, 95.0);
+  metrics.avg_pre_accuracy = Summarize(pre).mean;
+  metrics.avg_post_accuracy = Summarize(post).mean;
+  metrics.energy_joules =
+      (net.TotalEnergy(EnergyCategory::kQuery) - query_baseline) +
+      (net.TotalEnergy(EnergyCategory::kMaintenance) - maintenance_baseline);
+  metrics.beacon_energy_joules =
+      net.TotalEnergy(EnergyCategory::kBeacon) - beacon_baseline;
+  metrics.average_degree = net.AverageDegree();
+
+  if (records_out != nullptr) *records_out = *records;
+  return metrics;
+}
+
+ExperimentMetrics RunExperiment(const ExperimentConfig& config) {
+  std::vector<RunMetrics> runs;
+  runs.reserve(config.runs);
+  for (int i = 0; i < config.runs; ++i) {
+    runs.push_back(RunOnce(config, config.base_seed + i));
+  }
+  return AggregateRuns(runs);
+}
+
+std::string FormatRow(const std::string& label,
+                      const ExperimentMetrics& metrics) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  os << label << "  latency=" << metrics.latency.mean << "s"
+     << "  energy=" << metrics.energy.mean << "J"
+     << "  pre_acc=" << metrics.pre_accuracy.mean
+     << "  post_acc=" << metrics.post_accuracy.mean
+     << "  timeout_rate=" << metrics.timeout_rate.mean;
+  return os.str();
+}
+
+}  // namespace diknn

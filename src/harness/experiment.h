@@ -1,0 +1,103 @@
+// Experiment runner: builds a network, installs a KNN protocol, drives the
+// paper's query workload (Poisson arrivals from random sinks to random
+// query points), scores every query against the ground-truth oracle, and
+// aggregates the paper's three metrics over repeated seeded runs.
+
+#ifndef DIKNN_HARNESS_EXPERIMENT_H_
+#define DIKNN_HARNESS_EXPERIMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/centralized.h"
+#include "baselines/flooding.h"
+#include "baselines/kpt.h"
+#include "baselines/peertree.h"
+#include "harness/metrics.h"
+#include "knn/diknn.h"
+#include "net/network.h"
+
+namespace diknn {
+
+/// Protocol selector for experiments.
+enum class ProtocolKind {
+  kDiknn,
+  kKptKnnb,
+  kPeerTree,
+  kFlooding,
+  kCentralized,
+};
+
+const char* ProtocolName(ProtocolKind kind);
+
+/// Full experiment configuration; defaults reproduce the paper's Section
+/// 5.1 parameter table (200 nodes, 115x115 m^2, r = 20 m, 250 kbps,
+/// mu_max = 10 m/s, beacon 0.5 s, query interval exp(4 s), S = 8,
+/// m = 0.018 s, g = 0.1, rendezvous enabled, 100 s runs, 20 repetitions).
+struct ExperimentConfig {
+  NetworkConfig network;
+  ProtocolKind protocol = ProtocolKind::kDiknn;
+  int k = 40;
+  /// Issue all queries from a stationary sink node (node 0), the usual
+  /// WSN base-station reading of "the sink node s". When false, each
+  /// query picks a random mobile node as its sink.
+  bool static_sink = true;
+  double query_interval_mean = 4.0;  ///< Exponential inter-arrival (s).
+  SimTime duration = 100.0;          ///< Queries issued during [0, duration).
+  SimTime warmup = 2.5;              ///< Beacon/registration warm-up.
+  SimTime drain = 9.0;               ///< Post-duration settling time.
+  int runs = 20;
+  uint64_t base_seed = 42;
+  DiknnParams diknn;
+  KptParams kpt;
+  PeerTreeParams peertree;
+  FloodingParams flooding;
+  CentralizedParams centralized;
+};
+
+/// One assembled protocol stack over one network, usable directly by
+/// examples and tests that want to drive queries by hand.
+class ProtocolStack {
+ public:
+  /// Builds the network (adding Peer-tree clusterhead infrastructure when
+  /// needed), installs GPSR and the chosen protocol, and warms up.
+  ProtocolStack(const ExperimentConfig& config, uint64_t seed);
+
+  Network& network() { return *network_; }
+  GpsrRouting& gpsr() { return *gpsr_; }
+  KnnProtocol& protocol() { return *protocol_; }
+
+  /// The DIKNN instance, if this stack runs DIKNN (else nullptr).
+  Diknn* diknn() { return diknn_; }
+  KptKnnb* kpt() { return kpt_; }
+  PeerTree* peertree() { return peertree_; }
+  Flooding* flooding() { return flooding_; }
+  CentralizedIndex* centralized() { return centralized_; }
+
+ private:
+  std::unique_ptr<Network> network_;
+  std::unique_ptr<GpsrRouting> gpsr_;
+  std::unique_ptr<KnnProtocol> protocol_;
+  Diknn* diknn_ = nullptr;
+  KptKnnb* kpt_ = nullptr;
+  PeerTree* peertree_ = nullptr;
+  Flooding* flooding_ = nullptr;
+  CentralizedIndex* centralized_ = nullptr;
+};
+
+/// Runs one seeded simulation and returns its metrics. `records_out`, when
+/// non-null, receives the per-query records.
+RunMetrics RunOnce(const ExperimentConfig& config, uint64_t seed,
+                   std::vector<QueryRecord>* records_out = nullptr);
+
+/// Runs `config.runs` seeded repetitions and aggregates.
+ExperimentMetrics RunExperiment(const ExperimentConfig& config);
+
+/// Formats one experiment row: "<label> lat=.. J=.. pre=.. post=..".
+std::string FormatRow(const std::string& label,
+                      const ExperimentMetrics& metrics);
+
+}  // namespace diknn
+
+#endif  // DIKNN_HARNESS_EXPERIMENT_H_

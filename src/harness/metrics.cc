@@ -1,0 +1,72 @@
+#include "harness/metrics.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace diknn {
+
+double Accuracy(const std::vector<NodeId>& returned,
+                const std::vector<NodeId>& truth) {
+  if (truth.empty()) return 1.0;
+  std::unordered_set<NodeId> got(returned.begin(), returned.end());
+  int hits = 0;
+  for (NodeId id : truth) {
+    if (got.contains(id)) ++hits;
+  }
+  return static_cast<double>(hits) / truth.size();
+}
+
+Summary Summarize(const std::vector<double>& values) {
+  Summary s;
+  s.count = static_cast<int>(values.size());
+  if (values.empty()) return s;
+  double sum = 0.0;
+  s.min = values.front();
+  s.max = values.front();
+  for (double v : values) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / values.size();
+  double var = 0.0;
+  for (double v : values) var += (v - s.mean) * (v - s.mean);
+  s.stddev = values.size() > 1
+                 ? std::sqrt(var / (values.size() - 1))
+                 : 0.0;
+  return s;
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank =
+      std::clamp(p, 0.0, 100.0) / 100.0 * (values.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - lo;
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+ExperimentMetrics AggregateRuns(const std::vector<RunMetrics>& runs) {
+  ExperimentMetrics out;
+  out.runs = static_cast<int>(runs.size());
+  std::vector<double> lat, pre, post, energy, to_rate;
+  for (const RunMetrics& r : runs) {
+    lat.push_back(r.avg_latency);
+    pre.push_back(r.avg_pre_accuracy);
+    post.push_back(r.avg_post_accuracy);
+    energy.push_back(r.energy_joules);
+    to_rate.push_back(r.queries > 0
+                          ? static_cast<double>(r.timeouts) / r.queries
+                          : 0.0);
+  }
+  out.latency = Summarize(lat);
+  out.pre_accuracy = Summarize(pre);
+  out.post_accuracy = Summarize(post);
+  out.energy = Summarize(energy);
+  out.timeout_rate = Summarize(to_rate);
+  return out;
+}
+
+}  // namespace diknn

@@ -1,0 +1,82 @@
+// Metric definitions and aggregation for the experiment harness.
+//
+// The paper's three metrics (Section 5.1):
+//   Query latency  — seconds from issue to result receipt at the sink.
+//   Energy         — Joules consumed in a simulation run (we report the
+//                    query + index-maintenance categories; the periodic
+//                    beacon cost is identical across schemes and reported
+//                    separately).
+//   Query accuracy — fraction of the true KNN returned; "pre-accuracy"
+//                    scores against the true KNN at issue time,
+//                    "post-accuracy" against the true KNN at receipt time.
+
+#ifndef DIKNN_HARNESS_METRICS_H_
+#define DIKNN_HARNESS_METRICS_H_
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "net/packet.h"
+
+namespace diknn {
+
+/// Outcome of a single query.
+struct QueryRecord {
+  uint64_t query_id = 0;
+  double latency = 0.0;
+  double pre_accuracy = 0.0;
+  double post_accuracy = 0.0;
+  bool timed_out = false;
+};
+
+/// Accuracy of a returned id set against the ground truth: the fraction
+/// of true KNNs present in `returned`.
+double Accuracy(const std::vector<NodeId>& returned,
+                const std::vector<NodeId>& truth);
+
+/// Aggregated outcome of one simulation run.
+struct RunMetrics {
+  int queries = 0;
+  int timeouts = 0;
+  double avg_latency = 0.0;
+  double p95_latency = 0.0;  ///< Tail latency across the run's queries.
+  double avg_pre_accuracy = 0.0;
+  double avg_post_accuracy = 0.0;
+  double energy_joules = 0.0;        ///< Query + maintenance energy.
+  double beacon_energy_joules = 0.0; ///< Common beaconing cost.
+  double average_degree = 0.0;       ///< Measured mean neighbor count.
+};
+
+/// Mean/stddev summary of a sample.
+struct Summary {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  int count = 0;
+};
+
+/// Computes a Summary over `values` (all zeros when empty).
+Summary Summarize(const std::vector<double>& values);
+
+/// The p-th percentile (0 <= p <= 100) by linear interpolation between
+/// order statistics; 0 when `values` is empty.
+double Percentile(std::vector<double> values, double p);
+
+/// RunMetrics averaged across repeated runs, with per-metric summaries.
+struct ExperimentMetrics {
+  Summary latency;
+  Summary pre_accuracy;
+  Summary post_accuracy;
+  Summary energy;
+  Summary timeout_rate;
+  int runs = 0;
+};
+
+/// Aggregates per-run metrics into experiment-level summaries.
+ExperimentMetrics AggregateRuns(const std::vector<RunMetrics>& runs);
+
+}  // namespace diknn
+
+#endif  // DIKNN_HARNESS_METRICS_H_

@@ -1,0 +1,55 @@
+#include "harness/trace.h"
+
+namespace diknn {
+
+TraceRecorder::TraceRecorder(Network* network) : network_(network) {
+  network_->channel().set_transmit_observer(
+      [this](const Packet& packet, NodeId sender, Point position) {
+        TraceEntry entry;
+        entry.time = network_->sim().Now();
+        entry.sender = sender;
+        entry.position = position;
+        entry.type = packet.type;
+        entry.bytes = packet.size_bytes;
+        entry.category = packet.category;
+        entries_.push_back(entry);
+      });
+  attached_ = true;
+}
+
+TraceRecorder::~TraceRecorder() { Detach(); }
+
+void TraceRecorder::Detach() {
+  if (!attached_) return;
+  network_->channel().set_transmit_observer(nullptr);
+  attached_ = false;
+}
+
+std::vector<TraceEntry> TraceRecorder::Filter(MessageType type) const {
+  std::vector<TraceEntry> out;
+  for (const TraceEntry& e : entries_) {
+    if (e.type == type) out.push_back(e);
+  }
+  return out;
+}
+
+std::map<MessageType, TraceSummary> TraceRecorder::Summarize() const {
+  std::map<MessageType, TraceSummary> out;
+  for (const TraceEntry& e : entries_) {
+    TraceSummary& s = out[e.type];
+    ++s.frames;
+    s.bytes += e.bytes;
+  }
+  return out;
+}
+
+void TraceRecorder::WriteCsv(std::ostream& os) const {
+  os << "time,sender,x,y,type,bytes\n";
+  for (const TraceEntry& e : entries_) {
+    os << e.time << ',' << e.sender << ',' << e.position.x << ','
+       << e.position.y << ',' << MessageTypeName(e.type) << ',' << e.bytes
+       << '\n';
+  }
+}
+
+}  // namespace diknn

@@ -1,0 +1,75 @@
+// Packet trace recording — the analogue of the paper's modified ns-2
+// trace format ("the trace format of ns-2 is modified so that the query
+// execution can be visualized", Section 5.2).
+//
+// A TraceRecorder attaches to the Channel's transmit observer and records
+// one entry per transmitted frame: time, sender, position, message type
+// and size. Traces can be filtered, summarized per message type, and
+// exported as CSV for external plotting.
+
+#ifndef DIKNN_HARNESS_TRACE_H_
+#define DIKNN_HARNESS_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "net/network.h"
+
+namespace diknn {
+
+/// One recorded transmission.
+struct TraceEntry {
+  SimTime time = 0;
+  NodeId sender = kInvalidNodeId;
+  Point position;
+  MessageType type{};
+  size_t bytes = 0;
+  EnergyCategory category{};
+};
+
+/// Per-message-type aggregate of a trace.
+struct TraceSummary {
+  uint64_t frames = 0;
+  uint64_t bytes = 0;
+};
+
+/// Records every frame the network transmits while attached.
+class TraceRecorder {
+ public:
+  /// Attaches to `network`'s channel. Detaches in the destructor (or on
+  /// Detach()); only one recorder can be attached at a time.
+  explicit TraceRecorder(Network* network);
+  ~TraceRecorder();
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Stops recording (idempotent).
+  void Detach();
+
+  /// Discards recorded entries.
+  void Clear() { entries_.clear(); }
+
+  const std::vector<TraceEntry>& entries() const { return entries_; }
+
+  /// Entries of one message type.
+  std::vector<TraceEntry> Filter(MessageType type) const;
+
+  /// Frame/byte totals per message type.
+  std::map<MessageType, TraceSummary> Summarize() const;
+
+  /// Writes "time,sender,x,y,type,bytes" CSV lines (with a header).
+  void WriteCsv(std::ostream& os) const;
+
+ private:
+  Network* network_;
+  bool attached_ = false;
+  std::vector<TraceEntry> entries_;
+};
+
+}  // namespace diknn
+
+#endif  // DIKNN_HARNESS_TRACE_H_

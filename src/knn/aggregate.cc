@@ -1,0 +1,315 @@
+#include "knn/aggregate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "knn/itinerary.h"
+
+namespace diknn {
+
+namespace {
+constexpr size_t kBootstrapBytes = 24;
+constexpr size_t kProbeBytes = 30;
+constexpr size_t kResultBytes = 26;
+constexpr size_t kSampleBytes = 6;
+}  // namespace
+
+ItineraryAggregateQuery::ItineraryAggregateQuery(Network* network,
+                                                 GpsrRouting* gpsr,
+                                                 SensorField* field,
+                                                 WindowQueryParams params)
+    : network_(network), gpsr_(gpsr), field_(field), params_(params) {}
+
+double ItineraryAggregateQuery::EffectiveWidth() const {
+  return params_.width > 0.0
+             ? params_.width
+             : DefaultItineraryWidth(network_->config().radio_range_m);
+}
+
+void ItineraryAggregateQuery::Install() {
+  gpsr_->RegisterDelivery(
+      MessageType::kAggQuery,
+      [this](Node* node, const GeoRoutedMessage& msg) {
+        OnEntryArrival(node, msg);
+      });
+  gpsr_->RegisterDelivery(
+      MessageType::kAggResult,
+      [this](Node* node, const GeoRoutedMessage& msg) {
+        OnResult(node, msg);
+      });
+  for (Node* node : network_->AllNodes()) {
+    node->RegisterHandler(
+        MessageType::kAggProbe, [this, node](const Packet& p) {
+          OnProbe(node, *static_cast<const ProbeMessage*>(p.payload.get()));
+        });
+    node->RegisterHandler(
+        MessageType::kAggReply, [this, node](const Packet& p) {
+          OnReply(node, *static_cast<const ReplyMessage*>(p.payload.get()));
+        });
+    node->RegisterHandler(
+        MessageType::kAggForward, [this, node](const Packet& p) {
+          StartQNode(node,
+                     static_cast<const ForwardMessage*>(p.payload.get())
+                         ->state);
+        });
+  }
+}
+
+void ItineraryAggregateQuery::IssueQuery(NodeId sink, const Rect& region,
+                                         AggregateResultHandler handler) {
+  Node* sink_node = network_->node(sink);
+  QueryDescriptor query;
+  query.id = next_query_id_++;
+  query.region = region;
+  query.sink = sink;
+  query.sink_position = sink_node->Position();
+
+  const SerpentinePath path(region, EffectiveWidth());
+  const double expected_hops =
+      path.TotalLength() /
+      (params_.step_fraction * network_->config().radio_range_m);
+  const SimTime timeout =
+      std::max(params_.query_timeout, expected_hops * 0.5 + 4.0);
+
+  PendingQuery pending;
+  pending.query = query;
+  pending.handler = std::move(handler);
+  pending.issued_at = network_->sim().Now();
+  const uint64_t id = query.id;
+  pending.timeout_event = network_->sim().ScheduleAfter(
+      timeout, [this, id]() { CompleteQuery(id, true); });
+  pending_.emplace(id, std::move(pending));
+  ++stats_.queries_issued;
+
+  auto bootstrap = std::make_shared<QueryBootstrap>();
+  bootstrap->query = query;
+  gpsr_->Send(sink_node, path.PointAt(0.0), MessageType::kAggQuery,
+              std::move(bootstrap), kBootstrapBytes,
+              EnergyCategory::kQuery);
+}
+
+void ItineraryAggregateQuery::OnEntryArrival(Node* node,
+                                             const GeoRoutedMessage& msg) {
+  const auto* bootstrap =
+      static_cast<const QueryBootstrap*>(msg.inner.get());
+  SweepState state;
+  state.query = bootstrap->query;
+  StartQNode(node, std::move(state));
+}
+
+void ItineraryAggregateQuery::StartQNode(Node* node, SweepState state) {
+  {
+    auto [it, inserted] =
+        last_hop_seen_.try_emplace(state.query.id, state.hop_count);
+    if (!inserted) {
+      if (state.hop_count <= it->second) return;
+      it->second = state.hop_count;
+    }
+  }
+  ++stats_.qnode_hops;
+
+  const SimTime now = network_->sim().Now();
+  int expected = 0;
+  for (const NeighborEntry& n : node->neighbors().Snapshot(now)) {
+    if (state.query.region.Contains(n.position)) ++expected;
+  }
+  const double window_s =
+      params_.time_unit * std::clamp(expected / 2 + 1, 3, 20);
+
+  auto probe = std::make_shared<ProbeMessage>();
+  probe->query_id = state.query.id;
+  probe->region = state.query.region;
+  probe->qnode_position = node->Position();
+  probe->reference_angle =
+      AngleOf(node->Position(), state.query.region.Center());
+  probe->collect_window = window_s;
+
+  Collection collection;
+  collection.state = std::move(state);
+  collection.qnode = node->id();
+  const uint64_t id = collection.state.query.id;
+  collections_[id] = std::move(collection);
+
+  node->SendBroadcast(MessageType::kAggProbe, std::move(probe),
+                      kProbeBytes, EnergyCategory::kQuery);
+  network_->sim().ScheduleAfter(
+      window_s + 5.0 * params_.time_unit,
+      [this, id]() { FinishCollection(id); });
+}
+
+void ItineraryAggregateQuery::OnProbe(Node* node,
+                                      const ProbeMessage& probe) {
+  if (node->is_infrastructure()) return;
+  if (!probe.region.Contains(node->Position())) return;
+  auto& replied = replied_[probe.query_id];
+  if (replied.contains(node->id())) return;
+  replied.insert(node->id());
+
+  const double alpha = NormalizeAngle(
+      AngleOf(probe.qnode_position, node->Position()) -
+      probe.reference_angle);
+  const double delay = (alpha / kTwoPi) * probe.collect_window;
+  const uint64_t query_id = probe.query_id;
+  network_->sim().ScheduleAfter(delay, [this, node, query_id]() {
+    if (!node->alive()) return;
+    auto it = collections_.find(query_id);
+    if (it == collections_.end()) {
+      replied_[query_id].erase(node->id());
+      return;
+    }
+    auto reply = std::make_shared<ReplyMessage>();
+    reply->query_id = query_id;
+    reply->sample =
+        field_->Sample(node->Position(), network_->sim().Now());
+    node->SendUnicast(it->second.qnode, MessageType::kAggReply,
+                      std::move(reply), kSampleBytes,
+                      EnergyCategory::kQuery,
+                      [this, query_id, node](bool ok) {
+                        if (!ok) replied_[query_id].erase(node->id());
+                      });
+    ++stats_.replies;
+  });
+}
+
+void ItineraryAggregateQuery::OnReply(Node* node,
+                                      const ReplyMessage& reply) {
+  auto it = collections_.find(reply.query_id);
+  if (it == collections_.end() || it->second.qnode != node->id()) return;
+  it->second.replies.Fold(reply.sample);
+}
+
+void ItineraryAggregateQuery::FinishCollection(uint64_t query_id) {
+  auto it = collections_.find(query_id);
+  if (it == collections_.end()) return;
+  Collection collection = std::move(it->second);
+  collections_.erase(it);
+
+  Node* node = network_->node(collection.qnode);
+  SweepState& state = collection.state;
+  state.aggregate.Merge(collection.replies);
+  if (!node->is_infrastructure() &&
+      state.query.region.Contains(node->Position()) &&
+      replied_[query_id].insert(node->id()).second) {
+    state.aggregate.Fold(
+        field_->Sample(node->Position(), network_->sim().Now()));
+  }
+  ForwardAlongSweep(node, std::move(state));
+}
+
+void ItineraryAggregateQuery::ForwardAlongSweep(Node* node,
+                                                SweepState state) {
+  const SimTime now = network_->sim().Now();
+  const double step =
+      params_.step_fraction * network_->config().radio_range_m;
+  const SerpentinePath path(state.query.region, EffectiveWidth());
+
+  double next_s = state.progress + step;
+  int skips = 0;
+  while (true) {
+    if (next_s > path.TotalLength()) {
+      FinishSweep(node, std::move(state));
+      return;
+    }
+    const Point anchor = path.PointAt(next_s);
+    const auto neighbors = node->neighbors().Snapshot(now);
+    const NeighborEntry* next_qnode = nullptr;
+    double best_d = Distance(node->Position(), anchor);
+    const double tolerance = EffectiveWidth() / 2.0;
+    for (const NeighborEntry& n : neighbors) {
+      const double d = Distance(n.position, anchor);
+      if ((d < best_d || d <= tolerance) &&
+          (next_qnode == nullptr || d < best_d)) {
+        best_d = d;
+        next_qnode = &n;
+      }
+    }
+    if (next_qnode == nullptr) {
+      ++stats_.voids;
+      if (++skips > params_.max_void_skips) {
+        FinishSweep(node, std::move(state));
+        return;
+      }
+      next_s += step;
+      continue;
+    }
+
+    SweepState retry_state = state;
+    state.progress = next_s;
+    ++state.hop_count;
+    auto fwd = std::make_shared<ForwardMessage>();
+    fwd->state = std::move(state);
+    const size_t bytes = fwd->state.WireBytes();
+    const NodeId next_id = next_qnode->id;
+    node->SendUnicast(next_id, MessageType::kAggForward, std::move(fwd),
+                      bytes, EnergyCategory::kQuery,
+                      [this, node, next_id, retry_state](bool ok) mutable {
+                        if (ok) return;
+                        auto it =
+                            last_hop_seen_.find(retry_state.query.id);
+                        if (it != last_hop_seen_.end() &&
+                            it->second > retry_state.hop_count) {
+                          return;
+                        }
+                        node->neighbors().Remove(next_id);
+                        ForwardAlongSweep(node, std::move(retry_state));
+                      });
+    return;
+  }
+}
+
+void ItineraryAggregateQuery::FinishSweep(Node* node, SweepState state) {
+  auto result = std::make_shared<ResultMessage>();
+  result->query_id = state.query.id;
+  result->value = state.aggregate;
+  gpsr_->Send(node, state.query.sink_position, MessageType::kAggResult,
+              std::move(result), kResultBytes, EnergyCategory::kQuery,
+              false, state.query.sink);
+}
+
+void ItineraryAggregateQuery::OnResult(Node* node,
+                                       const GeoRoutedMessage& msg) {
+  const auto* result = static_cast<const ResultMessage*>(msg.inner.get());
+  auto it = pending_.find(result->query_id);
+  if (it == pending_.end()) return;
+  PendingQuery& pending = it->second;
+  if (node->id() != pending.query.sink || pending.completed) return;
+
+  pending.completed = true;
+  network_->sim().Cancel(pending.timeout_event);
+  ++stats_.queries_completed;
+
+  AggregateResult out;
+  out.query_id = result->query_id;
+  out.value = result->value;
+  out.issued_at = pending.issued_at;
+  out.completed_at = network_->sim().Now();
+
+  AggregateResultHandler handler = std::move(pending.handler);
+  pending_.erase(it);
+  replied_.erase(result->query_id);
+  last_hop_seen_.erase(result->query_id);
+  if (handler) handler(out);
+}
+
+void ItineraryAggregateQuery::CompleteQuery(uint64_t query_id,
+                                            bool timed_out) {
+  auto it = pending_.find(query_id);
+  if (it == pending_.end() || it->second.completed) return;
+  PendingQuery& pending = it->second;
+  pending.completed = true;
+  if (timed_out) ++stats_.timeouts;
+
+  AggregateResult out;
+  out.query_id = query_id;
+  out.issued_at = pending.issued_at;
+  out.completed_at = network_->sim().Now();
+  out.timed_out = timed_out;
+
+  AggregateResultHandler handler = std::move(pending.handler);
+  pending_.erase(it);
+  replied_.erase(query_id);
+  last_hop_seen_.erase(query_id);
+  if (handler) handler(out);
+}
+
+}  // namespace diknn

@@ -1,0 +1,169 @@
+// Itinerary-based in-network aggregation.
+//
+// The itinerary concept also descends from serial data fusion along
+// space-filling curves (Patil, Das & Nasipuri, SECON 2004 — the paper's
+// reference [28]): instead of hauling every reading to the sink, the
+// query carries a constant-size aggregate (count / sum / min / max) along
+// the sweep and folds each D-node's sample into it. Forward messages stay
+// tiny no matter how many nodes contribute — the fusion advantage this
+// module exists to demonstrate next to the collect-everything window
+// query.
+
+#ifndef DIKNN_KNN_AGGREGATE_H_
+#define DIKNN_KNN_AGGREGATE_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "knn/window.h"
+#include "net/network.h"
+#include "net/sensor_field.h"
+#include "routing/gpsr.h"
+
+namespace diknn {
+
+/// Constant-size decomposable aggregate over sensor samples.
+struct AggregateValue {
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+
+  void Fold(double sample) {
+    ++count;
+    sum += sample;
+    min = std::min(min, sample);
+    max = std::max(max, sample);
+  }
+
+  void Merge(const AggregateValue& other) {
+    count += other.count;
+    sum += other.sum;
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+  }
+
+  double Mean() const { return count == 0 ? 0.0 : sum / count; }
+};
+
+/// Final answer of an aggregate query.
+struct AggregateResult {
+  uint64_t query_id = 0;
+  AggregateValue value;
+  SimTime issued_at = 0;
+  SimTime completed_at = 0;
+  bool timed_out = false;
+
+  double Latency() const { return completed_at - issued_at; }
+};
+
+using AggregateResultHandler = std::function<void(const AggregateResult&)>;
+
+/// Serpentine-sweep aggregation over a rectangular region. Shares the
+/// tunables of the window query (the sweep geometry is identical); only
+/// the payload differs: a constant-size AggregateValue instead of a
+/// growing candidate list.
+class ItineraryAggregateQuery {
+ public:
+  /// `field` provides the samples D-nodes report; must outlive this.
+  ItineraryAggregateQuery(Network* network, GpsrRouting* gpsr,
+                          SensorField* field,
+                          WindowQueryParams params = {});
+
+  /// Registers handlers on every node. Call once.
+  void Install();
+
+  /// Computes the aggregate of all readings inside `region`.
+  void IssueQuery(NodeId sink, const Rect& region,
+                  AggregateResultHandler handler);
+
+  const WindowQueryStats& stats() const { return stats_; }
+
+ private:
+  struct QueryDescriptor {
+    uint64_t id = 0;
+    Rect region;
+    NodeId sink = kInvalidNodeId;
+    Point sink_position;
+  };
+
+  struct QueryBootstrap : Message {
+    QueryDescriptor query;
+  };
+
+  struct SweepState {
+    QueryDescriptor query;
+    double progress = 0.0;
+    int hop_count = 0;
+    AggregateValue aggregate;
+
+    // Constant wire size: the whole point of fusion.
+    size_t WireBytes() const { return 24 + 20; }
+  };
+
+  struct ForwardMessage : Message {
+    SweepState state;
+  };
+
+  struct ProbeMessage : Message {
+    uint64_t query_id = 0;
+    Rect region;
+    Point qnode_position;
+    double reference_angle = 0.0;
+    double collect_window = 0.0;
+  };
+
+  struct ReplyMessage : Message {
+    uint64_t query_id = 0;
+    double sample = 0.0;
+  };
+
+  struct ResultMessage : Message {
+    uint64_t query_id = 0;
+    AggregateValue value;
+  };
+
+  struct PendingQuery {
+    QueryDescriptor query;
+    AggregateResultHandler handler;
+    SimTime issued_at = 0;
+    EventId timeout_event = 0;
+    bool completed = false;
+  };
+
+  struct Collection {
+    SweepState state;
+    NodeId qnode = kInvalidNodeId;
+    AggregateValue replies;
+  };
+
+  double EffectiveWidth() const;
+  void OnEntryArrival(Node* node, const GeoRoutedMessage& msg);
+  void StartQNode(Node* node, SweepState state);
+  void FinishCollection(uint64_t query_id);
+  void OnProbe(Node* node, const ProbeMessage& probe);
+  void OnReply(Node* node, const ReplyMessage& reply);
+  void ForwardAlongSweep(Node* node, SweepState state);
+  void FinishSweep(Node* node, SweepState state);
+  void OnResult(Node* node, const GeoRoutedMessage& msg);
+  void CompleteQuery(uint64_t query_id, bool timed_out);
+
+  Network* network_;
+  GpsrRouting* gpsr_;
+  SensorField* field_;
+  WindowQueryParams params_;
+  WindowQueryStats stats_;
+
+  uint64_t next_query_id_ = 1;
+  std::unordered_map<uint64_t, PendingQuery> pending_;
+  std::unordered_map<uint64_t, Collection> collections_;
+  std::unordered_map<uint64_t, std::unordered_set<NodeId>> replied_;
+  std::unordered_map<uint64_t, int> last_hop_seen_;
+};
+
+}  // namespace diknn
+
+#endif  // DIKNN_KNN_AGGREGATE_H_

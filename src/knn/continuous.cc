@@ -1,0 +1,71 @@
+#include "knn/continuous.h"
+
+#include <algorithm>
+
+namespace diknn {
+
+ContinuousKnn::ContinuousKnn(Network* network, KnnProtocol* protocol)
+    : network_(network), protocol_(protocol) {}
+
+uint64_t ContinuousKnn::Subscribe(NodeId sink, Point q, int k,
+                                  SimTime period, int rounds,
+                                  KnnUpdateHandler handler) {
+  const uint64_t id = next_id_++;
+  Subscription sub;
+  sub.sink = sink;
+  sub.q = q;
+  sub.k = k;
+  sub.period = period;
+  sub.rounds_left = rounds > 0 ? rounds : -1;
+  sub.handler = std::move(handler);
+  subscriptions_.emplace(id, std::move(sub));
+  IssueRound(id);
+  return id;
+}
+
+void ContinuousKnn::Cancel(uint64_t subscription_id) {
+  subscriptions_.erase(subscription_id);
+}
+
+void ContinuousKnn::IssueRound(uint64_t id) {
+  auto it = subscriptions_.find(id);
+  if (it == subscriptions_.end()) return;
+  Subscription& sub = it->second;
+
+  protocol_->IssueQuery(
+      sub.sink, sub.q, sub.k, [this, id](const KnnResult& result) {
+        auto it = subscriptions_.find(id);
+        if (it == subscriptions_.end()) return;  // Cancelled mid-flight.
+        Subscription& sub = it->second;
+
+        KnnUpdate update;
+        update.subscription_id = id;
+        update.round = sub.round++;
+        update.result = result;
+        std::unordered_set<NodeId> current;
+        for (NodeId node : result.CandidateIds()) {
+          current.insert(node);
+          if (!sub.last_ids.contains(node)) update.added.push_back(node);
+        }
+        for (NodeId node : sub.last_ids) {
+          if (!current.contains(node)) update.removed.push_back(node);
+        }
+        std::sort(update.added.begin(), update.added.end());
+        std::sort(update.removed.begin(), update.removed.end());
+        sub.last_ids = std::move(current);
+
+        // The handler may Cancel() this subscription re-entrantly: take a
+        // copy of what the continuation needs first.
+        const SimTime period = sub.period;
+        bool more = sub.rounds_left < 0 || --sub.rounds_left > 0;
+        KnnUpdateHandler handler = sub.handler;
+        if (!more) subscriptions_.erase(it);
+        if (handler) handler(update);
+        if (more && subscriptions_.contains(id)) {
+          network_->sim().ScheduleAfter(period,
+                                        [this, id]() { IssueRound(id); });
+        }
+      });
+}
+
+}  // namespace diknn

@@ -1,0 +1,667 @@
+#include "knn/diknn.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "core/logging.h"
+
+namespace diknn {
+
+namespace {
+
+/// Wire sizes (bytes) of the fixed parts of each message.
+constexpr size_t kQueryFixedBytes = 26;   // q, k, id, sink id+pos, g.
+constexpr size_t kProbeBytes = 32;        // id, sector, q, R, pos, ref, win.
+constexpr size_t kRendezvousBytes = 12;   // id, sector, ring, explored.
+constexpr size_t kCandidateBytes = 12;    // id, pos, speed.
+
+/// Interpolated estimate of nodes explored across *all* sectors from the
+/// subset whose counts are known (the "simple bilinear interpolation" of
+/// Section 4.3).
+int EstimateTotalExplored(const std::vector<int>& sector_explored) {
+  int sum = 0;
+  int known = 0;
+  for (int v : sector_explored) {
+    if (v >= 0) {
+      sum += v;
+      ++known;
+    }
+  }
+  if (known == 0) return 0;
+  return static_cast<int>(
+      static_cast<double>(sum) * sector_explored.size() / known);
+}
+
+}  // namespace
+
+size_t Diknn::SectorState::WireBytes() const {
+  return kQueryFixedBytes + 12 /* sector, radius, progress, flags, ts */ +
+         best.size() * kCandidateBytes + 2 /* explored */ +
+         2 /* max speed */ + sector_explored.size() * 2;
+}
+
+Diknn::Diknn(Network* network, GpsrRouting* gpsr, DiknnParams params)
+    : network_(network), gpsr_(gpsr), params_(params) {
+  assert(params_.num_sectors >= 1);
+}
+
+double Diknn::EffectiveWidth() const {
+  return params_.width > 0.0
+             ? params_.width
+             : DefaultItineraryWidth(network_->config().radio_range_m);
+}
+
+double Diknn::MaxBoundaryRadius() const {
+  const Rect& field = network_->config().field;
+  const double half_diagonal =
+      0.5 * std::hypot(field.Width(), field.Height());
+  return params_.max_radius_factor * half_diagonal;
+}
+
+Itinerary Diknn::MakeItinerary(const SectorState& state) const {
+  ItineraryParams ip;
+  ip.q = state.query.q;
+  ip.radius = state.radius;
+  ip.sector = state.sector;
+  ip.num_sectors = params_.num_sectors;
+  ip.width = EffectiveWidth();
+  ip.extra_rings = state.extra_rings;
+  return Itinerary(ip);
+}
+
+void Diknn::Install() {
+  gpsr_->RegisterDelivery(
+      MessageType::kDiknnQuery,
+      [this](Node* node, const GeoRoutedMessage& msg) {
+        OnHomeNodeArrival(node, msg);
+      });
+  gpsr_->RegisterDelivery(
+      MessageType::kDiknnResult,
+      [this](Node* node, const GeoRoutedMessage& msg) {
+        OnSectorResult(node, msg);
+      });
+
+  for (Node* node : network_->AllNodes()) {
+    node->RegisterHandler(
+        MessageType::kDiknnProbe, [this, node](const Packet& p) {
+          OnProbe(node, *static_cast<const ProbeMessage*>(p.payload.get()));
+        });
+    node->RegisterHandler(
+        MessageType::kDiknnDataReply, [this, node](const Packet& p) {
+          OnReply(node, *static_cast<const ReplyMessage*>(p.payload.get()));
+        });
+    node->RegisterHandler(
+        MessageType::kDiknnForward, [this, node](const Packet& p) {
+          const auto* fwd =
+              static_cast<const ForwardMessage*>(p.payload.get());
+          StartQNode(node, fwd->state);
+        });
+    node->RegisterHandler(
+        MessageType::kDiknnRendezvous, [this, node](const Packet& p) {
+          OnRendezvous(
+              node, *static_cast<const RendezvousMessage*>(p.payload.get()));
+        });
+  }
+}
+
+void Diknn::IssueQuery(NodeId sink, Point q, int k, ResultHandler handler) {
+  Node* sink_node = network_->node(sink);
+  KnnQuery query;
+  query.id = next_query_id_++;
+  query.q = q;
+  query.k = std::max(1, k);
+  query.sink = sink;
+  query.sink_position = sink_node->Position();
+  query.assurance_gain = params_.assurance_gain;
+
+  PendingQuery pending;
+  pending.query = query;
+  pending.handler = std::move(handler);
+  pending.issued_at = network_->sim().Now();
+  const uint64_t id = query.id;
+  pending.timeout_event = network_->sim().ScheduleAfter(
+      params_.query_timeout, [this, id]() { CompleteQuery(id, true); });
+  pending_.emplace(id, std::move(pending));
+  ++stats_.queries_issued;
+
+  auto bootstrap = std::make_shared<QueryBootstrap>();
+  bootstrap->query = query;
+  gpsr_->Send(sink_node, q, MessageType::kDiknnQuery, std::move(bootstrap),
+              kQueryFixedBytes, EnergyCategory::kQuery,
+              /*collect_info=*/true);
+}
+
+void Diknn::OnHomeNodeArrival(Node* node, const GeoRoutedMessage& msg) {
+  ++stats_.home_node_arrivals;
+  const auto* bootstrap =
+      static_cast<const QueryBootstrap*>(msg.inner.get());
+  const KnnQuery& query = bootstrap->query;
+
+  // Phase 2: KNN boundary estimation over the gathered list L.
+  const KnnbResult knnb =
+      Knnb(msg.info_list, query.q, network_->config().radio_range_m,
+           query.k, MaxBoundaryRadius(), params_.knnb_area_model);
+  stats_.knnb_radius_sum += knnb.radius;
+  ++stats_.knnb_runs;
+
+  // Phase 3: spawn the S sub-itineraries concurrently. The home node's
+  // own reading seeds the sector containing it; every other in-boundary
+  // node is harvested by the probes of the sector Q-nodes (the first
+  // Q-node of each sector sits within radio range of q, so the area
+  // around the query point stays covered).
+  const SimTime ts = network_->sim().Now();
+  const SectorPartition sectors(query.q, params_.num_sectors);
+  const int home_sector = sectors.SectorOf(node->Position());
+  for (int s = 0; s < params_.num_sectors; ++s) {
+    SectorState state;
+    state.query = query;
+    state.sector = s;
+    state.radius = knnb.radius;
+    state.dissemination_start = ts;
+    state.sector_explored.assign(params_.num_sectors, -1);
+    if (s == home_sector && !node->is_infrastructure()) {
+      KnnCandidate self;
+      self.id = node->id();
+      self.position = node->Position();
+      self.speed = node->Speed();
+      self.sampled_at = ts;
+      state.best.push_back(self);
+      state.explored = 1;
+      replied_[query.id].insert(node->id());
+    }
+    state.sector_explored[s] = state.explored;
+    ForwardAlongItinerary(node, std::move(state));
+  }
+}
+
+void Diknn::StartQNode(Node* node, SectorState state) {
+  // Suppress duplicate traversal branches (ACK-loss forks).
+  {
+    const uint64_t key = CollectionKey(state.query.id, state.sector);
+    auto [it, inserted] = last_hop_seen_.try_emplace(key, state.hop_count);
+    if (!inserted) {
+      if (state.hop_count <= it->second) return;
+      it->second = state.hop_count;
+    }
+  }
+  ++stats_.qnode_hops;
+  if (hop_observer_) {
+    hop_observer_(state.query.id, state.sector, node->Position());
+  }
+
+  // The probe's collection radius follows the itinerary's actual
+  // coverage: dynamic ring extensions walk beyond the original KNNB
+  // boundary, and the nodes out there must answer too.
+  const double collect_radius =
+      std::max(state.radius,
+               MakeItinerary(state).CoverageRadius() + EffectiveWidth() / 2);
+
+  // Collection scheduling (Section 3.3 + footnote 1). The known
+  // in-boundary neighbors form the precedence list, nearest to q first;
+  // unknown nodes (table staleness) get the contention tail. Only *new*
+  // D-nodes reply — each node answers one probe per query, and a Q-node's
+  // disk overlaps its predecessor's by roughly half at the default step —
+  // so the contention budget is about half the neighborhood.
+  const SimTime now = network_->sim().Now();
+  std::vector<NeighborEntry> in_boundary;
+  for (const NeighborEntry& n : node->neighbors().Snapshot(now)) {
+    if (Distance(n.position, state.query.q) <= collect_radius) {
+      in_boundary.push_back(n);
+    }
+  }
+  const double m = params_.time_unit;
+  auto probe = std::make_shared<ProbeMessage>();
+  double window = 0.0;
+  switch (params_.collection_scheme) {
+    case CollectionScheme::kContention: {
+      const int expected =
+          std::clamp(static_cast<int>(in_boundary.size()) / 2 + 1, 3, 20);
+      window = m * expected;
+      probe->tail_start = 0.0;  // Whole window is the contention range.
+      break;
+    }
+    case CollectionScheme::kPrecedenceList:
+    case CollectionScheme::kHybrid: {
+      std::sort(in_boundary.begin(), in_boundary.end(),
+                [&](const NeighborEntry& a, const NeighborEntry& b) {
+                  return SquaredDistance(a.position, state.query.q) <
+                         SquaredDistance(b.position, state.query.q);
+                });
+      // Budget slots for about half the list: the predecessor's probe
+      // already harvested the overlap, so most early slots go unused if
+      // every known neighbor gets one.
+      const int slots =
+          std::min<int>(12, static_cast<int>(in_boundary.size()));
+      probe->precedence.reserve(slots);
+      for (int i = 0; i < slots; ++i) {
+        probe->precedence.push_back(in_boundary[i].id);
+      }
+      probe->tail_start = m * std::max(1, slots);
+      const int tail_slots =
+          params_.collection_scheme == CollectionScheme::kHybrid
+              ? std::max(3, slots / 3)
+              : 0;
+      window = probe->tail_start + m * tail_slots;
+      break;
+    }
+  }
+
+  probe->query_id = state.query.id;
+  probe->sector = state.sector;
+  probe->q = state.query.q;
+  probe->radius = collect_radius;
+  probe->qnode_position = node->Position();
+  probe->reference_angle = AngleOf(node->Position(), state.query.q);
+  probe->window = window;
+
+  const uint64_t key = CollectionKey(state.query.id, state.sector);
+  Collection collection;
+  collection.state = std::move(state);
+  collection.qnode = node->id();
+  collections_[key] = std::move(collection);
+
+  const size_t probe_bytes =
+      kProbeBytes + probe->precedence.size() * kNodeIdBytes;
+  node->SendBroadcast(MessageType::kDiknnProbe, std::move(probe),
+                      probe_bytes, EnergyCategory::kQuery);
+  ++stats_.probes_sent;
+
+  // Guard interval: the last D-node's reply still needs its own air time
+  // and potential MAC retries after the window closes.
+  const double guard = 5.0 * params_.time_unit;
+  network_->sim().ScheduleAfter(window + guard,
+                                [this, key]() { FinishCollection(key); });
+}
+
+void Diknn::OnProbe(Node* node, const ProbeMessage& probe) {
+  // Only non-infrastructure nodes inside the boundary are D-nodes.
+  if (node->is_infrastructure()) return;
+  if (Distance(node->Position(), probe.q) > probe.radius) return;
+
+  auto& replied = replied_[probe.query_id];
+  if (replied.contains(node->id())) return;
+  replied.insert(node->id());
+
+  // Reply scheduling: a node on the probe's precedence list takes its
+  // token-ring slot (index * m); everyone else contends by angle — the
+  // delay is proportional to the angle between the probe's reference
+  // line and the Q-node->D-node line — inside the tail window. A pure
+  // precedence probe (no tail) silences unlisted nodes; a pure
+  // contention probe (tail_start = 0) has no slots.
+  double delay = -1.0;
+  if (!probe.precedence.empty()) {
+    const auto it = std::find(probe.precedence.begin(),
+                              probe.precedence.end(), node->id());
+    if (it != probe.precedence.end()) {
+      const double slot = probe.tail_start / probe.precedence.size();
+      delay = slot * (it - probe.precedence.begin());
+    }
+  }
+  if (delay < 0.0) {
+    if (probe.tail_start >= probe.window) {
+      replied.erase(node->id());
+      return;  // Pure precedence list: unlisted nodes stay silent.
+    }
+    const double alpha = NormalizeAngle(
+        AngleOf(probe.qnode_position, node->Position()) -
+        probe.reference_angle);
+    delay = probe.tail_start +
+            (alpha / kTwoPi) * (probe.window - probe.tail_start);
+  }
+
+  const uint64_t query_id = probe.query_id;
+  const int sector = probe.sector;
+  network_->sim().ScheduleAfter(delay, [this, node, query_id, sector]() {
+    if (!node->alive()) return;
+    auto reply = std::make_shared<ReplyMessage>();
+    reply->query_id = query_id;
+    reply->sector = sector;
+    reply->candidate.id = node->id();
+    reply->candidate.position = node->Position();
+    reply->candidate.speed = node->Speed();
+    reply->candidate.sampled_at = network_->sim().Now();
+    // The collection owner may have moved on; look it up at send time. If
+    // the window already closed (or the unicast fails), un-mark the node
+    // so a later probe of the same query can still harvest it.
+    auto it = collections_.find(CollectionKey(query_id, sector));
+    if (it == collections_.end()) {
+      replied_[query_id].erase(node->id());
+      return;
+    }
+    node->SendUnicast(it->second.qnode, MessageType::kDiknnDataReply,
+                      std::move(reply), kQueryResponseBytes,
+                      EnergyCategory::kQuery,
+                      [this, query_id, node](bool success) {
+                        if (!success) replied_[query_id].erase(node->id());
+                      });
+    ++stats_.replies_sent;
+  });
+}
+
+void Diknn::OnReply(Node* node, const ReplyMessage& reply) {
+  auto it = collections_.find(CollectionKey(reply.query_id, reply.sector));
+  if (it == collections_.end() || it->second.qnode != node->id()) return;
+  it->second.replies.push_back(reply.candidate);
+}
+
+void Diknn::OnRendezvous(Node* node, const RendezvousMessage& msg) {
+  auto& heard = heard_rendezvous_[node->id()];
+  const SimTime now = network_->sim().Now();
+  // Bound the per-node buffer: drop stale entries (older than any query
+  // could still be running).
+  std::erase_if(heard, [&](const HeardRendezvous& h) {
+    return now - h.heard_at > params_.query_timeout;
+  });
+  heard.push_back(HeardRendezvous{msg, now});
+}
+
+void Diknn::FinishCollection(uint64_t key) {
+  auto it = collections_.find(key);
+  if (it == collections_.end()) return;
+  Collection collection = std::move(it->second);
+  collections_.erase(it);
+
+  Node* node = network_->node(collection.qnode);
+  SectorState& state = collection.state;
+  const KnnQuery& query = state.query;
+
+  // The Q-node is a sensor too: contribute its own reading once.
+  auto& replied = replied_[query.id];
+  if (!node->is_infrastructure() && !replied.contains(node->id())) {
+    replied.insert(node->id());
+    KnnCandidate self;
+    self.id = node->id();
+    self.position = node->Position();
+    self.speed = node->Speed();
+    self.sampled_at = network_->sim().Now();
+    collection.replies.push_back(self);
+  }
+
+  // Merge the collected replies.
+  for (const KnnCandidate& c : collection.replies) {
+    state.best.push_back(c);
+    state.max_speed_seen = std::max(state.max_speed_seen, c.speed);
+  }
+  state.explored += static_cast<int>(collection.replies.size());
+  PruneCandidates(&state.best, query.q, query.k);
+  state.sector_explored[state.sector] = state.explored;
+
+  // Rendezvous and dynamic boundary adjustment (Section 4.3). Heard
+  // statistics merge at every Q-node; the broadcast itself happens at
+  // ring transitions (where adjacent sectors' adj-segments meet).
+  const Itinerary itinerary = MakeItinerary(state);
+  const int ring = itinerary.RingAt(state.progress);
+  if (params_.rendezvous) {
+    if (ring != state.last_rendezvous_ring) {
+      state.last_rendezvous_ring = ring;
+      auto rendezvous = std::make_shared<RendezvousMessage>();
+      rendezvous->query_id = query.id;
+      rendezvous->sector = state.sector;
+      rendezvous->ring = ring;
+      rendezvous->explored = state.explored;
+      node->SendBroadcast(MessageType::kDiknnRendezvous,
+                          std::move(rendezvous), kRendezvousBytes,
+                          EnergyCategory::kQuery);
+      ++stats_.rendezvous_sent;
+    }
+    if (AdjustBoundary(node, &state, ring)) {
+      FinishSector(node, std::move(state));
+      return;
+    }
+  }
+
+  ForwardAlongItinerary(node, std::move(state));
+}
+
+bool Diknn::AdjustBoundary(Node* node, SectorState* state, int ring) {
+  // Merge statistics heard from adjacent sub-itineraries at rendezvous.
+  auto heard_it = heard_rendezvous_.find(node->id());
+  if (heard_it != heard_rendezvous_.end()) {
+    for (const HeardRendezvous& h : heard_it->second) {
+      if (h.msg.query_id != state->query.id) continue;
+      if (h.msg.sector == state->sector) continue;
+      int& slot = state->sector_explored[h.msg.sector];
+      slot = std::max(slot, h.msg.explored);
+      ++stats_.rendezvous_merged;
+    }
+  }
+
+  // Stop early once the interpolated network-wide exploration already
+  // covers k nodes ("itinerary traversals can stop immediately if k
+  // nearest neighbors are discovered before reaching the perimeter").
+  // `ring` is the ring being *entered*; only rings before it have been
+  // fully swept, and the k nearest are guaranteed inside the swept region
+  // only if at least one full ring beyond the init segment is done.
+  const int completed_rings = ring - 1;
+  if (completed_rings >= 1 &&
+      EstimateTotalExplored(state->sector_explored) >= state->query.k) {
+    ++stats_.boundary_truncations;
+    return true;
+  }
+  return false;
+}
+
+void Diknn::ForwardAlongItinerary(Node* node, SectorState state) {
+  const SimTime now = network_->sim().Now();
+  const double step = params_.step_fraction * network_->config().radio_range_m;
+
+  Itinerary itinerary = MakeItinerary(state);
+  double next_s = state.progress + step;
+  int skips = 0;
+
+  while (true) {
+    if (next_s > itinerary.TotalLength()) {
+      // Reached the end of the sub-itinerary. First: continue if the
+      // rendezvous statistics say too few nodes were found (boundary
+      // under-estimate / spatial irregularity).
+      if (params_.rendezvous && state.extra_rings < params_.max_extra_rings &&
+          EstimateTotalExplored(state.sector_explored) < state.query.k) {
+        ++state.extra_rings;
+        ++stats_.boundary_extensions;
+        itinerary = MakeItinerary(state);
+        continue;
+      }
+      // Second: the mobility assurance expansion R' = R + g*(te-ts)*mu
+      // (Section 4.3), applied once by the last Q-node.
+      if (params_.mobility_assurance && !state.assurance_applied) {
+        state.assurance_applied = true;
+        const double expansion = state.query.assurance_gain *
+                                 (now - state.dissemination_start) *
+                                 state.max_speed_seen;
+        if (expansion > EffectiveWidth() / 2.0) {
+          state.radius += expansion;
+          ++stats_.assurance_expansions;
+          itinerary = MakeItinerary(state);
+          if (next_s <= itinerary.TotalLength()) continue;
+        }
+      }
+      FinishSector(node, std::move(state));
+      return;
+    }
+
+    // Anchors outside the deployment field are known-empty: glide past
+    // them along the conceptual path without spending void-skip budget
+    // (boundary circles near the field edge always have such dead arcs).
+    const Rect& field = network_->config().field;
+    bool exhausted = false;
+    Point anchor = itinerary.PointAt(next_s);
+    while (!field.Contains(anchor)) {
+      next_s += step;
+      if (next_s > itinerary.TotalLength()) {
+        exhausted = true;
+        break;
+      }
+      anchor = itinerary.PointAt(next_s);
+    }
+    if (exhausted) continue;  // End-of-itinerary handling at loop top.
+
+    // Pick the neighbor closest to the next anchor point that actually
+    // makes progress toward it.
+    const auto neighbors = node->neighbors().Snapshot(now);
+    const NeighborEntry* next_qnode = nullptr;
+    double best_d = Distance(node->Position(), anchor);
+    const double tolerance = EffectiveWidth() / 2.0;
+    for (const NeighborEntry& n : neighbors) {
+      const double d = Distance(n.position, anchor);
+      if (d < best_d || d <= tolerance) {
+        if (next_qnode == nullptr || d < best_d) {
+          best_d = d;
+          next_qnode = &n;
+        }
+      }
+    }
+
+    if (next_qnode == nullptr) {
+      // Itinerary void: skip ahead along the conceptual path (perimeter
+      // forwarding stand-in; see Fig. 7 discussion).
+      ++stats_.voids_encountered;
+      ++state.void_skips_total;
+      ++skips;
+      if (skips > params_.max_void_skips) {
+        ++stats_.sectors_abandoned;
+        FinishSector(node, std::move(state));
+        return;
+      }
+      next_s += step;
+      continue;
+    }
+
+    // Forward the state to the chosen next Q-node.
+    SectorState retry_state = state;  // Pre-advance copy for MAC failure.
+    state.progress = next_s;
+    ++state.hop_count;
+    auto fwd = std::make_shared<ForwardMessage>();
+    fwd->state = std::move(state);
+    const size_t bytes = fwd->state.WireBytes();
+    const NodeId next_id = next_qnode->id;
+    node->SendUnicast(
+        next_id, MessageType::kDiknnForward, std::move(fwd), bytes,
+        EnergyCategory::kQuery,
+        [this, node, next_id, retry_state](bool success) mutable {
+          if (success) return;
+          // Skip the retry if the "failed" recipient actually received the
+          // frame (lost ACK) and the traversal is already ahead of us.
+          const uint64_t key = CollectionKey(retry_state.query.id,
+                                             retry_state.sector);
+          auto it = last_hop_seen_.find(key);
+          if (it != last_hop_seen_.end() &&
+              it->second > retry_state.hop_count) {
+            return;
+          }
+          node->neighbors().Remove(next_id);
+          ForwardAlongItinerary(node, std::move(retry_state));
+        });
+    return;
+  }
+}
+
+void Diknn::FinishSector(Node* node, SectorState state) {
+  const uint64_t key = CollectionKey(state.query.id, state.sector);
+  if (!finished_sectors_.insert(key).second) return;  // Fork branch.
+  ++stats_.sector_results_sent;
+
+  // A sector that never placed a Q-node (its cone lies outside the
+  // deployment field, or is empty) still announces its zero exploration —
+  // without this, the other sectors' interpolation assumes it explored as
+  // much as they did and they stop too early (edge-of-field queries).
+  if (params_.rendezvous && state.hop_count == 0 && node->alive()) {
+    auto rendezvous = std::make_shared<RendezvousMessage>();
+    rendezvous->query_id = state.query.id;
+    rendezvous->sector = state.sector;
+    rendezvous->ring = 0;
+    rendezvous->explored = state.explored;
+    node->SendBroadcast(MessageType::kDiknnRendezvous, std::move(rendezvous),
+                        kRendezvousBytes, EnergyCategory::kQuery);
+    ++stats_.rendezvous_sent;
+  }
+  auto result = std::make_shared<SectorResult>();
+  result->query_id = state.query.id;
+  result->sector = state.sector;
+  result->candidates = std::move(state.best);
+  result->explored = state.explored;
+  const size_t bytes =
+      16 + result->candidates.size() * kCandidateBytes;
+  gpsr_->Send(node, state.query.sink_position, MessageType::kDiknnResult,
+              std::move(result), bytes, EnergyCategory::kQuery,
+              /*collect_info=*/false, state.query.sink);
+}
+
+void Diknn::OnSectorResult(Node* node, const GeoRoutedMessage& msg) {
+  const auto* result = static_cast<const SectorResult*>(msg.inner.get());
+  auto it = pending_.find(result->query_id);
+  if (it == pending_.end()) return;  // Late result after completion.
+  PendingQuery& pending = it->second;
+  if (node->id() != pending.query.sink) {
+    // The bundle landed at the wrong node (sink moved out of reach);
+    // the query-timeout path will close the query.
+    DIKNN_LOG(kDebug) << "sector result for query " << result->query_id
+                      << " stranded at node " << node->id();
+    return;
+  }
+  ++stats_.sector_results_received;
+  for (const KnnCandidate& c : result->candidates) {
+    pending.candidates.push_back(c);
+  }
+  PruneCandidates(&pending.candidates, pending.query.q, pending.query.k);
+  pending.sectors_received.insert(result->sector);
+  if (static_cast<int>(pending.sectors_received.size()) >=
+      params_.num_sectors) {
+    CompleteQuery(result->query_id, /*timed_out=*/false);
+    return;
+  }
+  // Lost bundles should not stall the query until the hard timeout; once
+  // at most two sectors are outstanding, arm a straggler grace — longer
+  // at S-2 (two may still be legitimately traversing), shorter at S-1.
+  // (Arming earlier would mis-fire: sectors whose cone is empty report
+  // almost immediately, long before the working sectors finish.)
+  const int received = static_cast<int>(pending.sectors_received.size());
+  if (received >= params_.num_sectors - 2) {
+    const uint64_t query_id = result->query_id;
+    // Scale the grace with the query's elapsed time: a sector still
+    // extending through a sparse region needs proportionally longer than
+    // a genuinely lost bundle deserves.
+    double grace = std::max(params_.result_grace,
+                            0.5 * (network_->sim().Now() -
+                                   pending.issued_at));
+    if (received == params_.num_sectors - 2) grace *= 2.0;
+    network_->sim().Cancel(pending.grace_event);
+    pending.grace_event = network_->sim().ScheduleAfter(
+        grace,
+        [this, query_id]() { CompleteQuery(query_id, /*timed_out=*/false); });
+  }
+}
+
+void Diknn::CompleteQuery(uint64_t query_id, bool timed_out) {
+  auto it = pending_.find(query_id);
+  if (it == pending_.end() || it->second.completed) return;
+  PendingQuery& pending = it->second;
+  pending.completed = true;
+  network_->sim().Cancel(pending.timeout_event);
+  network_->sim().Cancel(pending.grace_event);
+
+  if (timed_out) {
+    ++stats_.timeouts;
+  } else {
+    ++stats_.queries_completed;
+  }
+
+  KnnResult result;
+  result.query_id = query_id;
+  result.candidates = pending.candidates;
+  result.issued_at = pending.issued_at;
+  result.completed_at = network_->sim().Now();
+  result.timed_out = timed_out;
+  PruneCandidates(&result.candidates, pending.query.q, pending.query.k);
+
+  ResultHandler handler = std::move(pending.handler);
+  pending_.erase(it);
+  replied_.erase(query_id);
+  for (int s = 0; s < params_.num_sectors; ++s) {
+    last_hop_seen_.erase(CollectionKey(query_id, s));
+    finished_sectors_.erase(CollectionKey(query_id, s));
+  }
+  if (handler) handler(result);
+}
+
+}  // namespace diknn

@@ -1,0 +1,284 @@
+// DIKNN — Density-aware Itinerary KNN query processing (the paper's core
+// contribution, Sections 3 and 4).
+//
+// Execution phases:
+//   1. Routing: the query is geo-routed (GPSR) from the sink s to the home
+//      node nearest the query point q, collecting the information list L
+//      (per-hop locations and newly-encountered neighbor counts) on the way.
+//   2. Boundary estimation: the home node runs KNNB over L to obtain the
+//      KNN boundary radius R.
+//   3. Dissemination: the boundary is split into S sectors; one
+//      sub-itinerary per sector is traversed concurrently. Each Q-node
+//      broadcasts a probe, collects D-node replies under the
+//      contention-based scheme (reply delay proportional to the angle from
+//      a reference line), merges them into the partial result, and
+//      forwards the query to the next Q-node along the itinerary. Voids
+//      are bypassed by skipping ahead along the conceptual path.
+//      Rendezvous messages exchanged where adjacent sectors' adj-segments
+//      meet let sectors share explored-node statistics and adjust R
+//      dynamically (spatial irregularity, Section 4.3); the last Q-node
+//      applies the mobility assurance expansion R' = R + g*(te-ts)*mu.
+//      Finally each sector's aggregate is geo-routed back to the sink.
+
+#ifndef DIKNN_KNN_DIKNN_H_
+#define DIKNN_KNN_DIKNN_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "knn/itinerary.h"
+#include "knn/knnb.h"
+#include "knn/query.h"
+#include "net/network.h"
+#include "routing/gpsr.h"
+
+namespace diknn {
+
+/// How a Q-node schedules its D-nodes' replies (Section 3.3, footnote 1:
+/// "the data collection scheme introduced in this paper combines both the
+/// token ring based and contention based scheme").
+enum class CollectionScheme {
+  /// Pure contention: reply delay proportional to the angle between the
+  /// probe's reference line and the Q-node -> D-node line.
+  kContention,
+  /// Pure token ring: the probe carries a precedence list of the Q-node's
+  /// known in-boundary neighbors; listed D-nodes reply in list order, one
+  /// time unit m apart. Nodes the Q-node does not know stay silent.
+  kPrecedenceList,
+  /// The paper's combination: listed nodes use their precedence slot;
+  /// unlisted nodes contend by angle in a tail window afterwards, so
+  /// neighbor-table staleness costs nothing.
+  kHybrid,
+};
+
+/// DIKNN tunables; defaults reproduce the paper's Section 5.1 table.
+struct DiknnParams {
+  int num_sectors = 8;          ///< S.
+  double width = 0.0;           ///< Itinerary width w; 0 = sqrt(3)/2 * r.
+  double time_unit = 0.018;     ///< m: per-D-node collection time unit (s).
+  CollectionScheme collection_scheme = CollectionScheme::kHybrid;
+  double assurance_gain = 0.1;  ///< g in [0, 1].
+  bool rendezvous = true;       ///< Dynamic boundary adjustment (4.3).
+  bool mobility_assurance = true;  ///< R' expansion at itinerary end (4.3).
+  double step_fraction = 0.8;   ///< Q-node hop length as a fraction of r.
+  int max_void_skips = 6;       ///< Lookahead extensions before giving up.
+  int max_extra_rings = 4;      ///< Cap on dynamic boundary expansion.
+  double max_radius_factor = 1.5;  ///< KNNB radius cap vs field diagonal.
+  KnnbAreaModel knnb_area_model = KnnbAreaModel::kLune;  ///< See knnb.h.
+  SimTime query_timeout = 8.0;  ///< Sink-side completion timeout.
+  /// Once sector results start arriving, the sink stops waiting for the
+  /// stragglers this long after the latest arrival (a lost bundle would
+  /// otherwise stall the query until query_timeout).
+  SimTime result_grace = 1.5;
+};
+
+/// Aggregate DIKNN behaviour counters (across all queries).
+struct DiknnStats {
+  uint64_t queries_issued = 0;
+  uint64_t queries_completed = 0;
+  uint64_t timeouts = 0;
+  uint64_t home_node_arrivals = 0;
+  uint64_t qnode_hops = 0;
+  uint64_t probes_sent = 0;
+  uint64_t replies_sent = 0;
+  uint64_t sector_results_sent = 0;
+  uint64_t sector_results_received = 0;
+  uint64_t voids_encountered = 0;
+  uint64_t sectors_abandoned = 0;  ///< Sub-itineraries ended by a void.
+  uint64_t rendezvous_sent = 0;
+  uint64_t rendezvous_merged = 0;
+  uint64_t boundary_truncations = 0;
+  uint64_t boundary_extensions = 0;
+  uint64_t assurance_expansions = 0;
+  double knnb_radius_sum = 0.0;    ///< For mean-radius diagnostics.
+  uint64_t knnb_runs = 0;
+};
+
+/// The DIKNN protocol. One instance manages the whole network (handlers
+/// dispatch on the node the message arrived at, mirroring per-node state).
+class Diknn : public KnnProtocol {
+ public:
+  /// `network` and `gpsr` must outlive the protocol. `gpsr->Install()`
+  /// must have been called (or will be, before queries are issued).
+  Diknn(Network* network, GpsrRouting* gpsr, DiknnParams params = {});
+
+  void Install() override;
+  void IssueQuery(NodeId sink, Point q, int k, ResultHandler handler) override;
+  std::string name() const override { return "DIKNN"; }
+
+  const DiknnStats& stats() const { return stats_; }
+  const DiknnParams& params() const { return params_; }
+
+  /// Observer invoked on every Q-node hop: (query id, sector, position).
+  /// Used by the Fig. 7 visualization bench to trace itineraries.
+  using HopObserver = std::function<void(uint64_t, int, Point)>;
+  void set_hop_observer(HopObserver observer) {
+    hop_observer_ = std::move(observer);
+  }
+
+ private:
+  // -------- wire messages --------
+
+  /// Geo-routed sink -> home-node bootstrap.
+  struct QueryBootstrap : Message {
+    KnnQuery query;
+  };
+
+  /// Per-sector dissemination state, carried Q-node to Q-node.
+  struct SectorState {
+    KnnQuery query;
+    int sector = 0;
+    double radius = 0.0;        ///< Current boundary radius for the sector.
+    double progress = 0.0;      ///< Arc-length progress along the itinerary.
+    int extra_rings = 0;        ///< Dynamic expansion applied so far.
+    std::vector<KnnCandidate> best;  ///< Pruned to k, best first.
+    int explored = 0;           ///< Nodes that contributed data so far.
+    double max_speed_seen = 0;  ///< mu for the mobility assurance.
+    SimTime dissemination_start = 0;  ///< ts.
+    int last_rendezvous_ring = -1;
+    bool assurance_applied = false;
+    int void_skips_total = 0;
+    /// Q-node hop counter, used to suppress duplicate traversal branches
+    /// (an ACK loss can make a sender believe its forward failed and
+    /// retry via another node while the original recipient proceeds).
+    int hop_count = 0;
+    /// Explored-node counts by sector, learned at rendezvous; -1 unknown.
+    /// Indexed by sector id, own entry kept current.
+    std::vector<int> sector_explored;
+
+    size_t WireBytes() const;
+  };
+
+  struct ForwardMessage : Message {
+    SectorState state;
+  };
+
+  struct ProbeMessage : Message {
+    uint64_t query_id = 0;
+    int sector = 0;
+    Point q;
+    double radius = 0.0;
+    Point qnode_position;
+    double reference_angle = 0.0;
+    double window = 0.0;       ///< Collection window length (s).
+    /// Precedence list (kPrecedenceList / kHybrid): known in-boundary
+    /// neighbors in reply order; listed nodes answer at index * m.
+    std::vector<NodeId> precedence;
+    double tail_start = 0.0;   ///< Contention tail begins here (kHybrid).
+  };
+
+  struct ReplyMessage : Message {
+    uint64_t query_id = 0;
+    int sector = 0;
+    KnnCandidate candidate;
+  };
+
+  struct RendezvousMessage : Message {
+    uint64_t query_id = 0;
+    int sector = 0;
+    int ring = 0;
+    int explored = 0;
+  };
+
+  /// Geo-routed last-Q-node -> sink result bundle.
+  struct SectorResult : Message {
+    uint64_t query_id = 0;
+    int sector = 0;
+    std::vector<KnnCandidate> candidates;
+    int explored = 0;
+  };
+
+  // -------- sink-side state --------
+
+  struct PendingQuery {
+    KnnQuery query;
+    ResultHandler handler;
+    std::vector<KnnCandidate> candidates;
+    std::unordered_set<int> sectors_received;  ///< Dedups branch forks.
+    SimTime issued_at = 0;
+    EventId timeout_event = 0;
+    EventId grace_event = 0;
+    bool completed = false;
+  };
+
+  // -------- Q-node-side transient state --------
+
+  struct Collection {
+    SectorState state;
+    NodeId qnode = kInvalidNodeId;
+    std::vector<KnnCandidate> replies;
+  };
+
+  static uint64_t CollectionKey(uint64_t query_id, int sector) {
+    return (query_id << 8) | static_cast<uint64_t>(sector & 0xff);
+  }
+
+  // -------- handlers --------
+
+  // Phase 2 entry: KNNB at the home node, then sector spawn.
+  void OnHomeNodeArrival(Node* node, const GeoRoutedMessage& msg);
+  // A Q-node received the per-sector state: probe and collect.
+  void StartQNode(Node* node, SectorState state);
+  // Collection window elapsed: aggregate, adjust, forward or finish.
+  void FinishCollection(uint64_t key);
+  // D-node heard a probe.
+  void OnProbe(Node* node, const ProbeMessage& probe);
+  // Q-node received a D-node reply.
+  void OnReply(Node* node, const ReplyMessage& reply);
+  // Any node heard a rendezvous broadcast: buffer it.
+  void OnRendezvous(Node* node, const RendezvousMessage& msg);
+  // Sector aggregate arrived (hopefully at the sink).
+  void OnSectorResult(Node* node, const GeoRoutedMessage& msg);
+
+  // -------- helpers --------
+
+  Itinerary MakeItinerary(const SectorState& state) const;
+  // Applies rendezvous-based dynamic boundary adjustment; returns true if
+  // the sub-itinerary should stop now.
+  bool AdjustBoundary(Node* node, SectorState* state, int current_ring);
+  // Chooses the next Q-node and forwards; finishes the sector on a void.
+  void ForwardAlongItinerary(Node* node, SectorState state);
+  // Routes the sector aggregate back to the sink.
+  void FinishSector(Node* node, SectorState state);
+  // Completes a pending query at the sink (idempotent).
+  void CompleteQuery(uint64_t query_id, bool timed_out);
+
+  double EffectiveWidth() const;
+  double MaxBoundaryRadius() const;
+
+  Network* network_;
+  GpsrRouting* gpsr_;
+  DiknnParams params_;
+  DiknnStats stats_;
+  HopObserver hop_observer_;
+
+  uint64_t next_query_id_ = 1;
+  std::unordered_map<uint64_t, PendingQuery> pending_;
+  std::unordered_map<uint64_t, Collection> collections_;
+  // Highest hop_count seen per (query, sector); lower-or-equal arrivals
+  // are duplicate traversal branches and are dropped.
+  std::unordered_map<uint64_t, int> last_hop_seen_;
+  // Sectors whose aggregate has already been routed to the sink; further
+  // FinishSector calls for them are stale fork branches.
+  std::unordered_set<uint64_t> finished_sectors_;
+
+  // Per-node state mirrors (indexed by node id, as a real deployment would
+  // store them on the node itself):
+  // nodes that already replied to a query, per query id.
+  std::unordered_map<uint64_t, std::unordered_set<NodeId>> replied_;
+  // recently heard rendezvous info, per node id.
+  struct HeardRendezvous {
+    RendezvousMessage msg;
+    SimTime heard_at = 0;
+  };
+  std::unordered_map<NodeId, std::vector<HeardRendezvous>> heard_rendezvous_;
+};
+
+}  // namespace diknn
+
+#endif  // DIKNN_KNN_DIKNN_H_

@@ -1,0 +1,135 @@
+#include "knn/itinerary.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace diknn {
+
+Itinerary::Itinerary(const ItineraryParams& params) : params_(params) {
+  assert(params_.num_sectors >= 1);
+  assert(params_.width > 0.0);
+  const double S = params_.num_sectors;
+  const double w = params_.width;
+  const double R = params_.radius;
+  const double half_angle = kPi / S;  // Half the sector's central angle.
+  const SectorPartition sectors(params_.q, params_.num_sectors);
+  const double bisector = sectors.BisectorAngle(params_.sector);
+
+  // linit = min(w / (2 sin(pi/S)), R). For S == 1 the sector is the whole
+  // disk and sin(pi) = 0; the init segment then covers the full radius.
+  const double sin_h = std::sin(half_angle);
+  init_length_ = (sin_h <= 1e-12) ? R : std::min(w / (2.0 * sin_h), R);
+  center_ = PointAtAngle(params_.q, bisector, init_length_);
+
+  // Ring count for full coverage. The traversal covers w/2 to each side
+  // of every segment, so rings are needed until linit + rings*w + w/2
+  // reaches R. (The paper's (R - linit)/w expression read as a floor
+  // would leave the sector's outer wedge unvisited whenever the division
+  // has a remainder — a coverage hole; the ceiling form below closes it.)
+  const int base_rings = static_cast<int>(
+      std::ceil((R - init_length_ - w / 2.0) / w));
+  num_rings_ = std::max(0, base_rings) + std::max(0, params_.extra_rings);
+
+  // Init segment: q -> q' along the bisector.
+  AddLine(SegmentKind::kInit, 0, params_.q, center_);
+
+  // Serpentine ring traversal. Even sectors start at the lower border and
+  // sweep counter-clockwise; odd sectors are inverted so that adjacent
+  // sectors' adj-segments meet face-to-face (the rendezvous of Fig. 6).
+  const bool invert = (params_.sector % 2) == 1;
+  double theta = invert ? (bisector + half_angle) : (bisector - half_angle);
+  double sweep_sign = invert ? -1.0 : 1.0;
+  Point cursor = center_;
+
+  for (int j = 1; j <= num_rings_; ++j) {
+    const double rho = j * w;
+    // Adj segment: radial step outward, parallel to the border at `theta`.
+    const Point ring_start = PointAtAngle(center_, theta, rho);
+    AddLine(SegmentKind::kAdj, j, cursor, ring_start);
+    // Peri segment: arc across the sector's central angle.
+    const double sweep = sweep_sign * 2.0 * half_angle;
+    AddArc(j, rho, theta, sweep);
+    theta = NormalizeAngle(theta + sweep);
+    sweep_sign = -sweep_sign;
+    cursor = PointAtAngle(center_, theta, rho);
+  }
+}
+
+void Itinerary::AddLine(SegmentKind kind, int ring, Point from, Point to) {
+  Segment seg;
+  seg.kind = kind;
+  seg.ring = ring;
+  seg.is_arc = false;
+  seg.a = from;
+  seg.b = to;
+  seg.length = Distance(from, to);
+  total_length_ += seg.length;
+  segments_.push_back(seg);
+  cumulative_.push_back(total_length_);
+}
+
+void Itinerary::AddArc(int ring, double radius, double a0, double sweep) {
+  Segment seg;
+  seg.kind = SegmentKind::kPeri;
+  seg.ring = ring;
+  seg.is_arc = true;
+  seg.arc_center = center_;
+  seg.arc_radius = radius;
+  seg.a0 = a0;
+  seg.sweep = sweep;
+  seg.length = std::abs(sweep) * radius;
+  total_length_ += seg.length;
+  segments_.push_back(seg);
+  cumulative_.push_back(total_length_);
+}
+
+namespace {
+
+// Index of the segment containing arc-length position s.
+size_t SegmentIndexFor(const std::vector<double>& cumulative, double s) {
+  auto it = std::lower_bound(cumulative.begin(), cumulative.end(), s);
+  if (it == cumulative.end()) return cumulative.size() - 1;
+  return static_cast<size_t>(it - cumulative.begin());
+}
+
+}  // namespace
+
+Point Itinerary::PointAt(double s) const {
+  assert(!segments_.empty());
+  s = std::clamp(s, 0.0, total_length_);
+  const size_t idx = SegmentIndexFor(cumulative_, s);
+  const Segment& seg = segments_[idx];
+  const double seg_start = cumulative_[idx] - seg.length;
+  const double t = seg.length <= 0.0
+                       ? 0.0
+                       : std::clamp((s - seg_start) / seg.length, 0.0, 1.0);
+  if (!seg.is_arc) return Lerp(seg.a, seg.b, t);
+  const double angle = seg.a0 + t * seg.sweep;
+  return PointAtAngle(seg.arc_center, angle, seg.arc_radius);
+}
+
+Itinerary::SegmentKind Itinerary::KindAt(double s) const {
+  assert(!segments_.empty());
+  s = std::clamp(s, 0.0, total_length_);
+  return segments_[SegmentIndexFor(cumulative_, s)].kind;
+}
+
+int Itinerary::RingAt(double s) const {
+  assert(!segments_.empty());
+  s = std::clamp(s, 0.0, total_length_);
+  return segments_[SegmentIndexFor(cumulative_, s)].ring;
+}
+
+double Itinerary::LengthThroughRing(int j) const {
+  if (j <= 0) return init_length_;
+  double acc = 0.0;
+  for (size_t i = 0; i < segments_.size(); ++i) {
+    acc = cumulative_[i];
+    if (segments_[i].kind == SegmentKind::kPeri && segments_[i].ring == j) {
+      return acc;
+    }
+  }
+  return total_length_;
+}
+
+}  // namespace diknn

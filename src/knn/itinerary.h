@@ -1,0 +1,117 @@
+// Sub-itinerary geometry for concurrent query dissemination (Section 3.3,
+// Fig. 4 of the paper).
+//
+// The KNN boundary (circle of radius R around the query point q) is split
+// into S equal cone-shaped sectors. Each sector is traversed by one
+// sub-itinerary made of three segment kinds:
+//
+//   init- : a straight run from q along the sector bisector, of length
+//           linit = min(w / (2 sin(pi/S)), R) — the point where the
+//           bisector is w/2 away from both sector borders;
+//   peri- : arcs of concentric circles centered at q' (the end of the
+//           init-segment) with radii w, 2w, ..., each spanning the
+//           sector's central angle 2*pi/S;
+//   adj-  : radial connectors of length w between consecutive rings,
+//           running parallel to a sector border.
+//
+// Rings are traversed serpentine-fashion (alternating direction), and the
+// overall direction is inverted in every interseptal sector so that
+// adj-segments of adjacent sectors come face-to-face, forming the
+// rendezvous regions of Section 4.3 (Fig. 6).
+//
+// The itinerary width w defaults to sqrt(3)/2 * r, which guarantees full
+// coverage of the boundary with minimal itinerary length.
+
+#ifndef DIKNN_KNN_ITINERARY_H_
+#define DIKNN_KNN_ITINERARY_H_
+
+#include <cmath>
+#include <vector>
+
+#include "core/geometry.h"
+
+namespace diknn {
+
+/// The itinerary width that yields full coverage with minimal length.
+inline double DefaultItineraryWidth(double radio_range) {
+  return std::sqrt(3.0) / 2.0 * radio_range;
+}
+
+/// Parameters defining one sector's sub-itinerary.
+struct ItineraryParams {
+  Point q;            ///< Query point (boundary center).
+  double radius = 0;  ///< Boundary radius R.
+  int sector = 0;     ///< Sector index in [0, num_sectors).
+  int num_sectors = 8;
+  double width = 0;   ///< Itinerary width w.
+  int extra_rings = 0;///< Rings appended beyond R (dynamic expansion).
+};
+
+/// Arc-length-parameterized polyline/arc path for one sector.
+class Itinerary {
+ public:
+  enum class SegmentKind { kInit, kAdj, kPeri };
+
+  explicit Itinerary(const ItineraryParams& params);
+
+  const ItineraryParams& params() const { return params_; }
+
+  /// Total arc length of the sub-itinerary.
+  double TotalLength() const { return total_length_; }
+
+  /// Point at arc-length position `s` (clamped to [0, TotalLength()]).
+  Point PointAt(double s) const;
+
+  /// Segment kind at position `s`.
+  SegmentKind KindAt(double s) const;
+
+  /// Ring index at position `s`: 0 on the init segment, j on ring j's adj
+  /// or peri segment.
+  int RingAt(double s) const;
+
+  /// Length of the init segment (linit).
+  double init_length() const { return init_length_; }
+
+  /// Number of rings, including extra_rings.
+  int num_rings() const { return num_rings_; }
+
+  /// Center q' of the concentric peri circles.
+  Point center() const { return center_; }
+
+  /// Arc-length position where ring `j` (1-based) ends; position 0 refers
+  /// to the end of the init segment.
+  double LengthThroughRing(int j) const;
+
+  /// Approximate maximum distance from q covered by the traversal.
+  double CoverageRadius() const {
+    return init_length_ + num_rings_ * params_.width;
+  }
+
+ private:
+  struct Segment {
+    SegmentKind kind;
+    int ring;        // 0 for init, else 1-based ring index.
+    double length;
+    // Line: from a to b. Arc: centered at `arc_center`, radius
+    // `arc_radius`, from angle a0 sweeping `sweep` radians (signed).
+    bool is_arc = false;
+    Point a, b;
+    Point arc_center;
+    double arc_radius = 0, a0 = 0, sweep = 0;
+  };
+
+  void AddLine(SegmentKind kind, int ring, Point from, Point to);
+  void AddArc(int ring, double radius, double a0, double sweep);
+
+  ItineraryParams params_;
+  Point center_;
+  double init_length_ = 0;
+  int num_rings_ = 0;
+  double total_length_ = 0;
+  std::vector<Segment> segments_;
+  std::vector<double> cumulative_;  // Cumulative length at segment ends.
+};
+
+}  // namespace diknn
+
+#endif  // DIKNN_KNN_ITINERARY_H_

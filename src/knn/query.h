@@ -1,0 +1,79 @@
+// Shared KNN query types and the protocol interface implemented by DIKNN
+// and every baseline, so the experiment harness can drive them uniformly.
+
+#ifndef DIKNN_KNN_QUERY_H_
+#define DIKNN_KNN_QUERY_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/geometry.h"
+#include "net/packet.h"
+#include "sim/event_queue.h"
+
+namespace diknn {
+
+/// A snapshot KNN query (Definition 1 of the paper).
+struct KnnQuery {
+  uint64_t id = 0;          ///< Unique per query.
+  Point q;                  ///< Query point.
+  int k = 1;                ///< Number of nearest neighbors requested.
+  NodeId sink = kInvalidNodeId;  ///< Issuing node s.
+  Point sink_position;      ///< Sink position at issue time (return target).
+  double assurance_gain = 0.1;   ///< g in [0,1] (Section 4.3, mobility).
+};
+
+/// One reported neighbor candidate.
+struct KnnCandidate {
+  NodeId id = kInvalidNodeId;
+  Point position;           ///< Position when the node reported.
+  double speed = 0.0;       ///< Speed when the node reported.
+  SimTime sampled_at = 0.0; ///< When the report was generated.
+};
+
+/// Final (possibly partial) answer delivered at the sink.
+struct KnnResult {
+  uint64_t query_id = 0;
+  std::vector<KnnCandidate> candidates;  ///< Best-first, at most k entries.
+  SimTime issued_at = 0.0;
+  SimTime completed_at = 0.0;
+  bool timed_out = false;   ///< True if completed by timeout, not receipt.
+
+  /// Query latency in seconds.
+  double Latency() const { return completed_at - issued_at; }
+
+  /// Ids of the reported candidates, in rank order.
+  std::vector<NodeId> CandidateIds() const;
+};
+
+/// Invoked at the sink when a query completes (or times out).
+using ResultHandler = std::function<void(const KnnResult&)>;
+
+/// Common interface for in-network KNN query processors.
+class KnnProtocol {
+ public:
+  virtual ~KnnProtocol() = default;
+
+  /// Registers the protocol's message handlers on every node. Call once,
+  /// before issuing queries.
+  virtual void Install() = 0;
+
+  /// Issues a KNN query from node `sink` for the k nodes nearest to `q`.
+  /// `handler` fires exactly once at completion or timeout.
+  virtual void IssueQuery(NodeId sink, Point q, int k,
+                          ResultHandler handler) = 0;
+
+  /// Short display name ("DIKNN", "KPT+KNNB", "PeerTree", ...).
+  virtual std::string name() const = 0;
+};
+
+/// Keeps the `count` candidates nearest to `q` in `candidates`, best
+/// first, deduplicating by node id (keeping the freshest report).
+void PruneCandidates(std::vector<KnnCandidate>* candidates, const Point& q,
+                     size_t count);
+
+}  // namespace diknn
+
+#endif  // DIKNN_KNN_QUERY_H_

@@ -1,0 +1,361 @@
+#include "knn/window.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "knn/itinerary.h"
+
+namespace diknn {
+
+namespace {
+constexpr size_t kBootstrapBytes = 22;
+constexpr size_t kProbeBytes = 30;
+constexpr size_t kCandidateBytes = 12;
+}  // namespace
+
+SerpentinePath::SerpentinePath(const Rect& window, double spacing)
+    : window_(window), spacing_(spacing) {
+  // Scan lines at heights min.y + w/2, min.y + 3w/2, ..., covering the
+  // window with a w/2 margin above and below each line.
+  num_lines_ = std::max(
+      1, static_cast<int>(std::ceil(window.Height() / spacing_)));
+  total_length_ =
+      num_lines_ * window_.Width() + (num_lines_ - 1) * spacing_;
+}
+
+Point SerpentinePath::PointAt(double s) const {
+  s = std::clamp(s, 0.0, total_length_);
+  const double segment = window_.Width() + spacing_;  // Line + riser.
+  int line = static_cast<int>(s / segment);
+  if (line >= num_lines_) line = num_lines_ - 1;
+  const double offset = s - line * segment;
+
+  const double y0 = std::min(window_.min.y + spacing_ / 2.0, window_.max.y);
+  const double y = std::min(y0 + line * spacing_, window_.max.y);
+  const bool rightward = (line % 2) == 0;
+
+  if (offset <= window_.Width()) {
+    const double x = rightward ? window_.min.x + offset
+                               : window_.max.x - offset;
+    return {x, y};
+  }
+  // Riser between this line and the next.
+  const double up = offset - window_.Width();
+  const double x = rightward ? window_.max.x : window_.min.x;
+  return {x, std::min(y + up, window_.max.y)};
+}
+
+ItineraryWindowQuery::ItineraryWindowQuery(Network* network,
+                                           GpsrRouting* gpsr,
+                                           WindowQueryParams params)
+    : network_(network), gpsr_(gpsr), params_(params) {}
+
+double ItineraryWindowQuery::EffectiveWidth() const {
+  return params_.width > 0.0
+             ? params_.width
+             : DefaultItineraryWidth(network_->config().radio_range_m);
+}
+
+void ItineraryWindowQuery::Install() {
+  gpsr_->RegisterDelivery(
+      MessageType::kWindowQuery,
+      [this](Node* node, const GeoRoutedMessage& msg) {
+        OnEntryArrival(node, msg);
+      });
+  gpsr_->RegisterDelivery(
+      MessageType::kWindowResult,
+      [this](Node* node, const GeoRoutedMessage& msg) {
+        OnResult(node, msg);
+      });
+  for (Node* node : network_->AllNodes()) {
+    node->RegisterHandler(
+        MessageType::kWindowProbe, [this, node](const Packet& p) {
+          OnProbe(node, *static_cast<const ProbeMessage*>(p.payload.get()));
+        });
+    node->RegisterHandler(
+        MessageType::kWindowReply, [this, node](const Packet& p) {
+          OnReply(node, *static_cast<const ReplyMessage*>(p.payload.get()));
+        });
+    node->RegisterHandler(
+        MessageType::kWindowForward, [this, node](const Packet& p) {
+          StartQNode(node,
+                     static_cast<const ForwardMessage*>(p.payload.get())
+                         ->state);
+        });
+  }
+}
+
+void ItineraryWindowQuery::IssueQuery(NodeId sink, const Rect& window,
+                                      WindowResultHandler handler) {
+  Node* sink_node = network_->node(sink);
+  WindowQuery query;
+  query.id = next_query_id_++;
+  query.window = window;
+  query.sink = sink;
+  query.sink_position = sink_node->Position();
+
+  // Budget the timeout for the sweep's actual length: one Q-node hop per
+  // step_fraction * r of path, at roughly half a second per hop, plus
+  // routing slack.
+  const SerpentinePath path(window, EffectiveWidth());
+  const double per_hop = 0.5;
+  const double expected_hops =
+      path.TotalLength() /
+      (params_.step_fraction * network_->config().radio_range_m);
+  const SimTime timeout =
+      std::max(params_.query_timeout, expected_hops * per_hop + 4.0);
+
+  PendingQuery pending;
+  pending.query = query;
+  pending.handler = std::move(handler);
+  pending.issued_at = network_->sim().Now();
+  const uint64_t id = query.id;
+  pending.timeout_event = network_->sim().ScheduleAfter(
+      timeout, [this, id]() { CompleteQuery(id, true); });
+  pending_.emplace(id, std::move(pending));
+  ++stats_.queries_issued;
+
+  // Enter the sweep at the start of the serpentine path (the window's
+  // lower-left scan line).
+  auto bootstrap = std::make_shared<QueryBootstrap>();
+  bootstrap->query = query;
+  gpsr_->Send(sink_node, path.PointAt(0.0), MessageType::kWindowQuery,
+              std::move(bootstrap), kBootstrapBytes, EnergyCategory::kQuery);
+}
+
+void ItineraryWindowQuery::OnEntryArrival(Node* node,
+                                          const GeoRoutedMessage& msg) {
+  const auto* bootstrap =
+      static_cast<const QueryBootstrap*>(msg.inner.get());
+  SweepState state;
+  state.query = bootstrap->query;
+  state.progress = 0.0;
+  StartQNode(node, std::move(state));
+}
+
+void ItineraryWindowQuery::StartQNode(Node* node, SweepState state) {
+  // Fork suppression, as in DIKNN (see diknn.h).
+  {
+    auto [it, inserted] =
+        last_hop_seen_.try_emplace(state.query.id, state.hop_count);
+    if (!inserted) {
+      if (state.hop_count <= it->second) return;
+      it->second = state.hop_count;
+    }
+  }
+  ++stats_.qnode_hops;
+
+  const SimTime now = network_->sim().Now();
+  int expected = 0;
+  for (const NeighborEntry& n : node->neighbors().Snapshot(now)) {
+    if (state.query.window.Contains(n.position)) ++expected;
+  }
+  const double window_s =
+      params_.time_unit * std::clamp(expected / 2 + 1, 3, 20);
+
+  auto probe = std::make_shared<ProbeMessage>();
+  probe->query_id = state.query.id;
+  probe->window = state.query.window;
+  probe->qnode_position = node->Position();
+  probe->reference_angle =
+      AngleOf(node->Position(), state.query.window.Center());
+  probe->collect_window = window_s;
+
+  Collection collection;
+  collection.state = std::move(state);
+  collection.qnode = node->id();
+  const uint64_t id = collection.state.query.id;
+  collections_[id] = std::move(collection);
+
+  node->SendBroadcast(MessageType::kWindowProbe, std::move(probe),
+                      kProbeBytes, EnergyCategory::kQuery);
+  network_->sim().ScheduleAfter(
+      window_s + 5.0 * params_.time_unit,
+      [this, id]() { FinishCollection(id); });
+}
+
+void ItineraryWindowQuery::OnProbe(Node* node, const ProbeMessage& probe) {
+  if (node->is_infrastructure()) return;
+  if (!probe.window.Contains(node->Position())) return;
+  auto& replied = replied_[probe.query_id];
+  if (replied.contains(node->id())) return;
+  replied.insert(node->id());
+
+  const double alpha = NormalizeAngle(
+      AngleOf(probe.qnode_position, node->Position()) -
+      probe.reference_angle);
+  const double delay = (alpha / kTwoPi) * probe.collect_window;
+  const uint64_t query_id = probe.query_id;
+  network_->sim().ScheduleAfter(delay, [this, node, query_id]() {
+    if (!node->alive()) return;
+    auto it = collections_.find(query_id);
+    if (it == collections_.end()) {
+      replied_[query_id].erase(node->id());
+      return;
+    }
+    auto reply = std::make_shared<ReplyMessage>();
+    reply->query_id = query_id;
+    reply->candidate.id = node->id();
+    reply->candidate.position = node->Position();
+    reply->candidate.speed = node->Speed();
+    reply->candidate.sampled_at = network_->sim().Now();
+    node->SendUnicast(it->second.qnode, MessageType::kWindowReply,
+                      std::move(reply), kQueryResponseBytes,
+                      EnergyCategory::kQuery,
+                      [this, query_id, node](bool ok) {
+                        if (!ok) replied_[query_id].erase(node->id());
+                      });
+    ++stats_.replies;
+  });
+}
+
+void ItineraryWindowQuery::OnReply(Node* node, const ReplyMessage& reply) {
+  auto it = collections_.find(reply.query_id);
+  if (it == collections_.end() || it->second.qnode != node->id()) return;
+  it->second.replies.push_back(reply.candidate);
+}
+
+void ItineraryWindowQuery::FinishCollection(uint64_t query_id) {
+  auto it = collections_.find(query_id);
+  if (it == collections_.end()) return;
+  Collection collection = std::move(it->second);
+  collections_.erase(it);
+
+  Node* node = network_->node(collection.qnode);
+  SweepState& state = collection.state;
+  for (const KnnCandidate& c : collection.replies) {
+    state.collected.push_back(c);
+  }
+  if (!node->is_infrastructure() &&
+      state.query.window.Contains(node->Position()) &&
+      replied_[query_id].insert(node->id()).second) {
+    KnnCandidate self;
+    self.id = node->id();
+    self.position = node->Position();
+    self.speed = node->Speed();
+    self.sampled_at = network_->sim().Now();
+    state.collected.push_back(self);
+  }
+  ForwardAlongSweep(node, std::move(state));
+}
+
+void ItineraryWindowQuery::ForwardAlongSweep(Node* node, SweepState state) {
+  const SimTime now = network_->sim().Now();
+  const double step =
+      params_.step_fraction * network_->config().radio_range_m;
+  const SerpentinePath path(state.query.window, EffectiveWidth());
+
+  double next_s = state.progress + step;
+  int skips = 0;
+  while (true) {
+    if (next_s > path.TotalLength()) {
+      FinishSweep(node, std::move(state));
+      return;
+    }
+    const Point anchor = path.PointAt(next_s);
+    const auto neighbors = node->neighbors().Snapshot(now);
+    const NeighborEntry* next_qnode = nullptr;
+    double best_d = Distance(node->Position(), anchor);
+    const double tolerance = EffectiveWidth() / 2.0;
+    for (const NeighborEntry& n : neighbors) {
+      const double d = Distance(n.position, anchor);
+      if ((d < best_d || d <= tolerance) &&
+          (next_qnode == nullptr || d < best_d)) {
+        best_d = d;
+        next_qnode = &n;
+      }
+    }
+    if (next_qnode == nullptr) {
+      ++stats_.voids;
+      if (++skips > params_.max_void_skips) {
+        FinishSweep(node, std::move(state));
+        return;
+      }
+      next_s += step;
+      continue;
+    }
+
+    SweepState retry_state = state;
+    state.progress = next_s;
+    ++state.hop_count;
+    auto fwd = std::make_shared<ForwardMessage>();
+    fwd->state = std::move(state);
+    const size_t bytes = fwd->state.WireBytes();
+    const NodeId next_id = next_qnode->id;
+    node->SendUnicast(next_id, MessageType::kWindowForward, std::move(fwd),
+                      bytes, EnergyCategory::kQuery,
+                      [this, node, next_id, retry_state](bool ok) mutable {
+                        if (ok) return;
+                        auto it =
+                            last_hop_seen_.find(retry_state.query.id);
+                        if (it != last_hop_seen_.end() &&
+                            it->second > retry_state.hop_count) {
+                          return;  // The traversal is already ahead.
+                        }
+                        node->neighbors().Remove(next_id);
+                        ForwardAlongSweep(node, std::move(retry_state));
+                      });
+    return;
+  }
+}
+
+void ItineraryWindowQuery::FinishSweep(Node* node, SweepState state) {
+  auto result = std::make_shared<ResultMessage>();
+  result->query_id = state.query.id;
+  result->nodes = std::move(state.collected);
+  const size_t bytes = 10 + result->nodes.size() * kCandidateBytes;
+  gpsr_->Send(node, state.query.sink_position, MessageType::kWindowResult,
+              std::move(result), bytes, EnergyCategory::kQuery, false,
+              state.query.sink);
+}
+
+void ItineraryWindowQuery::OnResult(Node* node, const GeoRoutedMessage& msg) {
+  const auto* result = static_cast<const ResultMessage*>(msg.inner.get());
+  auto it = pending_.find(result->query_id);
+  if (it == pending_.end()) return;
+  PendingQuery& pending = it->second;
+  if (node->id() != pending.query.sink || pending.completed) return;
+
+  pending.completed = true;
+  network_->sim().Cancel(pending.timeout_event);
+  ++stats_.queries_completed;
+
+  WindowResult out;
+  out.query_id = result->query_id;
+  out.nodes = result->nodes;
+  out.issued_at = pending.issued_at;
+  out.completed_at = network_->sim().Now();
+  // Deduplicate (forks may have double-collected) and drop anything the
+  // sweep picked up that has since left the window... reports reflect
+  // collection-time positions, so keep them; dedup only.
+  PruneCandidates(&out.nodes, pending.query.window.Center(),
+                  out.nodes.size());
+
+  WindowResultHandler handler = std::move(pending.handler);
+  pending_.erase(it);
+  replied_.erase(result->query_id);
+  last_hop_seen_.erase(result->query_id);
+  if (handler) handler(out);
+}
+
+void ItineraryWindowQuery::CompleteQuery(uint64_t query_id, bool timed_out) {
+  auto it = pending_.find(query_id);
+  if (it == pending_.end() || it->second.completed) return;
+  PendingQuery& pending = it->second;
+  pending.completed = true;
+  if (timed_out) ++stats_.timeouts;
+
+  WindowResult out;
+  out.query_id = query_id;
+  out.issued_at = pending.issued_at;
+  out.completed_at = network_->sim().Now();
+  out.timed_out = timed_out;
+
+  WindowResultHandler handler = std::move(pending.handler);
+  pending_.erase(it);
+  replied_.erase(query_id);
+  last_hop_seen_.erase(query_id);
+  if (handler) handler(out);
+}
+
+}  // namespace diknn

@@ -1,0 +1,177 @@
+// Itinerary-based window (range) queries.
+//
+// DIKNN's itinerary concept descends from the window-query engine of Xu
+// et al. (ICDE 2006, the paper's reference [31]): a rectangular query
+// window is swept by a serpentine (boustrophedon) itinerary with line
+// spacing w = sqrt(3)/2 * r, collecting every node inside the window.
+// This module implements that ancestor protocol on the same substrate:
+// it shares GPSR, the probe/collect/forward machinery, and the collection
+// scheme with DIKNN, and serves both as a standalone query facility and
+// as the "infrastructure-free window query" point of comparison.
+
+#ifndef DIKNN_KNN_WINDOW_H_
+#define DIKNN_KNN_WINDOW_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "knn/query.h"
+#include "net/network.h"
+#include "routing/gpsr.h"
+
+namespace diknn {
+
+/// A rectangular snapshot query: report every node inside `window`.
+struct WindowQuery {
+  uint64_t id = 0;
+  Rect window;
+  NodeId sink = kInvalidNodeId;
+  Point sink_position;
+};
+
+/// Result of a window query: the reporting nodes, unordered.
+struct WindowResult {
+  uint64_t query_id = 0;
+  std::vector<KnnCandidate> nodes;
+  SimTime issued_at = 0;
+  SimTime completed_at = 0;
+  bool timed_out = false;
+
+  double Latency() const { return completed_at - issued_at; }
+};
+
+using WindowResultHandler = std::function<void(const WindowResult&)>;
+
+/// Serpentine sweep path over a rectangle: horizontal scan lines spaced
+/// `spacing` apart, connected by vertical steps, alternating direction.
+/// Arc-length parameterized like Itinerary.
+class SerpentinePath {
+ public:
+  SerpentinePath(const Rect& window, double spacing);
+
+  double TotalLength() const { return total_length_; }
+  Point PointAt(double s) const;
+  int num_lines() const { return num_lines_; }
+
+ private:
+  Rect window_;
+  double spacing_;
+  int num_lines_;
+  double total_length_;
+};
+
+/// Tunables for the window query protocol.
+struct WindowQueryParams {
+  double width = 0.0;            ///< Sweep spacing; 0 = sqrt(3)/2 * r.
+  double time_unit = 0.018;      ///< Collection slot per D-node (s).
+  double step_fraction = 0.8;    ///< Q-node hop length (fraction of r).
+  int max_void_skips = 6;
+  SimTime query_timeout = 12.0;
+};
+
+/// Behaviour counters.
+struct WindowQueryStats {
+  uint64_t queries_issued = 0;
+  uint64_t queries_completed = 0;
+  uint64_t timeouts = 0;
+  uint64_t qnode_hops = 0;
+  uint64_t replies = 0;
+  uint64_t voids = 0;
+};
+
+/// The itinerary window query protocol.
+class ItineraryWindowQuery {
+ public:
+  ItineraryWindowQuery(Network* network, GpsrRouting* gpsr,
+                       WindowQueryParams params = {});
+
+  /// Registers handlers on every node. Call once.
+  void Install();
+
+  /// Issues a window query from `sink`; `handler` fires exactly once.
+  void IssueQuery(NodeId sink, const Rect& window,
+                  WindowResultHandler handler);
+
+  const WindowQueryStats& stats() const { return stats_; }
+
+ private:
+  struct QueryBootstrap : Message {
+    WindowQuery query;
+  };
+
+  struct SweepState {
+    WindowQuery query;
+    double progress = 0.0;
+    int hop_count = 0;
+    std::vector<KnnCandidate> collected;
+
+    size_t WireBytes() const {
+      return 24 + collected.size() * 12;
+    }
+  };
+
+  struct ForwardMessage : Message {
+    SweepState state;
+  };
+
+  struct ProbeMessage : Message {
+    uint64_t query_id = 0;
+    Rect window;
+    Point qnode_position;
+    double reference_angle = 0.0;
+    double collect_window = 0.0;
+  };
+
+  struct ReplyMessage : Message {
+    uint64_t query_id = 0;
+    KnnCandidate candidate;
+  };
+
+  struct ResultMessage : Message {
+    uint64_t query_id = 0;
+    std::vector<KnnCandidate> nodes;
+  };
+
+  struct PendingQuery {
+    WindowQuery query;
+    WindowResultHandler handler;
+    SimTime issued_at = 0;
+    EventId timeout_event = 0;
+    bool completed = false;
+  };
+
+  struct Collection {
+    SweepState state;
+    NodeId qnode = kInvalidNodeId;
+    std::vector<KnnCandidate> replies;
+  };
+
+  double EffectiveWidth() const;
+  void OnEntryArrival(Node* node, const GeoRoutedMessage& msg);
+  void StartQNode(Node* node, SweepState state);
+  void FinishCollection(uint64_t query_id);
+  void OnProbe(Node* node, const ProbeMessage& probe);
+  void OnReply(Node* node, const ReplyMessage& reply);
+  void ForwardAlongSweep(Node* node, SweepState state);
+  void FinishSweep(Node* node, SweepState state);
+  void OnResult(Node* node, const GeoRoutedMessage& msg);
+  void CompleteQuery(uint64_t query_id, bool timed_out);
+
+  Network* network_;
+  GpsrRouting* gpsr_;
+  WindowQueryParams params_;
+  WindowQueryStats stats_;
+
+  uint64_t next_query_id_ = 1;
+  std::unordered_map<uint64_t, PendingQuery> pending_;
+  std::unordered_map<uint64_t, Collection> collections_;
+  std::unordered_map<uint64_t, std::unordered_set<NodeId>> replied_;
+  std::unordered_map<uint64_t, int> last_hop_seen_;
+};
+
+}  // namespace diknn
+
+#endif  // DIKNN_KNN_WINDOW_H_

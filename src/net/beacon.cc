@@ -1,0 +1,38 @@
+#include "net/beacon.h"
+
+#include <memory>
+
+namespace diknn {
+
+BeaconService::BeaconService(Simulator* sim, std::vector<Node*> nodes,
+                             SimTime interval, Rng rng)
+    : sim_(sim), nodes_(std::move(nodes)), interval_(interval), rng_(rng) {}
+
+void BeaconService::Start() {
+  for (Node* node : nodes_) {
+    node->RegisterHandler(MessageType::kBeacon, [node](const Packet& p) {
+      const auto* beacon =
+          static_cast<const BeaconMessage*>(p.payload.get());
+      node->neighbors().Update(beacon->id, beacon->position, beacon->speed,
+                               node->sim()->Now());
+    });
+  }
+  for (Node* node : nodes_) {
+    const SimTime phase = rng_.Uniform(0.0, interval_);
+    sim_->SchedulePeriodic(phase, interval_, [this, node]() {
+      if (node->alive()) SendBeacon(node);
+      return true;  // Beaconing never stops on its own.
+    });
+  }
+}
+
+void BeaconService::SendBeacon(Node* node) {
+  auto msg = std::make_shared<BeaconMessage>();
+  msg->id = node->id();
+  msg->position = node->Position();
+  msg->speed = node->Speed();
+  node->SendBroadcast(MessageType::kBeacon, std::move(msg), kBeaconBodyBytes,
+                      EnergyCategory::kBeacon);
+}
+
+}  // namespace diknn

@@ -1,0 +1,87 @@
+#include "net/channel.h"
+
+#include <algorithm>
+
+#include "net/node.h"
+
+namespace diknn {
+
+Channel::Channel(Simulator* sim, ChannelParams params, Rng rng)
+    : sim_(sim), params_(params), rng_(rng) {}
+
+void Channel::Attach(Node* node) { nodes_.push_back(node); }
+
+void Channel::PruneAir() {
+  const SimTime now = sim_->Now();
+  while (!air_.empty() && air_.front().end_time <= now) air_.pop_front();
+}
+
+bool Channel::IsBusyAt(const Point& pos) const {
+  const SimTime now = sim_->Now();
+  const double range2 = params_.radio_range_m * params_.radio_range_m;
+  for (const AirFrame& f : air_) {
+    if (f.end_time > now && SquaredDistance(f.origin, pos) <= range2) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Channel::Transmit(Node* sender, const Packet& packet) {
+  const EnergyCategory category = packet.category;
+  const SimTime now = sim_->Now();
+  const double duration = FrameDuration(packet.size_bytes);
+  const SimTime end = now + duration;
+  const Point origin = sender->Position();
+
+  ++stats_.frames_sent;
+  sender->energy().ChargeTx(packet.size_bytes, params_.radio_range_m,
+                            category);
+  if (transmit_observer_) {
+    transmit_observer_(packet, sender->id(), origin);
+  }
+
+  PruneAir();
+  air_.push_back(AirFrame{origin, end});
+
+  const double range2 = params_.radio_range_m * params_.radio_range_m;
+  for (Node* receiver : nodes_) {
+    if (receiver == sender || !receiver->alive()) continue;
+    if (SquaredDistance(receiver->Position(), origin) > range2) continue;
+
+    ++stats_.receptions_attempted;
+
+    // Collision check: any reception still in progress at this receiver
+    // overlaps the new frame, corrupting both (the new frame always; the
+    // ongoing one too unless capture mode preserves it).
+    auto corrupted = std::make_shared<bool>(false);
+    auto& recs = active_receptions_[receiver->id()];
+    std::erase_if(recs, [&](const Reception& r) { return r.end_time <= now; });
+    for (Reception& r : recs) {
+      *corrupted = true;
+      if (!params_.capture) *r.corrupted = true;
+    }
+    recs.push_back(Reception{end, corrupted});
+
+    // Independent random loss (fading, external interference).
+    const bool randomly_lost = rng_.Bernoulli(params_.loss_rate);
+
+    sim_->ScheduleAt(end, [this, receiver, packet, corrupted, randomly_lost,
+                           category]() {
+      // The radio listened for the whole frame either way.
+      receiver->energy().ChargeRx(packet.size_bytes, category);
+      if (*corrupted) {
+        ++stats_.receptions_collided;
+        return;
+      }
+      if (randomly_lost) {
+        ++stats_.receptions_lost;
+        return;
+      }
+      ++stats_.receptions_delivered;
+      receiver->HandlePhyReceive(packet);
+    });
+  }
+}
+
+}  // namespace diknn

@@ -1,0 +1,119 @@
+// Shared broadcast wireless channel with per-receiver collision detection.
+//
+// Model: a frame transmitted at time t occupies the air for
+// duration = bytes * 8 / bit_rate, and is heard by every live node within
+// `radio_range_m` of the sender. A receiver with two temporally overlapping
+// audible frames corrupts both (no capture by default). Independent random
+// loss models fading and interference beyond collisions. These are exactly
+// the effects the paper's evaluation leans on: contention between
+// concurrent itinerary traversals, KPT's collision-driven energy spike at
+// large k, and accuracy degradation from lost packets.
+
+#ifndef DIKNN_NET_CHANNEL_H_
+#define DIKNN_NET_CHANNEL_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/geometry.h"
+#include "core/rng.h"
+#include "net/energy_model.h"
+#include "net/packet.h"
+#include "sim/simulator.h"
+
+namespace diknn {
+
+class Node;
+
+/// Physical-layer parameters.
+struct ChannelParams {
+  double radio_range_m = 20.0;  ///< Paper: r = 20 m.
+  double bit_rate_bps = 250e3;  ///< Paper: 250 kbps LR-WPAN channel.
+  double loss_rate = 0.0;       ///< Per-receiver independent drop prob.
+  bool capture = false;         ///< If true, the earlier frame survives a
+                                ///  collision when it is already mid-air.
+};
+
+/// Channel traffic counters, exposed for tests and benchmarks.
+struct ChannelStats {
+  uint64_t frames_sent = 0;
+  uint64_t receptions_attempted = 0;
+  uint64_t receptions_delivered = 0;
+  uint64_t receptions_collided = 0;
+  uint64_t receptions_lost = 0;  ///< Random loss (non-collision).
+};
+
+/// The shared medium. One instance per Network; all nodes attach to it.
+class Channel {
+ public:
+  Channel(Simulator* sim, ChannelParams params, Rng rng);
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Registers a node. Nodes must outlive the channel's pending events;
+  /// the Network guarantees this by owning both.
+  void Attach(Node* node);
+
+  /// Starts transmitting `packet` from `sender` now. The MAC layer is
+  /// responsible for carrier sensing before calling this. Transmission
+  /// energy is charged to `sender` immediately; reception energy to each
+  /// audible receiver when its reception completes. Both are attributed to
+  /// `packet.category`.
+  void Transmit(Node* sender, const Packet& packet);
+
+  /// Carrier sense: true if any ongoing transmission is audible at `pos`.
+  bool IsBusyAt(const Point& pos) const;
+
+  /// Air time of a frame of `bytes` (including MAC header) at the
+  /// configured bit rate.
+  double FrameDuration(size_t bytes) const {
+    return static_cast<double>(bytes) * 8.0 / params_.bit_rate_bps;
+  }
+
+  const ChannelParams& params() const { return params_; }
+  const ChannelStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = ChannelStats{}; }
+
+  /// Observer invoked at the start of every transmission, with the sender
+  /// id and its position. Used by the trace recorder; pass nullptr to
+  /// detach. Must not transmit re-entrantly.
+  using TransmitObserver =
+      std::function<void(const Packet&, NodeId sender, Point position)>;
+  void set_transmit_observer(TransmitObserver observer) {
+    transmit_observer_ = std::move(observer);
+  }
+
+ private:
+  // One frame currently being received by one receiver.
+  struct Reception {
+    SimTime end_time = 0.0;
+    std::shared_ptr<bool> corrupted;  // Shared with the delivery event.
+  };
+
+  // One frame currently in the air (for carrier sensing).
+  struct AirFrame {
+    Point origin;
+    SimTime end_time = 0.0;
+  };
+
+  void PruneAir();
+
+  Simulator* sim_;
+  ChannelParams params_;
+  Rng rng_;
+  TransmitObserver transmit_observer_;
+  std::vector<Node*> nodes_;
+  std::unordered_map<NodeId, std::vector<Reception>> active_receptions_;
+  std::deque<AirFrame> air_;
+  ChannelStats stats_;
+  uint64_t next_uid_ = 1;
+};
+
+}  // namespace diknn
+
+#endif  // DIKNN_NET_CHANNEL_H_

@@ -1,0 +1,60 @@
+#include "net/churn.h"
+
+namespace diknn {
+
+NodeChurn::NodeChurn(Simulator* sim, std::vector<Node*> nodes,
+                     ChurnParams params, Rng rng, int protected_prefix)
+    : sim_(sim),
+      nodes_(std::move(nodes)),
+      params_(params),
+      rng_(rng),
+      protected_prefix_(protected_prefix) {}
+
+void NodeChurn::Start() {
+  for (Node* node : nodes_) {
+    if (node->id() < protected_prefix_ || node->is_infrastructure()) {
+      continue;
+    }
+    if (params_.initial_dead_fraction > 0.0 &&
+        rng_.Bernoulli(params_.initial_dead_fraction)) {
+      node->set_alive(false);
+      ++stats_.failures;
+      ScheduleRecovery(node);
+    } else {
+      ScheduleFailure(node);
+    }
+  }
+}
+
+void NodeChurn::ScheduleFailure(Node* node) {
+  if (params_.mean_up_time <= 0.0) return;
+  const double delay = rng_.Exponential(params_.mean_up_time);
+  sim_->ScheduleAfter(delay, [this, node]() {
+    if (!node->alive()) return;  // Killed by someone else meanwhile.
+    node->set_alive(false);
+    ++stats_.failures;
+    ScheduleRecovery(node);
+  });
+}
+
+void NodeChurn::ScheduleRecovery(Node* node) {
+  if (params_.mean_down_time <= 0.0) return;  // Permanent failure.
+  const double delay = rng_.Exponential(params_.mean_down_time);
+  sim_->ScheduleAfter(delay, [this, node]() {
+    if (node->alive()) return;
+    node->set_alive(true);
+    ++stats_.recoveries;
+    ScheduleFailure(node);
+  });
+}
+
+double NodeChurn::AliveFraction() const {
+  if (nodes_.empty()) return 1.0;
+  int alive = 0;
+  for (const Node* node : nodes_) {
+    if (node->alive()) ++alive;
+  }
+  return static_cast<double>(alive) / nodes_.size();
+}
+
+}  // namespace diknn

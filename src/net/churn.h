@@ -1,0 +1,66 @@
+// Node churn (failure / recovery) injection.
+//
+// The paper motivates infrastructure-free processing with networks where
+// "sensor nodes are mobile and packet loss is the norm" and nodes fail
+// (battlefield attrition, battery death, smart-dust loss). This service
+// drives an alternating up/down renewal process per node so tests,
+// examples and benches can measure protocol behaviour under churn instead
+// of hand-killing nodes.
+
+#ifndef DIKNN_NET_CHURN_H_
+#define DIKNN_NET_CHURN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.h"
+#include "net/node.h"
+#include "sim/simulator.h"
+
+namespace diknn {
+
+/// Churn process parameters. Exponential holding times.
+struct ChurnParams {
+  double mean_up_time = 60.0;    ///< Mean seconds a node stays alive.
+  double mean_down_time = 10.0;  ///< Mean seconds a dead node stays dead;
+                                 ///  <= 0 makes failures permanent.
+  double initial_dead_fraction = 0.0;  ///< Killed at Start().
+};
+
+/// Churn counters.
+struct ChurnStats {
+  uint64_t failures = 0;
+  uint64_t recoveries = 0;
+};
+
+/// Drives set_alive(false/true) on a node population.
+class NodeChurn {
+ public:
+  /// `protected_prefix`: node ids below this are never killed (e.g. the
+  /// sink / base station).
+  NodeChurn(Simulator* sim, std::vector<Node*> nodes, ChurnParams params,
+            Rng rng, int protected_prefix = 1);
+
+  /// Starts the renewal processes. Call once.
+  void Start();
+
+  const ChurnStats& stats() const { return stats_; }
+
+  /// Live fraction of the managed population right now.
+  double AliveFraction() const;
+
+ private:
+  void ScheduleFailure(Node* node);
+  void ScheduleRecovery(Node* node);
+
+  Simulator* sim_;
+  std::vector<Node*> nodes_;
+  ChurnParams params_;
+  Rng rng_;
+  int protected_prefix_;
+  ChurnStats stats_;
+};
+
+}  // namespace diknn
+
+#endif  // DIKNN_NET_CHURN_H_

@@ -1,0 +1,26 @@
+#include "net/energy_model.h"
+
+namespace diknn {
+
+void EnergyMeter::ChargeTx(size_t bytes, double range_m, EnergyCategory cat) {
+  const double bits = static_cast<double>(bytes) * 8.0;
+  const double joules =
+      params_.e_elec_j_per_bit * bits +
+      params_.eps_amp_j_per_bit_m2 * bits * range_m * range_m;
+  by_category_[static_cast<int>(cat)] += joules;
+}
+
+void EnergyMeter::ChargeRx(size_t bytes, EnergyCategory cat) {
+  const double bits = static_cast<double>(bytes) * 8.0;
+  by_category_[static_cast<int>(cat)] += params_.e_elec_j_per_bit * bits;
+}
+
+double EnergyMeter::TotalJoules() const {
+  double total = 0.0;
+  for (double j : by_category_) total += j;
+  return total;
+}
+
+void EnergyMeter::Reset() { by_category_.fill(0.0); }
+
+}  // namespace diknn

@@ -1,0 +1,178 @@
+#include "net/mac.h"
+
+#include <cassert>
+#include <memory>
+#include <utility>
+
+#include "net/node.h"
+
+namespace diknn {
+
+Mac::Mac(Node* node, Channel* channel, Simulator* sim, MacParams params,
+         Rng rng)
+    : node_(node),
+      channel_(channel),
+      sim_(sim),
+      params_(params),
+      rng_(rng),
+      next_uid_base_(0) {}
+
+void Mac::Send(Packet packet, EnergyCategory category,
+               SendCallback callback) {
+  // uid layout: node id in the high bits keeps uids globally unique, which
+  // the receiver-side duplicate cache relies on.
+  packet.uid = (static_cast<uint64_t>(static_cast<uint32_t>(node_->id()))
+                << 40) |
+               ++next_uid_base_;
+  packet.src = node_->id();
+  packet.category = category;
+
+  ++stats_.frames_queued;
+  queue_.push_back(OutFrame{std::move(packet), category,
+                            std::move(callback),
+                            params_.max_frame_retries});
+  if (!busy_) StartCsma();
+}
+
+void Mac::StartCsma() {
+  assert(!queue_.empty());
+  busy_ = true;
+  ++csma_generation_;
+  CsmaAttempt(/*backoffs_done=*/0, /*be=*/params_.min_be);
+}
+
+void Mac::CsmaAttempt(int backoffs_done, int be) {
+  const int max_slots = (1 << be) - 1;
+  const double backoff =
+      params_.backoff_slot_s * rng_.UniformInt(0, max_slots);
+  const uint64_t generation = csma_generation_;
+  sim_->ScheduleAfter(backoff, [this, backoffs_done, be, generation]() {
+    if (generation != csma_generation_) return;  // Superseded round.
+    if (queue_.empty() || !node_->alive()) {
+      busy_ = false;
+      return;
+    }
+    if (!channel_->IsBusyAt(node_->Position())) {
+      TransmitHead();
+      return;
+    }
+    if (backoffs_done + 1 > params_.max_csma_backoffs) {
+      // Channel access failure: spend a retry, or give up on the frame.
+      ++stats_.csma_failures;
+      OutFrame& head = queue_.front();
+      if (head.retries_left > 0) {
+        --head.retries_left;
+        ++stats_.retries;
+        StartCsma();
+      } else {
+        CompleteHead(false);
+      }
+      return;
+    }
+    CsmaAttempt(backoffs_done + 1, std::min(be + 1, params_.max_be));
+  });
+}
+
+void Mac::TransmitHead() {
+  OutFrame& head = queue_.front();
+  ++stats_.tx_attempts;
+  channel_->Transmit(node_, head.packet);
+  const double duration = channel_->FrameDuration(head.packet.size_bytes);
+
+  if (head.packet.IsBroadcast()) {
+    // Broadcasts are unacknowledged: done when the frame leaves the air.
+    sim_->ScheduleAfter(duration, [this]() { CompleteHead(true); });
+    return;
+  }
+
+  // Unicast: wait for the MAC ACK.
+  awaiting_ack_uid_ = head.packet.uid;
+  ack_timeout_event_ = sim_->ScheduleAfter(
+      duration + params_.ack_timeout_s, [this]() { OnAckTimeout(); });
+}
+
+void Mac::OnAckTimeout() {
+  awaiting_ack_uid_ = 0;
+  ack_timeout_event_ = 0;
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  OutFrame& head = queue_.front();
+  if (head.retries_left > 0) {
+    --head.retries_left;
+    ++stats_.retries;
+    StartCsma();
+  } else {
+    CompleteHead(false);
+  }
+}
+
+void Mac::CompleteHead(bool success) {
+  assert(!queue_.empty());
+  OutFrame frame = std::move(queue_.front());
+  queue_.pop_front();
+  ++csma_generation_;  // Invalidate any in-flight backoff events.
+  awaiting_ack_uid_ = 0;
+  if (ack_timeout_event_ != 0) {
+    sim_->Cancel(ack_timeout_event_);
+    ack_timeout_event_ = 0;
+  }
+  if (!success) ++stats_.send_failures;
+
+  if (!queue_.empty()) {
+    StartCsma();
+  } else {
+    busy_ = false;
+  }
+  // Invoke the callback last: it may enqueue new frames re-entrantly.
+  if (frame.callback) frame.callback(success);
+}
+
+bool Mac::FilterReceive(const Packet& packet) {
+  if (packet.type == MessageType::kMacAck) {
+    if (packet.dst == node_->id() && awaiting_ack_uid_ != 0) {
+      const auto* ack = static_cast<const AckMessage*>(packet.payload.get());
+      if (ack != nullptr && ack->acked_uid == awaiting_ack_uid_) {
+        CompleteHead(true);
+      }
+    }
+    return true;  // ACKs never reach the protocol layer.
+  }
+
+  if (!packet.IsBroadcast()) {
+    if (packet.dst != node_->id()) return true;  // Overheard, discard.
+
+    // Acknowledge after the fixed turnaround, bypassing CSMA (802.15.4
+    // ACK behaviour). The ACK is a real frame and may itself collide.
+    Packet ack;
+    ack.src = node_->id();
+    ack.dst = packet.src;
+    ack.type = MessageType::kMacAck;
+    ack.size_bytes = params_.ack_bytes;
+    ack.payload = std::make_shared<AckMessage>(packet.uid);
+    ack.uid = (static_cast<uint64_t>(static_cast<uint32_t>(node_->id()))
+               << 40) |
+              ++next_uid_base_;
+    ack.category = packet.category;
+    sim_->ScheduleAfter(params_.ack_turnaround_s, [this, ack]() {
+      if (node_->alive()) channel_->Transmit(node_, ack);
+    });
+  }
+
+  // Duplicate suppression (an ACK loss makes the sender retransmit a frame
+  // the protocol layer already saw).
+  if (seen_uids_.contains(packet.uid)) {
+    ++stats_.duplicates_dropped;
+    return true;
+  }
+  seen_uids_.insert(packet.uid);
+  seen_order_.push_back(packet.uid);
+  if (seen_order_.size() > kSeenCapacity) {
+    seen_uids_.erase(seen_order_.front());
+    seen_order_.pop_front();
+  }
+  return false;
+}
+
+}  // namespace diknn

@@ -1,0 +1,133 @@
+// CSMA-CA medium access with acknowledged unicast, modeled after
+// unslotted IEEE 802.15.4 (the paper's LR-WPAN setting, RTS/CTS disabled).
+//
+// Behaviour per frame:
+//   1. Draw a random backoff of [0, 2^BE - 1] slots, wait it out.
+//   2. Carrier-sense; if the channel is busy, increase BE (capped) and go
+//      to 1, up to max_csma_backoffs times, after which the attempt fails.
+//   3. Transmit. Broadcasts complete when the frame ends. Unicasts wait
+//      for a MAC-level ACK; a missing ACK triggers a full retry (new CSMA
+//      round) up to max_frame_retries times.
+//
+// Receivers acknowledge unicast frames addressed to them without CSMA
+// (802.15.4 ACKs follow a fixed turnaround) and suppress duplicate
+// deliveries to the protocol layer via a recent (src, uid) cache.
+
+#ifndef DIKNN_NET_MAC_H_
+#define DIKNN_NET_MAC_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_set>
+
+#include "core/rng.h"
+#include "net/channel.h"
+#include "net/packet.h"
+#include "sim/simulator.h"
+
+namespace diknn {
+
+class Node;
+
+/// MAC-layer tunables; defaults follow 802.15.4 (2.4 GHz) constants.
+struct MacParams {
+  double backoff_slot_s = 320e-6;  ///< aUnitBackoffPeriod at 250 kbps.
+  int min_be = 3;                  ///< macMinBE.
+  int max_be = 5;                  ///< macMaxBE.
+  int max_csma_backoffs = 4;       ///< macMaxCSMABackoffs.
+  int max_frame_retries = 3;       ///< macMaxFrameRetries.
+  double ack_turnaround_s = 192e-6;///< RX-to-TX turnaround (12 symbols).
+  double ack_timeout_s = 3e-3;     ///< Wait for ACK before retrying.
+  size_t ack_bytes = 11;           ///< ACK frame size on the air.
+};
+
+/// MAC traffic counters.
+struct MacStats {
+  uint64_t frames_queued = 0;
+  uint64_t tx_attempts = 0;      ///< Physical transmissions started.
+  uint64_t retries = 0;          ///< Unicast retransmissions.
+  uint64_t csma_failures = 0;    ///< Gave up after max backoffs.
+  uint64_t send_failures = 0;    ///< Frames reported failed to the caller.
+  uint64_t duplicates_dropped = 0;
+};
+
+/// Per-node MAC entity. Owns a FIFO of outbound frames and serializes
+/// access to the radio.
+class Mac {
+ public:
+  /// Completion callback: true when the frame was delivered (broadcasts:
+  /// when it finished transmitting), false when all retries failed.
+  using SendCallback = std::function<void(bool success)>;
+
+  Mac(Node* node, Channel* channel, Simulator* sim, MacParams params,
+      Rng rng);
+
+  Mac(const Mac&) = delete;
+  Mac& operator=(const Mac&) = delete;
+
+  /// Queues a frame. `packet.uid` is assigned here.
+  void Send(Packet packet, EnergyCategory category, SendCallback callback);
+
+  /// Called by the Node on every physical reception. Returns true if the
+  /// frame was consumed by the MAC (an ACK, a duplicate, or a unicast for
+  /// somebody else); false if it should be delivered to the protocols.
+  bool FilterReceive(const Packet& packet);
+
+  const MacStats& stats() const { return stats_; }
+
+  /// Frames currently queued or in flight.
+  size_t QueueDepth() const { return queue_.size(); }
+
+ private:
+  struct OutFrame {
+    Packet packet;
+    EnergyCategory category;
+    SendCallback callback;
+    int retries_left = 0;
+  };
+
+  /// MAC-internal ACK payload.
+  struct AckMessage : Message {
+    uint64_t acked_uid = 0;
+    explicit AckMessage(uint64_t uid) : acked_uid(uid) {}
+  };
+
+  // Begins CSMA for the head-of-queue frame.
+  void StartCsma();
+  // One backoff+sense attempt.
+  void CsmaAttempt(int backoffs_done, int be);
+  // Channel clear: actually transmit the head frame.
+  void TransmitHead();
+  // Head frame is finished (success or failure): pop, notify, continue.
+  void CompleteHead(bool success);
+  // ACK wait expired without a matching ACK.
+  void OnAckTimeout();
+
+  Node* node_;
+  Channel* channel_;
+  Simulator* sim_;
+  MacParams params_;
+  Rng rng_;
+
+  std::deque<OutFrame> queue_;
+  bool busy_ = false;              // CSMA or transmission in progress.
+  uint64_t awaiting_ack_uid_ = 0;  // 0 = not waiting.
+  EventId ack_timeout_event_ = 0;
+  // Bumped whenever the head frame changes or a new CSMA round starts, so
+  // stale scheduled backoff events (e.g. after a late ACK completed the
+  // frame mid-retry) recognize themselves and bail out.
+  uint64_t csma_generation_ = 0;
+
+  // Duplicate suppression: uids recently delivered upward, bounded FIFO.
+  std::unordered_set<uint64_t> seen_uids_;
+  std::deque<uint64_t> seen_order_;
+  static constexpr size_t kSeenCapacity = 256;
+
+  MacStats stats_;
+  uint64_t next_uid_base_;
+};
+
+}  // namespace diknn
+
+#endif  // DIKNN_NET_MAC_H_

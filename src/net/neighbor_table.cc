@@ -1,0 +1,90 @@
+#include "net/neighbor_table.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace diknn {
+
+void NeighborTable::Update(NodeId id, Point position, double speed,
+                           SimTime now) {
+  entries_[id] = NeighborEntry{id, position, speed, now};
+}
+
+void NeighborTable::Remove(NodeId id) { entries_.erase(id); }
+
+void NeighborTable::Expire(SimTime now) {
+  std::erase_if(entries_,
+                [&](const auto& kv) { return !Fresh(kv.second, now); });
+}
+
+std::optional<NeighborEntry> NeighborTable::Lookup(NodeId id,
+                                                   SimTime now) const {
+  auto it = entries_.find(id);
+  if (it == entries_.end() || !Fresh(it->second, now)) return std::nullopt;
+  return it->second;
+}
+
+std::vector<NeighborEntry> NeighborTable::Snapshot(SimTime now) const {
+  std::vector<NeighborEntry> out;
+  out.reserve(entries_.size());
+  for (const auto& [id, e] : entries_) {
+    if (Fresh(e, now)) out.push_back(e);
+  }
+  return out;
+}
+
+int NeighborTable::CountFresh(SimTime now) const {
+  int count = 0;
+  for (const auto& [id, e] : entries_) {
+    if (Fresh(e, now)) ++count;
+  }
+  return count;
+}
+
+std::optional<NeighborEntry> NeighborTable::ClosestTo(const Point& target,
+                                                      SimTime now) const {
+  std::optional<NeighborEntry> best;
+  double best_d2 = std::numeric_limits<double>::infinity();
+  for (const auto& [id, e] : entries_) {
+    if (!Fresh(e, now)) continue;
+    const double d2 = SquaredDistance(e.position, target);
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = e;
+    }
+  }
+  return best;
+}
+
+std::vector<NeighborEntry> NeighborTable::CloserThan(const Point& target,
+                                                     double threshold,
+                                                     SimTime now) const {
+  std::vector<NeighborEntry> out;
+  const double t2 = threshold * threshold;
+  for (const auto& [id, e] : entries_) {
+    if (Fresh(e, now) && SquaredDistance(e.position, target) < t2) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+int NeighborTable::CountFartherThan(const Point& from, double radius,
+                                    SimTime now) const {
+  int count = 0;
+  const double r2 = radius * radius;
+  for (const auto& [id, e] : entries_) {
+    if (Fresh(e, now) && SquaredDistance(e.position, from) > r2) ++count;
+  }
+  return count;
+}
+
+double NeighborTable::MaxNeighborSpeed(SimTime now) const {
+  double max_speed = 0.0;
+  for (const auto& [id, e] : entries_) {
+    if (Fresh(e, now)) max_speed = std::max(max_speed, e.speed);
+  }
+  return max_speed;
+}
+
+}  // namespace diknn

@@ -1,0 +1,83 @@
+// Per-node neighbor table, populated from periodic location beacons.
+//
+// Section 3.1 of the paper: "Beacons with locations and identities (IDs)
+// are periodically broadcasted. Every sensor node also maintains a table
+// enrolling IDs and locations of neighbor nodes falling within its radio
+// range r." Entries expire after a staleness timeout (several beacon
+// periods), so nodes that moved away or died disappear from the table.
+
+#ifndef DIKNN_NET_NEIGHBOR_TABLE_H_
+#define DIKNN_NET_NEIGHBOR_TABLE_H_
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/geometry.h"
+#include "net/packet.h"
+#include "sim/event_queue.h"
+
+namespace diknn {
+
+/// One known neighbor, as last heard from.
+struct NeighborEntry {
+  NodeId id = kInvalidNodeId;
+  Point position;          ///< Position advertised in the last beacon.
+  double speed = 0.0;      ///< Speed advertised in the last beacon (m/s).
+  SimTime last_heard = 0;  ///< Time the last beacon arrived.
+};
+
+/// Neighbor table with staleness-based eviction.
+class NeighborTable {
+ public:
+  /// `timeout`: entries unheard-of for longer than this are dropped.
+  explicit NeighborTable(SimTime timeout = 1.5) : timeout_(timeout) {}
+
+  /// Inserts or refreshes an entry from a beacon heard at time `now`.
+  void Update(NodeId id, Point position, double speed, SimTime now);
+
+  /// Removes a neighbor explicitly (e.g., unicast to it failed).
+  void Remove(NodeId id);
+
+  /// Drops entries older than the timeout relative to `now`.
+  void Expire(SimTime now);
+
+  /// Live entry for `id`, if present and fresh at `now`.
+  std::optional<NeighborEntry> Lookup(NodeId id, SimTime now) const;
+
+  /// All fresh entries at time `now`.
+  std::vector<NeighborEntry> Snapshot(SimTime now) const;
+
+  /// Number of fresh entries at `now`.
+  int CountFresh(SimTime now) const;
+
+  /// Fresh neighbor geometrically closest to `target`; nullopt if empty.
+  std::optional<NeighborEntry> ClosestTo(const Point& target,
+                                         SimTime now) const;
+
+  /// Fresh neighbors strictly closer to `target` than `threshold` meters.
+  std::vector<NeighborEntry> CloserThan(const Point& target, double threshold,
+                                        SimTime now) const;
+
+  /// Counts fresh neighbors farther than `radius` from `from` — the
+  /// "newly encountered neighbors" enc_i of the paper's Section 4.1.
+  int CountFartherThan(const Point& from, double radius, SimTime now) const;
+
+  /// The maximum advertised speed among fresh neighbors (0 if none) — the
+  /// mu record used by the paper's mobility-assurance mechanism.
+  double MaxNeighborSpeed(SimTime now) const;
+
+  SimTime timeout() const { return timeout_; }
+
+ private:
+  bool Fresh(const NeighborEntry& e, SimTime now) const {
+    return now - e.last_heard <= timeout_;
+  }
+
+  SimTime timeout_;
+  std::unordered_map<NodeId, NeighborEntry> entries_;
+};
+
+}  // namespace diknn
+
+#endif  // DIKNN_NET_NEIGHBOR_TABLE_H_

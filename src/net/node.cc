@@ -1,0 +1,67 @@
+#include "net/node.h"
+
+#include "core/logging.h"
+
+namespace diknn {
+
+Node::Node(NodeId id, Simulator* sim, Channel* channel,
+           std::unique_ptr<MobilityModel> mobility, const NodeParams& params,
+           Rng rng)
+    : id_(id),
+      sim_(sim),
+      mobility_(std::move(mobility)),
+      neighbors_(params.neighbor_timeout),
+      energy_(params.energy),
+      rng_(rng),
+      mac_(this, channel, sim, params.mac, rng_.Fork()) {}
+
+void Node::RegisterHandler(MessageType type, Handler handler) {
+  handlers_[type] = std::move(handler);
+}
+
+void Node::SendUnicast(NodeId dst, MessageType type,
+                       std::shared_ptr<const Message> payload,
+                       size_t body_bytes, EnergyCategory category,
+                       Mac::SendCallback callback) {
+  if (!alive_) {
+    if (callback) callback(false);
+    return;
+  }
+  Packet p;
+  p.dst = dst;
+  p.type = type;
+  p.payload = std::move(payload);
+  p.size_bytes = body_bytes + kMacHeaderBytes;
+  mac_.Send(std::move(p), category, std::move(callback));
+}
+
+void Node::SendBroadcast(MessageType type,
+                         std::shared_ptr<const Message> payload,
+                         size_t body_bytes, EnergyCategory category,
+                         Mac::SendCallback callback) {
+  if (!alive_) {
+    if (callback) callback(false);
+    return;
+  }
+  Packet p;
+  p.dst = kBroadcastId;
+  p.type = type;
+  p.payload = std::move(payload);
+  p.size_bytes = body_bytes + kMacHeaderBytes;
+  mac_.Send(std::move(p), category, std::move(callback));
+}
+
+void Node::HandlePhyReceive(const Packet& packet) {
+  if (!alive_) return;
+  if (mac_.FilterReceive(packet)) return;
+
+  auto it = handlers_.find(packet.type);
+  if (it == handlers_.end()) {
+    DIKNN_LOG(kDebug) << "node " << id_ << ": no handler for "
+                      << MessageTypeName(packet.type);
+    return;
+  }
+  it->second(packet);
+}
+
+}  // namespace diknn

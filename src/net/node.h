@@ -1,0 +1,105 @@
+// A simulated sensor node: position, radio, neighbor table, energy meter,
+// and a registry of protocol handlers.
+
+#ifndef DIKNN_NET_NODE_H_
+#define DIKNN_NET_NODE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "core/geometry.h"
+#include "core/rng.h"
+#include "net/channel.h"
+#include "net/energy_model.h"
+#include "net/mac.h"
+#include "net/mobility.h"
+#include "net/neighbor_table.h"
+#include "net/packet.h"
+#include "sim/simulator.h"
+
+namespace diknn {
+
+/// Per-node configuration.
+struct NodeParams {
+  EnergyParams energy;
+  MacParams mac;
+  SimTime neighbor_timeout = 1.5;  ///< 3x the default 0.5 s beacon period.
+};
+
+/// One sensor node. Owned by the Network; protocols interact with nodes
+/// through this interface and never touch the channel or MAC directly.
+class Node {
+ public:
+  /// Handler invoked for received protocol frames of a registered type.
+  using Handler = std::function<void(const Packet&)>;
+
+  Node(NodeId id, Simulator* sim, Channel* channel,
+       std::unique_ptr<MobilityModel> mobility, const NodeParams& params,
+       Rng rng);
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeId id() const { return id_; }
+  Simulator* sim() { return sim_; }
+
+  /// True position right now (nodes are location-aware per Section 3.1).
+  Point Position() const { return mobility_->PositionAt(sim_->Now()); }
+
+  /// Current scalar speed (m/s).
+  double Speed() const { return mobility_->SpeedAt(sim_->Now()); }
+
+  NeighborTable& neighbors() { return neighbors_; }
+  const NeighborTable& neighbors() const { return neighbors_; }
+  EnergyMeter& energy() { return energy_; }
+  const EnergyMeter& energy() const { return energy_; }
+  Mac& mac() { return mac_; }
+  const Mac& mac() const { return mac_; }
+  Rng& rng() { return rng_; }
+
+  /// Failure injection: a dead node neither transmits nor receives.
+  bool alive() const { return alive_; }
+  void set_alive(bool alive) { alive_ = alive; }
+
+  /// Infrastructure nodes (e.g. Peer-tree's stationary clusterheads) take
+  /// part in the network but are not KNN candidates and are excluded from
+  /// the ground-truth oracle.
+  bool is_infrastructure() const { return infrastructure_; }
+  void set_infrastructure(bool value) { infrastructure_ = value; }
+
+  /// Registers the handler for a message type, replacing any previous one.
+  void RegisterHandler(MessageType type, Handler handler);
+
+  /// Sends a unicast frame to `dst` carrying `payload`. `body_bytes` is the
+  /// modeled payload size; the MAC header is added automatically. The
+  /// optional callback reports delivery success after MAC retries.
+  void SendUnicast(NodeId dst, MessageType type,
+                   std::shared_ptr<const Message> payload, size_t body_bytes,
+                   EnergyCategory category, Mac::SendCallback callback = {});
+
+  /// Sends a one-hop broadcast (unacknowledged).
+  void SendBroadcast(MessageType type, std::shared_ptr<const Message> payload,
+                     size_t body_bytes, EnergyCategory category,
+                     Mac::SendCallback callback = {});
+
+  /// Entry point from the Channel when a frame reaches this node's radio.
+  void HandlePhyReceive(const Packet& packet);
+
+ private:
+  NodeId id_;
+  Simulator* sim_;
+  std::unique_ptr<MobilityModel> mobility_;
+  NeighborTable neighbors_;
+  EnergyMeter energy_;
+  Rng rng_;
+  Mac mac_;
+  bool alive_ = true;
+  bool infrastructure_ = false;
+  std::map<MessageType, Handler> handlers_;
+};
+
+}  // namespace diknn
+
+#endif  // DIKNN_NET_NODE_H_

@@ -1,0 +1,79 @@
+#include "net/packet.h"
+
+namespace diknn {
+
+const char* MessageTypeName(MessageType type) {
+  switch (type) {
+    case MessageType::kBeacon:
+      return "Beacon";
+    case MessageType::kMacAck:
+      return "MacAck";
+    case MessageType::kGeoRouted:
+      return "GeoRouted";
+    case MessageType::kDiknnQuery:
+      return "DiknnQuery";
+    case MessageType::kDiknnProbe:
+      return "DiknnProbe";
+    case MessageType::kDiknnDataReply:
+      return "DiknnDataReply";
+    case MessageType::kDiknnForward:
+      return "DiknnForward";
+    case MessageType::kDiknnRendezvous:
+      return "DiknnRendezvous";
+    case MessageType::kDiknnResult:
+      return "DiknnResult";
+    case MessageType::kKptQuery:
+      return "KptQuery";
+    case MessageType::kKptTreeBuild:
+      return "KptTreeBuild";
+    case MessageType::kKptTreeAck:
+      return "KptTreeAck";
+    case MessageType::kKptAggregate:
+      return "KptAggregate";
+    case MessageType::kKptResult:
+      return "KptResult";
+    case MessageType::kPeerRegister:
+      return "PeerRegister";
+    case MessageType::kPeerQuery:
+      return "PeerQuery";
+    case MessageType::kPeerProbe:
+      return "PeerProbe";
+    case MessageType::kPeerReply:
+      return "PeerReply";
+    case MessageType::kPeerResult:
+      return "PeerResult";
+    case MessageType::kFloodQuery:
+      return "FloodQuery";
+    case MessageType::kFloodReply:
+      return "FloodReply";
+    case MessageType::kWindowQuery:
+      return "WindowQuery";
+    case MessageType::kWindowProbe:
+      return "WindowProbe";
+    case MessageType::kWindowReply:
+      return "WindowReply";
+    case MessageType::kWindowForward:
+      return "WindowForward";
+    case MessageType::kWindowResult:
+      return "WindowResult";
+    case MessageType::kCentralUpdate:
+      return "CentralUpdate";
+    case MessageType::kCentralQuery:
+      return "CentralQuery";
+    case MessageType::kCentralResult:
+      return "CentralResult";
+    case MessageType::kAggQuery:
+      return "AggQuery";
+    case MessageType::kAggProbe:
+      return "AggProbe";
+    case MessageType::kAggReply:
+      return "AggReply";
+    case MessageType::kAggForward:
+      return "AggForward";
+    case MessageType::kAggResult:
+      return "AggResult";
+  }
+  return "Unknown";
+}
+
+}  // namespace diknn

@@ -1,0 +1,71 @@
+#include "net/placement.h"
+
+#include <cmath>
+
+namespace diknn {
+
+std::vector<Point> GeneratePositions(PlacementKind kind, int count,
+                                     const Rect& field, Rng& rng,
+                                     const ClusterParams& clusters) {
+  switch (kind) {
+    case PlacementKind::kUniform:
+      return UniformPositions(count, field, rng);
+    case PlacementKind::kGrid:
+      return GridPositions(count, field, rng);
+    case PlacementKind::kClustered:
+      return ClusteredPositions(count, field, rng, clusters);
+  }
+  return {};
+}
+
+std::vector<Point> UniformPositions(int count, const Rect& field, Rng& rng) {
+  std::vector<Point> out;
+  out.reserve(count);
+  for (int i = 0; i < count; ++i) out.push_back(rng.PointInRect(field));
+  return out;
+}
+
+std::vector<Point> GridPositions(int count, const Rect& field, Rng& rng,
+                                 double jitter_fraction) {
+  std::vector<Point> out;
+  out.reserve(count);
+  const int side = static_cast<int>(std::ceil(std::sqrt(count)));
+  const double cell_w = field.Width() / side;
+  const double cell_h = field.Height() / side;
+  for (int i = 0; i < count; ++i) {
+    const int cx = i % side;
+    const int cy = i / side;
+    const double jx = rng.Uniform(-jitter_fraction, jitter_fraction) * cell_w;
+    const double jy = rng.Uniform(-jitter_fraction, jitter_fraction) * cell_h;
+    Point p{field.min.x + (cx + 0.5) * cell_w + jx,
+            field.min.y + (cy + 0.5) * cell_h + jy};
+    out.push_back(field.Clamp(p));
+  }
+  return out;
+}
+
+std::vector<Point> ClusteredPositions(int count, const Rect& field, Rng& rng,
+                                      const ClusterParams& params) {
+  std::vector<Point> out;
+  out.reserve(count);
+  const int clusters = std::max(1, params.num_clusters);
+  std::vector<Point> centers;
+  centers.reserve(clusters);
+  for (int i = 0; i < clusters; ++i) {
+    centers.push_back(rng.PointInRect(field));
+  }
+  const double sigma =
+      params.sigma_fraction * std::min(field.Width(), field.Height());
+  for (int i = 0; i < count; ++i) {
+    if (rng.Bernoulli(params.background_fraction)) {
+      out.push_back(rng.PointInRect(field));
+      continue;
+    }
+    const Point& c = centers[rng.UniformInt(0, clusters - 1)];
+    Point p{rng.Normal(c.x, sigma), rng.Normal(c.y, sigma)};
+    out.push_back(field.Clamp(p));
+  }
+  return out;
+}
+
+}  // namespace diknn

@@ -1,0 +1,55 @@
+// Initial node placement generators.
+//
+// The paper's main experiments place nodes uniformly at random (Section
+// 5.1); the Fig. 7 demonstration uses a spatially irregular real-world
+// distribution (caribou herds), which we substitute with clustered
+// synthetic fields (see DESIGN.md).
+
+#ifndef DIKNN_NET_PLACEMENT_H_
+#define DIKNN_NET_PLACEMENT_H_
+
+#include <vector>
+
+#include "core/geometry.h"
+#include "core/rng.h"
+
+namespace diknn {
+
+/// Placement strategy selector.
+enum class PlacementKind {
+  kUniform,    ///< i.i.d. uniform over the field (paper default).
+  kGrid,       ///< Regular grid with small jitter; used in tests.
+  kClustered,  ///< Gaussian clusters + uniform background (Fig. 7 stand-in).
+};
+
+/// Parameters for clustered (spatially irregular) placement.
+struct ClusterParams {
+  int num_clusters = 5;
+  /// Cluster spread as a fraction of the field's shorter side.
+  double sigma_fraction = 0.08;
+  /// Fraction of nodes placed uniformly instead of in clusters.
+  double background_fraction = 0.15;
+};
+
+/// Generates `count` initial positions inside `field`.
+std::vector<Point> GeneratePositions(PlacementKind kind, int count,
+                                     const Rect& field, Rng& rng,
+                                     const ClusterParams& clusters = {});
+
+/// Uniform i.i.d. positions.
+std::vector<Point> UniformPositions(int count, const Rect& field, Rng& rng);
+
+/// Near-regular grid: ceil(sqrt(count))^2 cells, one node per cell (first
+/// `count` cells), jittered by `jitter_fraction` of the cell size.
+std::vector<Point> GridPositions(int count, const Rect& field, Rng& rng,
+                                 double jitter_fraction = 0.1);
+
+/// Gaussian clusters with a uniform background component. Cluster centers
+/// are themselves uniform; samples falling outside the field are clamped
+/// to it (mass piles up at dense borders exactly like truncated herds).
+std::vector<Point> ClusteredPositions(int count, const Rect& field, Rng& rng,
+                                      const ClusterParams& params);
+
+}  // namespace diknn
+
+#endif  // DIKNN_NET_PLACEMENT_H_

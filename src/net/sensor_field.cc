@@ -1,0 +1,55 @@
+#include "net/sensor_field.h"
+
+#include <cmath>
+
+namespace diknn {
+
+SensorField::SensorField(double baseline, std::vector<FieldSource> sources,
+                         double noise_stddev, uint64_t noise_seed)
+    : baseline_(baseline),
+      sources_(std::move(sources)),
+      noise_stddev_(noise_stddev),
+      noise_rng_(noise_seed) {}
+
+double SensorField::Value(const Point& p, SimTime t) const {
+  double value = baseline_;
+  for (const FieldSource& s : sources_) {
+    const Point center = s.start + s.velocity * t;
+    const double d2 = SquaredDistance(p, center);
+    value += s.amplitude * std::exp(-d2 / (2.0 * s.sigma * s.sigma));
+  }
+  return value;
+}
+
+double SensorField::Sample(const Point& p, SimTime t) {
+  double value = Value(p, t);
+  if (noise_stddev_ > 0.0) {
+    value += noise_rng_.Normal(0.0, noise_stddev_);
+  }
+  return value;
+}
+
+Point SensorField::SourcePosition(size_t i, SimTime t) const {
+  const FieldSource& s = sources_[i];
+  return s.start + s.velocity * t;
+}
+
+SensorField SensorField::Random(const Rect& bounds, int count,
+                                double amplitude, double sigma,
+                                double max_drift, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<FieldSource> sources;
+  sources.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    FieldSource s;
+    s.start = rng.PointInRect(bounds);
+    const double angle = rng.Uniform(0.0, kTwoPi);
+    s.velocity = PointAtAngle({0, 0}, angle, rng.Uniform(0.0, max_drift));
+    s.amplitude = amplitude * rng.Uniform(0.5, 1.5);
+    s.sigma = sigma * rng.Uniform(0.7, 1.3);
+    sources.push_back(s);
+  }
+  return SensorField(0.0, std::move(sources), 0.0, seed + 1);
+}
+
+}  // namespace diknn

@@ -1,0 +1,284 @@
+#include "routing/gpsr.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "core/logging.h"
+#include "routing/planarize.h"
+
+namespace diknn {
+
+size_t GeoRoutedMessage::WireBytes() const {
+  // destination + mode/ttl + perimeter entry point + two node ids + list
+  // length, plus the payload and the accumulated info list.
+  size_t bytes = kPositionBytes + 2 + kPositionBytes + 3 * kNodeIdBytes + 2;
+  bytes += inner_bytes;
+  if (collect_info) bytes += info_list.size() * kRouteHopInfoBytes;
+  return bytes;
+}
+
+GpsrRouting::GpsrRouting(Network* network, GpsrParams params)
+    : network_(network), params_(params) {
+  if (params_.ttl <= 0) {
+    const Rect& field = network_->config().field;
+    const double diagonal = std::hypot(field.Width(), field.Height());
+    params_.ttl = std::max(
+        96, static_cast<int>(8.0 * diagonal /
+                             network_->config().radio_range_m));
+  }
+}
+
+void GpsrRouting::Install() {
+  for (Node* node : network_->AllNodes()) {
+    node->RegisterHandler(
+        MessageType::kGeoRouted, [this, node](const Packet& p) {
+          const auto* received =
+              static_cast<const GeoRoutedMessage*>(p.payload.get());
+          // Collapse token forks: only arrivals that advance the flow's
+          // hop counter are processed.
+          auto [it, inserted] = flow_progress_.try_emplace(
+              received->flow_id, received->hop_index);
+          if (inserted) {
+            flow_order_.push_back(received->flow_id);
+            if (flow_order_.size() > kFlowCapacity) {
+              flow_progress_.erase(flow_order_.front());
+              flow_order_.pop_front();
+            }
+          } else {
+            if (received->hop_index <= it->second) {
+              ++stats_.forks_suppressed;
+              return;
+            }
+            it->second = received->hop_index;
+          }
+          // Copy the routing envelope: state mutates per hop, while the
+          // received payload is shared and immutable.
+          auto msg = std::make_shared<GeoRoutedMessage>(*received);
+          Forward(node, std::move(msg), p.category);
+        });
+  }
+}
+
+void GpsrRouting::RegisterDelivery(MessageType inner_type,
+                                   DeliveryHandler handler) {
+  deliveries_[inner_type] = std::move(handler);
+}
+
+void GpsrRouting::Send(Node* src, Point destination, MessageType inner_type,
+                       std::shared_ptr<const Message> inner,
+                       size_t inner_bytes, EnergyCategory category,
+                       bool collect_info, NodeId target_node,
+                       bool cheap_delivery) {
+  auto msg = std::make_shared<GeoRoutedMessage>();
+  msg->destination = destination;
+  msg->target_node = target_node;
+  msg->cheap_delivery = cheap_delivery;
+  msg->inner_type = inner_type;
+  msg->inner = std::move(inner);
+  msg->inner_bytes = inner_bytes;
+  msg->ttl = params_.ttl;
+  msg->collect_info = collect_info;
+  msg->flow_id = next_flow_id_++;
+  ++stats_.sends;
+  Forward(src, std::move(msg), category);
+}
+
+void GpsrRouting::AppendHopInfo(Node* node, GeoRoutedMessage* msg,
+                                double radio_range) {
+  const SimTime now = node->sim()->Now();
+  RouteHopInfo info;
+  info.location = node->Position();
+  if (msg->info_list.empty()) {
+    // First hop: every neighbor is newly encountered.
+    info.encountered = node->neighbors().CountFresh(now);
+  } else {
+    // Count neighbors beyond radio range of the previous hop's node — the
+    // paper's duplicate-avoidance rule for enc_i (Section 4.1).
+    info.encountered = node->neighbors().CountFartherThan(
+        msg->info_list.back().location, radio_range, now);
+  }
+  msg->info_list.push_back(info);
+}
+
+void GpsrRouting::Forward(Node* node, std::shared_ptr<GeoRoutedMessage> msg,
+                          EnergyCategory category) {
+  const SimTime now = node->sim()->Now();
+  const Point self = node->Position();
+  const Point& dest = msg->destination;
+
+  if (msg->collect_info) {
+    AppendHopInfo(node, msg.get(), network_->config().radio_range_m);
+  }
+
+  if (msg->ttl <= 0) {
+    ++stats_.ttl_expired;
+    Deliver(node, *msg);
+    return;
+  }
+
+  // Node-addressed routing: deliver at the target itself, or short-circuit
+  // when the target shows up in the local neighbor table.
+  if (msg->target_node != kInvalidNodeId) {
+    if (node->id() == msg->target_node) {
+      Deliver(node, *msg);
+      return;
+    }
+    if (node->neighbors().Lookup(msg->target_node, now).has_value()) {
+      --msg->ttl;
+      ++stats_.greedy_hops;
+      const NodeId target = msg->target_node;
+      SendToNeighbor(node, target, std::move(msg), category);
+      return;
+    }
+  }
+
+  const double d_self = Distance(self, dest);
+
+  // Perimeter-mode bookkeeping: resume greedy once we are closer to the
+  // destination than where we entered the perimeter walk.
+  if (msg->mode == GeoRoutedMessage::Mode::kPerimeter) {
+    if (d_self < Distance(msg->perimeter_entry, dest)) {
+      msg->mode = GeoRoutedMessage::Mode::kGreedy;
+    } else if (msg->perimeter_hops > 0 &&
+               node->id() == msg->perimeter_entry_node) {
+      // Walked the whole face back to the entry node: it is the closest
+      // node to the destination in this region — deliver here.
+      Deliver(node, *msg);
+      return;
+    }
+  }
+
+  const auto neighbors = node->neighbors().Snapshot(now);
+  if (neighbors.empty()) {
+    ++stats_.dropped_no_neighbor;
+    Deliver(node, *msg);  // Isolated node: best effort delivery in place.
+    return;
+  }
+
+  if (msg->mode == GeoRoutedMessage::Mode::kGreedy) {
+    // Greedy: strictly closer neighbor with the best progress. The
+    // previous hop is excluded — with beacon-stale positions it can look
+    // closer than it is and cause A<->B ping-pong until the TTL burns out.
+    const NeighborEntry* best = nullptr;
+    double best_d = d_self;
+    for (const NeighborEntry& n : neighbors) {
+      if (n.id == msg->prev_hop) continue;
+      const double d = Distance(n.position, dest);
+      if (d < best_d) {
+        best_d = d;
+        best = &n;
+      }
+    }
+    if (best != nullptr) {
+      ++stats_.greedy_hops;
+      --msg->ttl;
+      SendToNeighbor(node, best->id, std::move(msg), category);
+      return;
+    }
+    // Local minimum. Close enough to the destination point? Then this is
+    // its home node: deliver without the ceremonial face walk — unless
+    // the message is node-addressed and the target is not in this node's
+    // (possibly beacon-gapped) table: the perimeter walk consults the
+    // neighboring tables and almost always finds the target.
+    if ((msg->target_node == kInvalidNodeId || msg->cheap_delivery) &&
+        d_self <= params_.direct_delivery_fraction *
+                      network_->config().radio_range_m) {
+      Deliver(node, *msg);
+      return;
+    }
+    // Otherwise walk the perimeter around the void; the entry-node return
+    // rule above delivers here if the whole face is farther away.
+    msg->mode = GeoRoutedMessage::Mode::kPerimeter;
+    msg->perimeter_entry = self;
+    msg->perimeter_entry_node = node->id();
+    msg->perimeter_hops = 0;
+  }
+
+  // Perimeter mode: right-hand rule on the planarized neighbor set.
+  auto planar = params_.planarization == Planarization::kGabriel
+                    ? GabrielNeighbors(self, neighbors)
+                    : RngNeighbors(self, neighbors);
+  if (planar.empty()) {
+    ++stats_.dropped_no_neighbor;
+    Deliver(node, *msg);
+    return;
+  }
+
+  // Reference direction: the edge we arrived on, or toward the
+  // destination when starting the walk at the local minimum.
+  const double ref_angle =
+      (msg->prev_hop != kInvalidNodeId && msg->perimeter_hops > 0)
+          ? AngleOf(self, msg->prev_hop_position)
+          : AngleOf(self, dest);
+
+  // First edge counter-clockwise from the reference direction. The
+  // incoming edge itself (delta == 0) is taken only as a last resort.
+  const NeighborEntry* next = nullptr;
+  double best_delta = std::numeric_limits<double>::infinity();
+  for (const NeighborEntry& n : planar) {
+    double delta = NormalizeAngle(AngleOf(self, n.position) - ref_angle);
+    if (n.id == msg->prev_hop || delta == 0.0) delta += kTwoPi;
+    if (delta < best_delta) {
+      best_delta = delta;
+      next = &n;
+    }
+  }
+  assert(next != nullptr);
+
+  ++stats_.perimeter_hops;
+  ++msg->perimeter_hops;
+  --msg->ttl;
+  SendToNeighbor(node, next->id, std::move(msg), category);
+}
+
+void GpsrRouting::SendToNeighbor(Node* node, NodeId next,
+                                 std::shared_ptr<GeoRoutedMessage> msg,
+                                 EnergyCategory category) {
+  msg->prev_hop = node->id();
+  msg->prev_hop_position = node->Position();
+  ++msg->hop_index;
+  const size_t bytes = msg->WireBytes();
+  node->SendUnicast(
+      next, MessageType::kGeoRouted, msg, bytes, category,
+      [this, node, next, msg, category](bool success) {
+        if (success) return;
+        // The neighbor moved away or its link is too lossy: evict it and
+        // re-route from this node — unless the "failed" recipient actually
+        // got the frame (lost ACK) and the token is already ahead of us.
+        ++stats_.link_failures;
+        auto progress = flow_progress_.find(msg->flow_id);
+        if (progress != flow_progress_.end() &&
+            progress->second >= msg->hop_index) {
+          ++stats_.forks_suppressed;
+          return;
+        }
+        node->neighbors().Remove(next);
+        auto retry = std::make_shared<GeoRoutedMessage>(*msg);
+        --retry->hop_index;  // Forward() re-increments on the next send.
+        if (retry->collect_info && !retry->info_list.empty()) {
+          // Forward() will re-append this node's entry.
+          retry->info_list.pop_back();
+        }
+        Forward(node, std::move(retry), category);
+      });
+}
+
+void GpsrRouting::Deliver(Node* node, const GeoRoutedMessage& msg) {
+  ++stats_.deliveries;
+  // A delivered flow is finished; suppress any straggling fork copies.
+  auto flow_it = flow_progress_.find(msg.flow_id);
+  if (flow_it != flow_progress_.end()) {
+    flow_it->second = std::numeric_limits<int>::max();
+  }
+  auto it = deliveries_.find(msg.inner_type);
+  if (it == deliveries_.end()) {
+    DIKNN_LOG(kWarn) << "GPSR delivery with no handler for inner type "
+                     << MessageTypeName(msg.inner_type);
+    return;
+  }
+  it->second(node, msg);
+}
+
+}  // namespace diknn

@@ -1,0 +1,183 @@
+// GPSR — Greedy Perimeter Stateless Routing (Karp & Kung, MobiCom 2000).
+//
+// Routes a message toward a geographic point q. Each hop forwards to the
+// neighbor closest to q (greedy mode); at a local minimum the packet
+// switches to perimeter mode and walks the planarized face using the
+// right-hand rule, resuming greedy as soon as a node closer to q than the
+// perimeter entry point is reached. A packet whose perimeter walk returns
+// to its entry node is *delivered there*: that node is the closest node to
+// q in its connected region — exactly the "home node" DIKNN's routing
+// phase needs (Section 4.1).
+//
+// While forwarding, GPSR optionally appends the per-hop information list L
+// of DIKNN's phase 1: each relaying node records its location loc_i and
+// enc_i, the number of newly-encountered neighbors (those farther than the
+// radio range r from the previous hop's location).
+
+#ifndef DIKNN_ROUTING_GPSR_H_
+#define DIKNN_ROUTING_GPSR_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/geometry.h"
+#include "net/network.h"
+#include "net/packet.h"
+
+namespace diknn {
+
+/// One entry of DIKNN's information list L (Section 4.1).
+struct RouteHopInfo {
+  Point location;  ///< loc_i: position of the node triggering hop i.
+  int encountered = 0;  ///< enc_i: newly encountered neighbor count.
+};
+
+/// Over-the-air size of one list entry (location + counter).
+inline constexpr size_t kRouteHopInfoBytes = kPositionBytes + 2;
+
+/// A geographically routed envelope around an application message.
+struct GeoRoutedMessage : Message {
+  enum class Mode { kGreedy, kPerimeter };
+
+  Point destination;            ///< The target point q.
+  /// When set, the message is for this specific node: any hop that has the
+  /// target in its neighbor table short-circuits to it, and delivery at
+  /// any other node means the target was not found (it moved away).
+  NodeId target_node = kInvalidNodeId;
+  MessageType inner_type{};     ///< Delivered to this handler on arrival.
+  std::shared_ptr<const Message> inner;
+  size_t inner_bytes = 0;
+
+  // -- GPSR state carried in the packet header --
+  /// Periodic, refreshable traffic (registrations, location updates) sets
+  /// this: losing one instance is cheaper than perimeter-walking for it,
+  /// so the direct-delivery shortcut applies even when node-addressed.
+  bool cheap_delivery = false;
+  /// Flow identity + hop counter. A routed message is a single logical
+  /// token; when a MAC ACK is lost the sender retries via another node
+  /// while the original recipient may already be forwarding, forking the
+  /// token. Receivers drop arrivals whose hop_index does not advance the
+  /// flow's last-seen value, collapsing forks immediately.
+  uint64_t flow_id = 0;
+  int hop_index = 0;
+  Mode mode = Mode::kGreedy;
+  Point perimeter_entry;        ///< Position where perimeter mode began.
+  NodeId perimeter_entry_node = kInvalidNodeId;
+  NodeId prev_hop = kInvalidNodeId;
+  Point prev_hop_position;
+  int perimeter_hops = 0;       ///< Hops taken in the current perimeter walk.
+  int ttl = 0;
+
+  // -- DIKNN phase-1 info list --
+  bool collect_info = false;
+  std::vector<RouteHopInfo> info_list;
+
+  /// Modeled over-the-air byte size of the whole envelope.
+  size_t WireBytes() const;
+};
+
+/// Planar subgraph used by perimeter mode.
+enum class Planarization {
+  kGabriel,  ///< Gabriel graph (GPSR's default; denser, shorter faces).
+  kRng,      ///< Relative neighborhood graph (sparser subgraph of GG).
+};
+
+/// GPSR configuration.
+struct GpsrParams {
+  Planarization planarization = Planarization::kGabriel;
+  /// Hop budget; exhausted packets deliver in place. 0 (the default)
+  /// auto-sizes from the field geometry: max(96, 8 * diagonal / r),
+  /// enough for greedy progress plus perimeter walks around large voids
+  /// without letting stranded packets wander forever on small fields.
+  int ttl = 0;
+  /// Geocast shortcut: a greedy local minimum within this fraction of the
+  /// radio range of the destination delivers immediately instead of
+  /// walking the perimeter. The local minimum is within ~r of every node
+  /// on its face, so it is the destination's home node for all practical
+  /// purposes; the full face walk (~8 hops) is only worth its cost when
+  /// the packet is still far away (a true void). Set to 0 to disable.
+  double direct_delivery_fraction = 0.75;
+};
+
+/// Per-network GPSR routing service. Install() registers a handler for
+/// MessageType::kGeoRouted on every node; upper layers register per-inner-
+/// type delivery callbacks and call Send().
+class GpsrRouting {
+ public:
+  /// Called at the node where a routed message arrives (the home node).
+  using DeliveryHandler =
+      std::function<void(Node* node, const GeoRoutedMessage& msg)>;
+
+  /// Diagnostic counters.
+  struct Stats {
+    uint64_t sends = 0;
+    uint64_t greedy_hops = 0;
+    uint64_t perimeter_hops = 0;
+    uint64_t deliveries = 0;
+    uint64_t ttl_expired = 0;
+    uint64_t dropped_no_neighbor = 0;
+    uint64_t link_failures = 0;  ///< MAC-level send failures (rerouted).
+    uint64_t forks_suppressed = 0;
+  };
+
+  GpsrRouting(Network* network, GpsrParams params = {});
+
+  /// Registers the kGeoRouted handler on every node. Call once.
+  void Install();
+
+  /// Sets the delivery callback for an inner message type.
+  void RegisterDelivery(MessageType inner_type, DeliveryHandler handler);
+
+  /// Routes `inner` from `src` toward `destination`. The message is
+  /// delivered (via the registered handler) at the node closest to the
+  /// destination in `src`'s connected region. `collect_info` enables the
+  /// DIKNN phase-1 information list. `target_node`, when valid, addresses
+  /// a specific node expected near `destination` (used for result return
+  /// to a possibly-moving sink).
+  void Send(Node* src, Point destination, MessageType inner_type,
+            std::shared_ptr<const Message> inner, size_t inner_bytes,
+            EnergyCategory category, bool collect_info = false,
+            NodeId target_node = kInvalidNodeId,
+            bool cheap_delivery = false);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  // Takes one routing step at `node`; may deliver locally, forward
+  // greedily, or walk the perimeter.
+  void Forward(Node* node, std::shared_ptr<GeoRoutedMessage> msg,
+               EnergyCategory category);
+
+  // Delivers the inner message at `node`.
+  void Deliver(Node* node, const GeoRoutedMessage& msg);
+
+  // Appends this node's (loc, enc) entry to the info list.
+  static void AppendHopInfo(Node* node, GeoRoutedMessage* msg,
+                            double radio_range);
+
+  // Transmits msg to `next`; on MAC failure evicts the neighbor and
+  // re-runs Forward at the same node.
+  void SendToNeighbor(Node* node, NodeId next,
+                      std::shared_ptr<GeoRoutedMessage> msg,
+                      EnergyCategory category);
+
+  Network* network_;
+  GpsrParams params_;
+  std::map<MessageType, DeliveryHandler> deliveries_;
+  Stats stats_;
+
+  uint64_t next_flow_id_ = 1;
+  // Last hop_index seen per flow (bounded FIFO eviction).
+  std::unordered_map<uint64_t, int> flow_progress_;
+  std::deque<uint64_t> flow_order_;
+  static constexpr size_t kFlowCapacity = 4096;
+};
+
+}  // namespace diknn
+
+#endif  // DIKNN_ROUTING_GPSR_H_

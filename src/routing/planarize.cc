@@ -1,0 +1,48 @@
+#include "routing/planarize.h"
+
+#include <algorithm>
+
+namespace diknn {
+
+std::vector<NeighborEntry> GabrielNeighbors(
+    const Point& self, const std::vector<NeighborEntry>& neighbors) {
+  std::vector<NeighborEntry> out;
+  out.reserve(neighbors.size());
+  for (const NeighborEntry& v : neighbors) {
+    const Point mid = Lerp(self, v.position, 0.5);
+    const double radius2 = SquaredDistance(self, v.position) / 4.0;
+    bool witnessed = false;
+    for (const NeighborEntry& w : neighbors) {
+      if (w.id == v.id) continue;
+      if (SquaredDistance(w.position, mid) < radius2) {
+        witnessed = true;
+        break;
+      }
+    }
+    if (!witnessed) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<NeighborEntry> RngNeighbors(
+    const Point& self, const std::vector<NeighborEntry>& neighbors) {
+  std::vector<NeighborEntry> out;
+  out.reserve(neighbors.size());
+  for (const NeighborEntry& v : neighbors) {
+    const double duv2 = SquaredDistance(self, v.position);
+    bool witnessed = false;
+    for (const NeighborEntry& w : neighbors) {
+      if (w.id == v.id) continue;
+      const double m2 = std::max(SquaredDistance(self, w.position),
+                                 SquaredDistance(v.position, w.position));
+      if (m2 < duv2) {
+        witnessed = true;
+        break;
+      }
+    }
+    if (!witnessed) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace diknn

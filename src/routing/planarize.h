@@ -1,0 +1,33 @@
+// Local graph planarization for GPSR perimeter mode.
+//
+// GPSR's face routing is only correct on a planar subgraph of the radio
+// connectivity graph. Each node computes its planar edge set locally from
+// its neighbor table using the Gabriel Graph (GG) criterion: the edge
+// (u, v) survives iff no witness w lies strictly inside the circle whose
+// diameter is uv. GG keeps connectivity and is the planarization used in
+// the original GPSR paper (Karp & Kung, MobiCom 2000).
+
+#ifndef DIKNN_ROUTING_PLANARIZE_H_
+#define DIKNN_ROUTING_PLANARIZE_H_
+
+#include <vector>
+
+#include "core/geometry.h"
+#include "net/neighbor_table.h"
+
+namespace diknn {
+
+/// Returns the neighbors of a node at `self` that survive Gabriel Graph
+/// planarization, computed over the given fresh-neighbor snapshot.
+std::vector<NeighborEntry> GabrielNeighbors(
+    const Point& self, const std::vector<NeighborEntry>& neighbors);
+
+/// Relative Neighborhood Graph (RNG) variant: the edge (u, v) survives iff
+/// no witness w with max(d(u,w), d(v,w)) < d(u,v). RNG is a subgraph of GG
+/// (sparser); provided for ablations.
+std::vector<NeighborEntry> RngNeighbors(
+    const Point& self, const std::vector<NeighborEntry>& neighbors);
+
+}  // namespace diknn
+
+#endif  // DIKNN_ROUTING_PLANARIZE_H_

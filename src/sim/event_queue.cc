@@ -1,0 +1,43 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace diknn {
+
+EventId EventQueue::Push(SimTime t, std::function<void()> fn) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{t, next_seq_++, id, std::move(fn)});
+  live_.insert(id);
+  return id;
+}
+
+void EventQueue::Cancel(EventId id) { live_.erase(id); }
+
+void EventQueue::SkipCancelled() {
+  while (!heap_.empty() && !live_.contains(heap_.top().id)) {
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::NextTime() {
+  SkipCancelled();
+  assert(!heap_.empty());
+  return heap_.top().time;
+}
+
+std::function<void()> EventQueue::Pop(SimTime* time_out) {
+  SkipCancelled();
+  assert(!heap_.empty());
+  // priority_queue::top() is const; the callback must be moved out, so we
+  // cast away constness on the owned entry before popping. This is safe:
+  // the entry is removed immediately after and never re-compared.
+  Entry& top = const_cast<Entry&>(heap_.top());
+  std::function<void()> fn = std::move(top.fn);
+  if (time_out != nullptr) *time_out = top.time;
+  live_.erase(top.id);
+  heap_.pop();
+  return fn;
+}
+
+}  // namespace diknn

@@ -1,0 +1,81 @@
+// Priority queue of timestamped events for the discrete-event simulator.
+
+#ifndef DIKNN_SIM_EVENT_QUEUE_H_
+#define DIKNN_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace diknn {
+
+/// Simulation time in seconds since the start of the run.
+using SimTime = double;
+
+/// Opaque handle for a scheduled event, used for cancellation. Id 0 is
+/// never issued and acts as a null handle.
+using EventId = uint64_t;
+
+/// Min-heap of events ordered by (time, insertion sequence). Events at the
+/// same timestamp fire in FIFO order, which keeps protocol handshakes
+/// deterministic. Cancellation is O(1) via tombstones: cancelled entries
+/// stay in the heap and are skipped when they surface.
+class EventQueue {
+ public:
+  EventQueue() = default;
+
+  // Non-copyable: callbacks capture simulator state.
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Schedules `fn` to fire at absolute time `t`. Returns a handle that can
+  /// be passed to Cancel().
+  EventId Push(SimTime t, std::function<void()> fn);
+
+  /// Cancels a pending event. Cancelling an already-fired, already-
+  /// cancelled, or unknown id is a harmless no-op.
+  void Cancel(EventId id);
+
+  /// True while `id` is scheduled and neither fired nor cancelled.
+  bool IsPending(EventId id) const { return live_.contains(id); }
+
+  /// True when no live (non-cancelled) events remain.
+  bool Empty() const { return live_.empty(); }
+
+  /// Number of live events.
+  size_t Size() const { return live_.size(); }
+
+  /// Timestamp of the earliest live event. Requires !Empty().
+  SimTime NextTime();
+
+  /// Removes and returns the earliest live event's callback, advancing past
+  /// any tombstoned entries. Requires !Empty().
+  std::function<void()> Pop(SimTime* time_out);
+
+ private:
+  struct Entry {
+    SimTime time;
+    uint64_t seq;
+    EventId id;
+    std::function<void()> fn;
+
+    bool operator>(const Entry& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  // Drops entries whose id is no longer live from the heap top.
+  void SkipCancelled();
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_set<EventId> live_;
+  uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+};
+
+}  // namespace diknn
+
+#endif  // DIKNN_SIM_EVENT_QUEUE_H_

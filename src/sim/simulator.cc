@@ -1,0 +1,64 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <memory>
+#include <utility>
+
+namespace diknn {
+
+EventId Simulator::ScheduleAt(SimTime t, std::function<void()> fn) {
+  assert(t >= now_ && "cannot schedule events in the past");
+  if (t < now_) t = now_;
+  return queue_.Push(t, std::move(fn));
+}
+
+EventId Simulator::SchedulePeriodic(SimTime phase, SimTime period,
+                                    std::function<bool()> fn) {
+  assert(period > 0.0);
+  // The recurring closure owns the callback via shared_ptr so each firing
+  // can reschedule itself.
+  auto shared_fn = std::make_shared<std::function<bool()>>(std::move(fn));
+  // Self-rescheduling callable: lambdas cannot capture themselves, so a
+  // small struct carries the pieces needed to enqueue the next firing.
+  struct Recur {
+    Simulator* sim;
+    std::shared_ptr<std::function<bool()>> fn;
+    SimTime period;
+    void operator()() const {
+      if ((*fn)()) {
+        Recur next{sim, fn, period};
+        sim->ScheduleAfter(period, next);
+      }
+    }
+  };
+  return ScheduleAfter(phase, Recur{this, shared_fn, period});
+}
+
+uint64_t Simulator::Run(uint64_t max_events) {
+  uint64_t executed = 0;
+  while (!queue_.Empty() && executed < max_events) {
+    SimTime t;
+    auto fn = queue_.Pop(&t);
+    now_ = t;
+    fn();
+    ++executed;
+  }
+  events_executed_ += executed;
+  return executed;
+}
+
+uint64_t Simulator::RunUntil(SimTime t) {
+  uint64_t executed = 0;
+  while (!queue_.Empty() && queue_.NextTime() <= t) {
+    SimTime et;
+    auto fn = queue_.Pop(&et);
+    now_ = et;
+    fn();
+    ++executed;
+  }
+  if (t > now_) now_ = t;
+  events_executed_ += executed;
+  return executed;
+}
+
+}  // namespace diknn

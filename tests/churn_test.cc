@@ -1,0 +1,95 @@
+#include "net/churn.h"
+
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+
+namespace diknn {
+namespace {
+
+NetworkConfig SmallConfig() {
+  NetworkConfig config;
+  config.node_count = 80;
+  config.field = Rect::Field(100, 100);
+  config.seed = 6;
+  return config;
+}
+
+TEST(ChurnTest, InitialDeadFractionApplied) {
+  Network net(SmallConfig());
+  ChurnParams params;
+  params.initial_dead_fraction = 0.5;
+  params.mean_up_time = 1e9;  // No further churn.
+  params.mean_down_time = 0;  // Permanent.
+  NodeChurn churn(&net.sim(), net.AllNodes(), params, Rng(1));
+  churn.Start();
+  EXPECT_NEAR(churn.AliveFraction(), 0.5, 0.15);
+  EXPECT_GT(churn.stats().failures, 20u);
+}
+
+TEST(ChurnTest, ProtectedPrefixSurvives) {
+  Network net(SmallConfig());
+  ChurnParams params;
+  params.initial_dead_fraction = 1.0;
+  params.mean_up_time = 0.5;  // Aggressive.
+  params.mean_down_time = 0;
+  NodeChurn churn(&net.sim(), net.AllNodes(), params, Rng(2),
+                  /*protected_prefix=*/3);
+  churn.Start();
+  net.sim().RunUntil(30.0);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(net.node(i)->alive()) << i;
+  }
+  for (int i = 3; i < net.size(); ++i) {
+    EXPECT_FALSE(net.node(i)->alive()) << i;
+  }
+}
+
+TEST(ChurnTest, FailuresAccrueOverTime) {
+  Network net(SmallConfig());
+  ChurnParams params;
+  params.mean_up_time = 5.0;
+  params.mean_down_time = 0;  // Permanent failures.
+  NodeChurn churn(&net.sim(), net.AllNodes(), params, Rng(3));
+  churn.Start();
+  net.sim().RunUntil(3.0);
+  const double early = churn.AliveFraction();
+  net.sim().RunUntil(30.0);
+  const double late = churn.AliveFraction();
+  EXPECT_LT(late, early);
+  EXPECT_LT(late, 0.2);  // 30 s >> mean up time of 5 s.
+}
+
+TEST(ChurnTest, RecoveriesBalanceFailuresInSteadyState) {
+  Network net(SmallConfig());
+  ChurnParams params;
+  params.mean_up_time = 5.0;
+  params.mean_down_time = 5.0;
+  NodeChurn churn(&net.sim(), net.AllNodes(), params, Rng(4));
+  churn.Start();
+  net.sim().RunUntil(200.0);
+  // Alternating renewal with equal means: about half alive.
+  EXPECT_NEAR(churn.AliveFraction(), 0.5, 0.2);
+  EXPECT_GT(churn.stats().recoveries, 50u);
+  // Recoveries can never outnumber failures.
+  EXPECT_LE(churn.stats().recoveries, churn.stats().failures);
+}
+
+TEST(ChurnTest, DeadNodesDoNotParticipate) {
+  Network net(SmallConfig());
+  net.Warmup(1.6);
+  ChurnParams params;
+  params.initial_dead_fraction = 1.0;
+  params.mean_down_time = 0;
+  NodeChurn churn(&net.sim(), net.AllNodes(), params, Rng(5),
+                  /*protected_prefix=*/0);
+  churn.Start();
+  const auto& stats_before = net.channel().stats();
+  const uint64_t frames_before = stats_before.frames_sent;
+  net.sim().RunUntil(net.sim().Now() + 5.0);
+  // With everyone dead, no beacons go out.
+  EXPECT_EQ(net.channel().stats().frames_sent, frames_before);
+}
+
+}  // namespace
+}  // namespace diknn

@@ -1,0 +1,131 @@
+#include "knn/continuous.h"
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+
+namespace diknn {
+namespace {
+
+struct Rig {
+  Rig() {
+    ExperimentConfig config;
+    config.protocol = ProtocolKind::kDiknn;
+    stack = std::make_unique<ProtocolStack>(config, /*seed=*/7);
+    stack->network().Warmup(2.0);
+    continuous = std::make_unique<ContinuousKnn>(&stack->network(),
+                                                 &stack->protocol());
+  }
+
+  Network& net() { return stack->network(); }
+
+  std::unique_ptr<ProtocolStack> stack;
+  std::unique_ptr<ContinuousKnn> continuous;
+};
+
+TEST(ContinuousKnnTest, DeliversRequestedRounds) {
+  Rig rig;
+  std::vector<KnnUpdate> updates;
+  rig.continuous->Subscribe(0, {60, 60}, 10, /*period=*/4.0, /*rounds=*/3,
+                            [&](const KnnUpdate& u) {
+                              updates.push_back(u);
+                            });
+  rig.net().sim().RunUntil(rig.net().sim().Now() + 30.0);
+  ASSERT_EQ(updates.size(), 3u);
+  EXPECT_EQ(updates[0].round, 0);
+  EXPECT_EQ(updates[1].round, 1);
+  EXPECT_EQ(updates[2].round, 2);
+  EXPECT_EQ(rig.continuous->ActiveSubscriptions(), 0u);
+}
+
+TEST(ContinuousKnnTest, FirstRoundReportsAllAsAdded) {
+  Rig rig;
+  KnnUpdate first;
+  rig.continuous->Subscribe(0, {55, 55}, 10, 4.0, 1,
+                            [&](const KnnUpdate& u) { first = u; });
+  rig.net().sim().RunUntil(rig.net().sim().Now() + 10.0);
+  EXPECT_EQ(first.added.size(), first.result.candidates.size());
+  EXPECT_TRUE(first.removed.empty());
+  EXPECT_TRUE(first.Changed());
+}
+
+TEST(ContinuousKnnTest, DeltasAreConsistentWithSnapshots) {
+  Rig rig;
+  std::vector<KnnUpdate> updates;
+  rig.continuous->Subscribe(0, {60, 60}, 15, 4.0, 4,
+                            [&](const KnnUpdate& u) {
+                              updates.push_back(u);
+                            });
+  rig.net().sim().RunUntil(rig.net().sim().Now() + 40.0);
+  ASSERT_EQ(updates.size(), 4u);
+  std::unordered_set<NodeId> tracked;
+  for (const KnnUpdate& u : updates) {
+    for (NodeId id : u.added) {
+      EXPECT_TRUE(tracked.insert(id).second) << "re-added " << id;
+    }
+    for (NodeId id : u.removed) {
+      EXPECT_EQ(tracked.erase(id), 1u) << "removed unknown " << id;
+    }
+    std::unordered_set<NodeId> snapshot;
+    for (NodeId id : u.result.CandidateIds()) snapshot.insert(id);
+    EXPECT_EQ(tracked, snapshot) << "round " << u.round;
+  }
+}
+
+TEST(ContinuousKnnTest, MobilityProducesChanges) {
+  Rig rig;
+  int changed_rounds = 0;
+  rig.continuous->Subscribe(0, {60, 60}, 10, 5.0, 5,
+                            [&](const KnnUpdate& u) {
+                              if (u.round > 0 && u.Changed()) {
+                                ++changed_rounds;
+                              }
+                            });
+  rig.net().sim().RunUntil(rig.net().sim().Now() + 50.0);
+  // At 10 m/s the 10-NN set cannot survive 5 s unchanged every round.
+  EXPECT_GE(changed_rounds, 2);
+}
+
+TEST(ContinuousKnnTest, CancelStopsFutureRounds) {
+  Rig rig;
+  int rounds = 0;
+  const uint64_t id = rig.continuous->Subscribe(
+      0, {60, 60}, 10, 4.0, 0 /* unbounded */,
+      [&](const KnnUpdate&) { ++rounds; });
+  rig.net().sim().RunUntil(rig.net().sim().Now() + 10.0);
+  const int before = rounds;
+  EXPECT_GE(before, 1);
+  rig.continuous->Cancel(id);
+  rig.net().sim().RunUntil(rig.net().sim().Now() + 20.0);
+  EXPECT_EQ(rounds, before);
+  EXPECT_EQ(rig.continuous->ActiveSubscriptions(), 0u);
+}
+
+TEST(ContinuousKnnTest, CancelFromHandlerIsSafe) {
+  Rig rig;
+  int rounds = 0;
+  uint64_t id = 0;
+  id = rig.continuous->Subscribe(0, {60, 60}, 10, 4.0, 0,
+                                 [&](const KnnUpdate&) {
+                                   ++rounds;
+                                   rig.continuous->Cancel(id);
+                                 });
+  rig.net().sim().RunUntil(rig.net().sim().Now() + 20.0);
+  EXPECT_EQ(rounds, 1);
+}
+
+TEST(ContinuousKnnTest, MultipleSubscriptionsCoexist) {
+  Rig rig;
+  int a_rounds = 0, b_rounds = 0;
+  rig.continuous->Subscribe(0, {40, 40}, 8, 5.0, 2,
+                            [&](const KnnUpdate&) { ++a_rounds; });
+  rig.continuous->Subscribe(0, {80, 80}, 8, 5.0, 2,
+                            [&](const KnnUpdate&) { ++b_rounds; });
+  EXPECT_EQ(rig.continuous->ActiveSubscriptions(), 2u);
+  rig.net().sim().RunUntil(rig.net().sim().Now() + 30.0);
+  EXPECT_EQ(a_rounds, 2);
+  EXPECT_EQ(b_rounds, 2);
+}
+
+}  // namespace
+}  // namespace diknn

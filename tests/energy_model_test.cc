@@ -1,0 +1,78 @@
+#include "net/energy_model.h"
+
+#include <gtest/gtest.h>
+
+namespace diknn {
+namespace {
+
+TEST(EnergyMeterTest, StartsAtZero) {
+  EnergyMeter meter;
+  EXPECT_DOUBLE_EQ(meter.TotalJoules(), 0.0);
+  EXPECT_DOUBLE_EQ(meter.Joules(EnergyCategory::kQuery), 0.0);
+}
+
+TEST(EnergyMeterTest, TxMatchesFirstOrderModel) {
+  EnergyParams params;
+  params.e_elec_j_per_bit = 50e-9;
+  params.eps_amp_j_per_bit_m2 = 100e-12;
+  EnergyMeter meter(params);
+  meter.ChargeTx(100, 20.0, EnergyCategory::kQuery);  // 800 bits at 20 m.
+  const double expected = 800 * (50e-9 + 100e-12 * 400.0);
+  EXPECT_DOUBLE_EQ(meter.Joules(EnergyCategory::kQuery), expected);
+}
+
+TEST(EnergyMeterTest, RxChargesElectronicsOnly) {
+  EnergyMeter meter;
+  meter.ChargeRx(100, EnergyCategory::kBeacon);
+  EXPECT_DOUBLE_EQ(meter.Joules(EnergyCategory::kBeacon), 800 * 50e-9);
+}
+
+TEST(EnergyMeterTest, CategoriesAreIndependent) {
+  EnergyMeter meter;
+  meter.ChargeRx(10, EnergyCategory::kBeacon);
+  meter.ChargeRx(20, EnergyCategory::kMaintenance);
+  meter.ChargeRx(30, EnergyCategory::kQuery);
+  EXPECT_GT(meter.Joules(EnergyCategory::kQuery),
+            meter.Joules(EnergyCategory::kMaintenance));
+  EXPECT_GT(meter.Joules(EnergyCategory::kMaintenance),
+            meter.Joules(EnergyCategory::kBeacon));
+  EXPECT_DOUBLE_EQ(meter.TotalJoules(),
+                   meter.Joules(EnergyCategory::kBeacon) +
+                       meter.Joules(EnergyCategory::kMaintenance) +
+                       meter.Joules(EnergyCategory::kQuery));
+}
+
+TEST(EnergyMeterTest, TxGrowsWithRange) {
+  EnergyMeter near_meter, far_meter;
+  near_meter.ChargeTx(100, 10.0, EnergyCategory::kQuery);
+  far_meter.ChargeTx(100, 40.0, EnergyCategory::kQuery);
+  EXPECT_GT(far_meter.TotalJoules(), near_meter.TotalJoules());
+}
+
+TEST(EnergyMeterTest, TxIsLinearInBytes) {
+  EnergyMeter a, b;
+  a.ChargeTx(100, 20.0, EnergyCategory::kQuery);
+  b.ChargeTx(200, 20.0, EnergyCategory::kQuery);
+  EXPECT_DOUBLE_EQ(b.TotalJoules(), 2.0 * a.TotalJoules());
+}
+
+TEST(EnergyMeterTest, ResetClears) {
+  EnergyMeter meter;
+  meter.ChargeTx(100, 20.0, EnergyCategory::kQuery);
+  meter.ChargeRx(50, EnergyCategory::kBeacon);
+  meter.Reset();
+  EXPECT_DOUBLE_EQ(meter.TotalJoules(), 0.0);
+}
+
+TEST(EnergyMeterTest, AccumulatesAcrossCalls) {
+  EnergyMeter meter;
+  for (int i = 0; i < 10; ++i) {
+    meter.ChargeRx(100, EnergyCategory::kQuery);
+  }
+  EnergyMeter one;
+  one.ChargeRx(1000, EnergyCategory::kQuery);
+  EXPECT_NEAR(meter.TotalJoules(), one.TotalJoules(), 1e-15);
+}
+
+}  // namespace
+}  // namespace diknn

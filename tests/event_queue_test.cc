@@ -1,0 +1,125 @@
+#include "sim/event_queue.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace diknn {
+namespace {
+
+TEST(EventQueueTest, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.Empty());
+  EXPECT_EQ(q.Size(), 0u);
+}
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Push(3.0, [&] { order.push_back(3); });
+  q.Push(1.0, [&] { order.push_back(1); });
+  q.Push(2.0, [&] { order.push_back(2); });
+  while (!q.Empty()) {
+    SimTime t;
+    q.Pop(&t)();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, FifoWithinSameTimestamp) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.Push(1.0, [&order, i] { order.push_back(i); });
+  }
+  while (!q.Empty()) q.Pop(nullptr)();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, PopReportsTimestamp) {
+  EventQueue q;
+  q.Push(7.25, [] {});
+  SimTime t = 0;
+  q.Pop(&t);
+  EXPECT_DOUBLE_EQ(t, 7.25);
+}
+
+TEST(EventQueueTest, CancelPreventsExecution) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.Push(1.0, [&] { fired = true; });
+  q.Push(2.0, [] {});
+  EXPECT_EQ(q.Size(), 2u);
+  q.Cancel(id);
+  EXPECT_EQ(q.Size(), 1u);
+  while (!q.Empty()) q.Pop(nullptr)();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueueTest, CancelUnknownIdIsNoop) {
+  EventQueue q;
+  q.Push(1.0, [] {});
+  q.Cancel(0);
+  q.Cancel(9999);
+  EXPECT_EQ(q.Size(), 1u);
+}
+
+TEST(EventQueueTest, CancelAfterFireIsNoop) {
+  EventQueue q;
+  const EventId id = q.Push(1.0, [] {});
+  q.Pop(nullptr)();
+  q.Cancel(id);  // Must not corrupt the live count.
+  EXPECT_TRUE(q.Empty());
+  q.Push(2.0, [] {});
+  EXPECT_EQ(q.Size(), 1u);
+}
+
+TEST(EventQueueTest, DoubleCancelIsNoop) {
+  EventQueue q;
+  const EventId id = q.Push(1.0, [] {});
+  q.Push(2.0, [] {});
+  q.Cancel(id);
+  q.Cancel(id);
+  EXPECT_EQ(q.Size(), 1u);
+}
+
+TEST(EventQueueTest, IsPendingTracksLifecycle) {
+  EventQueue q;
+  const EventId id = q.Push(1.0, [] {});
+  EXPECT_TRUE(q.IsPending(id));
+  q.Cancel(id);
+  EXPECT_FALSE(q.IsPending(id));
+  const EventId id2 = q.Push(2.0, [] {});
+  q.Pop(nullptr);
+  EXPECT_FALSE(q.IsPending(id2));
+}
+
+TEST(EventQueueTest, NextTimeSkipsCancelled) {
+  EventQueue q;
+  const EventId id = q.Push(1.0, [] {});
+  q.Push(5.0, [] {});
+  q.Cancel(id);
+  EXPECT_DOUBLE_EQ(q.NextTime(), 5.0);
+}
+
+TEST(EventQueueTest, ManyInterleavedOperations) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  int fired = 0;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(q.Push(i % 100, [&] { ++fired; }));
+  }
+  for (size_t i = 0; i < ids.size(); i += 2) q.Cancel(ids[i]);
+  EXPECT_EQ(q.Size(), 500u);
+  SimTime last = -1;
+  while (!q.Empty()) {
+    SimTime t;
+    q.Pop(&t)();
+    EXPECT_GE(t, last);  // Monotone.
+    last = t;
+  }
+  EXPECT_EQ(fired, 500);
+}
+
+}  // namespace
+}  // namespace diknn

@@ -1,0 +1,138 @@
+// End-to-end harness tests: short simulation runs per protocol, checking
+// the experiment pipeline produces coherent metrics and the qualitative
+// relationships the paper's evaluation rests on.
+
+#include "harness/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace diknn {
+namespace {
+
+ExperimentConfig ShortConfig(ProtocolKind kind) {
+  ExperimentConfig config;
+  config.protocol = kind;
+  config.k = 15;
+  config.duration = 24.0;  // ~6 queries.
+  config.runs = 1;
+  config.base_seed = 11;
+  return config;
+}
+
+class ProtocolRunTest : public ::testing::TestWithParam<ProtocolKind> {};
+
+TEST_P(ProtocolRunTest, ProducesCoherentMetrics) {
+  std::vector<QueryRecord> records;
+  const RunMetrics m = RunOnce(ShortConfig(GetParam()), 11, &records);
+  EXPECT_GT(m.queries, 2);
+  EXPECT_EQ(static_cast<size_t>(m.queries), records.size());
+  EXPECT_GT(m.avg_latency, 0.0);
+  EXPECT_LT(m.avg_latency, 9.0);
+  EXPECT_GE(m.avg_pre_accuracy, 0.0);
+  EXPECT_LE(m.avg_pre_accuracy, 1.0);
+  EXPECT_GE(m.avg_post_accuracy, 0.0);
+  EXPECT_LE(m.avg_post_accuracy, 1.0);
+  EXPECT_GT(m.energy_joules, 0.0);
+  EXPECT_GT(m.beacon_energy_joules, 0.0);
+  EXPECT_GT(m.average_degree, 5.0);
+  EXPECT_LE(m.timeouts, m.queries);
+}
+
+TEST_P(ProtocolRunTest, DeterministicForSameSeed) {
+  const RunMetrics a = RunOnce(ShortConfig(GetParam()), 23);
+  const RunMetrics b = RunOnce(ShortConfig(GetParam()), 23);
+  EXPECT_EQ(a.queries, b.queries);
+  EXPECT_DOUBLE_EQ(a.avg_latency, b.avg_latency);
+  EXPECT_DOUBLE_EQ(a.energy_joules, b.energy_joules);
+  EXPECT_DOUBLE_EQ(a.avg_post_accuracy, b.avg_post_accuracy);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocols, ProtocolRunTest,
+    ::testing::Values(ProtocolKind::kDiknn, ProtocolKind::kKptKnnb,
+                      ProtocolKind::kPeerTree, ProtocolKind::kFlooding,
+                      ProtocolKind::kCentralized),
+    [](const auto& info) {
+      switch (info.param) {
+        case ProtocolKind::kDiknn:
+          return "Diknn";
+        case ProtocolKind::kKptKnnb:
+          return "Kpt";
+        case ProtocolKind::kPeerTree:
+          return "PeerTree";
+        case ProtocolKind::kFlooding:
+          return "Flooding";
+        case ProtocolKind::kCentralized:
+          return "Centralized";
+      }
+      return "Unknown";
+    });
+
+TEST(ExperimentTest, RunExperimentAggregates) {
+  ExperimentConfig config = ShortConfig(ProtocolKind::kDiknn);
+  config.runs = 2;
+  const ExperimentMetrics m = RunExperiment(config);
+  EXPECT_EQ(m.runs, 2);
+  EXPECT_EQ(m.latency.count, 2);
+  EXPECT_GT(m.latency.mean, 0.0);
+}
+
+TEST(ExperimentTest, FormatRowIsReadable) {
+  ExperimentMetrics m;
+  m.latency.mean = 1.5;
+  m.energy.mean = 0.42;
+  m.pre_accuracy.mean = 0.87;
+  m.post_accuracy.mean = 0.9;
+  const std::string row = FormatRow("DIKNN k=40", m);
+  EXPECT_NE(row.find("DIKNN k=40"), std::string::npos);
+  EXPECT_NE(row.find("latency=1.500s"), std::string::npos);
+  EXPECT_NE(row.find("energy=0.420J"), std::string::npos);
+}
+
+TEST(ExperimentTest, ProtocolNames) {
+  EXPECT_STREQ(ProtocolName(ProtocolKind::kDiknn), "DIKNN");
+  EXPECT_STREQ(ProtocolName(ProtocolKind::kKptKnnb), "KPT+KNNB");
+  EXPECT_STREQ(ProtocolName(ProtocolKind::kPeerTree), "PeerTree");
+  EXPECT_STREQ(ProtocolName(ProtocolKind::kFlooding), "Flooding");
+}
+
+// The paper's headline qualitative result on a small scale: DIKNN beats
+// the baselines on accuracy at the default operating point.
+TEST(ExperimentTest, DiknnAccuracyBeatsBaselines) {
+  ExperimentConfig config = ShortConfig(ProtocolKind::kDiknn);
+  config.duration = 40.0;
+  config.k = 20;
+  const RunMetrics diknn = RunOnce(config, 31);
+  config.protocol = ProtocolKind::kKptKnnb;
+  const RunMetrics kpt = RunOnce(config, 31);
+  config.protocol = ProtocolKind::kPeerTree;
+  const RunMetrics peertree = RunOnce(config, 31);
+
+  EXPECT_GT(diknn.avg_post_accuracy, kpt.avg_post_accuracy - 0.05);
+  EXPECT_GT(diknn.avg_post_accuracy, peertree.avg_post_accuracy - 0.05);
+  EXPECT_GT(diknn.avg_post_accuracy, 0.6);
+}
+
+TEST(ExperimentTest, PeerTreeMaintenanceDominatesItsEnergy) {
+  ExperimentConfig config = ShortConfig(ProtocolKind::kPeerTree);
+  config.duration = 30.0;
+  ProtocolStack stack(config, 17);
+  stack.network().Warmup(config.warmup);
+  stack.network().sim().RunUntil(stack.network().sim().Now() + 30.0);
+  // Registrations alone (no queries issued) already cost real energy.
+  EXPECT_GT(stack.network().TotalEnergy(EnergyCategory::kMaintenance),
+            0.1);
+}
+
+TEST(ExperimentTest, StaticSinkConfigPinsNodeZero) {
+  ExperimentConfig config = ShortConfig(ProtocolKind::kDiknn);
+  config.static_sink = true;
+  ProtocolStack stack(config, 5);
+  Network& net = stack.network();
+  const Point before = net.node(0)->Position();
+  net.Warmup(5.0);
+  EXPECT_EQ(net.node(0)->Position(), before);
+}
+
+}  // namespace
+}  // namespace diknn

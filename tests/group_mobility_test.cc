@@ -1,0 +1,117 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "net/mobility.h"
+#include "net/network.h"
+
+namespace diknn {
+namespace {
+
+const Rect kField = Rect::Field(200, 200);
+
+GroupMobility::Reference MakeReference(Point start, double speed,
+                                       uint64_t seed) {
+  return std::make_shared<RandomWaypointMobility>(start, kField, speed,
+                                                  Rng(seed));
+}
+
+TEST(GroupMobilityTest, MembersStayNearReference) {
+  auto ref = MakeReference({100, 100}, 8.0, 1);
+  const double radius = 15.0;
+  std::vector<std::unique_ptr<GroupMobility>> members;
+  for (int i = 0; i < 5; ++i) {
+    members.push_back(std::make_unique<GroupMobility>(
+        ref, Point{0, 0}, radius, 2.0, kField, Rng(10 + i)));
+  }
+  for (double t = 0; t < 120; t += 1.0) {
+    const Point rp = ref->PositionAt(t);
+    for (auto& m : members) {
+      // Offset lives in a radius-sized box; diagonal sqrt(2)*radius, plus
+      // field clamping can only pull points closer to the interior.
+      EXPECT_LE(Distance(m->PositionAt(t), kField.Clamp(rp)),
+                radius * 1.5 + 1e-9)
+          << "t=" << t;
+    }
+  }
+}
+
+TEST(GroupMobilityTest, MembersStayInField) {
+  auto ref = MakeReference({5, 5}, 10.0, 2);  // Starts near the border.
+  GroupMobility member(ref, {10, 10}, 20.0, 3.0, kField, Rng(3));
+  for (double t = 0; t < 200; t += 0.5) {
+    EXPECT_TRUE(kField.Contains(member.PositionAt(t)));
+  }
+}
+
+TEST(GroupMobilityTest, GroupActuallyTravels) {
+  auto ref = MakeReference({100, 100}, 10.0, 4);
+  GroupMobility member(ref, {0, 0}, 15.0, 1.0, kField, Rng(5));
+  EXPECT_GT(Distance(member.PositionAt(0.0), member.PositionAt(60.0)), 20.0);
+}
+
+TEST(GroupMobilityTest, SpeedBoundHolds) {
+  auto ref = MakeReference({100, 100}, 10.0, 6);
+  GroupMobility member(ref, {0, 0}, 15.0, 2.0, kField, Rng(7));
+  double t = 0;
+  Point prev = member.PositionAt(t);
+  const double dt = 0.05;
+  for (int i = 0; i < 4000; ++i) {
+    t += dt;
+    const Point cur = member.PositionAt(t);
+    EXPECT_LE(Distance(prev, cur), (10.0 + 2.0) * dt + 1e-9) << t;
+    prev = cur;
+  }
+}
+
+TEST(GroupMobilityTest, NetworkBuildsHerds) {
+  NetworkConfig config;
+  config.node_count = 100;
+  config.field = Rect::Field(200, 200);
+  config.mobility = MobilityKind::kGroup;
+  config.group_size = 25;  // Four herds.
+  config.group_radius = 15.0;
+  config.seed = 11;
+  Network net(config);
+  net.Warmup(1.6);
+
+  // Same-herd members are clustered: mean distance to the own herd's
+  // centroid is far below the field scale.
+  for (int g = 0; g < 4; ++g) {
+    Point centroid{0, 0};
+    for (int i = g * 25; i < (g + 1) * 25; ++i) {
+      centroid += net.node(i)->Position();
+    }
+    centroid = centroid / 25.0;
+    double mean = 0;
+    for (int i = g * 25; i < (g + 1) * 25; ++i) {
+      mean += Distance(net.node(i)->Position(), centroid);
+    }
+    EXPECT_LE(mean / 25.0, 2.0 * config.group_radius) << "herd " << g;
+  }
+}
+
+TEST(GroupMobilityTest, HerdsStayCoherentOverTime) {
+  NetworkConfig config;
+  config.node_count = 50;
+  config.field = Rect::Field(200, 200);
+  config.mobility = MobilityKind::kGroup;
+  config.group_size = 25;
+  config.group_radius = 15.0;
+  config.max_speed = 8.0;
+  config.seed = 12;
+  Network net(config);
+  net.sim().RunUntil(60.0);
+  // Herd 0's members are still mutually close after a minute of travel.
+  double max_pair = 0;
+  for (int i = 0; i < 25; ++i) {
+    for (int j = i + 1; j < 25; ++j) {
+      max_pair = std::max(max_pair, Distance(net.node(i)->Position(),
+                                             net.node(j)->Position()));
+    }
+  }
+  EXPECT_LE(max_pair, 4.0 * config.group_radius);
+}
+
+}  // namespace
+}  // namespace diknn

@@ -1,0 +1,261 @@
+#include "knn/itinerary.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace diknn {
+namespace {
+
+ItineraryParams Params(double radius, int sector, int sectors,
+                       double width = 0.0, int extra = 0) {
+  ItineraryParams p;
+  p.q = {50, 50};
+  p.radius = radius;
+  p.sector = sector;
+  p.num_sectors = sectors;
+  p.width = width > 0 ? width : DefaultItineraryWidth(20.0);
+  p.extra_rings = extra;
+  return p;
+}
+
+TEST(ItineraryTest, DefaultWidthIsSqrt3Over2R) {
+  EXPECT_NEAR(DefaultItineraryWidth(20.0), std::sqrt(3.0) * 10.0, 1e-12);
+}
+
+TEST(ItineraryTest, InitLengthMatchesFormula) {
+  // linit = min(w / (2 sin(pi/S)), R).
+  const double w = DefaultItineraryWidth(20.0);
+  Itinerary it(Params(60.0, 0, 8));
+  EXPECT_NEAR(it.init_length(), w / (2.0 * std::sin(kPi / 8)), 1e-9);
+  // Small boundary: init capped at R.
+  Itinerary small(Params(10.0, 0, 8));
+  EXPECT_NEAR(small.init_length(), 10.0, 1e-9);
+}
+
+TEST(ItineraryTest, StartsAtQueryPoint) {
+  Itinerary it(Params(50.0, 3, 8));
+  EXPECT_NEAR(Distance(it.PointAt(0.0), Point(50, 50)), 0.0, 1e-9);
+}
+
+TEST(ItineraryTest, InitSegmentRunsAlongBisector) {
+  Itinerary it(Params(60.0, 0, 8));
+  const double bisector = kPi / 8;  // Sector 0 of 8.
+  const Point mid = it.PointAt(it.init_length() / 2);
+  EXPECT_NEAR(AngleOf({50, 50}, mid), bisector, 1e-9);
+  EXPECT_EQ(it.KindAt(it.init_length() / 2), Itinerary::SegmentKind::kInit);
+  EXPECT_EQ(it.RingAt(it.init_length() / 2), 0);
+}
+
+TEST(ItineraryTest, CenterIsInitEnd) {
+  Itinerary it(Params(60.0, 2, 8));
+  EXPECT_NEAR(Distance(it.center(), it.PointAt(it.init_length())), 0.0,
+              1e-9);
+  EXPECT_NEAR(Distance(it.center(), Point(50, 50)), it.init_length(), 1e-9);
+}
+
+TEST(ItineraryTest, PointAtClampsOutOfRange) {
+  Itinerary it(Params(60.0, 0, 8));
+  EXPECT_EQ(it.PointAt(-5.0), it.PointAt(0.0));
+  EXPECT_EQ(it.PointAt(it.TotalLength() + 100), it.PointAt(it.TotalLength()));
+}
+
+TEST(ItineraryTest, PeriSegmentsAreArcsAroundCenter) {
+  Itinerary it(Params(80.0, 0, 8));
+  ASSERT_GE(it.num_rings(), 2);
+  const double w = DefaultItineraryWidth(20.0);
+  // Sample points on ring 1's peri segment: constant distance w from q'.
+  const double ring1_end = it.LengthThroughRing(1);
+  for (double s = ring1_end - 1.0; s > ring1_end - 8.0; s -= 1.0) {
+    if (it.KindAt(s) != Itinerary::SegmentKind::kPeri) continue;
+    EXPECT_NEAR(Distance(it.PointAt(s), it.center()), w, 1e-9);
+    EXPECT_EQ(it.RingAt(s), 1);
+  }
+}
+
+TEST(ItineraryTest, AdjSegmentsHaveLengthW) {
+  Itinerary it(Params(80.0, 0, 8));
+  ASSERT_GE(it.num_rings(), 2);
+  // Between ring 1's end and ring 2's arc there is one adj segment of
+  // length w: the radial gap between consecutive rings.
+  const double w = it.params().width;
+  const Point end_ring1 = it.PointAt(it.LengthThroughRing(1));
+  double s = it.LengthThroughRing(1) + w / 2;
+  EXPECT_EQ(it.KindAt(s), Itinerary::SegmentKind::kAdj);
+  const Point mid_adj = it.PointAt(s);
+  EXPECT_NEAR(Distance(end_ring1, mid_adj), w / 2, 1e-9);
+}
+
+TEST(ItineraryTest, TotalLengthMatchesSegmentSum) {
+  // linit + sum over rings of (adj w + arc 2*pi*j*w/S).
+  const double w = DefaultItineraryWidth(20.0);
+  const int S = 8;
+  Itinerary it(Params(80.0, 0, S));
+  double expected = it.init_length();
+  for (int j = 1; j <= it.num_rings(); ++j) {
+    expected += w + kTwoPi * (j * w) / S;
+  }
+  EXPECT_NEAR(it.TotalLength(), expected, 1e-9);
+}
+
+TEST(ItineraryTest, CoverageReachesBoundary) {
+  // linit + rings*w + w/2 >= R must hold (full coverage).
+  for (double radius : {25.0, 40.0, 55.0, 80.0, 120.0}) {
+    Itinerary it(Params(radius, 0, 8));
+    EXPECT_GE(it.CoverageRadius() + it.params().width / 2, radius - 1e-9)
+        << "R=" << radius;
+  }
+}
+
+TEST(ItineraryTest, ExtraRingsExtendCoverage) {
+  Itinerary base(Params(60.0, 0, 8));
+  Itinerary extended(Params(60.0, 0, 8, 0.0, 2));
+  EXPECT_EQ(extended.num_rings(), base.num_rings() + 2);
+  EXPECT_NEAR(extended.CoverageRadius(),
+              base.CoverageRadius() + 2 * base.params().width, 1e-9);
+  EXPECT_GT(extended.TotalLength(), base.TotalLength());
+}
+
+TEST(ItineraryTest, StaysWithinSector) {
+  // Every sampled point lies within the sector's angular range (from q,
+  // allowing w slack near the apex where the init line hugs the borders).
+  const int S = 8;
+  for (int sector = 0; sector < S; ++sector) {
+    Itinerary it(Params(70.0, sector, S));
+    const SectorPartition part({50, 50}, S);
+    for (double s = 1.0; s < it.TotalLength(); s += 2.0) {
+      const Point p = it.PointAt(s);
+      const double d = Distance(p, Point{50, 50});
+      if (d < it.params().width) continue;  // Apex region.
+      const double angle = AngleOf({50, 50}, p);
+      const double off =
+          std::abs(AngleDifference(angle, part.BisectorAngle(sector)));
+      // Within half the sector angle plus slack for arc endpoints.
+      EXPECT_LE(off, kPi / S + 0.45) << "sector " << sector << " s=" << s;
+    }
+  }
+}
+
+TEST(ItineraryTest, AdjacentSectorsTraverseInOppositeDirections) {
+  // The serpentine inversion (Fig. 6): sector 0 starts ring 1 at its lower
+  // border, sector 1 at its upper border, so their ring-1 start points
+  // are near each other (the rendezvous region).
+  Itinerary even(Params(80.0, 0, 8));
+  Itinerary odd(Params(80.0, 1, 8));
+  ASSERT_GE(even.num_rings(), 1);
+  const double w = even.params().width;
+  // Sector 0 sweeps counter-clockwise and ends ring 1 at its upper
+  // border; inverted sector 1 sweeps clockwise and ends ring 1 at its
+  // lower border — the same shared border. The two ring-1 endpoints are
+  // exactly w apart ("the distance between sub-itineraries in adjacent
+  // sectors is w"), forming the face-to-face rendezvous of Fig. 6.
+  const Point even_end = even.PointAt(even.LengthThroughRing(1));
+  const Point odd_end = odd.PointAt(odd.LengthThroughRing(1));
+  EXPECT_NEAR(Distance(even_end, odd_end), w, 1e-9);
+}
+
+TEST(ItineraryTest, SingleSectorDegeneratesGracefully) {
+  Itinerary it(Params(50.0, 0, 1));
+  EXPECT_NEAR(it.init_length(), 50.0, 1e-9);  // sin(pi) = 0 -> full radius.
+  EXPECT_GE(it.TotalLength(), 50.0);
+}
+
+TEST(ItineraryTest, ManySectorsDegenerateTowardStraightLine) {
+  // "The shape of a sub-itinerary degenerates into a straight line if S
+  // is large enough."
+  Itinerary it(Params(40.0, 0, 64));
+  EXPECT_EQ(it.num_rings(), 0);
+  EXPECT_NEAR(it.TotalLength(), 40.0, 1e-9);
+}
+
+TEST(ItineraryTest, LengthThroughRingIsMonotone) {
+  Itinerary it(Params(100.0, 0, 8));
+  double prev = it.init_length();
+  for (int j = 1; j <= it.num_rings(); ++j) {
+    const double len = it.LengthThroughRing(j);
+    EXPECT_GT(len, prev);
+    prev = len;
+  }
+  EXPECT_NEAR(prev, it.TotalLength(), 1e-9);
+}
+
+// Property sweep: arc-length parameterization is 1-Lipschitz — moving ds
+// along the path moves at most ds in space.
+class ItineraryPropertyTest
+    : public ::testing::TestWithParam<std::tuple<double, int, int>> {};
+
+TEST_P(ItineraryPropertyTest, ArcLengthParameterizationIsMetric) {
+  const auto [radius, sector, sectors] = GetParam();
+  Itinerary it(Params(radius, sector, sectors));
+  const double step = 0.5;
+  Point prev = it.PointAt(0.0);
+  for (double s = step; s <= it.TotalLength(); s += step) {
+    const Point cur = it.PointAt(s);
+    EXPECT_LE(Distance(prev, cur), step + 1e-9) << "s=" << s;
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ItineraryPropertyTest,
+    ::testing::Combine(::testing::Values(15.0, 35.0, 60.0, 100.0),
+                       ::testing::Values(0, 1, 5),
+                       ::testing::Values(4, 8, 12)));
+
+// The paper's central coverage claim: with w = sqrt(3)/2 * r, every point
+// of the KNN boundary disk lies within w of the union of sub-itineraries.
+// Q-nodes sit on the path at most ~0.8 r apart, so the farthest any disk
+// point can be from a Q-node is sqrt(w^2 + (0.4 r)^2) < r — i.e., every
+// node hears a probe. Checked by sampling random points in the disk
+// against discretized paths of all sectors.
+class ItineraryCoverageTest
+    : public ::testing::TestWithParam<std::tuple<double, int>> {};
+
+TEST_P(ItineraryCoverageTest, FullDiskCoverage) {
+  const auto [radius, sectors] = GetParam();
+  const double w = DefaultItineraryWidth(20.0);
+  const Point q{50, 50};
+
+  // Discretize every sector's path once.
+  std::vector<Point> samples;
+  for (int sector = 0; sector < sectors; ++sector) {
+    ItineraryParams p;
+    p.q = q;
+    p.radius = radius;
+    p.sector = sector;
+    p.num_sectors = sectors;
+    p.width = w;
+    Itinerary it(p);
+    for (double s = 0.0; s <= it.TotalLength(); s += 0.5) {
+      samples.push_back(it.PointAt(s));
+    }
+    samples.push_back(it.PointAt(it.TotalLength()));
+  }
+
+  Rng rng(31 + sectors);
+  for (int trial = 0; trial < 400; ++trial) {
+    const Point p = rng.PointInDisk(q, radius);
+    double best = 1e18;
+    for (const Point& s : samples) {
+      best = std::min(best, Distance(p, s));
+      if (best <= w + 0.5) break;
+    }
+    EXPECT_LE(best, w + 0.5)
+        << "uncovered point " << p << " (R=" << radius
+        << ", S=" << sectors << ")";
+    // And the resulting physical guarantee: a Q-node within radio range.
+    const double qnode_gap = 0.5 * 0.8 * 20.0;  // Half the Q-node step.
+    EXPECT_LE(std::hypot(best, qnode_gap), 20.0 + 0.5)
+        << "point beyond probe reach " << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CoverageSweep, ItineraryCoverageTest,
+    ::testing::Combine(::testing::Values(25.0, 45.0, 80.0),
+                       ::testing::Values(4, 8, 16)));
+
+}  // namespace
+}  // namespace diknn

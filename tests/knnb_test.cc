@@ -1,0 +1,171 @@
+#include "knn/knnb.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace diknn {
+namespace {
+
+constexpr double kR = 20.0;  // Radio range.
+constexpr double kMaxRadius = 150.0;
+
+// Builds a synthetic straight-line info list of `hops` entries ending at
+// the query point, with per-hop distance `hop_len` and a constant density
+// `density` (nodes/m^2) feeding exact lune-based enc counts.
+std::vector<RouteHopInfo> SyntheticList(int hops, double hop_len,
+                                        double density) {
+  std::vector<RouteHopInfo> list;
+  for (int i = 0; i < hops; ++i) {
+    RouteHopInfo info;
+    info.location = {i * hop_len, 0.0};
+    const double area =
+        i == 0 ? kPi * kR * kR : LuneArea(kR, hop_len);
+    info.encountered = static_cast<int>(std::round(density * area));
+    list.push_back(info);
+  }
+  return list;
+}
+
+TEST(LuneAreaTest, DisjointDisksGiveFullDisk) {
+  EXPECT_DOUBLE_EQ(LuneArea(20.0, 40.0), kPi * 400.0);
+  EXPECT_DOUBLE_EQ(LuneArea(20.0, 100.0), kPi * 400.0);
+}
+
+TEST(LuneAreaTest, CoincidentDisksGiveZero) {
+  EXPECT_DOUBLE_EQ(LuneArea(20.0, 0.0), 0.0);
+}
+
+TEST(LuneAreaTest, MonotoneInDistance) {
+  double prev = 0.0;
+  for (double d = 1.0; d <= 40.0; d += 1.0) {
+    const double a = LuneArea(20.0, d);
+    EXPECT_GT(a, prev);
+    prev = a;
+  }
+}
+
+TEST(LuneAreaTest, HalfOverlapValue) {
+  // d = r: standard lens formula check.
+  const double r = 20.0;
+  const double lens = 2 * r * r * std::acos(0.5) - (r / 2) * std::sqrt(3 * r * r);
+  EXPECT_NEAR(LuneArea(r, r), kPi * r * r - lens, 1e-9);
+}
+
+TEST(KnnbTest, EmptyListFallsBack) {
+  const KnnbResult res = Knnb({}, {0, 0}, kR, 10, kMaxRadius);
+  EXPECT_TRUE(res.extrapolated);
+  EXPECT_GE(res.radius, kR);
+  EXPECT_LE(res.radius, kMaxRadius);
+}
+
+TEST(KnnbTest, RadiusNearOptimalForUniformDensity) {
+  // Density 0.015 nodes/m^2, k = 40 -> optimal radius sqrt(k/(pi D)) ~ 29 m.
+  const double density = 0.015;
+  const auto list = SyntheticList(12, 15.0, density);
+  const KnnbResult res = Knnb(list, {190, 0}, kR, 40, kMaxRadius);
+  const double optimal = std::sqrt(40.0 / (kPi * density));
+  EXPECT_FALSE(res.extrapolated);
+  // The list is discrete (hop granularity ~15 m), so allow one hop slack.
+  EXPECT_NEAR(res.radius, optimal, 16.0);
+  EXPECT_GT(res.radius, 0.5 * optimal);
+}
+
+TEST(KnnbTest, PaperRectangleModelYieldsSmallerRadius) {
+  // Compare through the continuous extrapolation path (a short list and a
+  // large k) — the entry-walk path quantizes both models to hop-distance
+  // granularity and can mask the bias.
+  const auto list = SyntheticList(4, 15.0, 0.015);
+  const Point q{50, 0};
+  const auto lune =
+      Knnb(list, q, kR, 500, kMaxRadius, KnnbAreaModel::kLune);
+  const auto rect =
+      Knnb(list, q, kR, 500, kMaxRadius, KnnbAreaModel::kPaperRectangle);
+  ASSERT_TRUE(lune.extrapolated);
+  ASSERT_TRUE(rect.extrapolated);
+  // The rectangle model undercounts the covered area, so it overestimates
+  // density and returns a smaller boundary.
+  EXPECT_GT(rect.density, lune.density);
+  EXPECT_LT(rect.radius, lune.radius);
+}
+
+TEST(KnnbTest, RadiusGrowsWithK) {
+  const auto list = SyntheticList(12, 15.0, 0.015);
+  const Point q{190, 0};
+  double prev = 0.0;
+  for (int k : {5, 10, 20, 40, 80}) {
+    const double r = Knnb(list, q, kR, k, kMaxRadius).radius;
+    EXPECT_GE(r, prev) << "k=" << k;
+    prev = r;
+  }
+}
+
+TEST(KnnbTest, RadiusShrinksWithDensity) {
+  const Point q{190, 0};
+  const double sparse =
+      Knnb(SyntheticList(12, 15.0, 0.005), q, kR, 40, kMaxRadius).radius;
+  const double dense =
+      Knnb(SyntheticList(12, 15.0, 0.045), q, kR, 40, kMaxRadius).radius;
+  EXPECT_GT(sparse, dense);
+}
+
+TEST(KnnbTest, ExtrapolatesWhenListTooShort) {
+  // A 2-hop list cannot reach k = 200 by walking entries.
+  const auto list = SyntheticList(2, 15.0, 0.015);
+  const KnnbResult res = Knnb(list, {20, 0}, kR, 200, kMaxRadius);
+  EXPECT_TRUE(res.extrapolated);
+  const double optimal = std::sqrt(200.0 / (kPi * 0.015));
+  EXPECT_NEAR(res.radius, optimal, 0.35 * optimal);
+}
+
+TEST(KnnbTest, ClampsToBounds) {
+  const auto list = SyntheticList(12, 15.0, 0.015);
+  // Tiny k: radius clamps up to the radio range.
+  EXPECT_GE(Knnb(list, {190, 0}, kR, 1, kMaxRadius).radius, kR);
+  // Huge k: radius clamps at max_radius.
+  EXPECT_LE(Knnb(list, {190, 0}, kR, 100000, kMaxRadius).radius,
+            kMaxRadius);
+}
+
+TEST(KnnbTest, ZeroDensityListYieldsMaxRadius) {
+  std::vector<RouteHopInfo> list;
+  for (int i = 0; i < 5; ++i) {
+    list.push_back({{i * 15.0, 0.0}, 0});
+  }
+  const KnnbResult res = Knnb(list, {75, 0}, kR, 10, kMaxRadius);
+  EXPECT_TRUE(res.extrapolated);
+  EXPECT_DOUBLE_EQ(res.radius, kMaxRadius);
+}
+
+TEST(KnnbTest, ComplexityIsLinear) {
+  // hops_examined never exceeds the list length.
+  const auto list = SyntheticList(50, 15.0, 0.015);
+  const KnnbResult res = Knnb(list, {750, 0}, kR, 40, kMaxRadius);
+  EXPECT_LE(res.hops_examined, 50);
+  EXPECT_GE(res.hops_examined, 1);
+}
+
+TEST(KnnbTest, KptConservativeRadiusIsLinearInK) {
+  EXPECT_DOUBLE_EQ(KptConservativeRadius(20, 15.0), 300.0);
+  EXPECT_DOUBLE_EQ(KptConservativeRadius(40, 15.0), 600.0);
+}
+
+// The paper's headline claim: KNNB radii are roughly 1/sqrt(k*pi) of
+// KPT's conservative boundary.
+TEST(KnnbTest, RadiusRatioVsKptMatchesPaperClaim) {
+  const auto list = SyntheticList(12, 15.0, 0.015);
+  const Point q{190, 0};
+  for (int k : {20, 40, 80}) {
+    const double knnb = Knnb(list, q, kR, k, 1e9).radius;
+    const double kpt = KptConservativeRadius(k, 15.0);
+    const double claimed = kpt / std::sqrt(k * kPi);
+    // Same order of magnitude as the paper's rule of thumb.
+    EXPECT_GT(knnb, 0.3 * claimed) << "k=" << k;
+    EXPECT_LT(knnb, 3.0 * claimed) << "k=" << k;
+  }
+}
+
+}  // namespace
+}  // namespace diknn

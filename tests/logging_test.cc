@@ -1,0 +1,59 @@
+#include "core/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace diknn {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = GetLogLevel(); }
+  void TearDown() override { SetLogLevel(saved_); }
+  LogLevel saved_;
+};
+
+TEST_F(LoggingTest, DefaultLevelSuppressesDebug) {
+  SetLogLevel(LogLevel::kWarn);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarn);
+  // Below-threshold messages must not even evaluate their operands.
+  int evaluations = 0;
+  auto observe = [&]() {
+    ++evaluations;
+    return 42;
+  };
+  DIKNN_LOG(kDebug) << "value " << observe();
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST_F(LoggingTest, EnabledLevelEvaluatesOperands) {
+  SetLogLevel(LogLevel::kTrace);
+  int evaluations = 0;
+  auto observe = [&]() {
+    ++evaluations;
+    return 42;
+  };
+  DIKNN_LOG(kError) << "value " << observe();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LoggingTest, OffSilencesEverything) {
+  SetLogLevel(LogLevel::kOff);
+  int evaluations = 0;
+  auto observe = [&]() {
+    ++evaluations;
+    return 1;
+  };
+  DIKNN_LOG(kError) << observe();
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST_F(LoggingTest, LevelsAreOrdered) {
+  EXPECT_LT(LogLevel::kTrace, LogLevel::kDebug);
+  EXPECT_LT(LogLevel::kDebug, LogLevel::kInfo);
+  EXPECT_LT(LogLevel::kInfo, LogLevel::kWarn);
+  EXPECT_LT(LogLevel::kWarn, LogLevel::kError);
+  EXPECT_LT(LogLevel::kError, LogLevel::kOff);
+}
+
+}  // namespace
+}  // namespace diknn

@@ -1,0 +1,114 @@
+#include "harness/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace diknn {
+namespace {
+
+TEST(AccuracyTest, PerfectMatch) {
+  EXPECT_DOUBLE_EQ(Accuracy({1, 2, 3}, {3, 2, 1}), 1.0);
+}
+
+TEST(AccuracyTest, PartialMatch) {
+  EXPECT_DOUBLE_EQ(Accuracy({1, 2, 9}, {1, 2, 3, 4}), 0.5);
+}
+
+TEST(AccuracyTest, NoMatch) {
+  EXPECT_DOUBLE_EQ(Accuracy({7, 8}, {1, 2}), 0.0);
+}
+
+TEST(AccuracyTest, EmptyTruthIsPerfect) {
+  EXPECT_DOUBLE_EQ(Accuracy({1, 2}, {}), 1.0);
+}
+
+TEST(AccuracyTest, EmptyReturnedIsZero) {
+  EXPECT_DOUBLE_EQ(Accuracy({}, {1, 2}), 0.0);
+}
+
+TEST(AccuracyTest, ExtraReturnedDoesNotInflate) {
+  // Only the truth hits matter (the measure is recall of the true KNN).
+  EXPECT_DOUBLE_EQ(Accuracy({1, 2, 3, 4, 5, 6}, {1, 2}), 1.0);
+}
+
+TEST(SummarizeTest, EmptyIsZeroed) {
+  const Summary s = Summarize({});
+  EXPECT_EQ(s.count, 0);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(SummarizeTest, SingleValue) {
+  const Summary s = Summarize({5.0});
+  EXPECT_EQ(s.count, 1);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 5.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+}
+
+TEST(SummarizeTest, KnownStatistics) {
+  const Summary s = Summarize({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  // Sample stddev with n-1 = 7: variance 32/7.
+  EXPECT_NEAR(s.stddev, std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(PercentileTest, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(Percentile({}, 50.0), 0.0);
+}
+
+TEST(PercentileTest, SingleValue) {
+  EXPECT_DOUBLE_EQ(Percentile({7.0}, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(Percentile({7.0}, 100.0), 7.0);
+}
+
+TEST(PercentileTest, InterpolatesBetweenOrderStatistics) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 50.0), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 25.0), 2.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 90.0), 4.6);
+}
+
+TEST(PercentileTest, UnsortedInputHandled) {
+  EXPECT_DOUBLE_EQ(Percentile({5.0, 1.0, 3.0}, 50.0), 3.0);
+}
+
+TEST(PercentileTest, ClampsOutOfRangeP) {
+  const std::vector<double> v{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, -5.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 200.0), 2.0);
+}
+
+TEST(AggregateRunsTest, CombinesAcrossRuns) {
+  RunMetrics a;
+  a.queries = 10;
+  a.timeouts = 1;
+  a.avg_latency = 2.0;
+  a.avg_pre_accuracy = 0.8;
+  a.avg_post_accuracy = 0.9;
+  a.energy_joules = 5.0;
+  RunMetrics b = a;
+  b.avg_latency = 4.0;
+  b.energy_joules = 7.0;
+  b.timeouts = 3;
+
+  const ExperimentMetrics m = AggregateRuns({a, b});
+  EXPECT_EQ(m.runs, 2);
+  EXPECT_DOUBLE_EQ(m.latency.mean, 3.0);
+  EXPECT_DOUBLE_EQ(m.energy.mean, 6.0);
+  EXPECT_DOUBLE_EQ(m.pre_accuracy.mean, 0.8);
+  EXPECT_DOUBLE_EQ(m.timeout_rate.mean, 0.2);
+}
+
+TEST(AggregateRunsTest, EmptyRuns) {
+  const ExperimentMetrics m = AggregateRuns({});
+  EXPECT_EQ(m.runs, 0);
+  EXPECT_EQ(m.latency.count, 0);
+}
+
+}  // namespace
+}  // namespace diknn

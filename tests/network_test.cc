@@ -1,0 +1,137 @@
+#include "net/network.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace diknn {
+namespace {
+
+NetworkConfig SmallConfig() {
+  NetworkConfig config;
+  config.node_count = 50;
+  config.field = Rect::Field(80, 80);
+  config.seed = 5;
+  return config;
+}
+
+TEST(NetworkTest, BuildsRequestedNodes) {
+  Network net(SmallConfig());
+  EXPECT_EQ(net.size(), 50);
+  for (int i = 0; i < net.size(); ++i) {
+    ASSERT_NE(net.node(i), nullptr);
+    EXPECT_EQ(net.node(i)->id(), i);
+    EXPECT_TRUE(net.config().field.Contains(net.node(i)->Position()));
+  }
+}
+
+TEST(NetworkTest, WarmupPopulatesNeighborTables) {
+  Network net(SmallConfig());
+  EXPECT_DOUBLE_EQ(net.AverageDegree(), 0.0);
+  net.Warmup(1.5);
+  EXPECT_GT(net.AverageDegree(), 3.0);
+}
+
+TEST(NetworkTest, TrueKnnOrderedByDistance) {
+  NetworkConfig config = SmallConfig();
+  config.mobility = MobilityKind::kStatic;
+  Network net(config);
+  const Point q{40, 40};
+  const auto knn = net.TrueKnn(q, 10);
+  ASSERT_EQ(knn.size(), 10u);
+  double prev = -1;
+  for (NodeId id : knn) {
+    const double d = Distance(net.node(id)->Position(), q);
+    EXPECT_GE(d, prev);
+    prev = d;
+  }
+  // No non-member is closer than the worst member.
+  for (int i = 0; i < net.size(); ++i) {
+    if (std::find(knn.begin(), knn.end(), i) != knn.end()) continue;
+    EXPECT_GE(Distance(net.node(i)->Position(), q), prev - 1e-12);
+  }
+}
+
+TEST(NetworkTest, TrueKnnClampsToPopulation) {
+  Network net(SmallConfig());
+  EXPECT_EQ(net.TrueKnn({0, 0}, 500).size(), 50u);
+}
+
+TEST(NetworkTest, TrueKnnSkipsDeadNodes) {
+  NetworkConfig config = SmallConfig();
+  config.mobility = MobilityKind::kStatic;
+  Network net(config);
+  const Point q{40, 40};
+  const NodeId nearest = net.TrueNearestNode(q);
+  net.node(nearest)->set_alive(false);
+  EXPECT_NE(net.TrueNearestNode(q), nearest);
+}
+
+TEST(NetworkTest, InfrastructureNodesExcludedFromKnn) {
+  NetworkConfig config = SmallConfig();
+  config.infrastructure_positions = {{40, 40}};  // Right at the query.
+  Network net(config);
+  EXPECT_EQ(net.size(), 51);
+  EXPECT_TRUE(net.node(50)->is_infrastructure());
+  const auto knn = net.TrueKnn({40, 40}, 5);
+  EXPECT_EQ(std::count(knn.begin(), knn.end(), 50), 0);
+}
+
+TEST(NetworkTest, StaticNodeCountPinsNodes) {
+  NetworkConfig config = SmallConfig();
+  config.static_node_count = 3;
+  config.max_speed = 20.0;
+  Network net(config);
+  std::vector<Point> before;
+  for (int i = 0; i < 5; ++i) before.push_back(net.node(i)->Position());
+  net.Warmup(5.0);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(net.node(i)->Position(), before[i]) << "static node " << i;
+  }
+}
+
+TEST(NetworkTest, SameSeedSameTopology) {
+  Network a(SmallConfig());
+  Network b(SmallConfig());
+  for (int i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.node(i)->Position(), b.node(i)->Position());
+  }
+}
+
+TEST(NetworkTest, DifferentSeedDifferentTopology) {
+  NetworkConfig config = SmallConfig();
+  Network a(config);
+  config.seed = 6;
+  Network b(config);
+  int same = 0;
+  for (int i = 0; i < a.size(); ++i) {
+    if (a.node(i)->Position() == b.node(i)->Position()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(NetworkTest, BeaconEnergyIsChargedToBeaconCategory) {
+  Network net(SmallConfig());
+  net.Warmup(2.0);
+  EXPECT_GT(net.TotalEnergy(EnergyCategory::kBeacon), 0.0);
+  EXPECT_DOUBLE_EQ(net.TotalEnergy(EnergyCategory::kQuery), 0.0);
+  EXPECT_DOUBLE_EQ(net.TotalEnergy(),
+                   net.TotalEnergy(EnergyCategory::kBeacon) +
+                       net.TotalEnergy(EnergyCategory::kMaintenance) +
+                       net.TotalEnergy(EnergyCategory::kQuery));
+}
+
+TEST(NetworkTest, DegreeScalesWithFieldSize) {
+  NetworkConfig dense = SmallConfig();
+  dense.node_count = 100;
+  dense.field = Rect::Field(60, 60);
+  NetworkConfig sparse = dense;
+  sparse.field = Rect::Field(150, 150);
+  Network a(dense), b(sparse);
+  a.Warmup(1.5);
+  b.Warmup(1.5);
+  EXPECT_GT(a.AverageDegree(), 2.0 * b.AverageDegree());
+}
+
+}  // namespace
+}  // namespace diknn

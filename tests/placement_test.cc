@@ -1,0 +1,97 @@
+#include "net/placement.h"
+
+#include <gtest/gtest.h>
+
+namespace diknn {
+namespace {
+
+const Rect kField = Rect::Field(100, 100);
+
+class PlacementParamTest : public ::testing::TestWithParam<PlacementKind> {};
+
+TEST_P(PlacementParamTest, GeneratesRequestedCountInsideField) {
+  Rng rng(42);
+  for (int count : {0, 1, 10, 200}) {
+    const auto pts = GeneratePositions(GetParam(), count, kField, rng);
+    EXPECT_EQ(static_cast<int>(pts.size()), count);
+    for (const Point& p : pts) {
+      EXPECT_TRUE(kField.Contains(p)) << p;
+    }
+  }
+}
+
+TEST_P(PlacementParamTest, DeterministicForSeed) {
+  Rng a(7), b(7);
+  const auto pa = GeneratePositions(GetParam(), 50, kField, a);
+  const auto pb = GeneratePositions(GetParam(), 50, kField, b);
+  EXPECT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) EXPECT_EQ(pa[i], pb[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, PlacementParamTest,
+                         ::testing::Values(PlacementKind::kUniform,
+                                           PlacementKind::kGrid,
+                                           PlacementKind::kClustered));
+
+TEST(PlacementTest, UniformCoversQuadrantsEvenly) {
+  Rng rng(1);
+  const auto pts = UniformPositions(4000, kField, rng);
+  int q[4] = {0, 0, 0, 0};
+  for (const Point& p : pts) {
+    q[(p.x > 50 ? 1 : 0) + (p.y > 50 ? 2 : 0)]++;
+  }
+  for (int c : q) EXPECT_NEAR(c, 1000, 150);
+}
+
+TEST(PlacementTest, GridIsRoughlyRegular) {
+  Rng rng(2);
+  const auto pts = GridPositions(100, kField, rng, 0.0);  // No jitter.
+  // With 100 nodes on a 10x10 grid over 100x100, spacing is 10 m and
+  // every node's nearest neighbor is exactly 10 m away.
+  for (size_t i = 0; i < pts.size(); ++i) {
+    double best = 1e9;
+    for (size_t j = 0; j < pts.size(); ++j) {
+      if (i != j) best = std::min(best, Distance(pts[i], pts[j]));
+    }
+    EXPECT_NEAR(best, 10.0, 1e-9);
+  }
+}
+
+TEST(PlacementTest, ClusteredIsMoreConcentratedThanUniform) {
+  Rng rng1(3), rng2(3);
+  ClusterParams params;
+  params.num_clusters = 3;
+  params.sigma_fraction = 0.05;
+  params.background_fraction = 0.0;
+  const auto clustered = ClusteredPositions(500, kField, rng1, params);
+  const auto uniform = UniformPositions(500, kField, rng2);
+
+  // Mean nearest-neighbor distance is much smaller for clustered fields.
+  auto mean_nn = [](const std::vector<Point>& pts) {
+    double sum = 0;
+    for (size_t i = 0; i < pts.size(); ++i) {
+      double best = 1e18;
+      for (size_t j = 0; j < pts.size(); ++j) {
+        if (i != j) best = std::min(best, Distance(pts[i], pts[j]));
+      }
+      sum += best;
+    }
+    return sum / pts.size();
+  };
+  EXPECT_LT(mean_nn(clustered), 0.7 * mean_nn(uniform));
+}
+
+TEST(PlacementTest, ClusteredBackgroundFractionOneIsUniform) {
+  Rng rng(4);
+  ClusterParams params;
+  params.background_fraction = 1.0;
+  const auto pts = ClusteredPositions(1000, kField, rng, params);
+  int q[4] = {0, 0, 0, 0};
+  for (const Point& p : pts) {
+    q[(p.x > 50 ? 1 : 0) + (p.y > 50 ? 2 : 0)]++;
+  }
+  for (int c : q) EXPECT_NEAR(c, 250, 80);
+}
+
+}  // namespace
+}  // namespace diknn

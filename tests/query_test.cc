@@ -1,0 +1,74 @@
+#include "knn/query.h"
+
+#include <gtest/gtest.h>
+
+namespace diknn {
+namespace {
+
+KnnCandidate C(NodeId id, double x, double y, SimTime t = 0.0) {
+  KnnCandidate c;
+  c.id = id;
+  c.position = {x, y};
+  c.sampled_at = t;
+  return c;
+}
+
+TEST(KnnResultTest, LatencyAndIds) {
+  KnnResult r;
+  r.issued_at = 2.0;
+  r.completed_at = 3.5;
+  r.candidates = {C(5, 0, 0), C(2, 1, 0), C(9, 2, 0)};
+  EXPECT_DOUBLE_EQ(r.Latency(), 1.5);
+  EXPECT_EQ(r.CandidateIds(), (std::vector<NodeId>{5, 2, 9}));
+}
+
+TEST(PruneCandidatesTest, SortsByDistance) {
+  std::vector<KnnCandidate> cands = {C(1, 10, 0), C(2, 1, 0), C(3, 5, 0)};
+  PruneCandidates(&cands, {0, 0}, 10);
+  ASSERT_EQ(cands.size(), 3u);
+  EXPECT_EQ(cands[0].id, 2);
+  EXPECT_EQ(cands[1].id, 3);
+  EXPECT_EQ(cands[2].id, 1);
+}
+
+TEST(PruneCandidatesTest, TruncatesToCount) {
+  std::vector<KnnCandidate> cands;
+  for (int i = 0; i < 20; ++i) cands.push_back(C(i, i, 0));
+  PruneCandidates(&cands, {0, 0}, 5);
+  ASSERT_EQ(cands.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(cands[i].id, i);
+}
+
+TEST(PruneCandidatesTest, DeduplicatesKeepingFreshest) {
+  std::vector<KnnCandidate> cands = {C(7, 50, 0, /*t=*/1.0),
+                                     C(7, 2, 0, /*t=*/5.0),
+                                     C(8, 3, 0, /*t=*/1.0)};
+  PruneCandidates(&cands, {0, 0}, 10);
+  ASSERT_EQ(cands.size(), 2u);
+  EXPECT_EQ(cands[0].id, 7);
+  EXPECT_EQ(cands[0].position, Point(2, 0));  // The t=5 report survived.
+  EXPECT_DOUBLE_EQ(cands[0].sampled_at, 5.0);
+}
+
+TEST(PruneCandidatesTest, TiesBrokenById) {
+  std::vector<KnnCandidate> cands = {C(9, 3, 0), C(4, 0, 3), C(6, 3, 0)};
+  PruneCandidates(&cands, {0, 0}, 3);
+  EXPECT_EQ(cands[0].id, 4);
+  EXPECT_EQ(cands[1].id, 6);
+  EXPECT_EQ(cands[2].id, 9);
+}
+
+TEST(PruneCandidatesTest, EmptyInputStaysEmpty) {
+  std::vector<KnnCandidate> cands;
+  PruneCandidates(&cands, {0, 0}, 5);
+  EXPECT_TRUE(cands.empty());
+}
+
+TEST(PruneCandidatesTest, ZeroCountClears) {
+  std::vector<KnnCandidate> cands = {C(1, 1, 1)};
+  PruneCandidates(&cands, {0, 0}, 0);
+  EXPECT_TRUE(cands.empty());
+}
+
+}  // namespace
+}  // namespace diknn

@@ -1,0 +1,269 @@
+#include "baselines/rtree.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace diknn {
+namespace {
+
+// Brute-force KNN over (id, point) records for cross-checking.
+std::vector<int64_t> BruteKnn(const std::vector<std::pair<int64_t, Point>>& v,
+                              const Point& q, int k) {
+  auto sorted = v;
+  std::sort(sorted.begin(), sorted.end(), [&](const auto& a, const auto& b) {
+    const double da = SquaredDistance(a.second, q);
+    const double db = SquaredDistance(b.second, q);
+    if (da != db) return da < db;
+    return a.first < b.first;
+  });
+  std::vector<int64_t> out;
+  for (int i = 0; i < k && i < static_cast<int>(sorted.size()); ++i) {
+    out.push_back(sorted[i].first);
+  }
+  return out;
+}
+
+TEST(RTreeTest, EmptyTree) {
+  RTree tree;
+  EXPECT_TRUE(tree.Empty());
+  EXPECT_EQ(tree.Size(), 0u);
+  EXPECT_EQ(tree.Height(), 0);
+  EXPECT_TRUE(tree.Knn({0, 0}, 5).empty());
+  EXPECT_TRUE(tree.Range({{0, 0}, {10, 10}}).empty());
+  EXPECT_TRUE(tree.CheckInvariants());
+  EXPECT_FALSE(tree.Remove(1, {0, 0}));
+}
+
+TEST(RTreeTest, SingleInsertAndQuery) {
+  RTree tree;
+  tree.Insert(7, {3, 4});
+  EXPECT_EQ(tree.Size(), 1u);
+  EXPECT_EQ(tree.Height(), 1);
+  EXPECT_EQ(tree.Knn({0, 0}, 1), (std::vector<int64_t>{7}));
+  EXPECT_EQ(tree.Range({{0, 0}, {10, 10}}), (std::vector<int64_t>{7}));
+  EXPECT_TRUE(tree.Range({{5, 5}, {10, 10}}).empty());
+}
+
+TEST(RTreeTest, SplitsKeepAllRecords) {
+  RTree tree(4);  // Small fanout forces early splits.
+  for (int i = 0; i < 100; ++i) {
+    tree.Insert(i, {static_cast<double>(i % 10), static_cast<double>(i / 10)});
+  }
+  EXPECT_EQ(tree.Size(), 100u);
+  EXPECT_GT(tree.Height(), 1);
+  EXPECT_TRUE(tree.CheckInvariants());
+  const auto all = tree.Range({{-1, -1}, {11, 11}});
+  EXPECT_EQ(all.size(), 100u);
+  std::set<int64_t> ids(all.begin(), all.end());
+  EXPECT_EQ(ids.size(), 100u);
+}
+
+TEST(RTreeTest, KnnMatchesBruteForce) {
+  Rng rng(5);
+  RTree tree;
+  std::vector<std::pair<int64_t, Point>> records;
+  for (int i = 0; i < 300; ++i) {
+    const Point p = rng.PointInRect({{0, 0}, {100, 100}});
+    tree.Insert(i, p);
+    records.push_back({i, p});
+  }
+  for (int trial = 0; trial < 25; ++trial) {
+    const Point q = rng.PointInRect({{0, 0}, {100, 100}});
+    const int k = rng.UniformInt(1, 20);
+    EXPECT_EQ(tree.Knn(q, k), BruteKnn(records, q, k)) << "trial " << trial;
+  }
+}
+
+TEST(RTreeTest, KnnClampsToSize) {
+  RTree tree;
+  tree.Insert(1, {0, 0});
+  tree.Insert(2, {1, 1});
+  EXPECT_EQ(tree.Knn({0, 0}, 100).size(), 2u);
+}
+
+TEST(RTreeTest, RangeQueryCorrectness) {
+  Rng rng(6);
+  RTree tree;
+  std::vector<std::pair<int64_t, Point>> records;
+  for (int i = 0; i < 200; ++i) {
+    const Point p = rng.PointInRect({{0, 0}, {100, 100}});
+    tree.Insert(i, p);
+    records.push_back({i, p});
+  }
+  for (int trial = 0; trial < 20; ++trial) {
+    const Point a = rng.PointInRect({{0, 0}, {100, 100}});
+    const Point b = rng.PointInRect({{0, 0}, {100, 100}});
+    const Rect r{{std::min(a.x, b.x), std::min(a.y, b.y)},
+                 {std::max(a.x, b.x), std::max(a.y, b.y)}};
+    auto got = tree.Range(r);
+    std::sort(got.begin(), got.end());
+    std::vector<int64_t> want;
+    for (const auto& [id, p] : records) {
+      if (r.Contains(p)) want.push_back(id);
+    }
+    EXPECT_EQ(got, want) << "trial " << trial;
+  }
+}
+
+TEST(RTreeTest, RemoveExistingRecord) {
+  RTree tree;
+  tree.Insert(1, {5, 5});
+  tree.Insert(2, {6, 6});
+  EXPECT_TRUE(tree.Remove(1, {5, 5}));
+  EXPECT_EQ(tree.Size(), 1u);
+  EXPECT_EQ(tree.Knn({5, 5}, 1), (std::vector<int64_t>{2}));
+  EXPECT_FALSE(tree.Remove(1, {5, 5}));  // Already gone.
+}
+
+TEST(RTreeTest, RemoveRequiresMatchingPosition) {
+  RTree tree;
+  tree.Insert(1, {5, 5});
+  EXPECT_FALSE(tree.Remove(1, {5, 6}));
+  EXPECT_EQ(tree.Size(), 1u);
+}
+
+TEST(RTreeTest, RemoveAllThenReuse) {
+  RTree tree(4);
+  std::vector<Point> points;
+  for (int i = 0; i < 60; ++i) {
+    points.push_back({static_cast<double>(i), static_cast<double>(i % 7)});
+    tree.Insert(i, points.back());
+  }
+  for (int i = 0; i < 60; ++i) {
+    EXPECT_TRUE(tree.Remove(i, points[i])) << i;
+    EXPECT_TRUE(tree.CheckInvariants()) << i;
+  }
+  EXPECT_TRUE(tree.Empty());
+  tree.Insert(99, {1, 1});
+  EXPECT_EQ(tree.Knn({0, 0}, 1), (std::vector<int64_t>{99}));
+}
+
+// Property: a randomized insert/remove churn keeps the tree consistent
+// with a shadow set, exercising splits, condensation and reinsertion.
+class RTreeChurnTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RTreeChurnTest, MatchesShadowUnderChurn) {
+  const int fanout = GetParam();
+  Rng rng(77 + fanout);
+  RTree tree(fanout);
+  std::vector<std::pair<int64_t, Point>> shadow;
+  int64_t next_id = 0;
+
+  for (int step = 0; step < 2000; ++step) {
+    const bool insert = shadow.empty() || rng.Bernoulli(0.6);
+    if (insert) {
+      const Point p = rng.PointInRect({{0, 0}, {200, 200}});
+      tree.Insert(next_id, p);
+      shadow.push_back({next_id, p});
+      ++next_id;
+    } else {
+      const int idx = rng.UniformInt(0, static_cast<int>(shadow.size()) - 1);
+      ASSERT_TRUE(tree.Remove(shadow[idx].first, shadow[idx].second));
+      shadow.erase(shadow.begin() + idx);
+    }
+    ASSERT_EQ(tree.Size(), shadow.size());
+    if (step % 100 == 0) {
+      ASSERT_TRUE(tree.CheckInvariants()) << "step " << step;
+      const Point q = rng.PointInRect({{0, 0}, {200, 200}});
+      ASSERT_EQ(tree.Knn(q, 5), BruteKnn(shadow, q, 5)) << "step " << step;
+    }
+  }
+  ASSERT_TRUE(tree.CheckInvariants());
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, RTreeChurnTest,
+                         ::testing::Values(4, 8, 16));
+
+TEST(RTreeTest, BoundsTracksRecords) {
+  RTree tree;
+  EXPECT_TRUE(tree.Bounds().IsEmpty());
+  tree.Insert(1, {2, 3});
+  tree.Insert(2, {8, 1});
+  const Rect b = tree.Bounds();
+  EXPECT_EQ(b.min, Point(2, 1));
+  EXPECT_EQ(b.max, Point(8, 3));
+}
+
+TEST(RTreeTest, MoveSemantics) {
+  RTree a;
+  a.Insert(1, {1, 1});
+  RTree b = std::move(a);
+  EXPECT_EQ(b.Size(), 1u);
+  EXPECT_EQ(b.Knn({0, 0}, 1), (std::vector<int64_t>{1}));
+}
+
+TEST(RTreeBrowseTest, EmptyTreeHasNothing) {
+  RTree tree;
+  auto it = tree.Browse({0, 0});
+  EXPECT_FALSE(it.HasNext());
+}
+
+TEST(RTreeBrowseTest, YieldsInDistanceOrder) {
+  Rng rng(21);
+  RTree tree;
+  for (int i = 0; i < 500; ++i) {
+    tree.Insert(i, rng.PointInRect({{0, 0}, {300, 300}}));
+  }
+  const Point q{150, 150};
+  auto it = tree.Browse(q);
+  double prev = -1;
+  int count = 0;
+  while (it.HasNext()) {
+    const auto [id, dist] = it.Next();
+    EXPECT_GE(dist, prev);
+    EXPECT_GE(id, 0);
+    EXPECT_LT(id, 500);
+    prev = dist;
+    ++count;
+  }
+  EXPECT_EQ(count, 500);
+}
+
+TEST(RTreeBrowseTest, PrefixMatchesKnn) {
+  Rng rng(22);
+  RTree tree;
+  for (int i = 0; i < 200; ++i) {
+    tree.Insert(i, rng.PointInRect({{0, 0}, {100, 100}}));
+  }
+  const Point q{40, 60};
+  const auto knn = tree.Knn(q, 25);
+  auto it = tree.Browse(q);
+  for (int i = 0; i < 25; ++i) {
+    ASSERT_TRUE(it.HasNext());
+    EXPECT_EQ(it.Next().first, knn[i]) << "rank " << i;
+  }
+}
+
+TEST(RTreeBrowseTest, DistancesAreExact) {
+  RTree tree;
+  tree.Insert(1, {3, 4});
+  tree.Insert(2, {6, 8});
+  auto it = tree.Browse({0, 0});
+  auto [id1, d1] = it.Next();
+  EXPECT_EQ(id1, 1);
+  EXPECT_DOUBLE_EQ(d1, 5.0);
+  auto [id2, d2] = it.Next();
+  EXPECT_EQ(id2, 2);
+  EXPECT_DOUBLE_EQ(d2, 10.0);
+  EXPECT_FALSE(it.HasNext());
+}
+
+TEST(RTreeTest, DuplicatePositionsSupported) {
+  RTree tree;
+  tree.Insert(1, {5, 5});
+  tree.Insert(2, {5, 5});
+  EXPECT_EQ(tree.Size(), 2u);
+  auto knn = tree.Knn({5, 5}, 2);
+  std::sort(knn.begin(), knn.end());
+  EXPECT_EQ(knn, (std::vector<int64_t>{1, 2}));
+  EXPECT_TRUE(tree.Remove(1, {5, 5}));
+  EXPECT_EQ(tree.Knn({5, 5}, 2), (std::vector<int64_t>{2}));
+}
+
+}  // namespace
+}  // namespace diknn

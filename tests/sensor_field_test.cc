@@ -1,0 +1,102 @@
+#include "net/sensor_field.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace diknn {
+namespace {
+
+TEST(SensorFieldTest, BaselineOnly) {
+  SensorField field(7.5, {});
+  EXPECT_DOUBLE_EQ(field.Value({0, 0}, 0.0), 7.5);
+  EXPECT_DOUBLE_EQ(field.Value({100, -3}, 42.0), 7.5);
+}
+
+TEST(SensorFieldTest, PeakAtSourceCenter) {
+  FieldSource source;
+  source.start = {50, 50};
+  source.amplitude = 10.0;
+  source.sigma = 15.0;
+  SensorField field(1.0, {source});
+  EXPECT_DOUBLE_EQ(field.Value({50, 50}, 0.0), 11.0);
+  // One sigma out: amplitude * exp(-1/2).
+  EXPECT_NEAR(field.Value({65, 50}, 0.0),
+              1.0 + 10.0 * std::exp(-0.5), 1e-9);
+  // Far away: baseline.
+  EXPECT_NEAR(field.Value({500, 500}, 0.0), 1.0, 1e-9);
+}
+
+TEST(SensorFieldTest, ValueDecaysMonotonicallyFromCenter) {
+  FieldSource source;
+  source.start = {0, 0};
+  source.amplitude = 5.0;
+  source.sigma = 10.0;
+  SensorField field(0.0, {source});
+  double prev = field.Value({0, 0}, 0.0);
+  for (double d = 2.0; d <= 60.0; d += 2.0) {
+    const double v = field.Value({d, 0}, 0.0);
+    EXPECT_LT(v, prev);
+    prev = v;
+  }
+}
+
+TEST(SensorFieldTest, SourcesDrift) {
+  FieldSource source;
+  source.start = {0, 0};
+  source.velocity = {2.0, 1.0};
+  source.amplitude = 5.0;
+  SensorField field(0.0, {source});
+  EXPECT_EQ(field.SourcePosition(0, 10.0), Point(20, 10));
+  // The peak follows the source.
+  EXPECT_GT(field.Value({20, 10}, 10.0), field.Value({0, 0}, 10.0));
+}
+
+TEST(SensorFieldTest, SourcesSuperpose) {
+  FieldSource a, b;
+  a.start = {0, 0};
+  a.amplitude = 3.0;
+  a.sigma = 10.0;
+  b.start = {0, 0};
+  b.amplitude = 4.0;
+  b.sigma = 10.0;
+  SensorField field(0.0, {a, b});
+  EXPECT_DOUBLE_EQ(field.Value({0, 0}, 0.0), 7.0);
+}
+
+TEST(SensorFieldTest, SampleNoiseHasRequestedSpread) {
+  SensorField field(10.0, {}, /*noise_stddev=*/2.0, /*noise_seed=*/3);
+  const int n = 20000;
+  double sum = 0, sq = 0;
+  for (int i = 0; i < n; ++i) {
+    const double v = field.Sample({0, 0}, 0.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double stddev = std::sqrt(sq / n - mean * mean);
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(stddev, 2.0, 0.1);
+}
+
+TEST(SensorFieldTest, NoiselessSampleEqualsValue) {
+  SensorField field(3.0, {});
+  EXPECT_DOUBLE_EQ(field.Sample({1, 2}, 0.0), field.Value({1, 2}, 0.0));
+}
+
+TEST(SensorFieldTest, RandomFactoryRespectsBounds) {
+  const Rect bounds{{0, 0}, {100, 100}};
+  SensorField field =
+      SensorField::Random(bounds, 5, 10.0, 15.0, 2.0, /*seed=*/9);
+  EXPECT_EQ(field.num_sources(), 5u);
+  for (size_t i = 0; i < field.num_sources(); ++i) {
+    EXPECT_TRUE(bounds.Contains(field.SourcePosition(i, 0.0)));
+  }
+  // Deterministic for the seed.
+  SensorField again =
+      SensorField::Random(bounds, 5, 10.0, 15.0, 2.0, /*seed=*/9);
+  EXPECT_EQ(field.Value({30, 30}, 5.0), again.Value({30, 30}, 5.0));
+}
+
+}  // namespace
+}  // namespace diknn

@@ -1,0 +1,122 @@
+#include "sim/simulator.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace diknn {
+namespace {
+
+TEST(SimulatorTest, ClockStartsAtZero) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.Now(), 0.0);
+}
+
+TEST(SimulatorTest, ClockAdvancesWithEvents) {
+  Simulator sim;
+  std::vector<double> observed;
+  sim.ScheduleAt(1.5, [&] { observed.push_back(sim.Now()); });
+  sim.ScheduleAt(0.5, [&] { observed.push_back(sim.Now()); });
+  sim.Run();
+  EXPECT_EQ(observed, (std::vector<double>{0.5, 1.5}));
+  EXPECT_DOUBLE_EQ(sim.Now(), 1.5);
+}
+
+TEST(SimulatorTest, ScheduleAfterIsRelative) {
+  Simulator sim;
+  double fired_at = -1;
+  sim.ScheduleAt(2.0, [&] {
+    sim.ScheduleAfter(3.0, [&] { fired_at = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_DOUBLE_EQ(fired_at, 5.0);
+}
+
+TEST(SimulatorTest, RunUntilStopsAndAdvancesClock) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.ScheduleAt(i, [&] { ++fired; });
+  }
+  const uint64_t executed = sim.RunUntil(4.5);
+  EXPECT_EQ(executed, 4u);
+  EXPECT_EQ(fired, 4);
+  EXPECT_DOUBLE_EQ(sim.Now(), 4.5);  // Advances even without an event.
+  sim.RunUntil(20.0);
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(SimulatorTest, RunUntilIncludesBoundary) {
+  Simulator sim;
+  bool fired = false;
+  sim.ScheduleAt(3.0, [&] { fired = true; });
+  sim.RunUntil(3.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorTest, EventsCanScheduleEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&]() {
+    if (++depth < 5) sim.ScheduleAfter(1.0, recurse);
+  };
+  sim.ScheduleAt(0.0, recurse);
+  sim.Run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_DOUBLE_EQ(sim.Now(), 4.0);
+}
+
+TEST(SimulatorTest, CancelPending) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.ScheduleAt(1.0, [&] { fired = true; });
+  EXPECT_TRUE(sim.IsPending(id));
+  sim.Cancel(id);
+  EXPECT_FALSE(sim.IsPending(id));
+  sim.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, PeriodicFiresUntilFalse) {
+  Simulator sim;
+  int count = 0;
+  std::vector<double> times;
+  sim.SchedulePeriodic(0.5, 1.0, [&] {
+    times.push_back(sim.Now());
+    return ++count < 3;
+  });
+  sim.RunUntil(10.0);
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(times, (std::vector<double>{0.5, 1.5, 2.5}));
+}
+
+TEST(SimulatorTest, PeriodicForever) {
+  Simulator sim;
+  int count = 0;
+  sim.SchedulePeriodic(0.0, 0.1, [&] {
+    ++count;
+    return true;
+  });
+  sim.RunUntil(1.0);
+  EXPECT_EQ(count, 11);  // t = 0.0, 0.1, ..., 1.0.
+}
+
+TEST(SimulatorTest, RunWithEventCap) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 0; i < 100; ++i) sim.ScheduleAt(i, [&] { ++fired; });
+  const uint64_t executed = sim.Run(10);
+  EXPECT_EQ(executed, 10u);
+  EXPECT_EQ(fired, 10);
+  EXPECT_EQ(sim.pending_events(), 90u);
+}
+
+TEST(SimulatorTest, CountsExecutedEvents) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.ScheduleAt(i, [] {});
+  sim.Run();
+  EXPECT_EQ(sim.events_executed(), 7u);
+}
+
+}  // namespace
+}  // namespace diknn

@@ -1,0 +1,97 @@
+#include "harness/trace.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+
+namespace diknn {
+namespace {
+
+NetworkConfig SmallConfig() {
+  NetworkConfig config;
+  config.node_count = 60;
+  config.field = Rect::Field(90, 90);
+  config.seed = 6;
+  return config;
+}
+
+TEST(TraceTest, RecordsBeacons) {
+  Network net(SmallConfig());
+  TraceRecorder trace(&net);
+  net.Warmup(2.0);
+  EXPECT_GT(trace.entries().size(), 100u);  // 60 nodes x 4 rounds.
+  for (const TraceEntry& e : trace.entries()) {
+    EXPECT_EQ(e.type, MessageType::kBeacon);
+    EXPECT_GE(e.time, 0.0);
+    EXPECT_TRUE(net.config().field.Contains(e.position));
+    EXPECT_EQ(e.bytes, kBeaconBodyBytes + kMacHeaderBytes);
+  }
+}
+
+TEST(TraceTest, SummaryMatchesEntryCounts) {
+  Network net(SmallConfig());
+  TraceRecorder trace(&net);
+  net.Warmup(2.0);
+  const auto summary = trace.Summarize();
+  ASSERT_TRUE(summary.contains(MessageType::kBeacon));
+  EXPECT_EQ(summary.at(MessageType::kBeacon).frames,
+            trace.entries().size());
+  EXPECT_EQ(summary.at(MessageType::kBeacon).bytes,
+            trace.entries().size() * (kBeaconBodyBytes + kMacHeaderBytes));
+}
+
+TEST(TraceTest, CapturesQueryTraffic) {
+  ExperimentConfig config;
+  config.protocol = ProtocolKind::kDiknn;
+  ProtocolStack stack(config, 7);
+  Network& net = stack.network();
+  TraceRecorder trace(&net);
+  net.Warmup(2.0);
+  trace.Clear();  // Drop the warm-up beacons.
+
+  bool done = false;
+  stack.protocol().IssueQuery(0, {57, 57}, 10,
+                              [&](const KnnResult&) { done = true; });
+  while (!done) net.sim().RunUntil(net.sim().Now() + 0.25);
+
+  const auto summary = trace.Summarize();
+  EXPECT_TRUE(summary.contains(MessageType::kGeoRouted));
+  EXPECT_TRUE(summary.contains(MessageType::kDiknnProbe));
+  EXPECT_TRUE(summary.contains(MessageType::kDiknnDataReply));
+  EXPECT_TRUE(summary.contains(MessageType::kDiknnForward));
+  // ACKs are real frames and show up too.
+  EXPECT_TRUE(summary.contains(MessageType::kMacAck));
+  // Filter returns only the requested type.
+  for (const TraceEntry& e : trace.Filter(MessageType::kDiknnProbe)) {
+    EXPECT_EQ(e.type, MessageType::kDiknnProbe);
+  }
+}
+
+TEST(TraceTest, CsvExportIsWellFormed) {
+  Network net(SmallConfig());
+  TraceRecorder trace(&net);
+  net.Warmup(1.0);
+  std::ostringstream os;
+  trace.WriteCsv(os);
+  const std::string csv = os.str();
+  EXPECT_EQ(csv.find("time,sender,x,y,type,bytes"), 0u);
+  // One header plus one line per entry.
+  const size_t lines = std::count(csv.begin(), csv.end(), '\n');
+  EXPECT_EQ(lines, trace.entries().size() + 1);
+  EXPECT_NE(csv.find("Beacon"), std::string::npos);
+}
+
+TEST(TraceTest, DetachStopsRecording) {
+  Network net(SmallConfig());
+  TraceRecorder trace(&net);
+  net.Warmup(1.0);
+  const size_t before = trace.entries().size();
+  trace.Detach();
+  net.sim().RunUntil(net.sim().Now() + 2.0);
+  EXPECT_EQ(trace.entries().size(), before);
+}
+
+}  // namespace
+}  // namespace diknn

@@ -1,0 +1,207 @@
+#include "knn/window.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+namespace diknn {
+namespace {
+
+TEST(SerpentinePathTest, SingleLineWindow) {
+  // A window thinner than the spacing collapses to one scan line.
+  const SerpentinePath path({{0, 0}, {100, 10}}, 17.3);
+  EXPECT_EQ(path.num_lines(), 1);
+  EXPECT_NEAR(path.TotalLength(), 100.0, 1e-9);
+  EXPECT_NEAR(path.PointAt(0.0).x, 0.0, 1e-9);
+  EXPECT_NEAR(path.PointAt(100.0).x, 100.0, 1e-9);
+}
+
+TEST(SerpentinePathTest, LinesAlternateDirection) {
+  const SerpentinePath path({{0, 0}, {100, 40}}, 17.3);
+  ASSERT_GE(path.num_lines(), 2);
+  const double segment = 100.0 + 17.3;
+  // Start of line 0 is on the left; start of line 1 on the right.
+  EXPECT_NEAR(path.PointAt(0.0).x, 0.0, 1e-9);
+  EXPECT_NEAR(path.PointAt(segment).x, 100.0, 1e-9);
+}
+
+TEST(SerpentinePathTest, StaysInsideWindow) {
+  const Rect window{{10, 20}, {90, 80}};
+  const SerpentinePath path(window, 17.3);
+  for (double s = 0; s <= path.TotalLength(); s += 1.0) {
+    EXPECT_TRUE(window.Contains(path.PointAt(s))) << "s=" << s;
+  }
+}
+
+TEST(SerpentinePathTest, IsOneLipschitz) {
+  const SerpentinePath path({{0, 0}, {70, 70}}, 12.0);
+  Point prev = path.PointAt(0.0);
+  for (double s = 0.5; s <= path.TotalLength(); s += 0.5) {
+    const Point cur = path.PointAt(s);
+    EXPECT_LE(Distance(prev, cur), 0.5 + 1e-9);
+    prev = cur;
+  }
+}
+
+TEST(SerpentinePathTest, CoversWindow) {
+  // Every point of the window is within spacing/2 + epsilon of the path
+  // (sampled check).
+  const Rect window{{0, 0}, {60, 60}};
+  const double spacing = 17.3;
+  const SerpentinePath path(window, spacing);
+  Rng rng(5);
+  for (int i = 0; i < 300; ++i) {
+    const Point p = rng.PointInRect(window);
+    double best = 1e18;
+    for (double s = 0; s <= path.TotalLength(); s += 1.0) {
+      best = std::min(best, Distance(p, path.PointAt(s)));
+    }
+    EXPECT_LE(best, spacing / 2 + 1.0) << p;
+  }
+}
+
+struct Rig {
+  explicit Rig(NetworkConfig config, WindowQueryParams params = {})
+      : net(config), gpsr(&net), protocol(&net, &gpsr, params) {
+    gpsr.Install();
+    protocol.Install();
+    net.Warmup(2.0);
+  }
+
+  WindowResult RunQuery(NodeId sink, const Rect& window,
+                        double horizon = 15.0) {
+    WindowResult out;
+    bool done = false;
+    protocol.IssueQuery(sink, window, [&](const WindowResult& r) {
+      out = r;
+      done = true;
+    });
+    const SimTime deadline = net.sim().Now() + horizon;
+    while (!done && net.sim().Now() < deadline) {
+      net.sim().RunUntil(net.sim().Now() + 0.25);
+    }
+    EXPECT_TRUE(done) << "window query never completed";
+    return out;
+  }
+
+  Network net;
+  GpsrRouting gpsr;
+  ItineraryWindowQuery protocol;
+};
+
+NetworkConfig DefaultConfig() {
+  NetworkConfig config;
+  config.seed = 7;
+  config.static_node_count = 1;
+  return config;
+}
+
+TEST(WindowQueryTest, CollectsNodesInWindowOnStaticNetwork) {
+  NetworkConfig config = DefaultConfig();
+  config.mobility = MobilityKind::kStatic;
+  Rig rig(config);
+  const Rect window{{40, 40}, {80, 80}};
+  const WindowResult result = rig.RunQuery(0, window);
+  EXPECT_FALSE(result.timed_out);
+
+  // Ground truth: which nodes are inside the window.
+  std::unordered_set<NodeId> truth;
+  for (int i = 0; i < rig.net.size(); ++i) {
+    if (window.Contains(rig.net.node(i)->Position())) truth.insert(i);
+  }
+  ASSERT_GT(truth.size(), 5u);
+  int hits = 0;
+  for (const KnnCandidate& c : result.nodes) {
+    if (truth.contains(c.id)) ++hits;
+  }
+  // The sweep collects the overwhelming majority of in-window nodes.
+  EXPECT_GE(static_cast<double>(hits) / truth.size(), 0.85);
+}
+
+TEST(WindowQueryTest, ReportedPositionsWereInsideWindow) {
+  NetworkConfig config = DefaultConfig();
+  config.mobility = MobilityKind::kStatic;
+  Rig rig(config);
+  const Rect window{{20, 50}, {70, 95}};
+  const WindowResult result = rig.RunQuery(0, window);
+  for (const KnnCandidate& c : result.nodes) {
+    EXPECT_TRUE(window.Contains(c.position)) << c.id;
+  }
+}
+
+TEST(WindowQueryTest, NoDuplicates) {
+  Rig rig(DefaultConfig());
+  const WindowResult result = rig.RunQuery(0, {{30, 30}, {90, 90}});
+  std::unordered_set<NodeId> seen;
+  for (const KnnCandidate& c : result.nodes) {
+    EXPECT_TRUE(seen.insert(c.id).second) << "duplicate " << c.id;
+  }
+}
+
+TEST(WindowQueryTest, WorksUnderMobility) {
+  Rig rig(DefaultConfig());
+  const WindowResult result = rig.RunQuery(0, {{40, 40}, {85, 85}});
+  EXPECT_FALSE(result.timed_out);
+  EXPECT_GT(result.nodes.size(), 8u);
+  EXPECT_GT(rig.protocol.stats().qnode_hops, 3u);
+}
+
+TEST(WindowQueryTest, EmptyWindowReturnsNothing) {
+  NetworkConfig config = DefaultConfig();
+  config.mobility = MobilityKind::kStatic;
+  Rig rig(config);
+  // A sliver of the field with (almost certainly) nobody inside: still
+  // completes, just empty-handed.
+  const WindowResult result = rig.RunQuery(0, {{0, 0}, {2, 2}});
+  EXPECT_LE(result.nodes.size(), 1u);
+}
+
+// Parameterized sweep: varying widths and window shapes keep recall and
+// the no-duplicates invariant.
+class WindowSweepTest
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(WindowSweepTest, RecallAndInvariantsHold) {
+  const auto [width, side] = GetParam();
+  NetworkConfig config = DefaultConfig();
+  config.mobility = MobilityKind::kStatic;
+  WindowQueryParams params;
+  params.width = width;
+  Rig rig(config, params);
+  const Rect window{{57.5 - side / 2, 57.5 - side / 2},
+                    {57.5 + side / 2, 57.5 + side / 2}};
+  const WindowResult result = rig.RunQuery(0, window, 25.0);
+  EXPECT_FALSE(result.timed_out);
+
+  std::unordered_set<NodeId> truth, seen;
+  for (int i = 0; i < rig.net.size(); ++i) {
+    if (window.Contains(rig.net.node(i)->Position())) truth.insert(i);
+  }
+  int hits = 0;
+  for (const KnnCandidate& c : result.nodes) {
+    EXPECT_TRUE(seen.insert(c.id).second);
+    if (truth.contains(c.id)) ++hits;
+  }
+  if (!truth.empty()) {
+    EXPECT_GE(static_cast<double>(hits) / truth.size(), 0.75)
+        << "w=" << width << " side=" << side;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WindowSweepTest,
+    ::testing::Combine(::testing::Values(10.0, 17.32),
+                       ::testing::Values(30.0, 50.0)));
+
+TEST(WindowQueryTest, StatsCoherent) {
+  Rig rig(DefaultConfig());
+  rig.RunQuery(0, {{40, 40}, {80, 80}});
+  const WindowQueryStats& stats = rig.protocol.stats();
+  EXPECT_EQ(stats.queries_issued, 1u);
+  EXPECT_EQ(stats.queries_completed + stats.timeouts, 1u);
+  EXPECT_GT(stats.replies, 0u);
+}
+
+}  // namespace
+}  // namespace diknn

@@ -1,0 +1,229 @@
+// diknn_sim — command-line experiment runner.
+//
+// Runs the paper's workload (Poisson query arrivals over a mobile sensor
+// field) for any protocol and parameterization, printing a human-readable
+// summary or CSV. The scriptable face of the library: everything the
+// bench binaries sweep can be reproduced point-by-point from here.
+//
+//   $ diknn_sim --protocol diknn --k 40 --runs 5
+//   $ diknn_sim --protocol kpt --speed 30 --csv
+//   $ diknn_sim --protocol diknn --trace /tmp/frames.csv --runs 1
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "harness/experiment.h"
+#include "harness/trace.h"
+
+namespace {
+
+using namespace diknn;
+
+void PrintUsage(const char* argv0) {
+  std::printf(
+      "usage: %s [options]\n"
+      "\n"
+      "workload:\n"
+      "  --protocol NAME   diknn | kpt | peertree | flooding | centralized"
+      "  (default diknn)\n"
+      "  --k N             neighbors per query (default 40)\n"
+      "  --runs N          seeded repetitions (default 3; paper used 20)\n"
+      "  --duration S      simulated seconds per run (default 100)\n"
+      "  --seed N          base seed (default 42)\n"
+      "  --interval S      mean query interval, exponential (default 4)\n"
+      "\n"
+      "network:\n"
+      "  --nodes N         sensor count (default 200)\n"
+      "  --field W         square field side in meters (default 115)\n"
+      "  --speed MU        random-waypoint max speed m/s (default 10)\n"
+      "  --range R         radio range in meters (default 20)\n"
+      "  --loss P          packet loss rate 0..1 (default 0)\n"
+      "  --placement NAME  uniform | grid | clustered (default uniform)\n"
+      "  --mobility NAME   rwp | static | group (default rwp)\n"
+      "\n"
+      "diknn:\n"
+      "  --sectors S       itinerary sectors (default 8)\n"
+      "  --no-rendezvous   disable dynamic boundary adjustment\n"
+      "  --gain G          mobility assurance gain (default 0.1)\n"
+      "\n"
+      "output:\n"
+      "  --csv             machine-readable one-line-per-run output\n"
+      "  --trace FILE      write a per-frame CSV trace (first run only)\n"
+      "  --help            this text\n",
+      argv0);
+}
+
+std::optional<ProtocolKind> ParseProtocol(const std::string& name) {
+  if (name == "diknn") return ProtocolKind::kDiknn;
+  if (name == "kpt") return ProtocolKind::kKptKnnb;
+  if (name == "peertree") return ProtocolKind::kPeerTree;
+  if (name == "flooding") return ProtocolKind::kFlooding;
+  if (name == "centralized") return ProtocolKind::kCentralized;
+  return std::nullopt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ExperimentConfig config;
+  config.runs = 3;
+  bool csv = false;
+  std::string trace_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage(argv[0]);
+      return 0;
+    } else if (arg == "--protocol") {
+      const auto kind = ParseProtocol(next_value());
+      if (!kind) {
+        std::fprintf(stderr, "unknown protocol\n");
+        return 2;
+      }
+      config.protocol = *kind;
+    } else if (arg == "--k") {
+      config.k = std::atoi(next_value());
+    } else if (arg == "--runs") {
+      config.runs = std::atoi(next_value());
+    } else if (arg == "--duration") {
+      config.duration = std::atof(next_value());
+    } else if (arg == "--seed") {
+      config.base_seed = std::strtoull(next_value(), nullptr, 10);
+    } else if (arg == "--interval") {
+      config.query_interval_mean = std::atof(next_value());
+    } else if (arg == "--nodes") {
+      config.network.node_count = std::atoi(next_value());
+    } else if (arg == "--field") {
+      const double side = std::atof(next_value());
+      config.network.field = Rect::Field(side, side);
+    } else if (arg == "--speed") {
+      config.network.max_speed = std::atof(next_value());
+    } else if (arg == "--range") {
+      config.network.radio_range_m = std::atof(next_value());
+    } else if (arg == "--loss") {
+      config.network.loss_rate = std::atof(next_value());
+    } else if (arg == "--placement") {
+      const std::string name = next_value();
+      if (name == "uniform") {
+        config.network.placement = PlacementKind::kUniform;
+      } else if (name == "grid") {
+        config.network.placement = PlacementKind::kGrid;
+      } else if (name == "clustered") {
+        config.network.placement = PlacementKind::kClustered;
+      } else {
+        std::fprintf(stderr, "unknown placement\n");
+        return 2;
+      }
+    } else if (arg == "--mobility") {
+      const std::string name = next_value();
+      if (name == "rwp") {
+        config.network.mobility = MobilityKind::kRandomWaypoint;
+      } else if (name == "static") {
+        config.network.mobility = MobilityKind::kStatic;
+      } else if (name == "group") {
+        config.network.mobility = MobilityKind::kGroup;
+      } else {
+        std::fprintf(stderr, "unknown mobility\n");
+        return 2;
+      }
+    } else if (arg == "--sectors") {
+      config.diknn.num_sectors = std::atoi(next_value());
+    } else if (arg == "--no-rendezvous") {
+      config.diknn.rendezvous = false;
+    } else if (arg == "--gain") {
+      config.diknn.assurance_gain = std::atof(next_value());
+      config.diknn.mobility_assurance = config.diknn.assurance_gain > 0;
+    } else if (arg == "--csv") {
+      csv = true;
+    } else if (arg == "--trace") {
+      trace_path = next_value();
+    } else {
+      std::fprintf(stderr, "unknown option %s (try --help)\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  if (config.k <= 0 || config.runs <= 0 ||
+      config.network.node_count <= 0) {
+    std::fprintf(stderr, "k, runs and nodes must be positive\n");
+    return 2;
+  }
+
+  if (csv) {
+    std::printf(
+        "protocol,k,seed,queries,timeouts,latency_s,energy_j,pre_acc,"
+        "post_acc,avg_degree\n");
+  } else {
+    std::printf("%s: k=%d, %d run(s) x %.0fs, %d nodes on %.0fx%.0f m, "
+                "mu_max=%.0f m/s\n",
+                ProtocolName(config.protocol), config.k, config.runs,
+                config.duration, config.network.node_count,
+                config.network.field.Width(),
+                config.network.field.Height(), config.network.max_speed);
+  }
+
+  std::vector<RunMetrics> runs;
+  for (int i = 0; i < config.runs; ++i) {
+    const uint64_t seed = config.base_seed + i;
+
+    if (!trace_path.empty() && i == 0) {
+      // Trace run: drive the stack manually so the recorder sees it.
+      ProtocolStack stack(config, seed);
+      TraceRecorder recorder(&stack.network());
+      // One representative query instead of the whole workload.
+      stack.network().Warmup(config.warmup);
+      bool done = false;
+      stack.protocol().IssueQuery(
+          0, stack.network().config().field.Center(), config.k,
+          [&](const KnnResult&) { done = true; });
+      Simulator& sim = stack.network().sim();
+      while (!done && sim.Now() < 30.0) sim.RunUntil(sim.Now() + 0.25);
+      std::ofstream out(trace_path);
+      recorder.WriteCsv(out);
+      std::fprintf(stderr, "wrote %zu frames to %s\n",
+                   recorder.entries().size(), trace_path.c_str());
+    }
+
+    const RunMetrics m = RunOnce(config, seed);
+    runs.push_back(m);
+    if (csv) {
+      std::printf("%s,%d,%llu,%d,%d,%.4f,%.4f,%.4f,%.4f,%.2f\n",
+                  ProtocolName(config.protocol), config.k,
+                  static_cast<unsigned long long>(seed), m.queries,
+                  m.timeouts, m.avg_latency, m.energy_joules,
+                  m.avg_pre_accuracy, m.avg_post_accuracy,
+                  m.average_degree);
+    } else {
+      std::printf("  run %d (seed %llu): %d queries, latency %.2fs, "
+                  "energy %.3fJ, pre %.2f, post %.2f%s\n",
+                  i, static_cast<unsigned long long>(seed), m.queries,
+                  m.avg_latency, m.energy_joules, m.avg_pre_accuracy,
+                  m.avg_post_accuracy,
+                  m.timeouts > 0 ? " (timeouts)" : "");
+    }
+    std::fflush(stdout);
+  }
+
+  if (!csv) {
+    const ExperimentMetrics agg = AggregateRuns(runs);
+    std::printf("mean: latency %.2f±%.2fs, energy %.3fJ, pre %.2f, "
+                "post %.2f, timeout rate %.0f%%\n",
+                agg.latency.mean, agg.latency.stddev, agg.energy.mean,
+                agg.pre_accuracy.mean, agg.post_accuracy.mean,
+                100 * agg.timeout_rate.mean);
+  }
+  return 0;
+}

@@ -1,0 +1,164 @@
+// bench_channel — channel-layer scalability microbenchmark.
+//
+// Drives a constant-density barrage of broadcast frames (plus a carrier-
+// sense probe per frame, mimicking CSMA) through the radio substrate at
+// N in {250, 1000, 4000} nodes, once with the brute-force O(N) scan and
+// once with the spatial grid, and reports wall-clock frames/sec. Verifies
+// on the way that both modes produce identical traffic counters (the
+// grid's bit-identical contract). Emits machine-readable
+// BENCH_channel.json in the working directory so the perf trajectory can
+// be tracked across PRs.
+//
+// Env knobs: DIKNN_BENCH_FRAMES (frames per configuration, default 8000),
+// DIKNN_BENCH_SIZES (comma-separated node counts).
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "net/network.h"
+
+namespace {
+
+using namespace diknn;
+
+struct Result {
+  int nodes = 0;
+  bool grid = false;
+  int frames = 0;
+  double wall_s = 0.0;
+  double frames_per_s = 0.0;
+  ChannelStats stats;
+};
+
+int FramesFromEnv() {
+  const char* env = std::getenv("DIKNN_BENCH_FRAMES");
+  const int frames = env != nullptr ? std::atoi(env) : 0;
+  return frames > 0 ? frames : 8000;
+}
+
+std::vector<int> SizesFromEnv() {
+  const char* env = std::getenv("DIKNN_BENCH_SIZES");
+  if (env == nullptr) return {250, 1000, 4000};
+  std::vector<int> sizes;
+  for (const char* p = env; *p != '\0';) {
+    char* end = nullptr;
+    const long v = std::strtol(p, &end, 10);
+    if (end == p) break;
+    if (v > 0) sizes.push_back(static_cast<int>(v));
+    p = (*end == ',') ? end + 1 : end;
+  }
+  return sizes.empty() ? std::vector<int>{250, 1000, 4000} : sizes;
+}
+
+Result RunBarrage(int node_count, bool grid, int frames) {
+  NetworkConfig config;
+  config.node_count = node_count;
+  // Constant density: scale the paper's 115x115 m / 200-node field.
+  const double side = 115.0 * std::sqrt(node_count / 200.0);
+  config.field = Rect::Field(side, side);
+  config.mobility = MobilityKind::kRandomWaypoint;
+  config.use_spatial_grid = grid;
+  config.seed = 99;
+  Network net(config);
+  Channel& channel = net.channel();
+
+  // Round-robin senders, uniform arrival spacing over enough simulated
+  // time that mobility crosses many grid refresh intervals (40 at the
+  // default 0.25 s). Each frame carrier-senses first, like the MAC does.
+  const double sim_span = 10.0;
+  const double gap = sim_span / frames;
+  std::vector<Node*> nodes = net.AllNodes();
+  for (int i = 0; i < frames; ++i) {
+    Node* sender = nodes[i % nodes.size()];
+    net.sim().ScheduleAt(i * gap, [&channel, sender]() {
+      Packet p;
+      p.type = MessageType::kBeacon;
+      p.dst = kBroadcastId;
+      p.size_bytes = 32;
+      p.uid = 0;
+      (void)channel.IsBusyAt(sender->Position());
+      channel.Transmit(sender, p);
+    });
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  net.sim().Run();
+  const auto stop = std::chrono::steady_clock::now();
+
+  Result r;
+  r.nodes = node_count;
+  r.grid = grid;
+  r.frames = frames;
+  r.wall_s = std::chrono::duration<double>(stop - start).count();
+  r.frames_per_s = frames / std::max(r.wall_s, 1e-9);
+  r.stats = channel.stats();
+  return r;
+}
+
+bool SameTraffic(const ChannelStats& a, const ChannelStats& b) {
+  return a.frames_sent == b.frames_sent &&
+         a.receptions_attempted == b.receptions_attempted &&
+         a.receptions_delivered == b.receptions_delivered &&
+         a.receptions_collided == b.receptions_collided &&
+         a.receptions_lost == b.receptions_lost;
+}
+
+void WriteJson(const std::vector<Result>& results, bool all_equal) {
+  std::ofstream out("BENCH_channel.json");
+  out << "{\n  \"bench\": \"channel\",\n  \"equivalent\": "
+      << (all_equal ? "true" : "false") << ",\n  \"results\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    out << "    {\"nodes\": " << r.nodes << ", \"mode\": \""
+        << (r.grid ? "grid" : "brute") << "\", \"frames\": " << r.frames
+        << ", \"wall_s\": " << r.wall_s
+        << ", \"frames_per_s\": " << r.frames_per_s
+        << ", \"candidates_scanned\": " << r.stats.candidates_scanned
+        << ", \"delivered\": " << r.stats.receptions_delivered << "}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main() {
+  const int frames = FramesFromEnv();
+  const std::vector<int> sizes = SizesFromEnv();
+
+  std::printf("=== bench_channel: %d frames per config ===\n", frames);
+  std::printf("%-8s %-7s %12s %10s %16s %10s\n", "nodes", "mode",
+              "frames/sec", "wall(s)", "cand/frame", "speedup");
+
+  std::vector<Result> results;
+  bool all_equal = true;
+  for (int n : sizes) {
+    const Result brute = RunBarrage(n, /*grid=*/false, frames);
+    const Result grid = RunBarrage(n, /*grid=*/true, frames);
+    all_equal = all_equal && SameTraffic(brute.stats, grid.stats);
+    for (const Result& r : {brute, grid}) {
+      std::printf("%-8d %-7s %12.0f %10.3f %16.1f %10s\n", r.nodes,
+                  r.grid ? "grid" : "brute", r.frames_per_s, r.wall_s,
+                  static_cast<double>(r.stats.candidates_scanned) / r.frames,
+                  r.grid ? "" : "-");
+    }
+    std::printf("%-8d speedup: %.2fx (grid vs brute)\n", n,
+                grid.frames_per_s / brute.frames_per_s);
+    results.push_back(brute);
+    results.push_back(grid);
+  }
+
+  if (!all_equal) {
+    std::fprintf(stderr,
+                 "FAIL: grid and brute-force traffic counters diverged\n");
+  }
+  WriteJson(results, all_equal);
+  std::printf("wrote BENCH_channel.json\n");
+  return all_equal ? 0 : 1;
+}

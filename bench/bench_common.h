@@ -9,9 +9,11 @@
 #ifndef DIKNN_BENCH_BENCH_COMMON_H_
 #define DIKNN_BENCH_BENCH_COMMON_H_
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 
 #include "harness/experiment.h"
 
@@ -33,6 +35,16 @@ inline double DurationFromEnv(double fallback = 100.0) {
   return d > 0 ? d : fallback;
 }
 
+/// Worker threads for RunExperiment repetitions. Defaults to the
+/// hardware concurrency (metrics are bit-identical at any job count);
+/// override with DIKNN_JOBS.
+inline int JobsFromEnv(int fallback = 0) {
+  const char* env = std::getenv("DIKNN_JOBS");
+  const int jobs = env != nullptr ? std::atoi(env) : fallback;
+  if (jobs > 0) return jobs;
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
 /// The paper's Section 5.1 default experiment, parameterized by protocol.
 inline ExperimentConfig PaperDefaults(ProtocolKind kind) {
   ExperimentConfig config;
@@ -40,14 +52,15 @@ inline ExperimentConfig PaperDefaults(ProtocolKind kind) {
   config.k = 40;
   config.runs = RunsFromEnv();
   config.duration = DurationFromEnv();
+  config.jobs = JobsFromEnv();
   return config;
 }
 
 inline void PrintHeader(const char* title, const char* x_label) {
   std::printf("\n=== %s ===\n", title);
-  std::printf("runs/config=%d, duration=%.0fs (DIKNN_RUNS / DIKNN_DURATION"
-              " env vars override)\n",
-              RunsFromEnv(), DurationFromEnv());
+  std::printf("runs/config=%d, duration=%.0fs, jobs=%d (DIKNN_RUNS / "
+              "DIKNN_DURATION / DIKNN_JOBS env vars override)\n",
+              RunsFromEnv(), DurationFromEnv(), JobsFromEnv());
   std::printf("%-10s %-10s %12s %12s %10s %10s %10s\n", x_label, "protocol",
               "latency(s)", "energy(J)", "pre_acc", "post_acc", "timeout%");
 }

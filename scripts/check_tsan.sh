@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Builds the ThreadSanitizer preset and runs the tests that exercise the
+# parallel experiment harness under TSan. Any data race in the
+# multi-threaded RunExperimentRuns path fails the run.
+#
+# Usage: scripts/check_tsan.sh [extra ctest args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake --preset tsan
+cmake --build --preset tsan -j "$(nproc)"
+TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+  ctest --preset tsan "$@"
+
+echo "TSan check passed: parallel harness is race-free."

@@ -1,8 +1,10 @@
 #include "harness/experiment.h"
 
 #include <algorithm>
+#include <atomic>
 #include <memory>
 #include <sstream>
+#include <thread>
 
 namespace diknn {
 
@@ -174,13 +176,36 @@ RunMetrics RunOnce(const ExperimentConfig& config, uint64_t seed,
   return metrics;
 }
 
-ExperimentMetrics RunExperiment(const ExperimentConfig& config) {
-  std::vector<RunMetrics> runs;
-  runs.reserve(config.runs);
-  for (int i = 0; i < config.runs; ++i) {
-    runs.push_back(RunOnce(config, config.base_seed + i));
+std::vector<RunMetrics> RunExperimentRuns(const ExperimentConfig& config) {
+  const int runs = std::max(config.runs, 0);
+  std::vector<RunMetrics> results(runs);
+  const int jobs = std::clamp(config.jobs, 1, std::max(runs, 1));
+  if (jobs == 1) {
+    for (int i = 0; i < runs; ++i) {
+      results[i] = RunOnce(config, config.base_seed + i);
+    }
+    return results;
   }
-  return AggregateRuns(runs);
+  // Repetitions are embarrassingly parallel: every run builds its own
+  // simulator, network and RNG streams, and the only process-wide state
+  // (the log level) is atomic. Workers pull run indices from a shared
+  // counter and write into disjoint slots, so which thread executes
+  // which seed never affects the output.
+  std::atomic<int> next{0};
+  auto worker = [&results, &config, runs, &next]() {
+    for (int i = next.fetch_add(1); i < runs; i = next.fetch_add(1)) {
+      results[i] = RunOnce(config, config.base_seed + i);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(jobs);
+  for (int t = 0; t < jobs; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  return results;
+}
+
+ExperimentMetrics RunExperiment(const ExperimentConfig& config) {
+  return AggregateRuns(RunExperimentRuns(config));
 }
 
 std::string FormatRow(const std::string& label,

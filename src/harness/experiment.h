@@ -49,6 +49,13 @@ struct ExperimentConfig {
   SimTime drain = 9.0;               ///< Post-duration settling time.
   int runs = 20;
   uint64_t base_seed = 42;
+  /// Worker threads for RunExperiment's repetitions. Each (config, seed)
+  /// run owns its whole stack (network, simulator, forked PCG32 streams),
+  /// so runs execute in parallel without sharing; results are aggregated
+  /// in seed order either way, making every metric bit-identical to a
+  /// sequential execution regardless of this setting. Clamped to
+  /// [1, runs]. Benches wire the DIKNN_JOBS env var here.
+  int jobs = 1;
   DiknnParams diknn;
   KptParams kpt;
   PeerTreeParams peertree;
@@ -90,6 +97,11 @@ class ProtocolStack {
 /// non-null, receives the per-query records.
 RunMetrics RunOnce(const ExperimentConfig& config, uint64_t seed,
                    std::vector<QueryRecord>* records_out = nullptr);
+
+/// Runs `config.runs` seeded repetitions (seeds base_seed .. base_seed +
+/// runs - 1) across `config.jobs` worker threads and returns the per-run
+/// metrics in seed order.
+std::vector<RunMetrics> RunExperimentRuns(const ExperimentConfig& config);
 
 /// Runs `config.runs` seeded repetitions and aggregates.
 ExperimentMetrics RunExperiment(const ExperimentConfig& config);

@@ -1,6 +1,7 @@
 #include "net/channel.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "net/node.h"
 
@@ -9,19 +10,167 @@ namespace diknn {
 Channel::Channel(Simulator* sim, ChannelParams params, Rng rng)
     : sim_(sim), params_(params), rng_(rng) {}
 
-void Channel::Attach(Node* node) { nodes_.push_back(node); }
+void Channel::Attach(Node* node) {
+  nodes_.push_back(node);
+  // A new node can raise the fleet's speed bound and therefore the cell
+  // size; rebuild the grid lazily on the next transmission.
+  grid_dirty_ = true;
+}
 
 void Channel::PruneAir() {
   const SimTime now = sim_->Now();
-  while (!air_.empty() && air_.front().end_time <= now) air_.pop_front();
+  std::erase_if(air_, [now](const AirFrame& f) { return f.end_time <= now; });
+}
+
+void Channel::SweepReceptions(SimTime now) {
+  for (std::vector<Reception>& recs : active_receptions_) {
+    std::erase_if(recs,
+                  [now](const Reception& r) { return r.end_time <= now; });
+  }
+}
+
+void Channel::PlaceNode(Node* node, const Point& position) {
+  const int32_t index = CellIndexOf(position);
+  const size_t slot = static_cast<size_t>(node->id());
+  if (slot >= node_cell_of_.size()) node_cell_of_.resize(slot + 1, -1);
+  const int32_t old_index = node_cell_of_[slot];
+  if (old_index == index) return;  // Common case: same cell.
+  if (old_index >= 0) {
+    auto& old_cell = node_cells_[old_index];
+    old_cell.erase(std::find_if(
+        old_cell.begin(), old_cell.end(),
+        [node](const auto& entry) { return entry.second == node; }));
+  }
+  node_cell_of_[slot] = index;
+  node_cells_[index].emplace_back(node->id(), node);
+}
+
+void Channel::RebucketNode(Node* node, const Point& position) {
+  if (!params_.use_spatial_grid || grid_dirty_) return;
+  const size_t slot = static_cast<size_t>(node->id());
+  // Not attached (test rigs) or not yet bucketed: ignore.
+  if (slot >= node_cell_of_.size() || node_cell_of_[slot] < 0) return;
+  PlaceNode(node, position);
+}
+
+void Channel::PeriodicSweep() {
+  const SimTime now = sim_->Now();
+  const bool rebuild = params_.use_spatial_grid && grid_dirty_;
+  if (!rebuild && now < next_sweep_) return;
+  next_sweep_ = now + params_.grid_refresh_interval_s;
+
+  if (params_.use_spatial_grid) {
+    if (rebuild) {
+      // Cell size = radio range + the farthest any node can drift from
+      // its bucketed position before the next refresh. This keeps the
+      // 3x3 neighborhood a superset of the true radio disk.
+      double speed_bound = 0.0;
+      for (const Node* n : nodes_) {
+        speed_bound = std::max(speed_bound, n->MaxSpeed());
+      }
+      cell_size_ = std::max(params_.radio_range_m, 1e-3) +
+                   speed_bound * params_.grid_refresh_interval_s;
+      // Fit the cell array to the fleet's current bounding box. Nodes
+      // that later wander outside it are clamped to the border cells,
+      // which preserves the 3x3 superset property (clamping never
+      // increases distances).
+      grid_min_x_ = 0.0;
+      grid_min_y_ = 0.0;
+      double max_x = 0.0;
+      double max_y = 0.0;
+      bool first = true;
+      for (Node* n : nodes_) {
+        const Point p = n->Position();
+        if (first) {
+          grid_min_x_ = max_x = p.x;
+          grid_min_y_ = max_y = p.y;
+          first = false;
+        } else {
+          grid_min_x_ = std::min(grid_min_x_, p.x);
+          grid_min_y_ = std::min(grid_min_y_, p.y);
+          max_x = std::max(max_x, p.x);
+          max_y = std::max(max_y, p.y);
+        }
+      }
+      grid_nx_ = static_cast<int32_t>(
+                     std::floor((max_x - grid_min_x_) / cell_size_)) + 1;
+      grid_ny_ = static_cast<int32_t>(
+                     std::floor((max_y - grid_min_y_) / cell_size_)) + 1;
+      // Collect live air frames before the geometry changes under them.
+      std::vector<AirFrame> live_air;
+      for (auto& frames : air_cells_) {
+        for (const AirFrame& f : frames) {
+          if (f.end_time > now) live_air.push_back(f);
+        }
+      }
+      node_cells_.assign(static_cast<size_t>(grid_nx_) * grid_ny_, {});
+      air_cells_.assign(static_cast<size_t>(grid_nx_) * grid_ny_, {});
+      std::fill(node_cell_of_.begin(), node_cell_of_.end(), -1);
+      for (const AirFrame& f : live_air) {
+        air_cells_[CellIndexOf(f.origin)].push_back(f);
+      }
+      grid_dirty_ = false;
+    }
+    // Refresh every bucket from true positions; dead nodes keep moving
+    // (their radio is off, not their legs) and may be revived by churn,
+    // so they stay tracked.
+    for (Node* n : nodes_) PlaceNode(n, n->Position());
+    for (auto& frames : air_cells_) {
+      std::erase_if(frames,
+                    [now](const AirFrame& f) { return f.end_time <= now; });
+    }
+  }
+  SweepReceptions(now);
+}
+
+void Channel::GatherCandidates(const Point& origin) const {
+  scratch_.clear();
+  const CellCoord c = CellCoordOf(origin);
+  const int32_t x0 = std::max(c.cx - 1, 0);
+  const int32_t x1 = std::min(c.cx + 1, grid_nx_ - 1);
+  const int32_t y0 = std::max(c.cy - 1, 0);
+  const int32_t y1 = std::min(c.cy + 1, grid_ny_ - 1);
+  for (int32_t cy = y0; cy <= y1; ++cy) {
+    for (int32_t cx = x0; cx <= x1; ++cx) {
+      const auto& cell = node_cells_[cy * grid_nx_ + cx];
+      scratch_.insert(scratch_.end(), cell.begin(), cell.end());
+    }
+  }
+  // Ascending node-id order: matches the brute-force scan (nodes attach
+  // in id order), so the per-receiver RNG draws below happen in the same
+  // sequence and outcomes stay bit-identical. Ids are carried in the
+  // cell entries so the sort never dereferences a Node.
+  std::sort(scratch_.begin(), scratch_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
 }
 
 bool Channel::IsBusyAt(const Point& pos) const {
   const SimTime now = sim_->Now();
   const double range2 = params_.radio_range_m * params_.radio_range_m;
-  for (const AirFrame& f : air_) {
-    if (f.end_time > now && SquaredDistance(f.origin, pos) <= range2) {
-      return true;
+
+  if (!params_.use_spatial_grid) {
+    for (const AirFrame& f : air_) {
+      if (f.end_time > now && SquaredDistance(f.origin, pos) <= range2) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  if (grid_nx_ <= 0) return false;  // No transmission yet.
+  const CellCoord c = CellCoordOf(pos);
+  const int32_t x0 = std::max(c.cx - 1, 0);
+  const int32_t x1 = std::min(c.cx + 1, grid_nx_ - 1);
+  const int32_t y0 = std::max(c.cy - 1, 0);
+  const int32_t y1 = std::min(c.cy + 1, grid_ny_ - 1);
+  for (int32_t cy = y0; cy <= y1; ++cy) {
+    for (int32_t cx = x0; cx <= x1; ++cx) {
+      // Expired frames are skipped here and reclaimed by PeriodicSweep.
+      for (const AirFrame& f : air_cells_[cy * grid_nx_ + cx]) {
+        if (f.end_time > now && SquaredDistance(f.origin, pos) <= range2) {
+          return true;
+        }
+      }
     }
   }
   return false;
@@ -41,47 +190,88 @@ void Channel::Transmit(Node* sender, const Packet& packet) {
     transmit_observer_(packet, sender->id(), origin);
   }
 
-  PruneAir();
-  air_.push_back(AirFrame{origin, end});
+  PeriodicSweep();
+  if (params_.use_spatial_grid) {
+    air_cells_[CellIndexOf(origin)].push_back(AirFrame{origin, end});
+    GatherCandidates(origin);
+  } else {
+    PruneAir();
+    air_.push_back(AirFrame{origin, end});
+  }
 
   const double range2 = params_.radio_range_m * params_.radio_range_m;
-  for (Node* receiver : nodes_) {
-    if (receiver == sender || !receiver->alive()) continue;
-    if (SquaredDistance(receiver->Position(), origin) > range2) continue;
+  const auto scan = [&](const auto& candidates, auto node_of,
+                        std::shared_ptr<FrameFlags>& flags,
+                        std::vector<Delivery>& batch) {
+    for (const auto& candidate : candidates) {
+      ++stats_.candidates_scanned;
+      Node* receiver = node_of(candidate);
+      if (receiver == sender || !receiver->alive()) continue;
+      if (SquaredDistance(receiver->Position(), origin) > range2) continue;
 
-    ++stats_.receptions_attempted;
+      ++stats_.receptions_attempted;
 
-    // Collision check: any reception still in progress at this receiver
-    // overlaps the new frame, corrupting both (the new frame always; the
-    // ongoing one too unless capture mode preserves it).
-    auto corrupted = std::make_shared<bool>(false);
-    auto& recs = active_receptions_[receiver->id()];
-    std::erase_if(recs, [&](const Reception& r) { return r.end_time <= now; });
-    for (Reception& r : recs) {
-      *corrupted = true;
-      if (!params_.capture) *r.corrupted = true;
+      // Collision check: any reception still in progress at this
+      // receiver overlaps the new frame, corrupting both (the new frame
+      // always; the ongoing one too unless capture mode preserves it).
+      if (flags == nullptr) flags = std::make_shared<FrameFlags>();
+      const uint32_t index = static_cast<uint32_t>(flags->size());
+      flags->push_back(0);
+      const size_t slot = static_cast<size_t>(receiver->id());
+      if (slot >= active_receptions_.size()) {
+        active_receptions_.resize(slot + 1);
+      }
+      auto& recs = active_receptions_[slot];
+      std::erase_if(recs,
+                    [&](const Reception& r) { return r.end_time <= now; });
+      for (Reception& r : recs) {
+        (*flags)[index] = 1;
+        if (!params_.capture) (*r.flags)[r.index] = 1;
+      }
+      recs.push_back(Reception{end, flags, index});
+
+      // Independent random loss (fading, external interference).
+      const bool randomly_lost = rng_.Bernoulli(params_.loss_rate);
+      batch.push_back(Delivery{receiver, randomly_lost});
     }
-    recs.push_back(Reception{end, corrupted});
+  };
 
-    // Independent random loss (fading, external interference).
-    const bool randomly_lost = rng_.Bernoulli(params_.loss_rate);
-
-    sim_->ScheduleAt(end, [this, receiver, packet, corrupted, randomly_lost,
-                           category]() {
-      // The radio listened for the whole frame either way.
-      receiver->energy().ChargeRx(packet.size_bytes, category);
-      if (*corrupted) {
-        ++stats_.receptions_collided;
-        return;
-      }
-      if (randomly_lost) {
-        ++stats_.receptions_lost;
-        return;
-      }
-      ++stats_.receptions_delivered;
-      receiver->HandlePhyReceive(packet);
-    });
+  // All of a frame's receptions complete at the same instant, so they are
+  // delivered by one batched event (one allocation + one heap push per
+  // frame instead of per receiver). Receivers are appended in ascending
+  // id order, which the batch preserves — the same firing order as
+  // scheduling one event per receiver. One shared flags vector carries
+  // every receiver's corruption bit for this frame; batch[i] pairs with
+  // flags[i].
+  std::shared_ptr<FrameFlags> flags;
+  std::vector<Delivery> batch;
+  if (params_.use_spatial_grid) {
+    scan(scratch_, [](const auto& entry) { return entry.second; }, flags,
+         batch);
+  } else {
+    scan(nodes_, [](Node* n) { return n; }, flags, batch);
   }
+  if (batch.empty()) return;
+
+  sim_->ScheduleAt(
+      end, [this, packet, category, flags = std::move(flags),
+            batch = std::move(batch)]() {
+        for (size_t i = 0; i < batch.size(); ++i) {
+          const Delivery& d = batch[i];
+          // The radio listened for the whole frame either way.
+          d.receiver->energy().ChargeRx(packet.size_bytes, category);
+          if ((*flags)[i] != 0) {
+            ++stats_.receptions_collided;
+            continue;
+          }
+          if (d.randomly_lost) {
+            ++stats_.receptions_lost;
+            continue;
+          }
+          ++stats_.receptions_delivered;
+          d.receiver->HandlePhyReceive(packet);
+        }
+      });
 }
 
 }  // namespace diknn

@@ -8,15 +8,27 @@
 // the effects the paper's evaluation leans on: contention between
 // concurrent itinerary traversals, KPT's collision-driven energy spike at
 // large k, and accuracy degradation from lost packets.
+//
+// Scalability: delivery and carrier sensing are served from a uniform
+// spatial hash grid rather than a full scan over all attached nodes, so
+// per-frame cost is proportional to the local neighborhood instead of the
+// network size. Cell size is `radio_range_m` plus a drift margin
+// (max node speed x refresh interval), which makes a 3x3 cell
+// neighborhood a conservative superset of every node within radio range
+// even though bucketed positions lag true (kinematic) positions by up to
+// one refresh interval. Candidates are processed in ascending node-id
+// order before any channel RNG draw, so grid-indexed runs are
+// bit-identical to the brute-force scan (`use_spatial_grid = false`).
 
 #ifndef DIKNN_NET_CHANNEL_H_
 #define DIKNN_NET_CHANNEL_H_
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "core/geometry.h"
@@ -36,6 +48,15 @@ struct ChannelParams {
   double loss_rate = 0.0;       ///< Per-receiver independent drop prob.
   bool capture = false;         ///< If true, the earlier frame survives a
                                 ///  collision when it is already mid-air.
+  /// Serve delivery and carrier sensing from the spatial hash grid. The
+  /// brute-force O(N) scan is kept for equivalence testing; both paths
+  /// produce bit-identical outcomes for the same seed.
+  bool use_spatial_grid = true;
+  /// How often (simulated seconds) every node is re-bucketed into the
+  /// grid. Larger values mean fewer refresh sweeps but a wider drift
+  /// margin (and hence larger cells). Leg-change notifications from the
+  /// mobility layer re-bucket nodes eagerly in between.
+  double grid_refresh_interval_s = 0.25;
 };
 
 /// Channel traffic counters, exposed for tests and benchmarks.
@@ -45,6 +66,9 @@ struct ChannelStats {
   uint64_t receptions_delivered = 0;
   uint64_t receptions_collided = 0;
   uint64_t receptions_lost = 0;  ///< Random loss (non-collision).
+  /// Receiver candidates examined across all transmissions (range checks
+  /// performed). The grid's win over the brute-force scan shows up here.
+  uint64_t candidates_scanned = 0;
 };
 
 /// The shared medium. One instance per Network; all nodes attach to it.
@@ -69,6 +93,11 @@ class Channel {
   /// Carrier sense: true if any ongoing transmission is audible at `pos`.
   bool IsBusyAt(const Point& pos) const;
 
+  /// Re-buckets `node` at `position` in the spatial grid. Invoked by the
+  /// mobility layer's leg-change hook; harmless no-op for unattached
+  /// nodes or when the grid is disabled / not yet built.
+  void RebucketNode(Node* node, const Point& position);
+
   /// Air time of a frame of `bytes` (including MAC header) at the
   /// configured bit rate.
   double FrameDuration(size_t bytes) const {
@@ -78,6 +107,10 @@ class Channel {
   const ChannelParams& params() const { return params_; }
   const ChannelStats& stats() const { return stats_; }
   void ResetStats() { stats_ = ChannelStats{}; }
+
+  /// Grid cell edge length (m); 0 until the grid is first built. Exposed
+  /// for tests.
+  double grid_cell_size() const { return cell_size_; }
 
   /// Observer invoked at the start of every transmission, with the sender
   /// id and its position. Used by the trace recorder; pass nullptr to
@@ -89,10 +122,17 @@ class Channel {
   }
 
  private:
-  // One frame currently being received by one receiver.
+  // Per-receiver corruption flags of one in-flight frame, shared between
+  // the frame's Reception entries and its batched delivery event. One
+  // allocation per frame (not per receiver).
+  using FrameFlags = std::vector<unsigned char>;
+
+  // One frame currently being received by one receiver. `flags[index]`
+  // is set when a later overlapping frame corrupts this reception.
   struct Reception {
     SimTime end_time = 0.0;
-    std::shared_ptr<bool> corrupted;  // Shared with the delivery event.
+    std::shared_ptr<FrameFlags> flags;
+    uint32_t index = 0;
   };
 
   // One frame currently in the air (for carrier sensing).
@@ -101,17 +141,88 @@ class Channel {
     SimTime end_time = 0.0;
   };
 
+  // One receiver's pending outcome of a frame; position i of the batch
+  // corresponds to flags[i].
+  struct Delivery {
+    Node* receiver = nullptr;
+    bool randomly_lost = false;
+  };
+
+  // Cell coordinates of `p`, clamped into the grid's bounding box. The
+  // box is fitted to node positions at rebuild time; clamping is
+  // monotone and never increases distances, so two points within one
+  // cell size of each other still land in adjacent (or equal) cells even
+  // when one strays outside the box.
+  struct CellCoord {
+    int32_t cx = 0;
+    int32_t cy = 0;
+  };
+  CellCoord CellCoordOf(const Point& p) const {
+    int32_t cx = static_cast<int32_t>(
+        std::floor((p.x - grid_min_x_) / cell_size_));
+    int32_t cy = static_cast<int32_t>(
+        std::floor((p.y - grid_min_y_) / cell_size_));
+    cx = std::clamp(cx, 0, grid_nx_ - 1);
+    cy = std::clamp(cy, 0, grid_ny_ - 1);
+    return CellCoord{cx, cy};
+  }
+  int32_t CellIndexOf(const Point& p) const {
+    const CellCoord c = CellCoordOf(p);
+    return c.cy * grid_nx_ + c.cx;
+  }
+
+  // Drops expired frames from the brute-force air deque (anywhere in the
+  // deque, not just the front, so one long frame cannot pin short ones).
   void PruneAir();
+
+  // Runs the periodic housekeeping when due: (re)builds or refreshes the
+  // node grid, sweeps expired air frames, and drains finished reception
+  // lists. Called at the top of Transmit.
+  void PeriodicSweep();
+
+  // Moves `node` into the cell containing `position` (inserting it if it
+  // is not yet bucketed).
+  void PlaceNode(Node* node, const Point& position);
+
+  // Collects the 3x3 cell neighborhood around `origin` into `scratch_`,
+  // sorted by ascending node id.
+  void GatherCandidates(const Point& origin) const;
+
+  // Erases entries in `active_receptions_` whose receptions all ended.
+  void SweepReceptions(SimTime now);
 
   Simulator* sim_;
   ChannelParams params_;
   Rng rng_;
   TransmitObserver transmit_observer_;
   std::vector<Node*> nodes_;
-  std::unordered_map<NodeId, std::vector<Reception>> active_receptions_;
-  std::deque<AirFrame> air_;
+  // In-progress receptions, indexed by receiver id (node ids are dense).
+  // Swept periodically, so memory stays bounded by the live population
+  // even across churn-heavy runs.
+  std::vector<std::vector<Reception>> active_receptions_;
+  std::deque<AirFrame> air_;  // Brute-force mode only.
   ChannelStats stats_;
-  uint64_t next_uid_ = 1;
+
+  // Spatial grid state: a flat row-major array of grid_nx_ x grid_ny_
+  // cells fitted to the fleet's bounding box at rebuild time. Flat
+  // indexing keeps the per-frame 3x3 probes at array-dereference cost
+  // (no hashing on the hot path). Cells store (id, node) pairs so
+  // candidate sorting compares contiguous ints instead of chasing Node
+  // pointers. Mutable: IsBusyAt is logically const.
+  bool grid_dirty_ = true;        // Attach happened; rebuild on next sweep.
+  double cell_size_ = 0.0;        // radio_range + drift margin.
+  SimTime next_sweep_ = 0.0;      // Next periodic refresh deadline.
+  double grid_min_x_ = 0.0;
+  double grid_min_y_ = 0.0;
+  int32_t grid_nx_ = 0;
+  int32_t grid_ny_ = 0;
+  std::vector<std::vector<std::pair<NodeId, Node*>>> node_cells_;
+  // Current cell index of each node, indexed by node id (dense; -1 =
+  // unbucketed). The periodic refresh touches every node, so this
+  // lookup must not hash.
+  std::vector<int32_t> node_cell_of_;
+  mutable std::vector<std::vector<AirFrame>> air_cells_;
+  mutable std::vector<std::pair<NodeId, Node*>> scratch_;  // Gather buffer.
 };
 
 }  // namespace diknn

@@ -8,7 +8,9 @@
 #ifndef DIKNN_NET_MOBILITY_H_
 #define DIKNN_NET_MOBILITY_H_
 
+#include <functional>
 #include <memory>
+#include <utility>
 
 #include "core/geometry.h"
 #include "core/rng.h"
@@ -22,6 +24,13 @@ namespace diknn {
 /// clock is monotone, so this never happens in practice).
 class MobilityModel {
  public:
+  /// Invoked with the node's position whenever a lazy position query
+  /// crosses into a new movement leg. Consumers (the channel's spatial
+  /// grid) use it to refresh cached positions eagerly; it is an
+  /// optimization hint only — correctness must not depend on it firing,
+  /// since some models (GroupMobility) never do.
+  using LegChangeObserver = std::function<void(const Point&)>;
+
   virtual ~MobilityModel() = default;
 
   /// Node position at simulation time `t`.
@@ -29,6 +38,23 @@ class MobilityModel {
 
   /// Instantaneous scalar speed (m/s) at time `t`.
   virtual double SpeedAt(SimTime t) = 0;
+
+  /// Upper bound on the node's speed over its whole lifetime (m/s). Used
+  /// by the channel's spatial grid to bound how far a node can drift from
+  /// its bucketed position between refreshes.
+  virtual double MaxSpeed() const = 0;
+
+  void SetLegChangeObserver(LegChangeObserver observer) {
+    leg_observer_ = std::move(observer);
+  }
+
+ protected:
+  void NotifyLegChange(const Point& position) {
+    if (leg_observer_) leg_observer_(position);
+  }
+
+ private:
+  LegChangeObserver leg_observer_;
 };
 
 /// A node that never moves.
@@ -38,6 +64,7 @@ class StaticMobility : public MobilityModel {
 
   Point PositionAt(SimTime) override { return position_; }
   double SpeedAt(SimTime) override { return 0.0; }
+  double MaxSpeed() const override { return 0.0; }
 
  private:
   Point position_;
@@ -52,6 +79,7 @@ class LinearMobility : public MobilityModel {
 
   Point PositionAt(SimTime t) override;
   double SpeedAt(SimTime) override { return velocity_.Norm(); }
+  double MaxSpeed() const override { return velocity_.Norm(); }
 
  private:
   Point start_;
@@ -76,13 +104,17 @@ class RandomWaypointMobility : public MobilityModel {
 
   Point PositionAt(SimTime t) override;
   double SpeedAt(SimTime t) override;
+  double MaxSpeed() const override {
+    return max_speed_ < kMinSpeed ? 0.0 : max_speed_;
+  }
 
   /// Maximum speed this node can ever move at.
   double max_speed() const { return max_speed_; }
 
  private:
   // Advances leg state so that `t` falls inside the current leg.
-  void AdvanceTo(SimTime t);
+  // Returns true when at least one new leg was started.
+  bool AdvanceTo(SimTime t);
 
   Rect field_;
   double max_speed_;
@@ -117,6 +149,9 @@ class GroupMobility : public MobilityModel {
 
   Point PositionAt(SimTime t) override;
   double SpeedAt(SimTime t) override;
+  double MaxSpeed() const override {
+    return reference_->MaxSpeed() + local_offset_.MaxSpeed();
+  }
 
  private:
   Reference reference_;

@@ -32,6 +32,7 @@ Network::Network(const NetworkConfig& config)
   chan.radio_range_m = config.radio_range_m;
   chan.bit_rate_bps = config.bit_rate_bps;
   chan.loss_rate = config.loss_rate;
+  chan.use_spatial_grid = config.use_spatial_grid;
   channel_ = std::make_unique<Channel>(&sim_, chan, rng_.Fork());
 
   const std::vector<Point> positions =

@@ -33,6 +33,9 @@ struct NetworkConfig {
   double radio_range_m = 20.0;
   double bit_rate_bps = 250e3;
   double loss_rate = 0.0;
+  /// Serve channel delivery / carrier sensing from the spatial hash grid
+  /// (bit-identical to the brute-force scan; see ChannelParams).
+  bool use_spatial_grid = true;
   SimTime beacon_interval = 0.5;
   SimTime neighbor_timeout = 1.5;
   MobilityKind mobility = MobilityKind::kRandomWaypoint;

@@ -9,11 +9,19 @@ Node::Node(NodeId id, Simulator* sim, Channel* channel,
            Rng rng)
     : id_(id),
       sim_(sim),
+      channel_(channel),
       mobility_(std::move(mobility)),
       neighbors_(params.neighbor_timeout),
       energy_(params.energy),
       rng_(rng),
-      mac_(this, channel, sim, params.mac, rng_.Fork()) {}
+      mac_(this, channel, sim, params.mac, rng_.Fork()) {
+  // Keep the channel's spatial grid fresh: whenever a lazy position query
+  // starts a new movement leg, re-bucket this node at the leg position.
+  if (channel_ != nullptr) {
+    mobility_->SetLegChangeObserver(
+        [this](const Point& pos) { channel_->RebucketNode(this, pos); });
+  }
+}
 
 void Node::RegisterHandler(MessageType type, Handler handler) {
   handlers_[type] = std::move(handler);

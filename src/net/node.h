@@ -51,6 +51,10 @@ class Node {
   /// Current scalar speed (m/s).
   double Speed() const { return mobility_->SpeedAt(sim_->Now()); }
 
+  /// Lifetime upper bound on this node's speed (m/s); the channel's
+  /// spatial grid sizes its cells from the fleet-wide maximum.
+  double MaxSpeed() const { return mobility_->MaxSpeed(); }
+
   NeighborTable& neighbors() { return neighbors_; }
   const NeighborTable& neighbors() const { return neighbors_; }
   EnergyMeter& energy() { return energy_; }
@@ -90,6 +94,7 @@ class Node {
  private:
   NodeId id_;
   Simulator* sim_;
+  Channel* channel_;
   std::unique_ptr<MobilityModel> mobility_;
   NeighborTable neighbors_;
   EnergyMeter energy_;

@@ -32,6 +32,8 @@ void PrintUsage(const char* argv0) {
       "  (default diknn)\n"
       "  --k N             neighbors per query (default 40)\n"
       "  --runs N          seeded repetitions (default 3; paper used 20)\n"
+      "  --jobs N          worker threads across repetitions (default 1;\n"
+      "                    metrics are bit-identical at any job count)\n"
       "  --duration S      simulated seconds per run (default 100)\n"
       "  --seed N          base seed (default 42)\n"
       "  --interval S      mean query interval, exponential (default 4)\n"
@@ -98,6 +100,8 @@ int main(int argc, char** argv) {
       config.k = std::atoi(next_value());
     } else if (arg == "--runs") {
       config.runs = std::atoi(next_value());
+    } else if (arg == "--jobs") {
+      config.jobs = std::atoi(next_value());
     } else if (arg == "--duration") {
       config.duration = std::atof(next_value());
     } else if (arg == "--seed") {
@@ -175,30 +179,28 @@ int main(int argc, char** argv) {
                 config.network.field.Height(), config.network.max_speed);
   }
 
-  std::vector<RunMetrics> runs;
-  for (int i = 0; i < config.runs; ++i) {
+  if (!trace_path.empty()) {
+    // Trace run: drive the stack manually so the recorder sees it.
+    ProtocolStack stack(config, config.base_seed);
+    TraceRecorder recorder(&stack.network());
+    // One representative query instead of the whole workload.
+    stack.network().Warmup(config.warmup);
+    bool done = false;
+    stack.protocol().IssueQuery(
+        0, stack.network().config().field.Center(), config.k,
+        [&](const KnnResult&) { done = true; });
+    Simulator& sim = stack.network().sim();
+    while (!done && sim.Now() < 30.0) sim.RunUntil(sim.Now() + 0.25);
+    std::ofstream out(trace_path);
+    recorder.WriteCsv(out);
+    std::fprintf(stderr, "wrote %zu frames to %s\n",
+                 recorder.entries().size(), trace_path.c_str());
+  }
+
+  const std::vector<RunMetrics> runs = RunExperimentRuns(config);
+  for (int i = 0; i < static_cast<int>(runs.size()); ++i) {
     const uint64_t seed = config.base_seed + i;
-
-    if (!trace_path.empty() && i == 0) {
-      // Trace run: drive the stack manually so the recorder sees it.
-      ProtocolStack stack(config, seed);
-      TraceRecorder recorder(&stack.network());
-      // One representative query instead of the whole workload.
-      stack.network().Warmup(config.warmup);
-      bool done = false;
-      stack.protocol().IssueQuery(
-          0, stack.network().config().field.Center(), config.k,
-          [&](const KnnResult&) { done = true; });
-      Simulator& sim = stack.network().sim();
-      while (!done && sim.Now() < 30.0) sim.RunUntil(sim.Now() + 0.25);
-      std::ofstream out(trace_path);
-      recorder.WriteCsv(out);
-      std::fprintf(stderr, "wrote %zu frames to %s\n",
-                   recorder.entries().size(), trace_path.c_str());
-    }
-
-    const RunMetrics m = RunOnce(config, seed);
-    runs.push_back(m);
+    const RunMetrics& m = runs[i];
     if (csv) {
       std::printf("%s,%d,%llu,%d,%d,%.4f,%.4f,%.4f,%.4f,%.2f\n",
                   ProtocolName(config.protocol), config.k,

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Builds the Address+UBSanitizer preset and runs the full test suite under
+# it — most importantly the fault-injected lifecycle soak, where a leaked
+# per-query entry or use-after-erase in a straggler path shows up as an
+# ASan report instead of silent memory growth.
+#
+# Usage: scripts/check_asan.sh [extra ctest args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake --preset asan
+cmake --build --preset asan -j "$(nproc)"
+ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}" \
+UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" \
+  ctest --preset asan "$@"
+
+echo "ASan/UBSan check passed: lifecycle soak is leak- and UB-free."

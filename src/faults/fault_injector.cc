@@ -1,0 +1,179 @@
+#include "faults/fault_injector.h"
+
+#include <utility>
+
+namespace diknn {
+
+FaultInjector::FaultInjector(Network* network, FaultPlan plan, uint64_t seed,
+                             int protected_prefix)
+    : network_(network),
+      plan_(std::move(plan)),
+      rng_(seed),
+      protected_prefix_(protected_prefix) {}
+
+FaultInjector::~FaultInjector() {
+  if (hook_installed_) network_->channel().set_fault_hook(nullptr);
+}
+
+void FaultInjector::Arm() {
+  if (armed_ || plan_.empty()) return;
+  armed_ = true;
+  const SimTime now = network_->sim().Now();
+
+  for (const FaultEvent& event : plan_.events) {
+    using Kind = FaultEvent::Kind;
+    switch (event.kind) {
+      case Kind::kAckLoss:
+      case Kind::kFrameLoss:
+      case Kind::kDuplicate: {
+        FrameWindow window;
+        window.kind = event.kind;
+        window.start = now + event.at;
+        window.end = window.start + event.duration;
+        window.probability = event.probability;
+        window.src = event.src;
+        window.dst = event.dst;
+        windows_.push_back(window);
+        break;
+      }
+      default:
+        network_->sim().ScheduleAt(now + event.at,
+                                   [this, event]() { Apply(event); });
+        break;
+    }
+  }
+
+  if (!windows_.empty()) {
+    hook_installed_ = true;
+    network_->channel().set_fault_hook(
+        [this](const Packet& packet, NodeId sender) {
+          return OnFrame(packet, sender);
+        });
+  }
+}
+
+void FaultInjector::Apply(const FaultEvent& event) {
+  using Kind = FaultEvent::Kind;
+  switch (event.kind) {
+    case Kind::kKill:
+      if (event.node != kInvalidNodeId) {
+        SetAlive(event.node, false);
+      } else {
+        KillRandomNodes(event.count);
+      }
+      break;
+    case Kind::kRevive:
+      SetAlive(event.node, true);
+      break;
+    case Kind::kChurn: {
+      ChurnParams params;
+      params.mean_up_time = event.mean_up;
+      params.mean_down_time = event.mean_down;
+      params.initial_dead_fraction = event.dead_fraction;
+      auto churn = std::make_unique<NodeChurn>(
+          &network_->sim(), network_->AllNodes(), params, rng_.Fork(),
+          protected_prefix_);
+      churn->Start();
+      churns_.push_back(std::move(churn));
+      break;
+    }
+    case Kind::kFreeze: {
+      Node* node = network_->node(event.node);
+      node->PinPosition(node->Position());
+      ++stats_.freezes;
+      if (event.duration > 0.0) {
+        network_->sim().ScheduleAfter(
+            event.duration, [node]() { node->ClearPinnedPosition(); });
+      }
+      break;
+    }
+    case Kind::kTeleport: {
+      Node* node = network_->node(event.node);
+      node->PinPosition(event.position);
+      ++stats_.teleports;
+      if (event.duration > 0.0) {
+        network_->sim().ScheduleAfter(
+            event.duration, [node]() { node->ClearPinnedPosition(); });
+      }
+      break;
+    }
+    case Kind::kAckLoss:
+    case Kind::kFrameLoss:
+    case Kind::kDuplicate:
+      break;  // Window kinds are handled by OnFrame, never scheduled.
+  }
+}
+
+void FaultInjector::KillRandomNodes(int count) {
+  std::vector<NodeId> candidates;
+  for (Node* node : network_->AllNodes()) {
+    if (node->id() < protected_prefix_) continue;
+    if (!node->alive() || node->is_infrastructure()) continue;
+    candidates.push_back(node->id());
+  }
+  for (int i = 0; i < count && !candidates.empty(); ++i) {
+    const int pick =
+        rng_.UniformInt(0, static_cast<int>(candidates.size()) - 1);
+    SetAlive(candidates[pick], false);
+    candidates.erase(candidates.begin() + pick);
+  }
+}
+
+void FaultInjector::SetAlive(NodeId id, bool alive) {
+  if (id < 0 || id >= network_->size()) return;
+  Node* node = network_->node(id);
+  if (node->alive() == alive) return;
+  node->set_alive(alive);
+  if (alive) {
+    ++stats_.nodes_revived;
+  } else {
+    ++stats_.nodes_killed;
+  }
+}
+
+Channel::FrameFault FaultInjector::OnFrame(const Packet& packet,
+                                           NodeId sender) {
+  Channel::FrameFault fault;
+  const SimTime t = network_->sim().Now();
+  for (const FrameWindow& window : windows_) {
+    if (t < window.start || t >= window.end) continue;
+    if (window.src != kInvalidNodeId && window.src != sender) continue;
+    if (window.dst != kInvalidNodeId && window.dst != packet.dst) continue;
+    const bool is_ack = packet.type == MessageType::kMacAck;
+    using Kind = FaultEvent::Kind;
+    if (window.kind == Kind::kAckLoss && !is_ack) continue;
+    // Duplicating an ACK would hand the MAC a spurious second completion;
+    // dup models retransmitted *data* frames (the dedup-by-uid path).
+    if (window.kind == Kind::kDuplicate && is_ack) continue;
+    if (!rng_.Bernoulli(window.probability)) continue;
+    switch (window.kind) {
+      case Kind::kAckLoss:
+        fault.drop = true;
+        ++stats_.acks_dropped;
+        break;
+      case Kind::kFrameLoss:
+        fault.drop = true;
+        ++stats_.frames_dropped;
+        break;
+      case Kind::kDuplicate:
+        fault.duplicate = true;
+        ++stats_.frames_duplicated;
+        break;
+      default:
+        break;
+    }
+    return fault;  // First matching window wins.
+  }
+  return fault;
+}
+
+FaultStats FaultInjector::stats() const {
+  FaultStats merged = stats_;
+  for (const auto& churn : churns_) {
+    merged.nodes_killed += churn->stats().failures;
+    merged.nodes_revived += churn->stats().recoveries;
+  }
+  return merged;
+}
+
+}  // namespace diknn

@@ -1,0 +1,95 @@
+// Replays a FaultPlan against a live Network.
+//
+// The injector is armed once, after warmup, and translates the plan's
+// relative times into simulator events: node kills/revives, churn
+// processes, sink freezes/teleports, and frame-level windows (forced
+// ACK loss, frame drops, duplication) served through the channel's
+// fault hook. It draws from its own forked RNG stream so the channel /
+// MAC / mobility streams are untouched — a faulted run differs from a
+// clean run only by the injected faults, and the same (plan, seed)
+// yields bit-identical metrics at any --jobs count.
+
+#ifndef DIKNN_FAULTS_FAULT_INJECTOR_H_
+#define DIKNN_FAULTS_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/rng.h"
+#include "faults/fault_plan.h"
+#include "net/churn.h"
+#include "net/network.h"
+
+namespace diknn {
+
+/// Counters for every injected fault, exported into run metrics.
+struct FaultStats {
+  uint64_t nodes_killed = 0;    ///< kill events + churn failures.
+  uint64_t nodes_revived = 0;   ///< revive events + churn recoveries.
+  uint64_t acks_dropped = 0;
+  uint64_t frames_dropped = 0;
+  uint64_t frames_duplicated = 0;
+  uint64_t freezes = 0;
+  uint64_t teleports = 0;
+
+  uint64_t Total() const {
+    return nodes_killed + nodes_revived + acks_dropped + frames_dropped +
+           frames_duplicated + freezes + teleports;
+  }
+};
+
+/// Schedules a FaultPlan's events on a network's simulator.
+class FaultInjector {
+ public:
+  /// `protected_prefix`: node ids below this are never chosen as random
+  /// kill / churn victims (explicit `node=` targets are still honoured —
+  /// freezing or teleporting the sink is the point of those kinds).
+  FaultInjector(Network* network, FaultPlan plan, uint64_t seed,
+                int protected_prefix = 1);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+  ~FaultInjector();
+
+  /// Schedules every event at `now + event.at` and installs the channel
+  /// fault hook if the plan has frame windows. Call once, after Warmup().
+  void Arm();
+
+  /// Fault counters, with churn failures/recoveries folded in.
+  FaultStats stats() const;
+
+ private:
+  // A [start, end) window during which OnFrame may fault matching frames.
+  struct FrameWindow {
+    FaultEvent::Kind kind;
+    SimTime start = 0.0;
+    SimTime end = 0.0;
+    double probability = 1.0;
+    NodeId src = kInvalidNodeId;  ///< kInvalidNodeId matches any sender.
+    NodeId dst = kInvalidNodeId;  ///< kInvalidNodeId matches any receiver.
+  };
+
+  // Channel fault hook: consulted once per original transmission.
+  Channel::FrameFault OnFrame(const Packet& packet, NodeId sender);
+
+  void Apply(const FaultEvent& event);
+  void KillRandomNodes(int count);
+  void SetAlive(NodeId id, bool alive);
+
+  Network* network_;
+  FaultPlan plan_;
+  Rng rng_;
+  int protected_prefix_;
+  bool armed_ = false;
+  bool hook_installed_ = false;
+  FaultStats stats_;
+  std::vector<FrameWindow> windows_;
+  // Churn processes live for the network's run; kept here so their
+  // counters can be merged into stats().
+  std::vector<std::unique_ptr<NodeChurn>> churns_;
+};
+
+}  // namespace diknn
+
+#endif  // DIKNN_FAULTS_FAULT_INJECTOR_H_

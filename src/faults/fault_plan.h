@@ -1,0 +1,99 @@
+// Deterministic fault plans.
+//
+// DIKNN's value proposition is answering KNN queries *despite* node
+// mobility, packet loss and lost ACKs (Sections 3.3 / 4.3), which makes
+// the failure paths the code that most needs systematic exercise. A
+// FaultPlan is a parsed, seedable schedule of adverse events — node
+// kills, churn, forced ACK-loss bursts, frame duplication, sink
+// freezes/teleports — that the FaultInjector replays against a network.
+// The same plan + the same seed always produces the same faults, so
+// fault-injected runs stay bit-reproducible at any --jobs count.
+//
+// Spec grammar (one string, e.g. for diknn_sim --faults):
+//
+//   spec    := event (';' event)*
+//   event   := kind '@' 't=' SECONDS (',' key '=' value)*
+//
+// with kinds and their keys (times are relative to FaultInjector::Arm,
+// i.e. to the start of the measured workload):
+//
+//   kill      node=ID | count=N      kill a node / N random unprotected
+//   revive    node=ID                bring a killed node back
+//   churn     up=S,down=S[,frac=F]   start an up/down renewal process
+//                                    (mean up / mean down seconds,
+//                                    initial dead fraction F)
+//   ackloss   dur=S[,prob=P][,src=ID][,dst=ID]
+//                                    drop MAC ACKs in the window, each
+//                                    with probability P (default 1),
+//                                    optionally only on one link
+//   drop      dur=S[,prob=P][,src=ID][,dst=ID]
+//                                    drop any frame in the window
+//   dup       dur=S[,prob=P]        re-air frames once (spurious
+//                                    retransmission; same uid)
+//   freeze    node=ID[,dur=S]       pin the node where it stands
+//   teleport  node=ID,x=X,y=Y[,dur=S]  pin the node at (X, Y)
+//
+// Example: kill two random nodes at 5 s, then a 2 s total-ACK blackout:
+//   "kill@t=5,count=2;ackloss@t=8,dur=2"
+
+#ifndef DIKNN_FAULTS_FAULT_PLAN_H_
+#define DIKNN_FAULTS_FAULT_PLAN_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/geometry.h"
+#include "net/packet.h"
+#include "sim/event_queue.h"
+
+namespace diknn {
+
+/// One scheduled adverse event.
+struct FaultEvent {
+  enum class Kind {
+    kKill,
+    kRevive,
+    kChurn,
+    kAckLoss,
+    kFrameLoss,
+    kDuplicate,
+    kFreeze,
+    kTeleport,
+  };
+
+  Kind kind = Kind::kKill;
+  SimTime at = 0.0;        ///< Seconds after Arm().
+  double duration = 0.0;   ///< Window length; 0 = instantaneous/permanent.
+  NodeId node = kInvalidNodeId;  ///< Explicit target (kill/revive/pin).
+  int count = 1;           ///< Random victims when `node` is unset.
+  double probability = 1.0;  ///< Per-frame probability (window kinds).
+  NodeId src = kInvalidNodeId;  ///< Frame filter: sender id.
+  NodeId dst = kInvalidNodeId;  ///< Frame filter: receiver id.
+  Point position;          ///< Teleport destination.
+  double mean_up = 30.0;   ///< Churn: mean alive seconds.
+  double mean_down = 10.0; ///< Churn: mean dead seconds (<=0 permanent).
+  double dead_fraction = 0.0;  ///< Churn: killed immediately at start.
+};
+
+/// Short lower-case tag for an event kind ("kill", "ackloss", ...).
+const char* FaultKindName(FaultEvent::Kind kind);
+
+/// A parsed, immutable schedule of fault events.
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  bool empty() const { return events.empty(); }
+
+  /// Parses the spec grammar above. Returns std::nullopt on malformed
+  /// input and, when `error` is non-null, stores a human-readable reason.
+  static std::optional<FaultPlan> Parse(const std::string& spec,
+                                        std::string* error = nullptr);
+
+  /// Serializes back to the spec grammar (canonical form; parseable).
+  std::string ToSpec() const;
+};
+
+}  // namespace diknn
+
+#endif  // DIKNN_FAULTS_FAULT_PLAN_H_

@@ -1,0 +1,41 @@
+#include "faults/lifecycle_auditor.h"
+
+#include <sstream>
+
+namespace diknn {
+
+LifecycleAuditor::LifecycleAuditor(Diknn* diknn, GpsrRouting* gpsr)
+    : diknn_(diknn), gpsr_(gpsr) {
+  diknn_->set_completion_observer([this](uint64_t query_id, bool) {
+    ++checks_;
+    if (diknn_->ResidueFor(query_id) != 0) ++violations_;
+  });
+}
+
+size_t LifecycleAuditor::FinalResidue() const {
+  return diknn_->lifecycle_counts().TotalPerQuery();
+}
+
+bool LifecycleAuditor::FlowStateBounded() const {
+  return gpsr_ == nullptr ||
+         gpsr_->FlowStateSize() <= GpsrRouting::kFlowCapacity;
+}
+
+std::string LifecycleAuditor::Report() const {
+  const DiknnLifecycleCounts counts = diknn_->lifecycle_counts();
+  std::ostringstream os;
+  os << "lifecycle: checks=" << checks_ << " violations=" << violations_
+     << " residue=" << counts.TotalPerQuery() << " (pending="
+     << counts.pending << " collections=" << counts.collections
+     << " last_hop=" << counts.last_hop_seen
+     << " finished_sectors=" << counts.finished_sectors
+     << " replied=" << counts.replied_entries
+     << " rendezvous=" << counts.heard_rendezvous_entries << ")";
+  if (gpsr_ != nullptr) {
+    os << " gpsr_flows=" << gpsr_->FlowStateSize() << "/"
+       << GpsrRouting::kFlowCapacity;
+  }
+  return os.str();
+}
+
+}  // namespace diknn

@@ -1,0 +1,57 @@
+// Query-lifecycle invariant checking.
+//
+// Every DIKNN query owns entries in several per-query containers while it
+// is in flight (pending timeouts, open collection windows, per-sector
+// progress, reply dedup sets, rendezvous buffers). The invariant this
+// auditor enforces: the moment a query completes — successfully or by
+// timeout — every one of those entries is gone, and after a drained run
+// nothing per-query remains at all. Leaks here are how long-lived sensor
+// deployments die: each stuck entry is memory that never returns and a
+// timer wheel that only grows.
+
+#ifndef DIKNN_FAULTS_LIFECYCLE_AUDITOR_H_
+#define DIKNN_FAULTS_LIFECYCLE_AUDITOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "knn/diknn.h"
+#include "routing/gpsr.h"
+
+namespace diknn {
+
+/// Watches a Diknn instance and asserts per-query state is fully
+/// reclaimed at each completion and at end of run.
+class LifecycleAuditor {
+ public:
+  /// Installs the completion observer on `diknn`. `gpsr` is optional and
+  /// only adds the bounded-flow-table check to FinalReport().
+  explicit LifecycleAuditor(Diknn* diknn, GpsrRouting* gpsr = nullptr);
+
+  /// Completions audited so far.
+  uint64_t checks() const { return checks_; }
+
+  /// Completions that left residue behind (should always be 0).
+  uint64_t violations() const { return violations_; }
+
+  /// Per-query entries still alive across all containers. Call after the
+  /// simulator drains; non-zero means a leak.
+  size_t FinalResidue() const;
+
+  /// True when the GPSR fork-suppression table respects its capacity
+  /// bound (trivially true without a gpsr).
+  bool FlowStateBounded() const;
+
+  /// Human-readable one-line summary for logs / test failure messages.
+  std::string Report() const;
+
+ private:
+  Diknn* diknn_;
+  GpsrRouting* gpsr_;
+  uint64_t checks_ = 0;
+  uint64_t violations_ = 0;
+};
+
+}  // namespace diknn
+
+#endif  // DIKNN_FAULTS_LIFECYCLE_AUDITOR_H_

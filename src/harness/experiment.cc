@@ -6,6 +6,9 @@
 #include <sstream>
 #include <thread>
 
+#include "faults/fault_injector.h"
+#include "faults/lifecycle_auditor.h"
+
 namespace diknn {
 
 const char* ProtocolName(ProtocolKind kind) {
@@ -87,6 +90,22 @@ RunMetrics RunOnce(const ExperimentConfig& config, uint64_t seed,
   KnnProtocol& protocol = stack.protocol();
 
   net.Warmup(config.warmup);
+
+  // Arm faults only after warmup so the plan's times are relative to the
+  // measured workload, and seed the injector from its own derived stream
+  // so the channel / MAC / mobility draws match a clean run exactly.
+  std::unique_ptr<FaultInjector> injector;
+  if (!config.faults.empty()) {
+    injector = std::make_unique<FaultInjector>(
+        &net, config.faults, seed * 0x9e3779b97f4a7c15ULL + 101,
+        config.static_sink ? 1 : 0);
+    injector->Arm();
+  }
+  std::unique_ptr<LifecycleAuditor> auditor;
+  if (config.audit_lifecycle && stack.diknn() != nullptr) {
+    auditor =
+        std::make_unique<LifecycleAuditor>(stack.diknn(), &stack.gpsr());
+  }
 
   // Exclude warm-up traffic (registration floods, initial beacons) from
   // the energy accounting, matching a steady-state measurement.
@@ -171,6 +190,15 @@ RunMetrics RunOnce(const ExperimentConfig& config, uint64_t seed,
   metrics.beacon_energy_joules =
       net.TotalEnergy(EnergyCategory::kBeacon) - beacon_baseline;
   metrics.average_degree = net.AverageDegree();
+  if (injector != nullptr) {
+    metrics.faults_injected = injector->stats().Total();
+  }
+  if (auditor != nullptr) {
+    metrics.lifecycle_checks = auditor->checks();
+    metrics.lifecycle_violations = auditor->violations();
+    metrics.leaked_entries = auditor->FinalResidue();
+    if (!auditor->FlowStateBounded()) ++metrics.lifecycle_violations;
+  }
 
   if (records_out != nullptr) *records_out = *records;
   return metrics;

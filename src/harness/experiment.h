@@ -14,6 +14,7 @@
 #include "baselines/flooding.h"
 #include "baselines/kpt.h"
 #include "baselines/peertree.h"
+#include "faults/fault_plan.h"
 #include "harness/metrics.h"
 #include "knn/diknn.h"
 #include "net/network.h"
@@ -56,6 +57,15 @@ struct ExperimentConfig {
   /// sequential execution regardless of this setting. Clamped to
   /// [1, runs]. Benches wire the DIKNN_JOBS env var here.
   int jobs = 1;
+  /// Adverse events injected after warmup (times relative to the start of
+  /// the measured workload). Each run replays the same plan with its own
+  /// seed-derived RNG stream, so faulted runs stay bit-identical at any
+  /// `jobs` count. Empty = clean run.
+  FaultPlan faults;
+  /// Install a LifecycleAuditor on the DIKNN instance: assert per-query
+  /// state is reclaimed at every completion and count post-drain leaks
+  /// into RunMetrics. No effect on other protocols.
+  bool audit_lifecycle = false;
   DiknnParams diknn;
   KptParams kpt;
   PeerTreeParams peertree;

@@ -46,6 +46,11 @@ struct RunMetrics {
   double energy_joules = 0.0;        ///< Query + maintenance energy.
   double beacon_energy_joules = 0.0; ///< Common beaconing cost.
   double average_degree = 0.0;       ///< Measured mean neighbor count.
+  // Fault-injection / lifecycle-audit counters (zero on clean runs).
+  uint64_t faults_injected = 0;      ///< Faults applied by the FaultPlan.
+  uint64_t lifecycle_checks = 0;     ///< Query completions audited.
+  uint64_t lifecycle_violations = 0; ///< Completions that left residue.
+  uint64_t leaked_entries = 0;       ///< Per-query entries alive post-drain.
 };
 
 /// Mean/stddev summary of a sample.

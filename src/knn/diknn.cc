@@ -133,10 +133,17 @@ void Diknn::IssueQuery(NodeId sink, Point q, int k, ResultHandler handler) {
 }
 
 void Diknn::OnHomeNodeArrival(Node* node, const GeoRoutedMessage& msg) {
-  ++stats_.home_node_arrivals;
   const auto* bootstrap =
       static_cast<const QueryBootstrap*>(msg.inner.get());
   const KnnQuery& query = bootstrap->query;
+  // The query may have timed out while the bootstrap was still routing
+  // (partitioned or heavily faulted network); spawning sectors for it
+  // would create state no completion ever erases.
+  if (!QueryActive(query.id)) {
+    ++stats_.stale_branches_dropped;
+    return;
+  }
+  ++stats_.home_node_arrivals;
 
   // Phase 2: KNN boundary estimation over the gathered list L.
   const KnnbResult knnb =
@@ -176,6 +183,13 @@ void Diknn::OnHomeNodeArrival(Node* node, const GeoRoutedMessage& msg) {
 }
 
 void Diknn::StartQNode(Node* node, SectorState state) {
+  // A forward that arrives after CompleteQuery tore the query down is a
+  // straggler; processing it would re-insert last_hop_seen_ / collection
+  // entries that nothing erases anymore.
+  if (!QueryActive(state.query.id)) {
+    ++stats_.stale_branches_dropped;
+    return;
+  }
   // Suppress duplicate traversal branches (ACK-loss forks).
   {
     const uint64_t key = CollectionKey(state.query.id, state.sector);
@@ -256,10 +270,17 @@ void Diknn::StartQNode(Node* node, SectorState state) {
   probe->window = window;
 
   const uint64_t key = CollectionKey(state.query.id, state.sector);
+  // An ACK-loss fork can open a second collection for the same sector
+  // while a predecessor's window is still pending; cancel the stale
+  // window so its finish event cannot close the new collection early.
+  if (auto stale = collections_.find(key); stale != collections_.end()) {
+    network_->sim().Cancel(stale->second.finish_event);
+    collections_.erase(stale);
+    ++stats_.collections_cancelled;
+  }
   Collection collection;
   collection.state = std::move(state);
   collection.qnode = node->id();
-  collections_[key] = std::move(collection);
 
   const size_t probe_bytes =
       kProbeBytes + probe->precedence.size() * kNodeIdBytes;
@@ -270,14 +291,21 @@ void Diknn::StartQNode(Node* node, SectorState state) {
   // Guard interval: the last D-node's reply still needs its own air time
   // and potential MAC retries after the window closes.
   const double guard = 5.0 * params_.time_unit;
-  network_->sim().ScheduleAfter(window + guard,
-                                [this, key]() { FinishCollection(key); });
+  collection.finish_event = network_->sim().ScheduleAfter(
+      window + guard, [this, key]() { FinishCollection(key); });
+  collections_[key] = std::move(collection);
 }
 
 void Diknn::OnProbe(Node* node, const ProbeMessage& probe) {
   // Only non-infrastructure nodes inside the boundary are D-nodes.
   if (node->is_infrastructure()) return;
   if (Distance(node->Position(), probe.q) > probe.radius) return;
+  // A probe heard after its query completed must not touch replied_:
+  // operator[] below would resurrect an entry CompleteQuery just erased.
+  if (!QueryActive(probe.query_id)) {
+    ++stats_.stale_branches_dropped;
+    return;
+  }
 
   auto& replied = replied_[probe.query_id];
   if (replied.contains(node->id())) return;
@@ -323,17 +351,26 @@ void Diknn::OnProbe(Node* node, const ProbeMessage& probe) {
     reply->candidate.sampled_at = network_->sim().Now();
     // The collection owner may have moved on; look it up at send time. If
     // the window already closed (or the unicast fails), un-mark the node
-    // so a later probe of the same query can still harvest it.
+    // so a later probe of the same query can still harvest it. The
+    // un-marking uses find(): the query may have completed meanwhile, and
+    // operator[] would re-insert an empty set that nothing ever cleans,
+    // growing replied_ unboundedly across queries.
     auto it = collections_.find(CollectionKey(query_id, sector));
     if (it == collections_.end()) {
-      replied_[query_id].erase(node->id());
+      if (auto r = replied_.find(query_id); r != replied_.end()) {
+        r->second.erase(node->id());
+      }
       return;
     }
     node->SendUnicast(it->second.qnode, MessageType::kDiknnDataReply,
                       std::move(reply), kQueryResponseBytes,
                       EnergyCategory::kQuery,
                       [this, query_id, node](bool success) {
-                        if (!success) replied_[query_id].erase(node->id());
+                        if (success) return;
+                        if (auto r = replied_.find(query_id);
+                            r != replied_.end()) {
+                          r->second.erase(node->id());
+                        }
                       });
     ++stats_.replies_sent;
   });
@@ -346,6 +383,12 @@ void Diknn::OnReply(Node* node, const ReplyMessage& reply) {
 }
 
 void Diknn::OnRendezvous(Node* node, const RendezvousMessage& msg) {
+  // Statistics for a completed query can never be merged again; buffering
+  // them would leave residue until the age-based eviction below.
+  if (!QueryActive(msg.query_id)) {
+    ++stats_.stale_branches_dropped;
+    return;
+  }
   auto& heard = heard_rendezvous_[node->id()];
   const SimTime now = network_->sim().Now();
   // Bound the per-node buffer: drop stale entries (older than any query
@@ -443,6 +486,20 @@ bool Diknn::AdjustBoundary(Node* node, SectorState* state, int ring) {
 }
 
 void Diknn::ForwardAlongItinerary(Node* node, SectorState state) {
+  // Stale traversal work: the query completed (or timed out) while this
+  // branch was still in flight. Dropping it here, instead of letting it
+  // probe its way to the sink, is what keeps timed-out queries from
+  // burning energy for results nobody will read.
+  if (!QueryActive(state.query.id)) {
+    ++stats_.stale_branches_dropped;
+    return;
+  }
+  // A Q-node killed between receiving the state and acting on it (churn,
+  // fault injection) must not keep routing.
+  if (!node->alive()) {
+    ++stats_.dead_node_drops;
+    return;
+  }
   const SimTime now = network_->sim().Now();
   const double step = params_.step_fraction * network_->config().radio_range_m;
 
@@ -540,6 +597,12 @@ void Diknn::ForwardAlongItinerary(Node* node, SectorState state) {
         EnergyCategory::kQuery,
         [this, node, next_id, retry_state](bool success) mutable {
           if (success) return;
+          // A node killed by churn mid-retry must not keep routing
+          // (mirrors the liveness check on the probe-reply path).
+          if (!node->alive()) {
+            ++stats_.dead_node_drops;
+            return;
+          }
           // Skip the retry if the "failed" recipient actually received the
           // frame (lost ACK) and the traversal is already ahead of us.
           const uint64_t key = CollectionKey(retry_state.query.id,
@@ -557,6 +620,12 @@ void Diknn::ForwardAlongItinerary(Node* node, SectorState state) {
 }
 
 void Diknn::FinishSector(Node* node, SectorState state) {
+  // A sector finishing after CompleteQuery would re-insert a
+  // finished_sectors_ key whose only eraser (CompleteQuery) already ran.
+  if (!QueryActive(state.query.id)) {
+    ++stats_.stale_branches_dropped;
+    return;
+  }
   const uint64_t key = CollectionKey(state.query.id, state.sector);
   if (!finished_sectors_.insert(key).second) return;  // Fork branch.
   ++stats_.sector_results_sent;
@@ -658,10 +727,72 @@ void Diknn::CompleteQuery(uint64_t query_id, bool timed_out) {
   pending_.erase(it);
   replied_.erase(query_id);
   for (int s = 0; s < params_.num_sectors; ++s) {
-    last_hop_seen_.erase(CollectionKey(query_id, s));
-    finished_sectors_.erase(CollectionKey(query_id, s));
+    const uint64_t key = CollectionKey(query_id, s);
+    // An open collection window would keep the sector traversing, probing
+    // and routing a result nobody reads; close it and cancel its finish
+    // event.
+    if (auto cit = collections_.find(key); cit != collections_.end()) {
+      network_->sim().Cancel(cit->second.finish_event);
+      collections_.erase(cit);
+      ++stats_.collections_cancelled;
+    }
+    last_hop_seen_.erase(key);
+    finished_sectors_.erase(key);
   }
+  // Scrub the per-node rendezvous buffers: entries for this query can
+  // never be merged again, and age-based eviction only runs when a node
+  // happens to hear another broadcast.
+  for (auto hit = heard_rendezvous_.begin();
+       hit != heard_rendezvous_.end();) {
+    std::erase_if(hit->second, [query_id](const HeardRendezvous& h) {
+      return h.msg.query_id == query_id;
+    });
+    if (hit->second.empty()) {
+      hit = heard_rendezvous_.erase(hit);
+    } else {
+      ++hit;
+    }
+  }
+  if (completion_observer_) completion_observer_(query_id, timed_out);
   if (handler) handler(result);
+}
+
+DiknnLifecycleCounts Diknn::lifecycle_counts() const {
+  DiknnLifecycleCounts counts;
+  counts.pending = pending_.size();
+  counts.collections = collections_.size();
+  counts.last_hop_seen = last_hop_seen_.size();
+  counts.finished_sectors = finished_sectors_.size();
+  counts.replied_queries = replied_.size();
+  for (const auto& [id, nodes] : replied_) {
+    counts.replied_entries += nodes.size();
+  }
+  for (const auto& [id, heard] : heard_rendezvous_) {
+    counts.heard_rendezvous_entries += heard.size();
+  }
+  return counts;
+}
+
+size_t Diknn::ResidueFor(uint64_t query_id) const {
+  size_t residue = pending_.count(query_id) + replied_.count(query_id);
+  const auto owned = [query_id](uint64_t key) {
+    return (key >> 8) == query_id;
+  };
+  for (const auto& [key, collection] : collections_) {
+    if (owned(key)) ++residue;
+  }
+  for (const auto& [key, hop] : last_hop_seen_) {
+    if (owned(key)) ++residue;
+  }
+  for (uint64_t key : finished_sectors_) {
+    if (owned(key)) ++residue;
+  }
+  for (const auto& [id, heard] : heard_rendezvous_) {
+    for (const HeardRendezvous& h : heard) {
+      if (h.msg.query_id == query_id) ++residue;
+    }
+  }
+  return residue;
 }
 
 }  // namespace diknn

@@ -97,6 +97,29 @@ struct DiknnStats {
   uint64_t assurance_expansions = 0;
   double knnb_radius_sum = 0.0;    ///< For mean-radius diagnostics.
   uint64_t knnb_runs = 0;
+  // Lifecycle hardening counters (failure paths).
+  uint64_t stale_branches_dropped = 0;  ///< Work for completed queries.
+  uint64_t dead_node_drops = 0;    ///< Traversal abandoned at a dead node.
+  uint64_t collections_cancelled = 0;  ///< Open windows closed at completion.
+};
+
+/// Sizes of every per-query container, for lifecycle auditing. Invariant:
+/// immediately after CompleteQuery(id) returns, no container retains an
+/// entry for `id`, and after a fully drained run every count is zero.
+struct DiknnLifecycleCounts {
+  size_t pending = 0;
+  size_t collections = 0;
+  size_t last_hop_seen = 0;
+  size_t finished_sectors = 0;
+  size_t replied_queries = 0;
+  size_t replied_entries = 0;          ///< Node ids across all queries.
+  size_t heard_rendezvous_entries = 0; ///< Buffered broadcasts, all nodes.
+
+  /// Entries that must drain to zero with the queries that own them.
+  size_t TotalPerQuery() const {
+    return pending + collections + last_hop_seen + finished_sectors +
+           replied_queries + replied_entries + heard_rendezvous_entries;
+  }
 };
 
 /// The DIKNN protocol. One instance manages the whole network (handlers
@@ -120,6 +143,23 @@ class Diknn : public KnnProtocol {
   void set_hop_observer(HopObserver observer) {
     hop_observer_ = std::move(observer);
   }
+
+  /// Observer invoked after a query's per-query state has been fully torn
+  /// down (and before the result handler runs). The LifecycleAuditor hooks
+  /// this to assert the teardown left no residue.
+  using CompletionObserver = std::function<void(uint64_t query_id,
+                                                bool timed_out)>;
+  void set_completion_observer(CompletionObserver observer) {
+    completion_observer_ = std::move(observer);
+  }
+
+  /// Current size of every per-query container (lifecycle auditing).
+  DiknnLifecycleCounts lifecycle_counts() const;
+
+  /// Number of container entries still referencing `query_id`. Zero for
+  /// any completed query; used by the LifecycleAuditor after each
+  /// completion.
+  size_t ResidueFor(uint64_t query_id) const;
 
  private:
   // -------- wire messages --------
@@ -212,6 +252,10 @@ class Diknn : public KnnProtocol {
     SectorState state;
     NodeId qnode = kInvalidNodeId;
     std::vector<KnnCandidate> replies;
+    /// The scheduled FinishCollection event, cancelled if the query
+    /// completes (or the collection is superseded) while the window is
+    /// still open.
+    EventId finish_event = 0;
   };
 
   static uint64_t CollectionKey(uint64_t query_id, int sector) {
@@ -251,11 +295,20 @@ class Diknn : public KnnProtocol {
   double EffectiveWidth() const;
   double MaxBoundaryRadius() const;
 
+  // True while `query_id` is in flight at the sink. Every handler that
+  // touches per-query state guards on this: once CompleteQuery tears a
+  // query down, straggling traversal work (forks, in-flight forwards,
+  // late probes) must be dropped instead of resurrecting map entries.
+  bool QueryActive(uint64_t query_id) const {
+    return pending_.contains(query_id);
+  }
+
   Network* network_;
   GpsrRouting* gpsr_;
   DiknnParams params_;
   DiknnStats stats_;
   HopObserver hop_observer_;
+  CompletionObserver completion_observer_;
 
   uint64_t next_query_id_ = 1;
   std::unordered_map<uint64_t, PendingQuery> pending_;

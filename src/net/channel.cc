@@ -183,6 +183,11 @@ void Channel::Transmit(Node* sender, const Packet& packet) {
   const SimTime end = now + duration;
   const Point origin = sender->Position();
 
+  FrameFault fault;
+  if (fault_hook_ && !replaying_fault_) {
+    fault = fault_hook_(packet, sender->id());
+  }
+
   ++stats_.frames_sent;
   sender->energy().ChargeTx(packet.size_bytes, params_.radio_range_m,
                             category);
@@ -193,11 +198,24 @@ void Channel::Transmit(Node* sender, const Packet& packet) {
   PeriodicSweep();
   if (params_.use_spatial_grid) {
     air_cells_[CellIndexOf(origin)].push_back(AirFrame{origin, end});
-    GatherCandidates(origin);
   } else {
     PruneAir();
     air_.push_back(AirFrame{origin, end});
   }
+
+  if (fault.duplicate) {
+    // Re-air an identical copy (same uid) right after this frame clears
+    // the air. The replay bypasses the fault hook so a duplicate cannot
+    // spawn further duplicates.
+    sim_->ScheduleAt(end, [this, sender, packet]() {
+      if (!sender->alive()) return;
+      replaying_fault_ = true;
+      Transmit(sender, packet);
+      replaying_fault_ = false;
+    });
+  }
+  if (fault.drop) return;  // On the air but heard by nobody.
+  if (params_.use_spatial_grid) GatherCandidates(origin);
 
   const double range2 = params_.radio_range_m * params_.radio_range_m;
   const auto scan = [&](const auto& candidates, auto node_of,

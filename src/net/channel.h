@@ -121,6 +121,27 @@ class Channel {
     transmit_observer_ = std::move(observer);
   }
 
+  /// Fault-injection verdict for one frame, decided before it goes on the
+  /// air. A dropped frame still costs transmit energy and occupies the air
+  /// for carrier sensing — the sender *did* transmit — but no receiver
+  /// hears it (modeling deep fades and jamming, and in particular forced
+  /// MAC ACK loss). A duplicated frame is re-aired once, immediately after
+  /// the original finishes, with the same uid (modeling a spurious
+  /// retransmission); the receiver MAC ACKs it again and suppresses the
+  /// second protocol delivery, exactly the lost-ACK fork the protocols
+  /// must survive.
+  struct FrameFault {
+    bool drop = false;
+    bool duplicate = false;
+  };
+
+  /// Hook consulted at the start of every Transmit. Replayed duplicates
+  /// requested by the hook are not themselves subject to it. The hook
+  /// must outlive the channel's pending events (the FaultInjector owns it
+  /// for the whole run). Pass nullptr to detach.
+  using FaultHook = std::function<FrameFault(const Packet&, NodeId sender)>;
+  void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
+
  private:
   // Per-receiver corruption flags of one in-flight frame, shared between
   // the frame's Reception entries and its batched delivery event. One
@@ -195,6 +216,8 @@ class Channel {
   ChannelParams params_;
   Rng rng_;
   TransmitObserver transmit_observer_;
+  FaultHook fault_hook_;
+  bool replaying_fault_ = false;  // Guards hook re-entry on duplicates.
   std::vector<Node*> nodes_;
   // In-progress receptions, indexed by receiver id (node ids are dense).
   // Swept periodically, so memory stays bounded by the live population

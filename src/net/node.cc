@@ -23,6 +23,18 @@ Node::Node(NodeId id, Simulator* sim, Channel* channel,
   }
 }
 
+void Node::PinPosition(const Point& p) {
+  position_pinned_ = true;
+  pinned_position_ = p;
+  if (channel_ != nullptr) channel_->RebucketNode(this, p);
+}
+
+void Node::ClearPinnedPosition() {
+  if (!position_pinned_) return;
+  position_pinned_ = false;
+  if (channel_ != nullptr) channel_->RebucketNode(this, Position());
+}
+
 void Node::RegisterHandler(MessageType type, Handler handler) {
   handlers_[type] = std::move(handler);
 }

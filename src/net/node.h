@@ -46,10 +46,15 @@ class Node {
   Simulator* sim() { return sim_; }
 
   /// True position right now (nodes are location-aware per Section 3.1).
-  Point Position() const { return mobility_->PositionAt(sim_->Now()); }
+  Point Position() const {
+    return position_pinned_ ? pinned_position_
+                            : mobility_->PositionAt(sim_->Now());
+  }
 
   /// Current scalar speed (m/s).
-  double Speed() const { return mobility_->SpeedAt(sim_->Now()); }
+  double Speed() const {
+    return position_pinned_ ? 0.0 : mobility_->SpeedAt(sim_->Now());
+  }
 
   /// Lifetime upper bound on this node's speed (m/s); the channel's
   /// spatial grid sizes its cells from the fleet-wide maximum.
@@ -66,6 +71,17 @@ class Node {
   /// Failure injection: a dead node neither transmits nor receives.
   bool alive() const { return alive_; }
   void set_alive(bool alive) { alive_ = alive; }
+
+  /// Fault injection: pins the node at `p` — Position() returns `p` and
+  /// Speed() 0 until the pin is cleared — and re-buckets the channel's
+  /// spatial grid (a teleport can cross cells instantly). Used to freeze
+  /// or teleport the sink mid-run.
+  void PinPosition(const Point& p);
+
+  /// Resumes the mobility model from its own (lazily advanced) trajectory.
+  void ClearPinnedPosition();
+
+  bool position_pinned() const { return position_pinned_; }
 
   /// Infrastructure nodes (e.g. Peer-tree's stationary clusterheads) take
   /// part in the network but are not KNN candidates and are excluded from
@@ -102,6 +118,8 @@ class Node {
   Mac mac_;
   bool alive_ = true;
   bool infrastructure_ = false;
+  bool position_pinned_ = false;
+  Point pinned_position_;
   std::map<MessageType, Handler> handlers_;
 };
 

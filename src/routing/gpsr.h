@@ -125,6 +125,9 @@ class GpsrRouting {
     uint64_t forks_suppressed = 0;
   };
 
+  /// Bound on the per-flow progress table (FIFO eviction).
+  static constexpr size_t kFlowCapacity = 4096;
+
   GpsrRouting(Network* network, GpsrParams params = {});
 
   /// Registers the kGeoRouted handler on every node. Call once.
@@ -146,6 +149,10 @@ class GpsrRouting {
             bool cheap_delivery = false);
 
   const Stats& stats() const { return stats_; }
+
+  /// Current size of the fork-suppression table; bounded by kFlowCapacity
+  /// regardless of how many flows a run creates (lifecycle auditing).
+  size_t FlowStateSize() const { return flow_progress_.size(); }
 
  private:
   // Takes one routing step at `node`; may deliver locally, forward
@@ -175,7 +182,6 @@ class GpsrRouting {
   // Last hop_index seen per flow (bounded FIFO eviction).
   std::unordered_map<uint64_t, int> flow_progress_;
   std::deque<uint64_t> flow_order_;
-  static constexpr size_t kFlowCapacity = 4096;
 };
 
 }  // namespace diknn

@@ -1,0 +1,225 @@
+// Query-lifecycle hardening tests: regression coverage for the per-query
+// state leaks (replied_ resurrection, post-completion stragglers,
+// dead-node retries, orphaned collection windows) plus the fault-injected
+// soak that asserts thousands of queries drain without residue.
+
+#include <gtest/gtest.h>
+
+#include "faults/fault_injector.h"
+#include "faults/lifecycle_auditor.h"
+#include "harness/experiment.h"
+
+namespace diknn {
+namespace {
+
+// A small, hostile world: tight field, short timeouts, lossy air. Queries
+// regularly time out at the sink while their itineraries are still being
+// traversed, which is exactly the straggler regime the lifecycle fixes
+// target.
+ExperimentConfig HostileConfig() {
+  ExperimentConfig config;
+  config.network.node_count = 120;
+  config.network.field = Rect::Field(90, 90);
+  config.network.loss_rate = 0.15;
+  config.k = 10;
+  config.runs = 1;
+  config.duration = 30.0;
+  config.query_interval_mean = 0.5;
+  config.diknn.query_timeout = 0.6;  // Completion races the traversal.
+  config.drain = 3.0;
+  config.audit_lifecycle = true;
+  return config;
+}
+
+struct StressOutcome {
+  DiknnStats stats;
+  uint64_t checks = 0;
+  uint64_t violations = 0;
+  size_t residue = 0;
+  bool flow_bounded = true;
+  int completions = 0;
+};
+
+// Drives a ProtocolStack by hand (RunOnce hides the Diknn instance, and
+// the regression assertions need its counters).
+StressOutcome RunStress(const ExperimentConfig& config, uint64_t seed,
+                        const std::string& fault_spec) {
+  ProtocolStack stack(config, seed);
+  Network& net = stack.network();
+  LifecycleAuditor auditor(stack.diknn(), &stack.gpsr());
+  net.Warmup(config.warmup);
+
+  std::unique_ptr<FaultInjector> injector;
+  if (!fault_spec.empty()) {
+    const auto plan = FaultPlan::Parse(fault_spec);
+    EXPECT_TRUE(plan.has_value()) << fault_spec;
+    injector = std::make_unique<FaultInjector>(&net, *plan, seed + 1);
+    injector->Arm();
+  }
+
+  Rng rng(seed);
+  int completions = 0;
+  const SimTime deadline = net.sim().Now() + config.duration;
+  // Issue the Poisson workload from the sink like the harness does.
+  std::function<void()> issue_next = [&]() {
+    const SimTime next =
+        net.sim().Now() + rng.Exponential(config.query_interval_mean);
+    if (next >= deadline) return;
+    net.sim().ScheduleAt(next, [&]() {
+      const Point q = rng.PointInRect(config.network.field);
+      stack.protocol().IssueQuery(0, q, config.k,
+                                  [&](const KnnResult&) { ++completions; });
+      issue_next();
+    });
+  };
+  issue_next();
+  net.sim().RunUntil(deadline + config.drain);
+
+  StressOutcome out;
+  out.stats = stack.diknn()->stats();
+  out.checks = auditor.checks();
+  out.violations = auditor.violations();
+  out.residue = auditor.FinalResidue();
+  out.flow_bounded = auditor.FlowStateBounded();
+  out.completions = completions;
+  return out;
+}
+
+// Regression: OnProbe's unicast-failure callbacks used replied_[id].erase,
+// re-inserting an empty set after CompleteQuery had erased the query, and
+// StartQNode / FinishSector re-populated last_hop_seen_ /
+// finished_sectors_ from straggling traversal branches. Under short
+// timeouts + loss those paths fire constantly; with the guards in place
+// the containers drain to zero and the dropped work is counted.
+TEST(LifecycleRegressionTest, TimedOutStragglersLeaveNoResidue) {
+  const StressOutcome out = RunStress(HostileConfig(), 42, "");
+  EXPECT_GT(out.stats.timeouts, 0u);
+  EXPECT_GT(out.stats.stale_branches_dropped, 0u);
+  EXPECT_EQ(out.violations, 0u);
+  EXPECT_EQ(out.residue, 0u) << "leaked per-query entries";
+  EXPECT_GT(out.checks, 0u);
+}
+
+// Regression: CompleteQuery left scheduled FinishCollection events and
+// collections_ entries alive, so timed-out queries kept traversing and
+// probing. Cancelled windows are now counted.
+TEST(LifecycleRegressionTest, CompletionCancelsOpenCollections) {
+  const StressOutcome out = RunStress(HostileConfig(), 43, "");
+  EXPECT_GT(out.stats.collections_cancelled, 0u);
+  EXPECT_EQ(out.residue, 0u);
+}
+
+// Regression: ForwardAlongItinerary's MAC-failure callback re-entered
+// forwarding from a node killed mid-retry. With churn killing nodes while
+// itineraries are in flight, the liveness guards must fire and the
+// containers must still drain.
+TEST(LifecycleRegressionTest, DeadNodesDropTraversalWork) {
+  ExperimentConfig config = HostileConfig();
+  config.network.loss_rate = 0.25;  // Force MAC retries and lost ACKs.
+  const StressOutcome out = RunStress(
+      config, 44, "churn@t=0,up=3,down=2;ackloss@t=5,dur=10,prob=0.7");
+  EXPECT_GT(out.stats.dead_node_drops, 0u);
+  EXPECT_EQ(out.violations, 0u);
+  EXPECT_EQ(out.residue, 0u);
+  EXPECT_TRUE(out.flow_bounded);
+}
+
+// Sanity for the audit itself: ResidueFor / lifecycle_counts must see
+// the in-flight state (otherwise zero-residue assertions are vacuous),
+// and it must all be gone once the query completes.
+TEST(LifecycleRegressionTest, ResidueIsVisibleMidQueryAndGoneAfter) {
+  ExperimentConfig config = HostileConfig();
+  config.diknn.query_timeout = 8.0;  // Let the query actually finish.
+  ProtocolStack stack(config, 42);
+  Network& net = stack.network();
+  net.Warmup(config.warmup);
+
+  bool done = false;
+  stack.protocol().IssueQuery(0, config.network.field.Center(), config.k,
+                              [&](const KnnResult&) { done = true; });
+  net.sim().RunUntil(net.sim().Now() + 0.2);
+  ASSERT_FALSE(done);
+  // IssueQuery assigns ids from 1.
+  EXPECT_GE(stack.diknn()->ResidueFor(1), 1u);
+  EXPECT_GE(stack.diknn()->lifecycle_counts().TotalPerQuery(), 1u);
+
+  net.sim().RunUntil(net.sim().Now() + 10.0);
+  ASSERT_TRUE(done);
+  EXPECT_EQ(stack.diknn()->ResidueFor(1), 0u);
+  EXPECT_EQ(stack.diknn()->lifecycle_counts().TotalPerQuery(), 0u);
+}
+
+// The tentpole soak: thousands of queries under node kills, churn,
+// ACK-loss bursts, frame drops/duplication and sink freezes — every
+// completion audited, zero residue at the end.
+TEST(LifecycleSoakTest, ThousandsOfFaultedQueriesLeaveNoResidue) {
+  ExperimentConfig config;
+  config.network.node_count = 120;
+  config.network.field = Rect::Field(90, 90);
+  config.network.loss_rate = 0.1;
+  config.k = 8;
+  config.runs = 1;
+  config.duration = 110.0;
+  config.query_interval_mean = 0.05;  // ~2200 queries per run.
+  config.diknn.query_timeout = 1.5;
+  config.drain = 3.0;
+  config.audit_lifecycle = true;
+  const auto plan = FaultPlan::Parse(
+      "kill@t=5,count=8;churn@t=10,up=15,down=5;"
+      "ackloss@t=20,dur=5,prob=0.8;drop@t=40,dur=5,prob=0.3;"
+      "dup@t=60,dur=10,prob=0.2;freeze@t=80,node=0,dur=5;"
+      "teleport@t=90,node=0,x=20,y=20,dur=5");
+  ASSERT_TRUE(plan.has_value());
+  config.faults = *plan;
+
+  const RunMetrics m = RunOnce(config, /*seed=*/42);
+  EXPECT_GE(m.queries, 2000);
+  EXPECT_GE(m.lifecycle_checks, 2000u);
+  EXPECT_EQ(m.lifecycle_violations, 0u);
+  EXPECT_EQ(m.leaked_entries, 0u);
+  EXPECT_GT(m.faults_injected, 0u);
+}
+
+// Same seed + same fault plan must be bit-identical at any --jobs count:
+// the injector and auditor live entirely inside each run's own stack.
+TEST(LifecycleSoakTest, FaultedRunsAreBitIdenticalAcrossJobs) {
+  ExperimentConfig config;
+  config.network.node_count = 120;
+  config.network.field = Rect::Field(90, 90);
+  config.network.loss_rate = 0.1;
+  config.k = 8;
+  config.runs = 3;
+  config.duration = 15.0;
+  config.query_interval_mean = 0.4;
+  config.audit_lifecycle = true;
+  const auto plan = FaultPlan::Parse(
+      "kill@t=2,count=5;churn@t=4,up=10,down=4;ackloss@t=6,dur=3,prob=0.6");
+  ASSERT_TRUE(plan.has_value());
+  config.faults = *plan;
+
+  config.jobs = 1;
+  const std::vector<RunMetrics> serial = RunExperimentRuns(config);
+  config.jobs = 3;
+  const std::vector<RunMetrics> parallel = RunExperimentRuns(config);
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    const RunMetrics& a = serial[i];
+    const RunMetrics& b = parallel[i];
+    EXPECT_EQ(a.queries, b.queries) << i;
+    EXPECT_EQ(a.timeouts, b.timeouts) << i;
+    EXPECT_EQ(a.avg_latency, b.avg_latency) << i;
+    EXPECT_EQ(a.p95_latency, b.p95_latency) << i;
+    EXPECT_EQ(a.avg_pre_accuracy, b.avg_pre_accuracy) << i;
+    EXPECT_EQ(a.avg_post_accuracy, b.avg_post_accuracy) << i;
+    EXPECT_EQ(a.energy_joules, b.energy_joules) << i;
+    EXPECT_EQ(a.beacon_energy_joules, b.beacon_energy_joules) << i;
+    EXPECT_EQ(a.faults_injected, b.faults_injected) << i;
+    EXPECT_EQ(a.lifecycle_checks, b.lifecycle_checks) << i;
+    EXPECT_EQ(a.lifecycle_violations, b.lifecycle_violations) << i;
+    EXPECT_EQ(a.leaked_entries, b.leaked_entries) << i;
+  }
+}
+
+}  // namespace
+}  // namespace diknn

@@ -52,6 +52,16 @@ void PrintUsage(const char* argv0) {
       "  --no-rendezvous   disable dynamic boundary adjustment\n"
       "  --gain G          mobility assurance gain (default 0.1)\n"
       "\n"
+      "faults:\n"
+      "  --faults SPEC     inject adverse events after warmup; SPEC is\n"
+      "                    kind@t=S,key=val,...;... with kinds kill, revive,\n"
+      "                    churn, ackloss, drop, dup, freeze, teleport\n"
+      "                    (see src/faults/fault_plan.h), e.g.\n"
+      "                    \"kill@t=5,count=2;ackloss@t=8,dur=2\"\n"
+      "  --audit           audit per-query lifecycle state (DIKNN only):\n"
+      "                    counts completions that leave residue and\n"
+      "                    entries leaked past the drain\n"
+      "\n"
       "output:\n"
       "  --csv             machine-readable one-line-per-run output\n"
       "  --trace FILE      write a per-frame CSV trace (first run only)\n"
@@ -150,6 +160,16 @@ int main(int argc, char** argv) {
     } else if (arg == "--gain") {
       config.diknn.assurance_gain = std::atof(next_value());
       config.diknn.mobility_assurance = config.diknn.assurance_gain > 0;
+    } else if (arg == "--faults") {
+      std::string error;
+      const auto plan = FaultPlan::Parse(next_value(), &error);
+      if (!plan) {
+        std::fprintf(stderr, "bad --faults spec: %s\n", error.c_str());
+        return 2;
+      }
+      config.faults = *plan;
+    } else if (arg == "--audit") {
+      config.audit_lifecycle = true;
     } else if (arg == "--csv") {
       csv = true;
     } else if (arg == "--trace") {
@@ -169,7 +189,7 @@ int main(int argc, char** argv) {
   if (csv) {
     std::printf(
         "protocol,k,seed,queries,timeouts,latency_s,energy_j,pre_acc,"
-        "post_acc,avg_degree\n");
+        "post_acc,avg_degree,faults,lc_checks,lc_violations,leaked\n");
   } else {
     std::printf("%s: k=%d, %d run(s) x %.0fs, %d nodes on %.0fx%.0f m, "
                 "mu_max=%.0f m/s\n",
@@ -202,12 +222,16 @@ int main(int argc, char** argv) {
     const uint64_t seed = config.base_seed + i;
     const RunMetrics& m = runs[i];
     if (csv) {
-      std::printf("%s,%d,%llu,%d,%d,%.4f,%.4f,%.4f,%.4f,%.2f\n",
+      std::printf("%s,%d,%llu,%d,%d,%.4f,%.4f,%.4f,%.4f,%.2f,"
+                  "%llu,%llu,%llu,%llu\n",
                   ProtocolName(config.protocol), config.k,
                   static_cast<unsigned long long>(seed), m.queries,
                   m.timeouts, m.avg_latency, m.energy_joules,
-                  m.avg_pre_accuracy, m.avg_post_accuracy,
-                  m.average_degree);
+                  m.avg_pre_accuracy, m.avg_post_accuracy, m.average_degree,
+                  static_cast<unsigned long long>(m.faults_injected),
+                  static_cast<unsigned long long>(m.lifecycle_checks),
+                  static_cast<unsigned long long>(m.lifecycle_violations),
+                  static_cast<unsigned long long>(m.leaked_entries));
     } else {
       std::printf("  run %d (seed %llu): %d queries, latency %.2fs, "
                   "energy %.3fJ, pre %.2f, post %.2f%s\n",
@@ -215,6 +239,14 @@ int main(int argc, char** argv) {
                   m.avg_latency, m.energy_joules, m.avg_pre_accuracy,
                   m.avg_post_accuracy,
                   m.timeouts > 0 ? " (timeouts)" : "");
+      if (!config.faults.empty() || config.audit_lifecycle) {
+        std::printf("    faults=%llu lifecycle: checks=%llu violations=%llu "
+                    "leaked=%llu\n",
+                    static_cast<unsigned long long>(m.faults_injected),
+                    static_cast<unsigned long long>(m.lifecycle_checks),
+                    static_cast<unsigned long long>(m.lifecycle_violations),
+                    static_cast<unsigned long long>(m.leaked_entries));
+      }
     }
     std::fflush(stdout);
   }

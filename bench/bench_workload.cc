@@ -1,0 +1,122 @@
+// bench_workload — offered-load sweep for the query-serving engine.
+//
+// Drives the workload engine's open-loop Poisson arrivals against DIKNN
+// and the KPT+KNNB baseline across offered loads from well below to well
+// above saturation (0.25 -> 32 q/s), with a 2 s deadline and a bounded
+// admission queue, and reports the serving-side story the paper's
+// one-query-at-a-time harness cannot see: goodput vs offered load, tail
+// latency growth (p50/p95/p99), and where deadline misses and admission
+// rejections set in. Emits machine-readable BENCH_workload.json so the
+// latency knee can be tracked across PRs.
+//
+// All numbers are bit-identical at any DIKNN_JOBS setting (each run owns
+// its stack; reports merge by integer bucket counts).
+//
+// Env knobs: DIKNN_RUNS, DIKNN_DURATION, DIKNN_JOBS (see bench_common.h),
+// plus DIKNN_WORKLOAD_SMOKE=1 for a two-point CI-sized sweep.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "workload/workload_spec.h"
+
+namespace {
+
+using namespace diknn;
+using namespace diknn::bench;
+
+// One serving configuration per offered load: k = 20 queries, a 4 s
+// deadline (about twice the uncongested p50, so low load completes and
+// the saturation knee shows as misses), and admission bounded at 64 in
+// flight with a 32-slot queue so deep overload turns into rejections
+// instead of unbounded queueing.
+constexpr char kSpecTemplate[] =
+    "arrival@kind=poisson,rate=R;k@lo=20;deadline@s=4;"
+    "admit@inflight=64,queue=32";
+
+std::string SpecForRate(double rate) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%g", rate);
+  std::string spec = kSpecTemplate;
+  return spec.replace(spec.find("=R"), 2, std::string("=") + buf);
+}
+
+}  // namespace
+
+int main() {
+  const bool smoke = []() {
+    const char* env = std::getenv("DIKNN_WORKLOAD_SMOKE");
+    return env != nullptr && std::atoi(env) != 0;
+  }();
+
+  std::vector<double> rates = {0.25, 0.5, 1, 2, 4, 8, 16, 32};
+  const std::vector<ProtocolKind> protocols = {ProtocolKind::kDiknn,
+                                               ProtocolKind::kKptKnnb};
+
+  ExperimentConfig base = PaperDefaults(ProtocolKind::kDiknn);
+  base.duration = DurationFromEnv(smoke ? 8.0 : 40.0);
+  if (smoke) {
+    rates = {1, 8};
+    base.runs = 1;
+  }
+
+  std::printf("=== bench_workload: offered-load sweep, %s ===\n",
+              kSpecTemplate);
+  std::printf("runs/point=%d, duration=%.0fs, jobs=%d%s\n", base.runs,
+              base.duration, base.jobs, smoke ? " (smoke)" : "");
+  std::printf("%-8s %-8s %8s %8s %8s %8s %8s %7s %7s %7s\n", "qps",
+              "protocol", "issued", "goodput", "p50(s)", "p95(s)", "p99(s)",
+              "miss%", "rej%", "tmo%");
+
+  std::string points;
+  for (double rate : rates) {
+    std::string error;
+    const auto spec = WorkloadSpec::Parse(SpecForRate(rate), &error);
+    if (!spec) {
+      std::fprintf(stderr, "internal: bad sweep spec: %s\n", error.c_str());
+      return 1;
+    }
+    for (ProtocolKind kind : protocols) {
+      ExperimentConfig config = base;
+      config.protocol = kind;
+      config.workload = *spec;
+      const ExperimentMetrics agg = RunExperiment(config);
+      const SloReport& slo = agg.slo;
+      std::printf("%-8g %-8s %8llu %8.2f %8.3f %8.3f %8.3f %6.1f%% %6.1f%% "
+                  "%6.1f%%\n",
+                  rate, ProtocolName(kind),
+                  static_cast<unsigned long long>(slo.issued),
+                  slo.GoodputQps(), slo.p50(), slo.p95(), slo.p99(),
+                  100 * slo.MissRate(), 100 * slo.RejectRate(),
+                  100 * slo.TimeoutRate());
+      std::fflush(stdout);
+
+      char head[128];
+      std::snprintf(head, sizeof(head),
+                    "    {\"protocol\": \"%s\", \"offered_qps\": %g, ",
+                    ProtocolName(kind), rate);
+      std::string slo_json = slo.ToJson();
+      // Splice the SLO fields into the point object (strip its braces).
+      const size_t open = slo_json.find('{');
+      const size_t close = slo_json.rfind('}');
+      slo_json = slo_json.substr(open + 1, close - open - 1);
+      if (!points.empty()) points += ",\n";
+      points += head + slo_json + "}";
+    }
+  }
+
+  std::ofstream out("BENCH_workload.json");
+  out << "{\n  \"bench\": \"workload\",\n"
+      << "  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n"
+      << "  \"spec_template\": \"" << kSpecTemplate << "\",\n"
+      << "  \"runs_per_point\": " << base.runs << ",\n"
+      << "  \"duration_s\": " << base.duration << ",\n"
+      << "  \"points\": [\n" << points << "\n  ]\n}\n";
+  std::printf("wrote BENCH_workload.json (%zu points)\n",
+              rates.size() * protocols.size());
+  return 0;
+}

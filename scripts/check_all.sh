@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# The whole pre-merge gauntlet in one command: release build + full test
+# suite, the ASan/UBSan and TSan presets, and a smoke pass of the
+# workload-engine bench (a seconds-long DIKNN_WORKLOAD_SMOKE sweep, so
+# the bench binary itself is exercised; DIKNN_CHECK_BENCH=0 skips it).
+#
+# Usage: scripts/check_all.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== release build + ctest =="
+cmake --preset release
+cmake --build --preset release -j "$(nproc)"
+ctest --preset release --output-on-failure -j "$(nproc)"
+
+echo "== ASan/UBSan =="
+scripts/check_asan.sh --output-on-failure
+
+echo "== TSan =="
+scripts/check_tsan.sh --output-on-failure
+
+if [[ "${DIKNN_CHECK_BENCH:-1}" != "0" ]]; then
+  echo "== bench_workload smoke =="
+  DIKNN_WORKLOAD_SMOKE=1 ./build/bench/bench_workload
+fi
+
+echo "All checks passed."

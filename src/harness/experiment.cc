@@ -8,6 +8,7 @@
 
 #include "faults/fault_injector.h"
 #include "faults/lifecycle_auditor.h"
+#include "workload/query_driver.h"
 
 namespace diknn {
 
@@ -114,6 +115,57 @@ RunMetrics RunOnce(const ExperimentConfig& config, uint64_t seed,
   const double query_baseline = net.TotalEnergy(EnergyCategory::kQuery);
   const double beacon_baseline = net.TotalEnergy(EnergyCategory::kBeacon);
 
+  RunMetrics metrics;
+
+  // Workload-spec path: hand the run to the QueryDriver (concurrent
+  // queries, mixed classes, deadlines, admission control) and score an
+  // SloReport. Shares the paper path's derived seed so a knn-only spec
+  // sees the same arrival stream the paper generator would.
+  if (config.workload.has_value()) {
+    QueryDriver driver(&net, &stack.gpsr(), &stack.protocol(),
+                       *config.workload, seed * 0x9e3779b97f4a7c15ULL + 17,
+                       config.static_sink ? 0 : kInvalidNodeId);
+    metrics.slo = driver.Run(config.duration, config.drain);
+
+    metrics.queries = static_cast<int>(metrics.slo.issued);
+    metrics.timeouts = static_cast<int>(metrics.slo.timed_out);
+    metrics.avg_latency = metrics.slo.latency.Mean();
+    metrics.p50_latency = metrics.slo.p50();
+    metrics.p95_latency = metrics.slo.p95();
+    metrics.p99_latency = metrics.slo.p99();
+    metrics.avg_pre_accuracy = driver.MeanPreAccuracy();
+    metrics.avg_post_accuracy = driver.MeanPostAccuracy();
+    metrics.energy_joules =
+        (net.TotalEnergy(EnergyCategory::kQuery) - query_baseline) +
+        (net.TotalEnergy(EnergyCategory::kMaintenance) -
+         maintenance_baseline);
+    metrics.beacon_energy_joules =
+        net.TotalEnergy(EnergyCategory::kBeacon) - beacon_baseline;
+    metrics.average_degree = net.AverageDegree();
+    if (injector != nullptr) {
+      metrics.faults_injected = injector->stats().Total();
+    }
+    if (auditor != nullptr) {
+      metrics.lifecycle_checks = auditor->checks();
+      metrics.lifecycle_violations = auditor->violations();
+      metrics.leaked_entries = auditor->FinalResidue();
+      if (!auditor->FlowStateBounded()) ++metrics.lifecycle_violations;
+    }
+    if (records_out != nullptr) {
+      records_out->clear();
+      for (const WorkloadQueryRecord& r : driver.records()) {
+        QueryRecord rec;
+        rec.query_id = r.id;
+        rec.latency = r.latency;
+        rec.timed_out = r.outcome == QueryOutcome::kTimedOut;
+        rec.pre_accuracy = std::max(r.pre_accuracy, 0.0);
+        rec.post_accuracy = std::max(r.post_accuracy, 0.0);
+        records_out->push_back(rec);
+      }
+    }
+    return metrics;
+  }
+
   Rng workload_rng(seed * 0x9e3779b97f4a7c15ULL + 17);
   auto records = std::make_shared<std::vector<QueryRecord>>();
 
@@ -171,7 +223,6 @@ RunMetrics RunOnce(const ExperimentConfig& config, uint64_t seed,
 
   sim.RunUntil(deadline + config.drain);
 
-  RunMetrics metrics;
   metrics.queries = static_cast<int>(records->size());
   std::vector<double> lat, pre, post;
   for (const QueryRecord& r : *records) {
@@ -181,7 +232,10 @@ RunMetrics RunOnce(const ExperimentConfig& config, uint64_t seed,
     post.push_back(r.post_accuracy);
   }
   metrics.avg_latency = Summarize(lat).mean;
-  metrics.p95_latency = Percentile(lat, 95.0);
+  const std::vector<double> tails = Percentiles(lat, {50.0, 95.0, 99.0});
+  metrics.p50_latency = tails[0];
+  metrics.p95_latency = tails[1];
+  metrics.p99_latency = tails[2];
   metrics.avg_pre_accuracy = Summarize(pre).mean;
   metrics.avg_post_accuracy = Summarize(post).mean;
   metrics.energy_joules =

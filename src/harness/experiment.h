@@ -7,6 +7,7 @@
 #define DIKNN_HARNESS_EXPERIMENT_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,7 @@
 #include "harness/metrics.h"
 #include "knn/diknn.h"
 #include "net/network.h"
+#include "workload/workload_spec.h"
 
 namespace diknn {
 
@@ -66,6 +68,12 @@ struct ExperimentConfig {
   /// state is reclaimed at every completion and count post-drain leaks
   /// into RunMetrics. No effect on other protocols.
   bool audit_lifecycle = false;
+  /// When set, a QueryDriver replays this spec instead of the paper's
+  /// one-at-a-time Poisson generator: concurrent queries, mixed classes,
+  /// deadlines, admission control, and an SloReport in RunMetrics::slo.
+  /// `query_interval_mean` and `k` are ignored in that case (the spec's
+  /// arrival and k sections govern). See src/workload/workload_spec.h.
+  std::optional<WorkloadSpec> workload;
   DiknnParams diknn;
   KptParams kpt;
   PeerTreeParams peertree;

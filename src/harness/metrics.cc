@@ -37,21 +37,41 @@ Summary Summarize(const std::vector<double>& values) {
   return s;
 }
 
+namespace {
+
+/// Percentile of an already-sorted sample (linear interpolation between
+/// order statistics).
+double SortedPercentile(const std::vector<double>& sorted, double p) {
+  const double rank =
+      std::clamp(p, 0.0, 100.0) / 100.0 * (sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - lo;
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
 double Percentile(std::vector<double> values, double p) {
   if (values.empty()) return 0.0;
   std::sort(values.begin(), values.end());
-  const double rank =
-      std::clamp(p, 0.0, 100.0) / 100.0 * (values.size() - 1);
-  const size_t lo = static_cast<size_t>(rank);
-  const size_t hi = std::min(lo + 1, values.size() - 1);
-  const double frac = rank - lo;
-  return values[lo] * (1.0 - frac) + values[hi] * frac;
+  return SortedPercentile(values, p);
+}
+
+std::vector<double> Percentiles(std::vector<double> values,
+                                const std::vector<double>& ps) {
+  if (values.empty()) return std::vector<double>(ps.size(), 0.0);
+  std::sort(values.begin(), values.end());
+  std::vector<double> out;
+  out.reserve(ps.size());
+  for (double p : ps) out.push_back(SortedPercentile(values, p));
+  return out;
 }
 
 ExperimentMetrics AggregateRuns(const std::vector<RunMetrics>& runs) {
   ExperimentMetrics out;
   out.runs = static_cast<int>(runs.size());
-  std::vector<double> lat, pre, post, energy, to_rate;
+  std::vector<double> lat, pre, post, energy, to_rate, goodput;
   for (const RunMetrics& r : runs) {
     lat.push_back(r.avg_latency);
     pre.push_back(r.avg_pre_accuracy);
@@ -60,12 +80,15 @@ ExperimentMetrics AggregateRuns(const std::vector<RunMetrics>& runs) {
     to_rate.push_back(r.queries > 0
                           ? static_cast<double>(r.timeouts) / r.queries
                           : 0.0);
+    goodput.push_back(r.slo.GoodputQps());
+    out.slo.Merge(r.slo);
   }
   out.latency = Summarize(lat);
   out.pre_accuracy = Summarize(pre);
   out.post_accuracy = Summarize(post);
   out.energy = Summarize(energy);
   out.timeout_rate = Summarize(to_rate);
+  out.goodput = Summarize(goodput);
   return out;
 }
 

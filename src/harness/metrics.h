@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "net/packet.h"
+#include "workload/latency_histogram.h"
 
 namespace diknn {
 
@@ -40,7 +41,9 @@ struct RunMetrics {
   int queries = 0;
   int timeouts = 0;
   double avg_latency = 0.0;
+  double p50_latency = 0.0;  ///< Median latency across the run's queries.
   double p95_latency = 0.0;  ///< Tail latency across the run's queries.
+  double p99_latency = 0.0;  ///< Far-tail latency across the run's queries.
   double avg_pre_accuracy = 0.0;
   double avg_post_accuracy = 0.0;
   double energy_joules = 0.0;        ///< Query + maintenance energy.
@@ -51,6 +54,10 @@ struct RunMetrics {
   uint64_t lifecycle_checks = 0;     ///< Query completions audited.
   uint64_t lifecycle_violations = 0; ///< Completions that left residue.
   uint64_t leaked_entries = 0;       ///< Per-query entries alive post-drain.
+  /// SLO scorecard of the run's workload. Populated only when the run was
+  /// driven by a WorkloadSpec (ExperimentConfig::workload); empty (issued
+  /// == 0) on paper-style runs.
+  SloReport slo;
 };
 
 /// Mean/stddev summary of a sample.
@@ -69,6 +76,13 @@ Summary Summarize(const std::vector<double>& values);
 /// order statistics; 0 when `values` is empty.
 double Percentile(std::vector<double> values, double p);
 
+/// Several percentiles from one sample, sorting it exactly once (the
+/// single-p overload copies and sorts per call — fine for one quantile,
+/// quadratic waste when a report wants p50/p95/p99/... of the same data).
+/// Returns one value per entry of `ps`, in order; all zeros when empty.
+std::vector<double> Percentiles(std::vector<double> values,
+                                const std::vector<double>& ps);
+
 /// RunMetrics averaged across repeated runs, with per-metric summaries.
 struct ExperimentMetrics {
   Summary latency;
@@ -76,6 +90,12 @@ struct ExperimentMetrics {
   Summary post_accuracy;
   Summary energy;
   Summary timeout_rate;
+  /// Per-run goodput (completed queries per second); zeros without a
+  /// workload spec.
+  Summary goodput;
+  /// Merged SLO scorecard across runs (integer bucket counts, so the
+  /// merge is bit-identical at any jobs setting).
+  SloReport slo;
   int runs = 0;
 };
 

@@ -98,6 +98,12 @@ void ItineraryAggregateQuery::OnEntryArrival(Node* node,
 }
 
 void ItineraryAggregateQuery::StartQNode(Node* node, SweepState state) {
+  // A forward that outlived its query must not re-seed last_hop_seen_ or
+  // open a new collection; the sweep dies here.
+  if (!QueryActive(state.query.id)) {
+    ++stats_.stale_drops;
+    return;
+  }
   {
     auto [it, inserted] =
         last_hop_seen_.try_emplace(state.query.id, state.hop_count);
@@ -128,11 +134,16 @@ void ItineraryAggregateQuery::StartQNode(Node* node, SweepState state) {
   collection.state = std::move(state);
   collection.qnode = node->id();
   const uint64_t id = collection.state.query.id;
-  collections_[id] = std::move(collection);
+  // A deeper fork supersedes an open collection; cancel the superseded
+  // finish timer so it cannot close the new collection early.
+  if (auto old = collections_.find(id); old != collections_.end()) {
+    network_->sim().Cancel(old->second.finish_event);
+  }
+  auto [cit, unused] = collections_.insert_or_assign(id, std::move(collection));
 
   node->SendBroadcast(MessageType::kAggProbe, std::move(probe),
                       kProbeBytes, EnergyCategory::kQuery);
-  network_->sim().ScheduleAfter(
+  cit->second.finish_event = network_->sim().ScheduleAfter(
       window_s + 5.0 * params_.time_unit,
       [this, id]() { FinishCollection(id); });
 }
@@ -140,6 +151,10 @@ void ItineraryAggregateQuery::StartQNode(Node* node, SweepState state) {
 void ItineraryAggregateQuery::OnProbe(Node* node,
                                       const ProbeMessage& probe) {
   if (node->is_infrastructure()) return;
+  if (!QueryActive(probe.query_id)) {
+    ++stats_.stale_drops;
+    return;
+  }
   if (!probe.region.Contains(node->Position())) return;
   auto& replied = replied_[probe.query_id];
   if (replied.contains(node->id())) return;
@@ -150,11 +165,18 @@ void ItineraryAggregateQuery::OnProbe(Node* node,
       probe.reference_angle);
   const double delay = (alpha / kTwoPi) * probe.collect_window;
   const uint64_t query_id = probe.query_id;
-  network_->sim().ScheduleAfter(delay, [this, node, query_id]() {
+  // The un-mark paths below must not use operator[]: after the query
+  // completes and its replied_ entry is torn down, indexing would
+  // resurrect it as permanent residue.
+  const auto unmark = [this](uint64_t qid, NodeId nid) {
+    auto rit = replied_.find(qid);
+    if (rit != replied_.end()) rit->second.erase(nid);
+  };
+  network_->sim().ScheduleAfter(delay, [this, node, query_id, unmark]() {
     if (!node->alive()) return;
     auto it = collections_.find(query_id);
     if (it == collections_.end()) {
-      replied_[query_id].erase(node->id());
+      unmark(query_id, node->id());
       return;
     }
     auto reply = std::make_shared<ReplyMessage>();
@@ -164,8 +186,8 @@ void ItineraryAggregateQuery::OnProbe(Node* node,
     node->SendUnicast(it->second.qnode, MessageType::kAggReply,
                       std::move(reply), kSampleBytes,
                       EnergyCategory::kQuery,
-                      [this, query_id, node](bool ok) {
-                        if (!ok) replied_[query_id].erase(node->id());
+                      [query_id, node, unmark](bool ok) {
+                        if (!ok) unmark(query_id, node->id());
                       });
     ++stats_.replies;
   });
@@ -183,6 +205,10 @@ void ItineraryAggregateQuery::FinishCollection(uint64_t query_id) {
   if (it == collections_.end()) return;
   Collection collection = std::move(it->second);
   collections_.erase(it);
+  if (!QueryActive(query_id)) {
+    ++stats_.stale_drops;
+    return;
+  }
 
   Node* node = network_->node(collection.qnode);
   SweepState& state = collection.state;
@@ -198,6 +224,12 @@ void ItineraryAggregateQuery::FinishCollection(uint64_t query_id) {
 
 void ItineraryAggregateQuery::ForwardAlongSweep(Node* node,
                                                 SweepState state) {
+  // Also reached from unicast-failure retries, which may fire after the
+  // query completed; a dead query's sweep must not keep hopping.
+  if (!QueryActive(state.query.id)) {
+    ++stats_.stale_drops;
+    return;
+  }
   const SimTime now = network_->sim().Now();
   const double step =
       params_.step_fraction * network_->config().radio_range_m;
@@ -286,9 +318,19 @@ void ItineraryAggregateQuery::OnResult(Node* node,
 
   AggregateResultHandler handler = std::move(pending.handler);
   pending_.erase(it);
-  replied_.erase(result->query_id);
-  last_hop_seen_.erase(result->query_id);
+  TeardownQueryState(result->query_id);
   if (handler) handler(out);
+}
+
+void ItineraryAggregateQuery::TeardownQueryState(uint64_t query_id) {
+  replied_.erase(query_id);
+  last_hop_seen_.erase(query_id);
+  auto cit = collections_.find(query_id);
+  if (cit != collections_.end()) {
+    network_->sim().Cancel(cit->second.finish_event);
+    collections_.erase(cit);
+    ++stats_.collections_cancelled;
+  }
 }
 
 void ItineraryAggregateQuery::CompleteQuery(uint64_t query_id,
@@ -307,8 +349,7 @@ void ItineraryAggregateQuery::CompleteQuery(uint64_t query_id,
 
   AggregateResultHandler handler = std::move(pending.handler);
   pending_.erase(it);
-  replied_.erase(query_id);
-  last_hop_seen_.erase(query_id);
+  TeardownQueryState(query_id);
   if (handler) handler(out);
 }
 

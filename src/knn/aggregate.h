@@ -82,6 +82,13 @@ class ItineraryAggregateQuery {
 
   const WindowQueryStats& stats() const { return stats_; }
 
+  /// Per-query entries still alive across all containers. Zero after a
+  /// drained run; the lifecycle-soak tests assert on it.
+  size_t PerQueryResidue() const {
+    return pending_.size() + collections_.size() + replied_.size() +
+           last_hop_seen_.size();
+  }
+
  private:
   struct QueryDescriptor {
     uint64_t id = 0;
@@ -138,7 +145,15 @@ class ItineraryAggregateQuery {
     SweepState state;
     NodeId qnode = kInvalidNodeId;
     AggregateValue replies;
+    EventId finish_event = 0;
   };
+
+  /// True while the query has neither completed nor timed out. Every
+  /// handler that touches per-query state checks this first, so stale
+  /// in-flight events cannot resurrect entries after teardown.
+  bool QueryActive(uint64_t query_id) const {
+    return pending_.count(query_id) != 0;
+  }
 
   double EffectiveWidth() const;
   void OnEntryArrival(Node* node, const GeoRoutedMessage& msg);
@@ -149,6 +164,7 @@ class ItineraryAggregateQuery {
   void ForwardAlongSweep(Node* node, SweepState state);
   void FinishSweep(Node* node, SweepState state);
   void OnResult(Node* node, const GeoRoutedMessage& msg);
+  void TeardownQueryState(uint64_t query_id);
   void CompleteQuery(uint64_t query_id, bool timed_out);
 
   Network* network_;

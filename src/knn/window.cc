@@ -134,6 +134,12 @@ void ItineraryWindowQuery::OnEntryArrival(Node* node,
 }
 
 void ItineraryWindowQuery::StartQNode(Node* node, SweepState state) {
+  // A forward that outlived its query must not re-seed last_hop_seen_ or
+  // open a new collection; the sweep dies here.
+  if (!QueryActive(state.query.id)) {
+    ++stats_.stale_drops;
+    return;
+  }
   // Fork suppression, as in DIKNN (see diknn.h).
   {
     auto [it, inserted] =
@@ -165,17 +171,26 @@ void ItineraryWindowQuery::StartQNode(Node* node, SweepState state) {
   collection.state = std::move(state);
   collection.qnode = node->id();
   const uint64_t id = collection.state.query.id;
-  collections_[id] = std::move(collection);
+  // A deeper fork supersedes an open collection; cancel the superseded
+  // finish timer so it cannot close the new collection early.
+  if (auto old = collections_.find(id); old != collections_.end()) {
+    network_->sim().Cancel(old->second.finish_event);
+  }
+  auto [cit, unused] = collections_.insert_or_assign(id, std::move(collection));
 
   node->SendBroadcast(MessageType::kWindowProbe, std::move(probe),
                       kProbeBytes, EnergyCategory::kQuery);
-  network_->sim().ScheduleAfter(
+  cit->second.finish_event = network_->sim().ScheduleAfter(
       window_s + 5.0 * params_.time_unit,
       [this, id]() { FinishCollection(id); });
 }
 
 void ItineraryWindowQuery::OnProbe(Node* node, const ProbeMessage& probe) {
   if (node->is_infrastructure()) return;
+  if (!QueryActive(probe.query_id)) {
+    ++stats_.stale_drops;
+    return;
+  }
   if (!probe.window.Contains(node->Position())) return;
   auto& replied = replied_[probe.query_id];
   if (replied.contains(node->id())) return;
@@ -186,11 +201,18 @@ void ItineraryWindowQuery::OnProbe(Node* node, const ProbeMessage& probe) {
       probe.reference_angle);
   const double delay = (alpha / kTwoPi) * probe.collect_window;
   const uint64_t query_id = probe.query_id;
-  network_->sim().ScheduleAfter(delay, [this, node, query_id]() {
+  // The un-mark paths below must not use operator[]: after the query
+  // completes and its replied_ entry is torn down, indexing would
+  // resurrect it as permanent residue.
+  const auto unmark = [this](uint64_t qid, NodeId nid) {
+    auto rit = replied_.find(qid);
+    if (rit != replied_.end()) rit->second.erase(nid);
+  };
+  network_->sim().ScheduleAfter(delay, [this, node, query_id, unmark]() {
     if (!node->alive()) return;
     auto it = collections_.find(query_id);
     if (it == collections_.end()) {
-      replied_[query_id].erase(node->id());
+      unmark(query_id, node->id());
       return;
     }
     auto reply = std::make_shared<ReplyMessage>();
@@ -202,8 +224,8 @@ void ItineraryWindowQuery::OnProbe(Node* node, const ProbeMessage& probe) {
     node->SendUnicast(it->second.qnode, MessageType::kWindowReply,
                       std::move(reply), kQueryResponseBytes,
                       EnergyCategory::kQuery,
-                      [this, query_id, node](bool ok) {
-                        if (!ok) replied_[query_id].erase(node->id());
+                      [query_id, node, unmark](bool ok) {
+                        if (!ok) unmark(query_id, node->id());
                       });
     ++stats_.replies;
   });
@@ -220,6 +242,10 @@ void ItineraryWindowQuery::FinishCollection(uint64_t query_id) {
   if (it == collections_.end()) return;
   Collection collection = std::move(it->second);
   collections_.erase(it);
+  if (!QueryActive(query_id)) {
+    ++stats_.stale_drops;
+    return;
+  }
 
   Node* node = network_->node(collection.qnode);
   SweepState& state = collection.state;
@@ -240,6 +266,12 @@ void ItineraryWindowQuery::FinishCollection(uint64_t query_id) {
 }
 
 void ItineraryWindowQuery::ForwardAlongSweep(Node* node, SweepState state) {
+  // Also reached from unicast-failure retries, which may fire after the
+  // query completed; a dead query's sweep must not keep hopping.
+  if (!QueryActive(state.query.id)) {
+    ++stats_.stale_drops;
+    return;
+  }
   const SimTime now = network_->sim().Now();
   const double step =
       params_.step_fraction * network_->config().radio_range_m;
@@ -333,9 +365,19 @@ void ItineraryWindowQuery::OnResult(Node* node, const GeoRoutedMessage& msg) {
 
   WindowResultHandler handler = std::move(pending.handler);
   pending_.erase(it);
-  replied_.erase(result->query_id);
-  last_hop_seen_.erase(result->query_id);
+  TeardownQueryState(result->query_id);
   if (handler) handler(out);
+}
+
+void ItineraryWindowQuery::TeardownQueryState(uint64_t query_id) {
+  replied_.erase(query_id);
+  last_hop_seen_.erase(query_id);
+  auto cit = collections_.find(query_id);
+  if (cit != collections_.end()) {
+    network_->sim().Cancel(cit->second.finish_event);
+    collections_.erase(cit);
+    ++stats_.collections_cancelled;
+  }
 }
 
 void ItineraryWindowQuery::CompleteQuery(uint64_t query_id, bool timed_out) {
@@ -353,8 +395,7 @@ void ItineraryWindowQuery::CompleteQuery(uint64_t query_id, bool timed_out) {
 
   WindowResultHandler handler = std::move(pending.handler);
   pending_.erase(it);
-  replied_.erase(query_id);
-  last_hop_seen_.erase(query_id);
+  TeardownQueryState(query_id);
   if (handler) handler(out);
 }
 

@@ -80,6 +80,11 @@ struct WindowQueryStats {
   uint64_t qnode_hops = 0;
   uint64_t replies = 0;
   uint64_t voids = 0;
+  /// Sweep events that arrived after their query completed and were
+  /// dropped instead of resurrecting per-query state.
+  uint64_t stale_drops = 0;
+  /// Open collection windows cancelled by query completion.
+  uint64_t collections_cancelled = 0;
 };
 
 /// The itinerary window query protocol.
@@ -96,6 +101,13 @@ class ItineraryWindowQuery {
                   WindowResultHandler handler);
 
   const WindowQueryStats& stats() const { return stats_; }
+
+  /// Per-query entries still alive across all containers. Zero after a
+  /// drained run; the lifecycle-soak tests assert on it.
+  size_t PerQueryResidue() const {
+    return pending_.size() + collections_.size() + replied_.size() +
+           last_hop_seen_.size();
+  }
 
  private:
   struct QueryBootstrap : Message {
@@ -147,7 +159,15 @@ class ItineraryWindowQuery {
     SweepState state;
     NodeId qnode = kInvalidNodeId;
     std::vector<KnnCandidate> replies;
+    EventId finish_event = 0;
   };
+
+  /// True while the query has neither completed nor timed out. Every
+  /// handler that touches per-query state checks this first, so stale
+  /// in-flight events cannot resurrect entries after teardown.
+  bool QueryActive(uint64_t query_id) const {
+    return pending_.count(query_id) != 0;
+  }
 
   double EffectiveWidth() const;
   void OnEntryArrival(Node* node, const GeoRoutedMessage& msg);
@@ -158,6 +178,7 @@ class ItineraryWindowQuery {
   void ForwardAlongSweep(Node* node, SweepState state);
   void FinishSweep(Node* node, SweepState state);
   void OnResult(Node* node, const GeoRoutedMessage& msg);
+  void TeardownQueryState(uint64_t query_id);
   void CompleteQuery(uint64_t query_id, bool timed_out);
 
   Network* network_;

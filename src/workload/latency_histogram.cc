@@ -1,0 +1,121 @@
+#include "workload/latency_histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace diknn {
+
+int LatencyHistogram::BucketOf(double latency) {
+  if (!(latency > kMinLatency)) return 0;
+  const int bucket = static_cast<int>(
+      std::log2(latency / kMinLatency) * kBucketsPerOctave);
+  return std::clamp(bucket, 0, kNumBuckets - 1);
+}
+
+double LatencyHistogram::BucketMidpoint(int bucket) {
+  // Geometric midpoint of [lo, lo * 2^(1/8)).
+  return kMinLatency *
+         std::exp2((bucket + 0.5) / static_cast<double>(kBucketsPerOctave));
+}
+
+void LatencyHistogram::Add(double latency) {
+  latency = std::max(latency, 0.0);
+  if (count_ == 0) {
+    min_ = max_ = latency;
+  } else {
+    min_ = std::min(min_, latency);
+    max_ = std::max(max_, latency);
+  }
+  ++count_;
+  sum_ += latency;
+  ++buckets_[BucketOf(latency)];
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+}
+
+double LatencyHistogram::Percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Rank of the sample holding the percentile (nearest-rank definition).
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(p / 100.0 * count_)));
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      return std::clamp(BucketMidpoint(i), min_, max_);
+    }
+  }
+  return max_;
+}
+
+const char* QueryOutcomeName(QueryOutcome outcome) {
+  switch (outcome) {
+    case QueryOutcome::kCompleted:
+      return "completed";
+    case QueryOutcome::kDeadlineMissed:
+      return "deadline_missed";
+    case QueryOutcome::kRejected:
+      return "rejected";
+    case QueryOutcome::kTimedOut:
+      return "timed_out";
+  }
+  return "?";
+}
+
+void SloReport::Merge(const SloReport& other) {
+  issued += other.issued;
+  completed += other.completed;
+  deadline_missed += other.deadline_missed;
+  rejected += other.rejected;
+  timed_out += other.timed_out;
+  for (int c = 0; c < kNumQueryClasses; ++c) {
+    issued_by_class[c] += other.issued_by_class[c];
+  }
+  peak_inflight = std::max(peak_inflight, other.peak_inflight);
+  duration += other.duration;
+  latency.Merge(other.latency);
+}
+
+std::string SloReport::Format() const {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  os << "issued=" << issued << " goodput=" << GoodputQps() << "q/s"
+     << " p50=" << p50() << "s p95=" << p95() << "s p99=" << p99() << "s"
+     << " miss=" << 100.0 * MissRate() << "%"
+     << " reject=" << 100.0 * RejectRate() << "%"
+     << " timeout=" << 100.0 * TimeoutRate() << "%"
+     << " peak_inflight=" << peak_inflight;
+  return os.str();
+}
+
+std::string SloReport::ToJson() const {
+  std::ostringstream os;
+  os << "{\"issued\": " << issued << ", \"completed\": " << completed
+     << ", \"deadline_missed\": " << deadline_missed
+     << ", \"rejected\": " << rejected << ", \"timed_out\": " << timed_out
+     << ", \"peak_inflight\": " << peak_inflight
+     << ", \"goodput_qps\": " << GoodputQps()
+     << ", \"mean_s\": " << latency.Mean() << ", \"p50_s\": " << p50()
+     << ", \"p95_s\": " << p95() << ", \"p99_s\": " << p99()
+     << ", \"p999_s\": " << p999() << ", \"miss_rate\": " << MissRate()
+     << ", \"reject_rate\": " << RejectRate()
+     << ", \"timeout_rate\": " << TimeoutRate() << "}";
+  return os.str();
+}
+
+}  // namespace diknn

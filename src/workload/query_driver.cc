@@ -1,0 +1,342 @@
+#include "workload/query_driver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <utility>
+
+namespace diknn {
+
+namespace {
+
+/// Fraction of `truth` present in `returned` (the harness accuracy
+/// definition, duplicated here so the workload library does not depend on
+/// the harness).
+double Overlap(const std::vector<NodeId>& returned,
+               const std::vector<NodeId>& truth) {
+  if (truth.empty()) return 1.0;
+  const std::unordered_set<NodeId> truth_set(truth.begin(), truth.end());
+  size_t hits = 0;
+  for (NodeId id : returned) hits += truth_set.count(id);
+  return static_cast<double>(hits) / truth_set.size();
+}
+
+}  // namespace
+
+QueryDriver::QueryDriver(Network* network, GpsrRouting* gpsr,
+                         KnnProtocol* protocol, const WorkloadSpec& spec,
+                         uint64_t seed, NodeId sink)
+    : network_(network),
+      gpsr_(gpsr),
+      protocol_(protocol),
+      spec_(spec),
+      rng_(seed),
+      sink_(sink) {
+  const auto weight = [&](QueryClass c) {
+    return spec_.mix[static_cast<int>(c)];
+  };
+  if (weight(QueryClass::kWindow) > 0.0 ||
+      weight(QueryClass::kKnnBoundary) > 0.0) {
+    window_ = std::make_unique<ItineraryWindowQuery>(network_, gpsr_);
+    window_->Install();
+  }
+  if (weight(QueryClass::kAggregate) > 0.0) {
+    field_ = std::make_unique<SensorField>(SensorField::Random(
+        network_->config().field, /*count=*/3, /*amplitude=*/25.0,
+        /*sigma=*/20.0, /*max_drift=*/2.0, seed ^ 0x5eedf1e1dULL));
+    aggregate_ = std::make_unique<ItineraryAggregateQuery>(network_, gpsr_,
+                                                           field_.get());
+    aggregate_->Install();
+  }
+  if (weight(QueryClass::kContinuous) > 0.0) {
+    continuous_ = std::make_unique<ContinuousKnn>(network_, protocol_);
+  }
+  if (spec_.spatial == SpatialKind::kHotspot) {
+    double cum = 0.0;
+    for (int i = 0; i < spec_.hotspots; ++i) {
+      hotspot_centers_.push_back(rng_.PointInRect(network_->config().field));
+      cum += std::pow(i + 1.0, -spec_.hotspot_skew);
+      hotspot_cumweight_.push_back(cum);
+    }
+  }
+}
+
+double QueryDriver::MeanPreAccuracy() const {
+  double sum = 0.0;
+  int n = 0;
+  for (const WorkloadQueryRecord& r : records_) {
+    if (r.pre_accuracy >= 0.0) {
+      sum += r.pre_accuracy;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / n;
+}
+
+double QueryDriver::MeanPostAccuracy() const {
+  double sum = 0.0;
+  int n = 0;
+  for (const WorkloadQueryRecord& r : records_) {
+    if (r.post_accuracy >= 0.0) {
+      sum += r.post_accuracy;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / n;
+}
+
+Point QueryDriver::DrawQueryPoint() {
+  const Rect& field = network_->config().field;
+  if (spec_.spatial == SpatialKind::kUniform || hotspot_centers_.empty()) {
+    return rng_.PointInRect(field);
+  }
+  const double u = rng_.NextDouble() * hotspot_cumweight_.back();
+  size_t idx = 0;
+  while (idx + 1 < hotspot_cumweight_.size() && hotspot_cumweight_[idx] < u) {
+    ++idx;
+  }
+  const Point center = hotspot_centers_[idx];
+  const Point p{center.x + rng_.Normal(0.0, spec_.hotspot_sigma),
+                center.y + rng_.Normal(0.0, spec_.hotspot_sigma)};
+  return field.Clamp(p);
+}
+
+Rect QueryDriver::QueryRect(const Point& center, double side) const {
+  const Rect& field = network_->config().field;
+  const double h = side / 2.0;
+  // Clamping may shrink windows at the field edge; that matches a real
+  // deployment, where a query region never extends past the fence.
+  return Rect{field.Clamp({center.x - h, center.y - h}),
+              field.Clamp({center.x + h, center.y + h})};
+}
+
+double QueryDriver::BoundaryRadius(int k) const {
+  // Uniform-density estimate of the KNN boundary (the same first-cut
+  // estimate KNNB starts from): k = pi * R^2 * (n / area).
+  const double area = network_->config().field.Area();
+  const int n = std::max(1, network_->size());
+  return std::sqrt(k * area / (kPi * n));
+}
+
+QueryDriver::Prepared QueryDriver::Draw() {
+  Prepared prep;
+  prep.id = next_id_++;
+  prep.arrived_at = network_->sim().Now();
+
+  const double u = rng_.NextDouble() * spec_.TotalWeight();
+  double cum = 0.0;
+  int cls = 0;
+  for (; cls < kNumQueryClasses; ++cls) {
+    cum += spec_.mix[cls];
+    if (u < cum && spec_.mix[cls] > 0.0) break;
+  }
+  prep.cls = static_cast<QueryClass>(std::min(cls, kNumQueryClasses - 1));
+
+  prep.sink = sink_ != kInvalidNodeId
+                  ? sink_
+                  : static_cast<NodeId>(rng_.UniformInt(
+                        0, network_->config().node_count - 1));
+  prep.q = DrawQueryPoint();
+  prep.k = spec_.k_lo == spec_.k_hi ? spec_.k_lo
+                                    : rng_.UniformInt(spec_.k_lo, spec_.k_hi);
+  return prep;
+}
+
+void QueryDriver::Admit(Prepared prep) {
+  ++report_.issued;
+  ++report_.issued_by_class[static_cast<int>(prep.cls)];
+  if (spec_.max_inflight > 0 && inflight_count_ >= spec_.max_inflight) {
+    if (static_cast<int>(queue_.size()) < spec_.queue_capacity) {
+      queue_.push_back(std::move(prep));
+    } else {
+      WorkloadQueryRecord rec;
+      rec.id = prep.id;
+      rec.cls = prep.cls;
+      rec.arrived_at = prep.arrived_at;
+      rec.outcome = QueryOutcome::kRejected;
+      records_.push_back(rec);
+      ++report_.rejected;
+    }
+    return;
+  }
+  Launch(std::move(prep));
+}
+
+void QueryDriver::Launch(Prepared prep) {
+  const uint64_t id = prep.id;
+  Inflight info;
+  info.cls = prep.cls;
+  info.arrived_at = prep.arrived_at;
+  info.queue_wait = network_->sim().Now() - prep.arrived_at;
+  info.q = prep.q;
+  info.k = prep.k;
+  if (prep.cls == QueryClass::kKnn && score_accuracy_) {
+    info.truth_pre = network_->TrueKnn(prep.q, prep.k);
+  }
+  inflight_.emplace(id, std::move(info));
+  ++inflight_count_;
+  report_.peak_inflight = std::max(report_.peak_inflight,
+                                   static_cast<uint64_t>(inflight_count_));
+
+  switch (prep.cls) {
+    case QueryClass::kKnn:
+      protocol_->IssueQuery(prep.sink, prep.q, prep.k,
+                            [this, id](const KnnResult& result) {
+                              Resolve(id, result.Latency(), result.timed_out,
+                                      result.CandidateIds());
+                            });
+      break;
+    case QueryClass::kKnnBoundary:
+      // Range query over the estimated KNN boundary of q: the square
+      // circumscribing the radius-R disk that should hold ~k nodes.
+      window_->IssueQuery(prep.sink,
+                          QueryRect(prep.q, 2.0 * BoundaryRadius(prep.k)),
+                          [this, id](const WindowResult& result) {
+                            Resolve(id, result.Latency(), result.timed_out);
+                          });
+      break;
+    case QueryClass::kWindow:
+      window_->IssueQuery(prep.sink, QueryRect(prep.q, spec_.window_side),
+                          [this, id](const WindowResult& result) {
+                            Resolve(id, result.Latency(), result.timed_out);
+                          });
+      break;
+    case QueryClass::kContinuous:
+      continuous_->Subscribe(
+          prep.sink, prep.q, prep.k, spec_.continuous_period,
+          spec_.continuous_rounds, [this, id](const KnnUpdate& update) {
+            // The subscription resolves when its last round completes;
+            // earlier rounds are progress, not resolution.
+            if (update.round + 1 >= spec_.continuous_rounds) {
+              Resolve(id, update.result.Latency(), update.result.timed_out);
+            }
+          });
+      break;
+    case QueryClass::kAggregate:
+      aggregate_->IssueQuery(prep.sink, QueryRect(prep.q, spec_.window_side),
+                             [this, id](const AggregateResult& result) {
+                               Resolve(id, result.Latency(), result.timed_out);
+                             });
+      break;
+  }
+}
+
+void QueryDriver::Resolve(uint64_t id, double protocol_latency,
+                          bool timed_out, std::vector<NodeId> returned) {
+  auto it = inflight_.find(id);
+  if (it == inflight_.end()) return;  // Already finalized.
+  const Inflight info = std::move(it->second);
+  inflight_.erase(it);
+  --inflight_count_;
+
+  WorkloadQueryRecord rec;
+  rec.id = id;
+  rec.cls = info.cls;
+  rec.arrived_at = info.arrived_at;
+  rec.queue_wait = info.queue_wait;
+  rec.latency = info.queue_wait + protocol_latency;
+  if (timed_out) {
+    rec.outcome = QueryOutcome::kTimedOut;
+    ++report_.timed_out;
+  } else if (spec_.deadline > 0.0 && rec.latency > spec_.deadline) {
+    rec.outcome = QueryOutcome::kDeadlineMissed;
+    ++report_.deadline_missed;
+    report_.latency.Add(rec.latency);
+  } else {
+    rec.outcome = QueryOutcome::kCompleted;
+    ++report_.completed;
+    report_.latency.Add(rec.latency);
+  }
+  if (!info.truth_pre.empty()) {
+    rec.pre_accuracy = Overlap(returned, info.truth_pre);
+    rec.post_accuracy =
+        Overlap(returned, network_->TrueKnn(info.q, info.k));
+  }
+  records_.push_back(rec);
+
+  // Freed capacity: promote the longest-waiting queued query.
+  while (!queue_.empty() &&
+         (spec_.max_inflight == 0 || inflight_count_ < spec_.max_inflight)) {
+    Prepared next = std::move(queue_.front());
+    queue_.pop_front();
+    Launch(std::move(next));
+  }
+
+  if (spec_.arrival == ArrivalKind::kClosedLoop && !finalized_) {
+    network_->sim().ScheduleAfter(spec_.think_time,
+                                  [this] { StartSession(); });
+  }
+}
+
+void QueryDriver::ScheduleNextArrival() {
+  const double interval = spec_.arrival == ArrivalKind::kPoisson
+                              ? rng_.Exponential(1.0 / spec_.rate)
+                              : 1.0 / spec_.rate;
+  const SimTime t = network_->sim().Now() + interval;
+  if (t >= end_time_) return;
+  network_->sim().ScheduleAt(t, [this] {
+    Admit(Draw());
+    ScheduleNextArrival();
+  });
+}
+
+void QueryDriver::StartSession() {
+  if (finalized_ || network_->sim().Now() >= end_time_) return;
+  Admit(Draw());
+}
+
+void QueryDriver::Finalize() {
+  finalized_ = true;
+  const SimTime now = network_->sim().Now();
+  // Still queued: never launched, so they score as rejections.
+  for (const Prepared& prep : queue_) {
+    WorkloadQueryRecord rec;
+    rec.id = prep.id;
+    rec.cls = prep.cls;
+    rec.arrived_at = prep.arrived_at;
+    rec.queue_wait = now - prep.arrived_at;
+    rec.outcome = QueryOutcome::kRejected;
+    records_.push_back(rec);
+    ++report_.rejected;
+  }
+  queue_.clear();
+  // Still in flight after the drain: unresolved, so they score as
+  // timeouts. Sorted by id so the record order is platform-independent.
+  std::vector<uint64_t> ids;
+  ids.reserve(inflight_.size());
+  for (const auto& [id, info] : inflight_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  for (uint64_t id : ids) {
+    const Inflight& info = inflight_.at(id);
+    WorkloadQueryRecord rec;
+    rec.id = id;
+    rec.cls = info.cls;
+    rec.arrived_at = info.arrived_at;
+    rec.queue_wait = info.queue_wait;
+    rec.latency = now - info.arrived_at;
+    rec.outcome = QueryOutcome::kTimedOut;
+    records_.push_back(rec);
+    ++report_.timed_out;
+  }
+  inflight_.clear();
+  inflight_count_ = 0;
+}
+
+SloReport QueryDriver::Run(SimTime duration, SimTime drain) {
+  Simulator& sim = network_->sim();
+  const SimTime start = sim.Now();
+  end_time_ = start + duration;
+  if (spec_.arrival == ArrivalKind::kClosedLoop) {
+    for (int s = 0; s < spec_.sessions; ++s) {
+      sim.ScheduleAt(start, [this] { StartSession(); });
+    }
+  } else {
+    ScheduleNextArrival();
+  }
+  sim.RunUntil(end_time_ + drain);
+  Finalize();
+  report_.duration = duration;
+  return report_;
+}
+
+}  // namespace diknn

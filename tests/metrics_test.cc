@@ -83,6 +83,19 @@ TEST(PercentileTest, ClampsOutOfRangeP) {
   EXPECT_DOUBLE_EQ(Percentile(v, 200.0), 2.0);
 }
 
+TEST(PercentileTest, BatchOverloadMatchesPerCallResults) {
+  const std::vector<double> v{9.0, 1.0, 5.0, 3.0, 7.0, 2.0, 8.0};
+  const std::vector<double> ps{0.0, 25.0, 50.0, 90.0, 99.0, 100.0};
+  // One sort for the whole batch, same answers as sorting per call.
+  const std::vector<double> batch = Percentiles(v, ps);
+  ASSERT_EQ(batch.size(), ps.size());
+  for (size_t i = 0; i < ps.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batch[i], Percentile(v, ps[i])) << ps[i];
+  }
+  EXPECT_TRUE(Percentiles({}, {50.0, 99.0}) ==
+              (std::vector<double>{0.0, 0.0}));
+}
+
 TEST(AggregateRunsTest, CombinesAcrossRuns) {
   RunMetrics a;
   a.queries = 10;

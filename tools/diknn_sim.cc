@@ -52,6 +52,16 @@ void PrintUsage(const char* argv0) {
       "  --no-rendezvous   disable dynamic boundary adjustment\n"
       "  --gain G          mobility assurance gain (default 0.1)\n"
       "\n"
+      "workload engine:\n"
+      "  --workload SPEC   replace the paper's one-at-a-time generator\n"
+      "                    with the query-serving engine; SPEC is\n"
+      "                    section@key=val,...;... (see\n"
+      "                    src/workload/workload_spec.h), e.g.\n"
+      "                    \"arrival@kind=poisson,rate=8;k@lo=20;\n"
+      "                    deadline@s=2;admit@inflight=64,queue=16\"\n"
+      "                    Prints an SLO report (goodput, p50/p95/p99,\n"
+      "                    miss/reject rates) after the runs.\n"
+      "\n"
       "faults:\n"
       "  --faults SPEC     inject adverse events after warmup; SPEC is\n"
       "                    kind@t=S,key=val,...;... with kinds kill, revive,\n"
@@ -160,6 +170,14 @@ int main(int argc, char** argv) {
     } else if (arg == "--gain") {
       config.diknn.assurance_gain = std::atof(next_value());
       config.diknn.mobility_assurance = config.diknn.assurance_gain > 0;
+    } else if (arg == "--workload") {
+      std::string error;
+      const auto spec = WorkloadSpec::Parse(next_value(), &error);
+      if (!spec) {
+        std::fprintf(stderr, "bad --workload spec: %s\n", error.c_str());
+        return 2;
+      }
+      config.workload = *spec;
     } else if (arg == "--faults") {
       std::string error;
       const auto plan = FaultPlan::Parse(next_value(), &error);
@@ -258,6 +276,9 @@ int main(int argc, char** argv) {
                 agg.latency.mean, agg.latency.stddev, agg.energy.mean,
                 agg.pre_accuracy.mean, agg.post_accuracy.mean,
                 100 * agg.timeout_rate.mean);
+    if (config.workload.has_value()) {
+      std::printf("slo:  %s\n", agg.slo.Format().c_str());
+    }
   }
   return 0;
 }

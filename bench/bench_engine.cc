@@ -1,0 +1,271 @@
+// bench_engine — event-scheduler engine benchmark (wheel vs legacy heap).
+//
+// Two stages, each run once per EngineKind with an identical deterministic
+// operation sequence:
+//
+//   churn     A bare-EventQueue microbench replaying the simulator's
+//             MAC/beacon event pattern: short tx-done events, ack timers
+//             that are armed and almost always cancelled, and occasional
+//             far-future query timeouts that park in the overflow tier.
+//             Reports scheduler operations per second.
+//
+//   endtoend  A full Network with beaconing (RandomWaypoint mobility,
+//             constant density) run for a fixed simulated span at
+//             N in {1000, 4000}; reports wall-clock frames/sec and
+//             verifies both engines produced identical traffic counters
+//             (the determinism contract, asserted here on every run).
+//
+// Emits machine-readable BENCH_engine.json in the working directory so the
+// perf trajectory can be tracked across PRs.
+//
+// Env knobs: DIKNN_BENCH_EVENTS (churn operations, default 2000000),
+// DIKNN_BENCH_SIZES (comma-separated node counts), DIKNN_BENCH_SPAN
+// (simulated seconds for the end-to-end stage, default 6),
+// DIKNN_ENGINE_SMOKE=1 (shrink everything for a CI smoke pass).
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "net/network.h"
+#include "sim/event_queue.h"
+
+namespace {
+
+using namespace diknn;
+
+bool SmokeMode() {
+  const char* env = std::getenv("DIKNN_ENGINE_SMOKE");
+  return env != nullptr && env[0] == '1';
+}
+
+int OpsFromEnv() {
+  const char* env = std::getenv("DIKNN_BENCH_EVENTS");
+  const int ops = env != nullptr ? std::atoi(env) : 0;
+  if (ops > 0) return ops;
+  return SmokeMode() ? 50000 : 2000000;
+}
+
+std::vector<int> SizesFromEnv() {
+  const char* env = std::getenv("DIKNN_BENCH_SIZES");
+  if (env == nullptr) {
+    return SmokeMode() ? std::vector<int>{250} : std::vector<int>{1000, 4000};
+  }
+  std::vector<int> sizes;
+  for (const char* p = env; *p != '\0';) {
+    char* end = nullptr;
+    const long v = std::strtol(p, &end, 10);
+    if (end == p) break;
+    if (v > 0) sizes.push_back(static_cast<int>(v));
+    p = (*end == ',') ? end + 1 : end;
+  }
+  return sizes.empty() ? std::vector<int>{1000, 4000} : sizes;
+}
+
+double SpanFromEnv() {
+  const char* env = std::getenv("DIKNN_BENCH_SPAN");
+  const double span = env != nullptr ? std::atof(env) : 0.0;
+  if (span > 0.0) return span;
+  return SmokeMode() ? 1.0 : 6.0;
+}
+
+const char* EngineName(EngineKind kind) {
+  return kind == EngineKind::kWheel ? "wheel" : "heap";
+}
+
+// ---------------------------------------------------------------------------
+// Stage 1: event-churn microbench.
+
+struct ChurnResult {
+  EngineKind kind = EngineKind::kWheel;
+  uint64_t ops = 0;  ///< push + cancel + pop operations performed.
+  double wall_s = 0.0;
+  double ops_per_s = 0.0;
+  EngineStats stats;
+};
+
+ChurnResult RunChurn(EngineKind kind, int iterations) {
+  EventQueue q(kind);
+  Rng rng(7);
+  SimTime now = 0.0;
+  uint64_t fired = 0;
+  EventId pending_ack = 0;
+
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < iterations; ++i) {
+    // A data frame's tx-done lands within the next millisecond.
+    q.Push(now + 0.0005 + rng.Uniform(0.0, 0.0004), [&fired] { ++fired; });
+    // Re-arm the ack timer; the previous one is cancelled before it fires
+    // (the dominant MAC pattern — acks almost always arrive).
+    if (pending_ack != 0) q.Cancel(pending_ack);
+    pending_ack = q.Push(now + 0.02, [&fired] { ++fired; });
+    // Occasional far-future query timeout exercises the overflow tier.
+    if (i % 64 == 0) {
+      q.Push(now + 5.0 + rng.Uniform(0.0, 3.0), [&fired] { ++fired; });
+    }
+    SimTime t;
+    q.Pop(&t)();
+    now = t;
+  }
+  while (!q.Empty()) q.Pop(nullptr)();
+  const auto stop = std::chrono::steady_clock::now();
+
+  ChurnResult r;
+  r.kind = kind;
+  r.stats = q.stats();
+  r.ops = r.stats.events_pushed + r.stats.events_fired +
+          r.stats.events_cancelled;
+  r.wall_s = std::chrono::duration<double>(stop - start).count();
+  r.ops_per_s = static_cast<double>(r.ops) / std::max(r.wall_s, 1e-9);
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Stage 2: end-to-end beaconing network.
+
+struct EndResult {
+  EngineKind kind = EngineKind::kWheel;
+  int nodes = 0;
+  uint64_t frames = 0;
+  double wall_s = 0.0;
+  double frames_per_s = 0.0;
+  EngineStats stats;
+  ChannelStats channel;
+};
+
+EndResult RunEndToEnd(int node_count, EngineKind kind, double sim_span) {
+  NetworkConfig config;
+  config.node_count = node_count;
+  // Constant density: scale the paper's 115x115 m / 200-node field.
+  const double side = 115.0 * std::sqrt(node_count / 200.0);
+  config.field = Rect::Field(side, side);
+  config.mobility = MobilityKind::kRandomWaypoint;
+  config.scheduler = kind;
+  config.seed = 99;
+  Network net(config);
+
+  const auto start = std::chrono::steady_clock::now();
+  net.Warmup(sim_span);  // Starts beaconing and runs the span.
+  const auto stop = std::chrono::steady_clock::now();
+
+  EndResult r;
+  r.kind = kind;
+  r.nodes = node_count;
+  r.channel = net.channel().stats();
+  r.frames = r.channel.frames_sent;
+  r.stats = net.sim().engine_stats();
+  r.wall_s = std::chrono::duration<double>(stop - start).count();
+  r.frames_per_s = static_cast<double>(r.frames) / std::max(r.wall_s, 1e-9);
+  return r;
+}
+
+bool SameTraffic(const ChannelStats& a, const ChannelStats& b) {
+  return a.frames_sent == b.frames_sent &&
+         a.receptions_attempted == b.receptions_attempted &&
+         a.receptions_delivered == b.receptions_delivered &&
+         a.receptions_collided == b.receptions_collided &&
+         a.receptions_lost == b.receptions_lost;
+}
+
+void WriteJson(const std::vector<ChurnResult>& churn,
+               const std::vector<EndResult>& end, double churn_speedup,
+               bool all_equal) {
+  std::ofstream out("BENCH_engine.json");
+  out << "{\n  \"bench\": \"engine\",\n  \"equivalent\": "
+      << (all_equal ? "true" : "false")
+      << ",\n  \"churn_speedup\": " << churn_speedup
+      << ",\n  \"churn\": [\n";
+  for (size_t i = 0; i < churn.size(); ++i) {
+    const ChurnResult& r = churn[i];
+    out << "    {\"engine\": \"" << EngineName(r.kind)
+        << "\", \"ops\": " << r.ops << ", \"wall_s\": " << r.wall_s
+        << ", \"ops_per_s\": " << r.ops_per_s
+        << ", \"peak_resident\": " << r.stats.peak_resident
+        << ", \"inline_callbacks\": " << r.stats.inline_callbacks << "}"
+        << (i + 1 < churn.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"endtoend\": [\n";
+  for (size_t i = 0; i < end.size(); ++i) {
+    const EndResult& r = end[i];
+    out << "    {\"nodes\": " << r.nodes << ", \"engine\": \""
+        << EngineName(r.kind) << "\", \"frames\": " << r.frames
+        << ", \"wall_s\": " << r.wall_s
+        << ", \"frames_per_s\": " << r.frames_per_s
+        << ", \"events_fired\": " << r.stats.events_fired
+        << ", \"wheel_scheduled\": " << r.stats.wheel_scheduled
+        << ", \"overflow_scheduled\": " << r.stats.overflow_scheduled
+        << ", \"peak_resident\": " << r.stats.peak_resident << "}"
+        << (i + 1 < end.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main() {
+  const int ops = OpsFromEnv();
+  const std::vector<int> sizes = SizesFromEnv();
+  const double span = SpanFromEnv();
+
+  std::printf("=== bench_engine: churn x%d, endtoend %.1fs sim ===\n", ops,
+              span);
+
+  std::printf("--- churn microbench ---\n");
+  std::printf("%-7s %14s %10s %14s %10s\n", "engine", "ops/sec", "wall(s)",
+              "peak_resident", "speedup");
+  std::vector<ChurnResult> churn;
+  for (const EngineKind kind : {EngineKind::kLegacyHeap, EngineKind::kWheel}) {
+    churn.push_back(RunChurn(kind, ops));
+  }
+  const double churn_speedup = churn[1].ops_per_s / churn[0].ops_per_s;
+  for (const ChurnResult& r : churn) {
+    std::printf("%-7s %14.0f %10.3f %14llu %10s\n", EngineName(r.kind),
+                r.ops_per_s, r.wall_s,
+                static_cast<unsigned long long>(r.stats.peak_resident),
+                r.kind == EngineKind::kWheel ? "" : "-");
+  }
+  std::printf("churn speedup: %.2fx (wheel vs heap)\n", churn_speedup);
+  if (churn[0].stats.events_fired != churn[1].stats.events_fired) {
+    std::fprintf(stderr, "FAIL: churn fired counts diverged\n");
+    return 1;
+  }
+
+  std::printf("--- end-to-end beaconing ---\n");
+  std::printf("%-8s %-7s %12s %10s %12s %10s\n", "nodes", "engine",
+              "frames/sec", "wall(s)", "wheel-frac", "speedup");
+  std::vector<EndResult> end;
+  bool all_equal = true;
+  for (int n : sizes) {
+    const EndResult heap = RunEndToEnd(n, EngineKind::kLegacyHeap, span);
+    const EndResult wheel = RunEndToEnd(n, EngineKind::kWheel, span);
+    all_equal = all_equal && SameTraffic(heap.channel, wheel.channel);
+    for (const EndResult& r : {heap, wheel}) {
+      const uint64_t sched = r.stats.wheel_scheduled +
+                             r.stats.overflow_scheduled;
+      std::printf("%-8d %-7s %12.0f %10.3f %12.3f %10s\n", r.nodes,
+                  EngineName(r.kind), r.frames_per_s, r.wall_s,
+                  sched > 0 ? static_cast<double>(r.stats.wheel_scheduled) /
+                                  sched
+                            : 0.0,
+                  r.kind == EngineKind::kWheel ? "" : "-");
+    }
+    std::printf("%-8d speedup: %.2fx (wheel vs heap)\n", n,
+                wheel.frames_per_s / heap.frames_per_s);
+    end.push_back(heap);
+    end.push_back(wheel);
+  }
+
+  if (!all_equal) {
+    std::fprintf(stderr,
+                 "FAIL: wheel and heap traffic counters diverged\n");
+  }
+  WriteJson(churn, end, churn_speedup, all_equal);
+  std::printf("wrote BENCH_engine.json\n");
+  return all_equal ? 0 : 1;
+}

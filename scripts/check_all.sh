@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # The whole pre-merge gauntlet in one command: release build + full test
-# suite, the ASan/UBSan and TSan presets, and a smoke pass of the
-# workload-engine bench (a seconds-long DIKNN_WORKLOAD_SMOKE sweep, so
-# the bench binary itself is exercised; DIKNN_CHECK_BENCH=0 skips it).
+# suite, the ASan/UBSan and TSan presets, and smoke passes of the
+# workload and event-engine benches (seconds-long DIKNN_WORKLOAD_SMOKE /
+# DIKNN_ENGINE_SMOKE runs, so the bench binaries themselves are
+# exercised; DIKNN_CHECK_BENCH=0 skips them).
 #
 # Usage: scripts/check_all.sh
 set -euo pipefail
@@ -23,6 +24,8 @@ scripts/check_tsan.sh --output-on-failure
 if [[ "${DIKNN_CHECK_BENCH:-1}" != "0" ]]; then
   echo "== bench_workload smoke =="
   DIKNN_WORKLOAD_SMOKE=1 ./build/bench/bench_workload
+  echo "== bench_engine smoke =="
+  DIKNN_ENGINE_SMOKE=1 ./build/bench/bench_engine
 fi
 
 echo "All checks passed."

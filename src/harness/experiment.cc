@@ -83,6 +83,26 @@ ProtocolStack::ProtocolStack(const ExperimentConfig& config, uint64_t seed) {
   protocol_->Install();
 }
 
+namespace {
+
+// Copies the simulator's scheduler counters into the run's metrics.
+void FillEngineCounters(const Simulator& sim, RunMetrics* metrics) {
+  const EngineStats& stats = sim.engine_stats();
+  EngineRunCounters& out = metrics->engine;
+  out.events_pushed = stats.events_pushed;
+  out.events_fired = stats.events_fired;
+  out.events_cancelled = stats.events_cancelled;
+  out.wheel_scheduled = stats.wheel_scheduled;
+  out.overflow_scheduled = stats.overflow_scheduled;
+  out.inline_callbacks = stats.inline_callbacks;
+  out.heap_callbacks = stats.heap_callbacks;
+  out.peak_live = stats.peak_live;
+  out.peak_resident = stats.peak_resident;
+  out.peak_pool_slots = stats.peak_pool_slots;
+}
+
+}  // namespace
+
 RunMetrics RunOnce(const ExperimentConfig& config, uint64_t seed,
                    std::vector<QueryRecord>* records_out) {
   ProtocolStack stack(config, seed);
@@ -163,6 +183,7 @@ RunMetrics RunOnce(const ExperimentConfig& config, uint64_t seed,
         records_out->push_back(rec);
       }
     }
+    FillEngineCounters(sim, &metrics);
     return metrics;
   }
 
@@ -255,6 +276,7 @@ RunMetrics RunOnce(const ExperimentConfig& config, uint64_t seed,
   }
 
   if (records_out != nullptr) *records_out = *records;
+  FillEngineCounters(sim, &metrics);
   return metrics;
 }
 

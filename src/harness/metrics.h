@@ -36,6 +36,31 @@ struct QueryRecord {
 double Accuracy(const std::vector<NodeId>& returned,
                 const std::vector<NodeId>& truth);
 
+/// Scheduler-engine counters of one run (from Simulator::engine_stats()):
+/// event churn, wheel-vs-overflow split, callback storage split, and the
+/// run's peak scheduler footprint. Diagnostics only — excluded from the
+/// bit-identity contract because they naturally differ across engine
+/// kinds (bench_engine reports them per engine).
+struct EngineRunCounters {
+  uint64_t events_pushed = 0;
+  uint64_t events_fired = 0;
+  uint64_t events_cancelled = 0;
+  uint64_t wheel_scheduled = 0;     ///< Pushes inside the wheel horizon.
+  uint64_t overflow_scheduled = 0;  ///< Pushes parked in the overflow heap.
+  uint64_t inline_callbacks = 0;    ///< Callbacks stored without allocation.
+  uint64_t heap_callbacks = 0;
+  uint64_t peak_live = 0;           ///< Peak live (pending) events.
+  uint64_t peak_resident = 0;       ///< Peak resident entries (live + not-
+                                    ///< yet-reclaimed cancelled).
+  uint64_t peak_pool_slots = 0;     ///< Slab pool high-water mark.
+
+  /// Fraction of pushes served by the wheel tier (0 when none).
+  double WheelFraction() const {
+    const uint64_t total = wheel_scheduled + overflow_scheduled;
+    return total > 0 ? static_cast<double>(wheel_scheduled) / total : 0.0;
+  }
+};
+
 /// Aggregated outcome of one simulation run.
 struct RunMetrics {
   int queries = 0;
@@ -58,6 +83,8 @@ struct RunMetrics {
   /// driven by a WorkloadSpec (ExperimentConfig::workload); empty (issued
   /// == 0) on paper-style runs.
   SloReport slo;
+  /// Scheduler counters for the run.
+  EngineRunCounters engine;
 };
 
 /// Mean/stddev summary of a sample.

@@ -1,5 +1,6 @@
 #include "net/beacon.h"
 
+#include <algorithm>
 #include <memory>
 
 namespace diknn {
@@ -17,13 +18,46 @@ void BeaconService::Start() {
                                node->sim()->Now());
     });
   }
-  for (Node* node : nodes_) {
+
+  // Draw one phase per node (in node order, matching the historical RNG
+  // stream) and sort the sweep by first-fire time. Stable sort keeps
+  // node order for equal phases — the FIFO order separate events would
+  // have had.
+  schedule_.clear();
+  schedule_.reserve(nodes_.size());
+  const SimTime now = sim_->Now();
+  for (size_t i = 0; i < nodes_.size(); ++i) {
     const SimTime phase = rng_.Uniform(0.0, interval_);
-    sim_->SchedulePeriodic(phase, interval_, [this, node]() {
-      if (node->alive()) SendBeacon(node);
-      return true;  // Beaconing never stops on its own.
-    });
+    schedule_.push_back(
+        SweepEntry{now + phase, static_cast<uint32_t>(i)});
   }
+  std::stable_sort(schedule_.begin(), schedule_.end(),
+                   [](const SweepEntry& a, const SweepEntry& b) {
+                     return a.next_time < b.next_time;
+                   });
+  cursor_ = 0;
+  if (!schedule_.empty()) ScheduleSweep();
+}
+
+void BeaconService::ScheduleSweep() {
+  sim_->ScheduleAt(schedule_[cursor_].next_time, [this]() { FireSweep(); });
+}
+
+void BeaconService::FireSweep() {
+  // Send every beacon due at exactly this timestamp (ties only arise
+  // when two accumulated phase series collide bit-for-bit; they then
+  // fire in sweep order, which is the order separate events would have
+  // fired in). Dead nodes stay in the rotation — like the historical
+  // per-node periodic, beaconing resumes if a node is revived.
+  const SimTime t = schedule_[cursor_].next_time;
+  do {
+    SweepEntry& entry = schedule_[cursor_];
+    Node* node = nodes_[entry.node_index];
+    if (node->alive()) SendBeacon(node);
+    entry.next_time += interval_;
+    cursor_ = cursor_ + 1 < schedule_.size() ? cursor_ + 1 : 0;
+  } while (cursor_ != 0 && schedule_[cursor_].next_time == t);
+  ScheduleSweep();
 }
 
 void BeaconService::SendBeacon(Node* node) {

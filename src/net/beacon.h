@@ -2,10 +2,22 @@
 // position and current speed; receivers maintain neighbor tables from
 // heard beacons. Beacon phases are jittered per node so the network does
 // not synchronize its transmissions.
+//
+// Scheduling: instead of N independent self-rescheduling periodic events
+// (one per node, each a heap entry with its own shared-state closure),
+// the service keeps one phase-sorted sweep over the fleet and a single
+// scheduler entry — the next beacon due. Each firing sends every beacon
+// that shares that exact timestamp, advances those entries by one
+// interval, and schedules the next due time. Per-node transmit times and
+// their relative order are exactly those of the per-node-periodic scheme
+// (same RNG draws, same `t + interval` accumulation), so runs are
+// bit-identical; the scheduler just carries one resident event instead
+// of N.
 
 #ifndef DIKNN_NET_BEACON_H_
 #define DIKNN_NET_BEACON_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "net/node.h"
@@ -38,12 +50,27 @@ class BeaconService {
   SimTime interval() const { return interval_; }
 
  private:
+  /// One fleet entry in the phase-sorted sweep. `next_time` advances by
+  /// `interval_` per round with the same floating-point accumulation a
+  /// self-rescheduling periodic event would produce.
+  struct SweepEntry {
+    SimTime next_time;
+    uint32_t node_index;
+  };
+
   void SendBeacon(Node* node);
+  // Sends every beacon due at the cursor's timestamp, then re-arms.
+  void FireSweep();
+  // Schedules the single pending event at the cursor entry's due time.
+  void ScheduleSweep();
 
   Simulator* sim_;
   std::vector<Node*> nodes_;
   SimTime interval_;
   Rng rng_;
+
+  std::vector<SweepEntry> schedule_;  // Sorted by (phase, node order).
+  size_t cursor_ = 0;
 };
 
 }  // namespace diknn

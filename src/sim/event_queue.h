@@ -1,13 +1,43 @@
-// Priority queue of timestamped events for the discrete-event simulator.
+// Two-tier event engine for the discrete-event simulator: a hierarchical
+// timer wheel for near-future events plus a min-heap overflow tier for
+// far-future ones, over a slab pool of generation-tagged slots.
+//
+// Why not a binary heap: the simulator's load is dominated by short-lived
+// timers on the beacon/MAC timescale (CSMA backoffs, ACK timeouts, frame
+// completions, beacon rounds) that are pushed, fired or cancelled within
+// milliseconds. A priority queue pays O(log n) per operation on the whole
+// pending set and, with tombstone cancellation, keeps dead entries (and
+// their captured state) resident until they surface. Here:
+//
+//   * Push lands in a calendar bucket (O(1)) when the event fires within
+//     the wheel horizon — the common case — and in the overflow heap
+//     otherwise (deadlines, query timeouts, fault plans).
+//   * Cancel is O(1): the event's pool slot is invalidated (generation
+//     bump) and its callback destroyed immediately; only a 24-byte POD
+//     reference stays behind in a bucket until the cursor passes it.
+//   * Pop drains one bucket at a time, sorting each bucket's handful of
+//     entries by (time, sequence) — which reproduces the binary heap's
+//     global FIFO-within-timestamp order exactly (buckets partition the
+//     time axis monotonically), so every run is bit-identical to the
+//     reference heap engine.
+//   * Callbacks live in SmallFn inline storage inside the pool slot; no
+//     per-event allocation for anything that fits 64 bytes of captures.
+//
+// The pre-wheel design — `std::priority_queue` of std::function entries
+// with an unordered_set live-set — is retained behind
+// EngineKind::kLegacyHeap as the determinism anchor and benchmark
+// baseline (bench_engine, engine_determinism_test).
 
 #ifndef DIKNN_SIM_EVENT_QUEUE_H_
 #define DIKNN_SIM_EVENT_QUEUE_H_
 
+#include <array>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_set>
 #include <vector>
+
+#include "sim/small_fn.h"
 
 namespace diknn {
 
@@ -15,65 +45,187 @@ namespace diknn {
 using SimTime = double;
 
 /// Opaque handle for a scheduled event, used for cancellation. Id 0 is
-/// never issued and acts as a null handle.
+/// never issued and acts as a null handle. Wheel-engine ids encode
+/// (generation << 32) | (pool slot + 1), so a handle kept past its
+/// event's firing can never cancel an unrelated event that reused the
+/// slot.
 using EventId = uint64_t;
 
-/// Min-heap of events ordered by (time, insertion sequence). Events at the
-/// same timestamp fire in FIFO order, which keeps protocol handshakes
-/// deterministic. Cancellation is O(1) via tombstones: cancelled entries
-/// stay in the heap and are skipped when they surface.
+/// Scheduler implementation selector.
+enum class EngineKind {
+  kWheel,       ///< Timer wheel + overflow heap + slab pool (default).
+  kLegacyHeap,  ///< Pre-wheel binary heap with tombstone cancellation.
+};
+
+/// Engine observability counters (all monotone except the sizes).
+struct EngineStats {
+  uint64_t events_pushed = 0;
+  uint64_t events_fired = 0;
+  uint64_t events_cancelled = 0;
+  /// Pushes that landed in a wheel bucket (incl. the current bucket).
+  uint64_t wheel_scheduled = 0;
+  /// Pushes beyond the wheel horizon, parked in the overflow heap.
+  uint64_t overflow_scheduled = 0;
+  /// Overflow entries migrated into a bucket as the cursor reached them.
+  uint64_t overflow_migrated = 0;
+  /// Callbacks stored inline in the pool slot vs heap-allocated.
+  uint64_t inline_callbacks = 0;
+  uint64_t heap_callbacks = 0;
+  /// High-water marks: live events, resident entry references (live +
+  /// not-yet-reclaimed cancelled), and slab pool slots ever allocated.
+  uint64_t peak_live = 0;
+  uint64_t peak_resident = 0;
+  uint64_t peak_pool_slots = 0;
+};
+
+/// Min-ordered event queue: events fire in (time, insertion sequence)
+/// order, so events at the same timestamp fire FIFO, which keeps protocol
+/// handshakes deterministic. The ordering contract is identical across
+/// both engine kinds (see docs/ENGINE.md).
 class EventQueue {
  public:
-  EventQueue() = default;
+  explicit EventQueue(EngineKind engine = EngineKind::kWheel)
+      : engine_(engine) {}
 
   // Non-copyable: callbacks capture simulator state.
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
 
-  /// Schedules `fn` to fire at absolute time `t`. Returns a handle that can
-  /// be passed to Cancel().
-  EventId Push(SimTime t, std::function<void()> fn);
+  /// Wheel geometry: 1024 buckets of 1 ms — a ~1 s horizon sized to the
+  /// beacon/MAC timescale (backoffs, ACK timeouts, frame completions and
+  /// beacon rounds all land in the wheel; multi-second deadlines go to
+  /// the overflow heap).
+  static constexpr int kWheelBits = 10;
+  static constexpr int kWheelSlots = 1 << kWheelBits;
+  static constexpr double kSlotWidthS = 1e-3;
 
-  /// Cancels a pending event. Cancelling an already-fired, already-
-  /// cancelled, or unknown id is a harmless no-op.
+  /// Schedules `fn` to fire at absolute time `t`. Returns a handle that
+  /// can be passed to Cancel(). Accepts any `void()` callable; captures
+  /// up to SmallFn::kInlineBytes are stored without allocation.
+  template <typename F>
+  EventId Push(SimTime t, F&& fn) {
+    if (engine_ == EngineKind::kLegacyHeap) {
+      return PushLegacy(t, std::function<void()>(std::forward<F>(fn)));
+    }
+    return PushWheel(t, SmallFn(std::forward<F>(fn)));
+  }
+
+  /// Cancels a pending event in O(1): the callback is destroyed
+  /// immediately and the slot is returned to the pool. Cancelling an
+  /// already-fired, already-cancelled, or unknown id is a harmless no-op.
   void Cancel(EventId id);
 
   /// True while `id` is scheduled and neither fired nor cancelled.
-  bool IsPending(EventId id) const { return live_.contains(id); }
+  bool IsPending(EventId id) const;
 
   /// True when no live (non-cancelled) events remain.
-  bool Empty() const { return live_.empty(); }
+  bool Empty() const { return live_count_ == 0; }
 
-  /// Number of live events.
-  size_t Size() const { return live_.size(); }
+  /// Number of live events. (See ResidentEntries() for what is actually
+  /// resident in memory — the historical Size() hid cancelled entries
+  /// that the legacy heap kept resident until they surfaced.)
+  size_t Size() const { return live_count_; }
+
+  /// Entry references currently resident in the engine's containers:
+  /// live events plus cancelled entries whose reference has not yet been
+  /// reclaimed. In the wheel engine a cancelled event's callback and
+  /// pool slot are reclaimed at Cancel() time and only a POD reference
+  /// lingers (bounded by the churn inside one wheel horizon); in the
+  /// legacy engine the whole entry — callback included — stays resident.
+  size_t ResidentEntries() const { return resident_; }
+
+  /// Slab pool slots ever allocated (wheel engine; 0 for legacy).
+  size_t PooledSlots() const { return pool_.size(); }
+
+  EngineKind engine() const { return engine_; }
+
+  /// Counters; `peak_pool_slots` mirrors PooledSlots().
+  const EngineStats& stats() const { return stats_; }
 
   /// Timestamp of the earliest live event. Requires !Empty().
   SimTime NextTime();
 
-  /// Removes and returns the earliest live event's callback, advancing past
-  /// any tombstoned entries. Requires !Empty().
-  std::function<void()> Pop(SimTime* time_out);
+  /// Removes and returns the earliest live event's callback, reclaiming
+  /// any cancelled entries it advances past. Requires !Empty().
+  SmallFn Pop(SimTime* time_out);
 
  private:
-  struct Entry {
+  static constexpr uint32_t kNilIndex = 0xffffffffu;
+  static constexpr int64_t kNoBucket = -1;
+
+  /// 24-byte POD reference to a pooled event, stored in wheel buckets,
+  /// the active run, and the overflow heap.
+  struct Ref {
+    SimTime time;
+    uint64_t seq;
+    uint32_t slot;
+    uint32_t gen;
+  };
+
+  /// Slab pool slot. `gen` is bumped every time the slot is freed, so
+  /// stale EventIds can never touch a successor event.
+  struct PoolSlot {
+    SmallFn fn;
+    uint32_t gen = 1;
+    uint32_t next_free = kNilIndex;
+    bool live = false;
+  };
+
+  // Legacy tier: the pre-wheel design, verbatim except that the heap is
+  // an explicit vector + std::push_heap/pop_heap (priority_queue::top()
+  // is const, which forced a const_cast to move the callback out).
+  struct LegacyEntry {
     SimTime time;
     uint64_t seq;
     EventId id;
     std::function<void()> fn;
-
-    bool operator>(const Entry& o) const {
-      if (time != o.time) return time > o.time;
-      return seq > o.seq;
-    }
   };
 
-  // Drops entries whose id is no longer live from the heap top.
-  void SkipCancelled();
+  static int64_t BucketOf(SimTime t) {
+    return static_cast<int64_t>(t * (1.0 / kSlotWidthS));
+  }
 
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-  std::unordered_set<EventId> live_;
+  EventId PushLegacy(SimTime t, std::function<void()> fn);
+  EventId PushWheel(SimTime t, SmallFn fn);
+
+  uint32_t AllocSlot(SmallFn fn);
+  void FreeSlot(uint32_t index);
+  bool IsLiveRef(const Ref& ref) const {
+    return pool_[ref.slot].live && pool_[ref.slot].gen == ref.gen;
+  }
+
+  // Makes run_[run_head_] the earliest live event, advancing the bucket
+  // cursor and migrating overflow entries as needed. Requires !Empty().
+  void EnsureRunReady();
+  // Smallest occupied wheel bucket in (cur_bucket_, cur_bucket_ +
+  // kWheelSlots), or kNoBucket.
+  int64_t NextOccupiedWheelBucket() const;
+  void SetOccupied(int64_t bucket);
+  void ClearOccupied(int64_t bucket);
+
+  void LegacySkipCancelled();
+
+  EngineKind engine_;
+
+  // --- wheel engine state ---
+  std::vector<PoolSlot> pool_;
+  uint32_t free_head_ = kNilIndex;
+  std::array<std::vector<Ref>, kWheelSlots> wheel_;
+  std::array<uint64_t, kWheelSlots / 64> occupancy_ = {};
+  int64_t cur_bucket_ = 0;          // Bucket the run was drawn from.
+  std::vector<Ref> run_;            // Current bucket, (time, seq)-sorted.
+  size_t run_head_ = 0;
+  std::vector<Ref> overflow_;       // Min-heap beyond the wheel horizon.
+
+  // --- legacy engine state ---
+  std::vector<LegacyEntry> legacy_heap_;  // Min-heap via std::*_heap.
+  std::unordered_set<EventId> legacy_live_;
+  EventId legacy_next_id_ = 1;
+
   uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
+  size_t live_count_ = 0;
+  size_t resident_ = 0;
+  EngineStats stats_;
 };
 
 }  // namespace diknn

@@ -4,9 +4,11 @@
 #ifndef DIKNN_SIM_SIMULATOR_H_
 #define DIKNN_SIM_SIMULATOR_H_
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <utility>
 
 #include "core/status.h"
 #include "sim/event_queue.h"
@@ -20,7 +22,11 @@ namespace diknn {
 /// (channel, MAC, mobility, protocols) share one Simulator instance.
 class Simulator {
  public:
-  Simulator() = default;
+  /// `engine` selects the scheduler implementation; the default timer
+  /// wheel and the legacy binary heap fire events in an identical order
+  /// (see docs/ENGINE.md), so the choice only affects speed.
+  explicit Simulator(EngineKind engine = EngineKind::kWheel)
+      : queue_(engine) {}
 
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
@@ -28,12 +34,20 @@ class Simulator {
   /// Current simulation time in seconds.
   SimTime Now() const { return now_; }
 
-  /// Schedules `fn` at absolute time `t`; `t` must be >= Now().
-  EventId ScheduleAt(SimTime t, std::function<void()> fn);
+  /// Schedules `fn` at absolute time `t`; `t` must be >= Now(). Accepts
+  /// any `void()` callable; small captures are stored without heap
+  /// allocation (SmallFn inline storage).
+  template <typename F>
+  EventId ScheduleAt(SimTime t, F&& fn) {
+    assert(t >= now_ && "cannot schedule events in the past");
+    if (t < now_) t = now_;
+    return queue_.Push(t, std::forward<F>(fn));
+  }
 
   /// Schedules `fn` after `delay` seconds (>= 0).
-  EventId ScheduleAfter(SimTime delay, std::function<void()> fn) {
-    return ScheduleAt(now_ + delay, std::move(fn));
+  template <typename F>
+  EventId ScheduleAfter(SimTime delay, F&& fn) {
+    return ScheduleAt(now_ + delay, std::forward<F>(fn));
   }
 
   /// Schedules `fn` to fire every `period` seconds starting `phase` seconds
@@ -43,7 +57,8 @@ class Simulator {
   EventId SchedulePeriodic(SimTime phase, SimTime period,
                            std::function<bool()> fn);
 
-  /// Cancels a pending event (no-op if already fired or cancelled).
+  /// Cancels a pending event in O(1) (no-op if already fired or
+  /// cancelled).
   void Cancel(EventId id) { queue_.Cancel(id); }
 
   /// True while `id` has neither fired nor been cancelled.
@@ -60,8 +75,18 @@ class Simulator {
   /// Total events executed since construction.
   uint64_t events_executed() const { return events_executed_; }
 
-  /// Number of pending events.
+  /// Number of pending (live) events.
   size_t pending_events() const { return queue_.Size(); }
+
+  /// Entries resident in the scheduler, including cancelled ones whose
+  /// reference has not been reclaimed yet (see EventQueue docs).
+  size_t resident_events() const { return queue_.ResidentEntries(); }
+
+  EngineKind engine() const { return queue_.engine(); }
+
+  /// Scheduler counters (events pushed/fired/cancelled, wheel vs
+  /// overflow split, callback storage split, peak sizes).
+  const EngineStats& engine_stats() const { return queue_.stats(); }
 
  private:
   EventQueue queue_;

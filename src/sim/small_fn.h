@@ -1,0 +1,139 @@
+// Move-only `void()` callable with inline storage, the event engine's
+// replacement for `std::function<void()>`.
+//
+// Scheduler callbacks are almost always small lambdas (a `this` pointer
+// plus a few scalars), yet `std::function` heap-allocates anything above
+// its tiny SBO threshold and drags in RTTI + copyability machinery the
+// event queue never uses. SmallFn stores any nothrow-movable callable of
+// up to kInlineBytes directly in the event's pool slot and falls back to
+// a single heap allocation only for oversized captures (e.g. the
+// channel's batched-delivery closure, which owns a reception vector).
+
+#ifndef DIKNN_SIM_SMALL_FN_H_
+#define DIKNN_SIM_SMALL_FN_H_
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace diknn {
+
+class SmallFn {
+ public:
+  /// Inline capture budget. Sized so every MAC/beacon/protocol-timer
+  /// lambda in the tree fits (the largest, a `this` + Packet capture, is
+  /// just under 64 bytes).
+  static constexpr size_t kInlineBytes = 64;
+  static constexpr size_t kInlineAlign = 16;
+
+  SmallFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (FitsInline<Fn>()) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      ops_ = &InlineOpsFor<Fn>::kOps;
+    } else {
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &HeapOpsFor<Fn>::kOps;
+    }
+  }
+
+  SmallFn(SmallFn&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(storage_, other.storage_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+
+  ~SmallFn() { Reset(); }
+
+  /// Destroys the held callable (releasing captured resources now),
+  /// leaving the SmallFn empty. Safe on an empty SmallFn.
+  void Reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  void operator()() {
+    assert(ops_ != nullptr && "invoking an empty SmallFn");
+    ops_->invoke(storage_);
+  }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  /// True when the callable lives in the inline buffer (no allocation).
+  bool is_inline() const { return ops_ != nullptr && ops_->inline_storage; }
+
+  /// Whether callables of type F avoid the heap fallback.
+  template <typename F>
+  static constexpr bool FitsInline() {
+    return sizeof(F) <= kInlineBytes && alignof(F) <= kInlineAlign &&
+           std::is_nothrow_move_constructible_v<F>;
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    // Move-constructs dst from src and destroys src.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* storage) noexcept;
+    bool inline_storage;
+  };
+
+  template <typename F>
+  struct InlineOpsFor {
+    static void Invoke(void* s) { (*std::launder(reinterpret_cast<F*>(s)))(); }
+    static void Relocate(void* dst, void* src) noexcept {
+      F* from = std::launder(reinterpret_cast<F*>(src));
+      ::new (dst) F(std::move(*from));
+      from->~F();
+    }
+    static void Destroy(void* s) noexcept {
+      std::launder(reinterpret_cast<F*>(s))->~F();
+    }
+    static constexpr Ops kOps{&Invoke, &Relocate, &Destroy, true};
+  };
+
+  template <typename F>
+  struct HeapOpsFor {
+    static F*& Ptr(void* s) { return *std::launder(reinterpret_cast<F**>(s)); }
+    static void Invoke(void* s) { (*Ptr(s))(); }
+    static void Relocate(void* dst, void* src) noexcept {
+      ::new (dst) F*(Ptr(src));
+    }
+    static void Destroy(void* s) noexcept { delete Ptr(s); }
+    static constexpr Ops kOps{&Invoke, &Relocate, &Destroy, false};
+  };
+
+  alignas(kInlineAlign) unsigned char storage_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace diknn
+
+#endif  // DIKNN_SIM_SMALL_FN_H_

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # The whole pre-merge gauntlet in one command: release build + full test
-# suite, the ASan/UBSan and TSan presets, and smoke passes of the
-# workload and event-engine benches (seconds-long DIKNN_WORKLOAD_SMOKE /
-# DIKNN_ENGINE_SMOKE runs, so the bench binaries themselves are
-# exercised; DIKNN_CHECK_BENCH=0 skips them).
+# suite, the ASan/UBSan and TSan presets, smoke passes of the workload,
+# event-engine, and observability benches (seconds-long
+# DIKNN_WORKLOAD_SMOKE / DIKNN_ENGINE_SMOKE / DIKNN_OBS_SMOKE runs, so
+# the bench binaries themselves are exercised; DIKNN_CHECK_BENCH=0 skips
+# them), and a traced-query run whose Chrome-trace and metrics JSON are
+# validated with python3 -m json.tool.
 #
 # Usage: scripts/check_all.sh
 set -euo pipefail
@@ -26,6 +28,21 @@ if [[ "${DIKNN_CHECK_BENCH:-1}" != "0" ]]; then
   DIKNN_WORKLOAD_SMOKE=1 ./build/bench/bench_workload
   echo "== bench_engine smoke =="
   DIKNN_ENGINE_SMOKE=1 ./build/bench/bench_engine
+  echo "== bench_obs smoke =="
+  DIKNN_OBS_SMOKE=1 ./build/bench/bench_obs
+fi
+
+echo "== traced-query smoke =="
+obs_dir="$(mktemp -d)"
+trap 'rm -rf "$obs_dir"' EXIT
+./build/tools/diknn-sim --runs 1 --duration 20 --nodes 120 --field 90 \
+  --trace-out "$obs_dir/trace.json" --metrics-out "$obs_dir/metrics.json"
+if command -v python3 >/dev/null; then
+  python3 -m json.tool "$obs_dir/trace.json" >/dev/null
+  python3 -m json.tool "$obs_dir/metrics.json" >/dev/null
+  echo "trace + metrics JSON well-formed"
+else
+  echo "python3 not found; skipping JSON validation"
 fi
 
 echo "All checks passed."

@@ -8,6 +8,8 @@
 
 #include "faults/fault_injector.h"
 #include "faults/lifecycle_auditor.h"
+#include "obs/metrics_registry.h"
+#include "obs/tracer.h"
 #include "workload/query_driver.h"
 
 namespace diknn {
@@ -101,14 +103,129 @@ void FillEngineCounters(const Simulator& sim, RunMetrics* metrics) {
   out.peak_pool_slots = stats.peak_pool_slots;
 }
 
+// Freezes the run's named metrics into metrics->obs. Called after every
+// other RunMetrics field is final so engine / fault / lifecycle values
+// can be republished by name; `latencies` holds the resolved (non-timed-
+// out) query latencies.
+void PublishObsMetrics(Network& net, const GpsrRouting& gpsr,
+                       const Diknn* diknn, const Tracer* tracer,
+                       const std::vector<double>& latencies,
+                       RunMetrics* metrics) {
+  MetricsRegistry reg;
+
+  const ChannelStats& ch = net.channel().stats();
+  reg.PublishCounter("channel.frames_sent", ch.frames_sent);
+  reg.PublishCounter("channel.receptions_attempted",
+                     ch.receptions_attempted);
+  reg.PublishCounter("channel.receptions_delivered",
+                     ch.receptions_delivered);
+  reg.PublishCounter("channel.receptions_collided", ch.receptions_collided);
+  reg.PublishCounter("channel.receptions_lost", ch.receptions_lost);
+
+  MacStats mac;
+  for (Node* node : net.AllNodes()) {
+    const MacStats& m = node->mac().stats();
+    mac.frames_queued += m.frames_queued;
+    mac.tx_attempts += m.tx_attempts;
+    mac.retries += m.retries;
+    mac.csma_failures += m.csma_failures;
+    mac.send_failures += m.send_failures;
+    mac.duplicates_dropped += m.duplicates_dropped;
+  }
+  reg.PublishCounter("mac.frames_queued", mac.frames_queued);
+  reg.PublishCounter("mac.tx_attempts", mac.tx_attempts);
+  reg.PublishCounter("mac.retries", mac.retries);
+  reg.PublishCounter("mac.csma_failures", mac.csma_failures);
+  reg.PublishCounter("mac.send_failures", mac.send_failures);
+  reg.PublishCounter("mac.duplicates_dropped", mac.duplicates_dropped);
+
+  const GpsrRouting::Stats& gs = gpsr.stats();
+  reg.PublishCounter("gpsr.sends", gs.sends);
+  reg.PublishCounter("gpsr.greedy_hops", gs.greedy_hops);
+  reg.PublishCounter("gpsr.perimeter_hops", gs.perimeter_hops);
+  reg.PublishCounter("gpsr.deliveries", gs.deliveries);
+  reg.PublishCounter("gpsr.ttl_expired", gs.ttl_expired);
+  reg.PublishCounter("gpsr.dropped_no_neighbor", gs.dropped_no_neighbor);
+  reg.PublishCounter("gpsr.link_failures", gs.link_failures);
+  reg.PublishCounter("gpsr.forks_suppressed", gs.forks_suppressed);
+
+  if (diknn != nullptr) {
+    const DiknnStats& ds = diknn->stats();
+    reg.PublishCounter("diknn.queries_issued", ds.queries_issued);
+    reg.PublishCounter("diknn.queries_completed", ds.queries_completed);
+    reg.PublishCounter("diknn.timeouts", ds.timeouts);
+    reg.PublishCounter("diknn.home_node_arrivals", ds.home_node_arrivals);
+    reg.PublishCounter("diknn.qnode_hops", ds.qnode_hops);
+    reg.PublishCounter("diknn.probes_sent", ds.probes_sent);
+    reg.PublishCounter("diknn.replies_sent", ds.replies_sent);
+    reg.PublishCounter("diknn.sector_results_sent", ds.sector_results_sent);
+    reg.PublishCounter("diknn.sector_results_received",
+                       ds.sector_results_received);
+    reg.PublishCounter("diknn.voids_encountered", ds.voids_encountered);
+    reg.PublishCounter("diknn.rendezvous_sent", ds.rendezvous_sent);
+    reg.PublishCounter("diknn.boundary_truncations",
+                       ds.boundary_truncations);
+    reg.PublishCounter("diknn.boundary_extensions", ds.boundary_extensions);
+    reg.PublishCounter("diknn.assurance_expansions",
+                       ds.assurance_expansions);
+    reg.PublishCounter("diknn.stale_branches_dropped",
+                       ds.stale_branches_dropped);
+    reg.PublishCounter("diknn.dead_node_drops", ds.dead_node_drops);
+  }
+
+  const EngineRunCounters& en = metrics->engine;
+  reg.PublishCounter("engine.events_pushed", en.events_pushed);
+  reg.PublishCounter("engine.events_fired", en.events_fired);
+  reg.PublishCounter("engine.events_cancelled", en.events_cancelled);
+  reg.PublishGauge("engine.peak_live", static_cast<double>(en.peak_live));
+  reg.PublishGauge("engine.peak_resident",
+                   static_cast<double>(en.peak_resident));
+
+  reg.PublishCounter("faults.injected", metrics->faults_injected);
+  reg.PublishCounter("lifecycle.checks", metrics->lifecycle_checks);
+  reg.PublishCounter("lifecycle.violations", metrics->lifecycle_violations);
+  reg.PublishCounter("lifecycle.leaked_entries", metrics->leaked_entries);
+
+  const TracerStats ts = tracer != nullptr ? tracer->stats() : TracerStats{};
+  reg.PublishCounter("tracer.queries_seen", ts.queries_seen);
+  reg.PublishCounter("tracer.queries_sampled", ts.queries_sampled);
+  reg.PublishCounter("tracer.spans", ts.spans);
+  reg.PublishCounter("tracer.events", ts.events);
+
+  reg.PublishGauge("run.energy_joules", metrics->energy_joules,
+                   GaugeMode::kSum);
+  reg.PublishGauge("run.peak_inflight",
+                   static_cast<double>(metrics->slo.peak_inflight));
+
+  const MetricId lat_hist = reg.RegisterHistogram("query.latency_s");
+  for (double v : latencies) reg.Observe(lat_hist, v);
+
+  metrics->obs = reg.Snapshot();
+}
+
 }  // namespace
 
 RunMetrics RunOnce(const ExperimentConfig& config, uint64_t seed,
-                   std::vector<QueryRecord>* records_out) {
+                   std::vector<QueryRecord>* records_out,
+                   TraceData* trace_out) {
   ProtocolStack stack(config, seed);
   Network& net = stack.network();
   Simulator& sim = net.sim();
   KnnProtocol& protocol = stack.protocol();
+
+  // Attach the query tracer only when something will be sampled: with no
+  // tracer every instrumentation site is a single null-pointer check.
+  double trace_rate = config.trace_sample;
+  if (config.workload.has_value()) {
+    trace_rate = std::max(trace_rate, config.workload->trace_sample);
+  }
+  std::unique_ptr<Tracer> tracer;
+  if (trace_rate > 0.0) {
+    tracer = std::make_unique<Tracer>(trace_rate, seed);
+    net.channel().set_tracer(tracer.get());
+    stack.gpsr().set_tracer(tracer.get());
+    if (stack.diknn() != nullptr) stack.diknn()->set_tracer(tracer.get());
+  }
 
   net.Warmup(config.warmup);
 
@@ -145,6 +262,7 @@ RunMetrics RunOnce(const ExperimentConfig& config, uint64_t seed,
     QueryDriver driver(&net, &stack.gpsr(), &stack.protocol(),
                        *config.workload, seed * 0x9e3779b97f4a7c15ULL + 17,
                        config.static_sink ? 0 : kInvalidNodeId);
+    driver.set_tracer(tracer.get());
     metrics.slo = driver.Run(config.duration, config.drain);
 
     metrics.queries = static_cast<int>(metrics.slo.issued);
@@ -184,6 +302,18 @@ RunMetrics RunOnce(const ExperimentConfig& config, uint64_t seed,
       }
     }
     FillEngineCounters(sim, &metrics);
+    std::vector<double> resolved;
+    for (const WorkloadQueryRecord& r : driver.records()) {
+      if (r.outcome == QueryOutcome::kCompleted ||
+          r.outcome == QueryOutcome::kDeadlineMissed) {
+        resolved.push_back(r.latency);
+      }
+    }
+    PublishObsMetrics(net, stack.gpsr(), stack.diknn(), tracer.get(),
+                      resolved, &metrics);
+    if (trace_out != nullptr && tracer != nullptr) {
+      *trace_out = tracer->Snapshot();
+    }
     return metrics;
   }
 
@@ -277,6 +407,15 @@ RunMetrics RunOnce(const ExperimentConfig& config, uint64_t seed,
 
   if (records_out != nullptr) *records_out = *records;
   FillEngineCounters(sim, &metrics);
+  std::vector<double> resolved;
+  for (const QueryRecord& r : *records) {
+    if (!r.timed_out) resolved.push_back(r.latency);
+  }
+  PublishObsMetrics(net, stack.gpsr(), stack.diknn(), tracer.get(),
+                    resolved, &metrics);
+  if (trace_out != nullptr && tracer != nullptr) {
+    *trace_out = tracer->Snapshot();
+  }
   return metrics;
 }
 

@@ -23,6 +23,8 @@
 
 namespace diknn {
 
+struct TraceData;
+
 /// Protocol selector for experiments.
 enum class ProtocolKind {
   kDiknn,
@@ -74,6 +76,12 @@ struct ExperimentConfig {
   /// `query_interval_mean` and `k` are ignored in that case (the spec's
   /// arrival and k sections govern). See src/workload/workload_spec.h.
   std::optional<WorkloadSpec> workload;
+  /// Fraction of queries traced by a per-run Tracer, in [0,1]. The
+  /// effective rate is max(trace_sample, workload->trace_sample); 0 (the
+  /// default) attaches no tracer at all, so the hot paths see only a null
+  /// check. Tracing never perturbs the simulation — a traced run's
+  /// metrics are bit-identical to an untraced one.
+  double trace_sample = 0.0;
   DiknnParams diknn;
   KptParams kpt;
   PeerTreeParams peertree;
@@ -112,9 +120,12 @@ class ProtocolStack {
 };
 
 /// Runs one seeded simulation and returns its metrics. `records_out`, when
-/// non-null, receives the per-query records.
+/// non-null, receives the per-query records. `trace_out`, when non-null
+/// and the effective trace rate is positive, receives the run's recorded
+/// trace (feed it to a TraceSink for Chrome-trace / critical-path export).
 RunMetrics RunOnce(const ExperimentConfig& config, uint64_t seed,
-                   std::vector<QueryRecord>* records_out = nullptr);
+                   std::vector<QueryRecord>* records_out = nullptr,
+                   TraceData* trace_out = nullptr);
 
 /// Runs `config.runs` seeded repetitions (seeds base_seed .. base_seed +
 /// runs - 1) across `config.jobs` worker threads and returns the per-run

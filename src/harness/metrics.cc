@@ -82,6 +82,7 @@ ExperimentMetrics AggregateRuns(const std::vector<RunMetrics>& runs) {
                           : 0.0);
     goodput.push_back(r.slo.GoodputQps());
     out.slo.Merge(r.slo);
+    out.obs.Merge(r.obs);
   }
   out.latency = Summarize(lat);
   out.pre_accuracy = Summarize(pre);

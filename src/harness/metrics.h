@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "net/packet.h"
+#include "obs/metrics_registry.h"
 #include "workload/latency_histogram.h"
 
 namespace diknn {
@@ -85,6 +86,11 @@ struct RunMetrics {
   SloReport slo;
   /// Scheduler counters for the run.
   EngineRunCounters engine;
+  /// Named observability metrics published at the end of the run
+  /// (channel / MAC / GPSR / protocol / engine / tracer counters plus the
+  /// query-latency histogram). Merged across runs in seed order, so the
+  /// aggregate is bit-identical at any jobs count.
+  MetricsSnapshot obs;
 };
 
 /// Mean/stddev summary of a sample.
@@ -123,6 +129,8 @@ struct ExperimentMetrics {
   /// Merged SLO scorecard across runs (integer bucket counts, so the
   /// merge is bit-identical at any jobs setting).
   SloReport slo;
+  /// Merged observability metrics across runs (seed order).
+  MetricsSnapshot obs;
   int runs = 0;
 };
 

@@ -3,7 +3,7 @@
 namespace diknn {
 
 TraceRecorder::TraceRecorder(Network* network) : network_(network) {
-  network_->channel().set_transmit_observer(
+  observer_id_ = network_->channel().AddTransmitObserver(
       [this](const Packet& packet, NodeId sender, Point position) {
         TraceEntry entry;
         entry.time = network_->sim().Now();
@@ -21,7 +21,7 @@ TraceRecorder::~TraceRecorder() { Detach(); }
 
 void TraceRecorder::Detach() {
   if (!attached_) return;
-  network_->channel().set_transmit_observer(nullptr);
+  network_->channel().RemoveTransmitObserver(observer_id_);
   attached_ = false;
 }
 

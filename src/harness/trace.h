@@ -40,7 +40,8 @@ struct TraceSummary {
 class TraceRecorder {
  public:
   /// Attaches to `network`'s channel. Detaches in the destructor (or on
-  /// Detach()); only one recorder can be attached at a time.
+  /// Detach()). Any number of recorders (and the query Tracer) may be
+  /// attached at once; each holds its own observer-list slot.
   explicit TraceRecorder(Network* network);
   ~TraceRecorder();
 
@@ -66,6 +67,7 @@ class TraceRecorder {
 
  private:
   Network* network_;
+  Channel::ObserverId observer_id_ = 0;
   bool attached_ = false;
   std::vector<TraceEntry> entries_;
 };

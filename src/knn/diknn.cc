@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "core/logging.h"
+#include "obs/tracer.h"
 
 namespace diknn {
 
@@ -119,6 +120,20 @@ void Diknn::IssueQuery(NodeId sink, Point q, int k, ResultHandler handler) {
   pending.query = query;
   pending.handler = std::move(handler);
   pending.issued_at = network_->sim().Now();
+  if (tracer_ != nullptr) {
+    // Join the workload driver's ambient trace when one is open (the
+    // driver's root span then covers queueing ahead of the protocol);
+    // otherwise this query is its own trace root (paper-style launch).
+    if (tracer_->has_ambient()) {
+      pending.trace = tracer_->ambient();
+    } else {
+      pending.trace = tracer_->StartQuery(pending.issued_at);
+      pending.owns_trace = true;
+    }
+    pending.route_span = tracer_->BeginSpan(pending.trace, SpanKind::kRoute,
+                                            pending.issued_at, -1, sink);
+  }
+  const TraceContext route_ctx{pending.trace.trace_id, pending.route_span};
   const uint64_t id = query.id;
   pending.timeout_event = network_->sim().ScheduleAfter(
       params_.query_timeout, [this, id]() { CompleteQuery(id, true); });
@@ -129,7 +144,8 @@ void Diknn::IssueQuery(NodeId sink, Point q, int k, ResultHandler handler) {
   bootstrap->query = query;
   gpsr_->Send(sink_node, q, MessageType::kDiknnQuery, std::move(bootstrap),
               kQueryFixedBytes, EnergyCategory::kQuery,
-              /*collect_info=*/true);
+              /*collect_info=*/true, kInvalidNodeId,
+              /*cheap_delivery=*/false, route_ctx);
 }
 
 void Diknn::OnHomeNodeArrival(Node* node, const GeoRoutedMessage& msg) {
@@ -144,6 +160,16 @@ void Diknn::OnHomeNodeArrival(Node* node, const GeoRoutedMessage& msg) {
     return;
   }
   ++stats_.home_node_arrivals;
+
+  TraceContext root_ctx;
+  if (tracer_ != nullptr) {
+    auto pit = pending_.find(query.id);
+    if (pit != pending_.end() && pit->second.trace.sampled()) {
+      root_ctx = pit->second.trace;
+      tracer_->EndSpan(root_ctx.trace_id, pit->second.route_span,
+                       network_->sim().Now());
+    }
+  }
 
   // Phase 2: KNN boundary estimation over the gathered list L.
   const KnnbResult knnb =
@@ -167,6 +193,11 @@ void Diknn::OnHomeNodeArrival(Node* node, const GeoRoutedMessage& msg) {
     state.radius = knnb.radius;
     state.dissemination_start = ts;
     state.sector_explored.assign(params_.num_sectors, -1);
+    if (root_ctx.sampled()) {
+      state.trace = TraceContext{
+          root_ctx.trace_id,
+          tracer_->BeginSpan(root_ctx, SpanKind::kSector, ts, s, node->id())};
+    }
     if (s == home_sector && !node->is_infrastructure()) {
       KnnCandidate self;
       self.id = node->id();
@@ -203,6 +234,20 @@ void Diknn::StartQNode(Node* node, SectorState state) {
   if (hop_observer_) {
     hop_observer_(state.query.id, state.sector, node->Position());
   }
+
+  // One hop span per Q-node visit, with the collection window nested
+  // inside it; both close when the window finishes.
+  SpanId hop_span = 0;
+  SpanId collection_span = 0;
+  if (tracer_ != nullptr && state.trace.sampled()) {
+    const SimTime tnow = network_->sim().Now();
+    hop_span = tracer_->BeginSpan(state.trace, SpanKind::kHop, tnow,
+                                  state.sector, node->id());
+    collection_span = tracer_->BeginSpan(
+        TraceContext{state.trace.trace_id, hop_span}, SpanKind::kCollection,
+        tnow, state.sector, node->id());
+  }
+  const TraceContext probe_ctx{state.trace.trace_id, collection_span};
 
   // The probe's collection radius follows the itinerary's actual
   // coverage: dynamic ring extensions walk beyond the original KNNB
@@ -268,6 +313,7 @@ void Diknn::StartQNode(Node* node, SectorState state) {
   probe->qnode_position = node->Position();
   probe->reference_angle = AngleOf(node->Position(), state.query.q);
   probe->window = window;
+  probe->trace = probe_ctx;
 
   const uint64_t key = CollectionKey(state.query.id, state.sector);
   // An ACK-loss fork can open a second collection for the same sector
@@ -281,11 +327,13 @@ void Diknn::StartQNode(Node* node, SectorState state) {
   Collection collection;
   collection.state = std::move(state);
   collection.qnode = node->id();
+  collection.hop_span = hop_span;
+  collection.collection_span = collection_span;
 
   const size_t probe_bytes =
       kProbeBytes + probe->precedence.size() * kNodeIdBytes;
   node->SendBroadcast(MessageType::kDiknnProbe, std::move(probe),
-                      probe_bytes, EnergyCategory::kQuery);
+                      probe_bytes, EnergyCategory::kQuery, {}, probe_ctx);
   ++stats_.probes_sent;
 
   // Guard interval: the last D-node's reply still needs its own air time
@@ -340,7 +388,9 @@ void Diknn::OnProbe(Node* node, const ProbeMessage& probe) {
 
   const uint64_t query_id = probe.query_id;
   const int sector = probe.sector;
-  network_->sim().ScheduleAfter(delay, [this, node, query_id, sector]() {
+  const TraceContext probe_ctx = probe.trace;
+  network_->sim().ScheduleAfter(delay, [this, node, query_id, sector,
+                                        probe_ctx]() {
     if (!node->alive()) return;
     auto reply = std::make_shared<ReplyMessage>();
     reply->query_id = query_id;
@@ -371,7 +421,8 @@ void Diknn::OnProbe(Node* node, const ProbeMessage& probe) {
                             r != replied_.end()) {
                           r->second.erase(node->id());
                         }
-                      });
+                      },
+                      probe_ctx);
     ++stats_.replies_sent;
   });
 }
@@ -380,6 +431,13 @@ void Diknn::OnReply(Node* node, const ReplyMessage& reply) {
   auto it = collections_.find(CollectionKey(reply.query_id, reply.sector));
   if (it == collections_.end() || it->second.qnode != node->id()) return;
   it->second.replies.push_back(reply.candidate);
+  const Collection& collection = it->second;
+  if (tracer_ != nullptr && collection.state.trace.sampled()) {
+    tracer_->AddEvent(TraceContext{collection.state.trace.trace_id,
+                                   collection.collection_span},
+                      TraceEventKind::kReply, network_->sim().Now(),
+                      reply.candidate.id);
+  }
 }
 
 void Diknn::OnRendezvous(Node* node, const RendezvousMessage& msg) {
@@ -408,6 +466,12 @@ void Diknn::FinishCollection(uint64_t key) {
   Node* node = network_->node(collection.qnode);
   SectorState& state = collection.state;
   const KnnQuery& query = state.query;
+  const bool traced = tracer_ != nullptr && state.trace.sampled();
+  if (traced) {
+    const SimTime tnow = network_->sim().Now();
+    tracer_->EndSpan(state.trace.trace_id, collection.collection_span, tnow);
+    tracer_->EndSpan(state.trace.trace_id, collection.hop_span, tnow);
+  }
 
   // The Q-node is a sensor too: contribute its own reading once.
   auto& replied = replied_[query.id];
@@ -445,10 +509,18 @@ void Diknn::FinishCollection(uint64_t key) {
       rendezvous->explored = state.explored;
       node->SendBroadcast(MessageType::kDiknnRendezvous,
                           std::move(rendezvous), kRendezvousBytes,
-                          EnergyCategory::kQuery);
+                          EnergyCategory::kQuery, {}, state.trace);
       ++stats_.rendezvous_sent;
+      if (traced) {
+        tracer_->AddEvent(state.trace, TraceEventKind::kRendezvous,
+                          network_->sim().Now(), node->id(), ring);
+      }
     }
     if (AdjustBoundary(node, &state, ring)) {
+      if (traced) {
+        tracer_->AddEvent(state.trace, TraceEventKind::kBoundaryTruncated,
+                          network_->sim().Now(), node->id(), ring);
+      }
       FinishSector(node, std::move(state));
       return;
     }
@@ -496,8 +568,13 @@ void Diknn::ForwardAlongItinerary(Node* node, SectorState state) {
   }
   // A Q-node killed between receiving the state and acting on it (churn,
   // fault injection) must not keep routing.
+  const bool traced = tracer_ != nullptr && state.trace.sampled();
   if (!node->alive()) {
     ++stats_.dead_node_drops;
+    if (traced) {
+      tracer_->AddEvent(state.trace, TraceEventKind::kDeadNodeDrop,
+                        network_->sim().Now(), node->id());
+    }
     return;
   }
   const SimTime now = network_->sim().Now();
@@ -516,6 +593,10 @@ void Diknn::ForwardAlongItinerary(Node* node, SectorState state) {
           EstimateTotalExplored(state.sector_explored) < state.query.k) {
         ++state.extra_rings;
         ++stats_.boundary_extensions;
+        if (traced) {
+          tracer_->AddEvent(state.trace, TraceEventKind::kBoundaryExtended,
+                            now, node->id(), state.extra_rings);
+        }
         itinerary = MakeItinerary(state);
         continue;
       }
@@ -529,6 +610,10 @@ void Diknn::ForwardAlongItinerary(Node* node, SectorState state) {
         if (expansion > EffectiveWidth() / 2.0) {
           state.radius += expansion;
           ++stats_.assurance_expansions;
+          if (traced) {
+            tracer_->AddEvent(state.trace, TraceEventKind::kAssuranceExpanded,
+                              now, node->id(), expansion);
+          }
           itinerary = MakeItinerary(state);
           if (next_s <= itinerary.TotalLength()) continue;
         }
@@ -575,6 +660,10 @@ void Diknn::ForwardAlongItinerary(Node* node, SectorState state) {
       ++stats_.voids_encountered;
       ++state.void_skips_total;
       ++skips;
+      if (traced) {
+        tracer_->AddEvent(state.trace, TraceEventKind::kVoidSkip, now,
+                          node->id(), next_s);
+      }
       if (skips > params_.max_void_skips) {
         ++stats_.sectors_abandoned;
         FinishSector(node, std::move(state));
@@ -588,6 +677,7 @@ void Diknn::ForwardAlongItinerary(Node* node, SectorState state) {
     SectorState retry_state = state;  // Pre-advance copy for MAC failure.
     state.progress = next_s;
     ++state.hop_count;
+    const TraceContext fwd_ctx = state.trace;
     auto fwd = std::make_shared<ForwardMessage>();
     fwd->state = std::move(state);
     const size_t bytes = fwd->state.WireBytes();
@@ -597,10 +687,17 @@ void Diknn::ForwardAlongItinerary(Node* node, SectorState state) {
         EnergyCategory::kQuery,
         [this, node, next_id, retry_state](bool success) mutable {
           if (success) return;
+          const bool retraced =
+              tracer_ != nullptr && retry_state.trace.sampled();
           // A node killed by churn mid-retry must not keep routing
           // (mirrors the liveness check on the probe-reply path).
           if (!node->alive()) {
             ++stats_.dead_node_drops;
+            if (retraced) {
+              tracer_->AddEvent(retry_state.trace,
+                                TraceEventKind::kDeadNodeDrop,
+                                network_->sim().Now(), node->id());
+            }
             return;
           }
           // Skip the retry if the "failed" recipient actually received the
@@ -612,9 +709,14 @@ void Diknn::ForwardAlongItinerary(Node* node, SectorState state) {
               it->second > retry_state.hop_count) {
             return;
           }
+          if (retraced) {
+            tracer_->AddEvent(retry_state.trace, TraceEventKind::kRetry,
+                              network_->sim().Now(), node->id(), next_id);
+          }
           node->neighbors().Remove(next_id);
           ForwardAlongItinerary(node, std::move(retry_state));
-        });
+        },
+        fwd_ctx);
     return;
   }
 }
@@ -630,6 +732,15 @@ void Diknn::FinishSector(Node* node, SectorState state) {
   if (!finished_sectors_.insert(key).second) return;  // Fork branch.
   ++stats_.sector_results_sent;
 
+  // The reply-route span is a child of the sector span; the sink closes
+  // both when the bundle arrives (OnSectorResult walks to the parent).
+  SpanId reply_span = 0;
+  if (tracer_ != nullptr && state.trace.sampled()) {
+    reply_span = tracer_->BeginSpan(state.trace, SpanKind::kReplyRoute,
+                                    network_->sim().Now(), state.sector,
+                                    node->id());
+  }
+
   // A sector that never placed a Q-node (its cone lies outside the
   // deployment field, or is empty) still announces its zero exploration —
   // without this, the other sectors' interpolation assumes it explored as
@@ -641,7 +752,8 @@ void Diknn::FinishSector(Node* node, SectorState state) {
     rendezvous->ring = 0;
     rendezvous->explored = state.explored;
     node->SendBroadcast(MessageType::kDiknnRendezvous, std::move(rendezvous),
-                        kRendezvousBytes, EnergyCategory::kQuery);
+                        kRendezvousBytes, EnergyCategory::kQuery, {},
+                        state.trace);
     ++stats_.rendezvous_sent;
   }
   auto result = std::make_shared<SectorResult>();
@@ -653,7 +765,9 @@ void Diknn::FinishSector(Node* node, SectorState state) {
       16 + result->candidates.size() * kCandidateBytes;
   gpsr_->Send(node, state.query.sink_position, MessageType::kDiknnResult,
               std::move(result), bytes, EnergyCategory::kQuery,
-              /*collect_info=*/false, state.query.sink);
+              /*collect_info=*/false, state.query.sink,
+              /*cheap_delivery=*/false,
+              TraceContext{state.trace.trace_id, reply_span});
 }
 
 void Diknn::OnSectorResult(Node* node, const GeoRoutedMessage& msg) {
@@ -669,6 +783,15 @@ void Diknn::OnSectorResult(Node* node, const GeoRoutedMessage& msg) {
     return;
   }
   ++stats_.sector_results_received;
+  if (tracer_ != nullptr && msg.trace.sampled()) {
+    const SimTime tnow = network_->sim().Now();
+    // msg.trace points at the reply-route span; its parent is the sector
+    // span opened at home-node arrival — close both at the sink.
+    tracer_->EndSpan(msg.trace.trace_id, msg.trace.span_id, tnow);
+    tracer_->EndSpan(msg.trace.trace_id,
+                     tracer_->ParentOf(msg.trace.trace_id, msg.trace.span_id),
+                     tnow);
+  }
   for (const KnnCandidate& c : result->candidates) {
     pending.candidates.push_back(c);
   }
@@ -722,6 +845,18 @@ void Diknn::CompleteQuery(uint64_t query_id, bool timed_out) {
   result.completed_at = network_->sim().Now();
   result.timed_out = timed_out;
   PruneCandidates(&result.candidates, pending.query.q, pending.query.k);
+
+  if (tracer_ != nullptr && pending.trace.sampled()) {
+    const SimTime tnow = network_->sim().Now();
+    if (timed_out) {
+      tracer_->AddEvent(pending.trace, TraceEventKind::kTimeout, tnow,
+                        pending.query.sink);
+    }
+    // Close every span still open on this trace (straggler sectors, the
+    // root). The workload driver's own CloseTrace (same sim time, via the
+    // handler below) is idempotent on top of this.
+    tracer_->CloseTrace(pending.trace.trace_id, tnow);
+  }
 
   ResultHandler handler = std::move(pending.handler);
   pending_.erase(it);

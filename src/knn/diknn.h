@@ -153,6 +153,13 @@ class Diknn : public KnnProtocol {
     completion_observer_ = std::move(observer);
   }
 
+  /// Query tracer: records the query/route/sector/hop/collection span
+  /// tree and protocol events (void skips, rendezvous, boundary
+  /// adjustments) for sampled queries. Not owned; may be null. When the
+  /// workload driver holds an ambient trace context at IssueQuery time the
+  /// protocol joins that trace; otherwise it starts its own (paper path).
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
   /// Current size of every per-query container (lifecycle auditing).
   DiknnLifecycleCounts lifecycle_counts() const;
 
@@ -190,6 +197,9 @@ class Diknn : public KnnProtocol {
     /// Explored-node counts by sector, learned at rendezvous; -1 unknown.
     /// Indexed by sector id, own entry kept current.
     std::vector<int> sector_explored;
+    /// Trace attribution: (trace, sector-span) of the owning query.
+    /// Simulation metadata; not counted by WireBytes.
+    TraceContext trace;
 
     size_t WireBytes() const;
   };
@@ -210,6 +220,8 @@ class Diknn : public KnnProtocol {
     /// neighbors in reply order; listed nodes answer at index * m.
     std::vector<NodeId> precedence;
     double tail_start = 0.0;   ///< Contention tail begins here (kHybrid).
+    /// (trace, collection-span) so D-node replies attribute to the window.
+    TraceContext trace;
   };
 
   struct ReplyMessage : Message {
@@ -244,6 +256,12 @@ class Diknn : public KnnProtocol {
     EventId timeout_event = 0;
     EventId grace_event = 0;
     bool completed = false;
+    /// Root trace context; unsampled when tracing is off. `owns_trace` is
+    /// set when the protocol (not the workload driver) started the trace
+    /// and is therefore responsible for its root span.
+    TraceContext trace;
+    SpanId route_span = 0;
+    bool owns_trace = false;
   };
 
   // -------- Q-node-side transient state --------
@@ -256,6 +274,9 @@ class Diknn : public KnnProtocol {
     /// completes (or the collection is superseded) while the window is
     /// still open.
     EventId finish_event = 0;
+    /// Open hop/collection spans, closed when the window finishes.
+    SpanId hop_span = 0;
+    SpanId collection_span = 0;
   };
 
   static uint64_t CollectionKey(uint64_t query_id, int sector) {
@@ -309,6 +330,7 @@ class Diknn : public KnnProtocol {
   DiknnStats stats_;
   HopObserver hop_observer_;
   CompletionObserver completion_observer_;
+  Tracer* tracer_ = nullptr;
 
   uint64_t next_query_id_ = 1;
   std::unordered_map<uint64_t, PendingQuery> pending_;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "net/node.h"
+#include "obs/tracer.h"
 
 namespace diknn {
 
@@ -187,12 +188,22 @@ void Channel::Transmit(Node* sender, const Packet& packet) {
   if (fault_hook_ && !replaying_fault_) {
     fault = fault_hook_(packet, sender->id());
   }
+  if (tracer_ != nullptr && packet.trace.sampled()) {
+    if (fault.drop) {
+      tracer_->AddEvent(packet.trace, TraceEventKind::kFaultDrop, now,
+                        sender->id());
+    }
+    if (fault.duplicate) {
+      tracer_->AddEvent(packet.trace, TraceEventKind::kFaultDuplicate, now,
+                        sender->id());
+    }
+  }
 
   ++stats_.frames_sent;
   sender->energy().ChargeTx(packet.size_bytes, params_.radio_range_m,
                             category);
-  if (transmit_observer_) {
-    transmit_observer_(packet, sender->id(), origin);
+  for (const auto& entry : transmit_observers_) {
+    entry.second(packet, sender->id(), origin);
   }
 
   PeriodicSweep();
@@ -280,10 +291,18 @@ void Channel::Transmit(Node* sender, const Packet& packet) {
           d.receiver->energy().ChargeRx(packet.size_bytes, category);
           if ((*flags)[i] != 0) {
             ++stats_.receptions_collided;
+            if (tracer_ != nullptr && packet.trace.sampled()) {
+              tracer_->AddEvent(packet.trace, TraceEventKind::kCollision,
+                                sim_->Now(), d.receiver->id());
+            }
             continue;
           }
           if (d.randomly_lost) {
             ++stats_.receptions_lost;
+            if (tracer_ != nullptr && packet.trace.sampled()) {
+              tracer_->AddEvent(packet.trace, TraceEventKind::kFrameLost,
+                                sim_->Now(), d.receiver->id());
+            }
             continue;
           }
           ++stats_.receptions_delivered;

@@ -29,6 +29,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "core/geometry.h"
@@ -40,6 +41,7 @@
 namespace diknn {
 
 class Node;
+class Tracer;
 
 /// Physical-layer parameters.
 struct ChannelParams {
@@ -112,14 +114,28 @@ class Channel {
   /// for tests.
   double grid_cell_size() const { return cell_size_; }
 
-  /// Observer invoked at the start of every transmission, with the sender
-  /// id and its position. Used by the trace recorder; pass nullptr to
-  /// detach. Must not transmit re-entrantly.
+  /// Observers invoked at the start of every transmission, with the
+  /// sender id and its position. Any number may be attached (the packet
+  /// TraceRecorder and the query Tracer coexist); each attachment returns
+  /// an id for detaching. Observers must not transmit re-entrantly.
   using TransmitObserver =
       std::function<void(const Packet&, NodeId sender, Point position)>;
-  void set_transmit_observer(TransmitObserver observer) {
-    transmit_observer_ = std::move(observer);
+  using ObserverId = uint64_t;
+  ObserverId AddTransmitObserver(TransmitObserver observer) {
+    const ObserverId id = next_observer_id_++;
+    transmit_observers_.emplace_back(id, std::move(observer));
+    return id;
   }
+  void RemoveTransmitObserver(ObserverId id) {
+    std::erase_if(transmit_observers_,
+                  [id](const auto& entry) { return entry.first == id; });
+  }
+
+  /// Query tracer for frame-level attribution (collisions, losses, fault
+  /// hits on traced frames). Not owned; pass nullptr to detach. The
+  /// tracer records only — it cannot perturb delivery.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+  Tracer* tracer() const { return tracer_; }
 
   /// Fault-injection verdict for one frame, decided before it goes on the
   /// air. A dropped frame still costs transmit energy and occupies the air
@@ -215,7 +231,9 @@ class Channel {
   Simulator* sim_;
   ChannelParams params_;
   Rng rng_;
-  TransmitObserver transmit_observer_;
+  std::vector<std::pair<ObserverId, TransmitObserver>> transmit_observers_;
+  ObserverId next_observer_id_ = 1;
+  Tracer* tracer_ = nullptr;
   FaultHook fault_hook_;
   bool replaying_fault_ = false;  // Guards hook re-entry on duplicates.
   std::vector<Node*> nodes_;

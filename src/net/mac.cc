@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "net/node.h"
+#include "obs/tracer.h"
 
 namespace diknn {
 
@@ -60,9 +61,19 @@ void Mac::CsmaAttempt(int backoffs_done, int be) {
       // Channel access failure: spend a retry, or give up on the frame.
       ++stats_.csma_failures;
       OutFrame& head = queue_.front();
+      Tracer* tracer = channel_->tracer();
+      if (tracer != nullptr && head.packet.trace.sampled()) {
+        tracer->AddEvent(head.packet.trace, TraceEventKind::kCsmaFailure,
+                         sim_->Now(), node_->id());
+      }
       if (head.retries_left > 0) {
         --head.retries_left;
         ++stats_.retries;
+        if (tracer != nullptr && head.packet.trace.sampled()) {
+          tracer->AddEvent(head.packet.trace, TraceEventKind::kMacRetry,
+                           sim_->Now(), node_->id(),
+                           params_.max_frame_retries - head.retries_left);
+        }
         StartCsma();
       } else {
         CompleteHead(false);
@@ -102,6 +113,12 @@ void Mac::OnAckTimeout() {
   if (head.retries_left > 0) {
     --head.retries_left;
     ++stats_.retries;
+    Tracer* tracer = channel_->tracer();
+    if (tracer != nullptr && head.packet.trace.sampled()) {
+      tracer->AddEvent(head.packet.trace, TraceEventKind::kMacRetry,
+                       sim_->Now(), node_->id(),
+                       params_.max_frame_retries - head.retries_left);
+    }
     StartCsma();
   } else {
     CompleteHead(false);
@@ -155,6 +172,9 @@ bool Mac::FilterReceive(const Packet& packet) {
                << 40) |
               ++next_uid_base_;
     ack.category = packet.category;
+    // ACKs inherit the frame's trace tag so their collisions attribute to
+    // the same query.
+    ack.trace = packet.trace;
     sim_->ScheduleAfter(params_.ack_turnaround_s, [this, ack]() {
       if (node_->alive()) channel_->Transmit(node_, ack);
     });

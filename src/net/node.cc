@@ -42,7 +42,7 @@ void Node::RegisterHandler(MessageType type, Handler handler) {
 void Node::SendUnicast(NodeId dst, MessageType type,
                        std::shared_ptr<const Message> payload,
                        size_t body_bytes, EnergyCategory category,
-                       Mac::SendCallback callback) {
+                       Mac::SendCallback callback, TraceContext trace) {
   if (!alive_) {
     if (callback) callback(false);
     return;
@@ -52,13 +52,14 @@ void Node::SendUnicast(NodeId dst, MessageType type,
   p.type = type;
   p.payload = std::move(payload);
   p.size_bytes = body_bytes + kMacHeaderBytes;
+  p.trace = trace;
   mac_.Send(std::move(p), category, std::move(callback));
 }
 
 void Node::SendBroadcast(MessageType type,
                          std::shared_ptr<const Message> payload,
                          size_t body_bytes, EnergyCategory category,
-                         Mac::SendCallback callback) {
+                         Mac::SendCallback callback, TraceContext trace) {
   if (!alive_) {
     if (callback) callback(false);
     return;
@@ -68,6 +69,7 @@ void Node::SendBroadcast(MessageType type,
   p.type = type;
   p.payload = std::move(payload);
   p.size_bytes = body_bytes + kMacHeaderBytes;
+  p.trace = trace;
   mac_.Send(std::move(p), category, std::move(callback));
 }
 

@@ -94,15 +94,18 @@ class Node {
 
   /// Sends a unicast frame to `dst` carrying `payload`. `body_bytes` is the
   /// modeled payload size; the MAC header is added automatically. The
-  /// optional callback reports delivery success after MAC retries.
+  /// optional callback reports delivery success after MAC retries. `trace`
+  /// attributes the frame (and its MAC retries/collisions) to a traced
+  /// query; it is metadata and never affects the modeled size.
   void SendUnicast(NodeId dst, MessageType type,
                    std::shared_ptr<const Message> payload, size_t body_bytes,
-                   EnergyCategory category, Mac::SendCallback callback = {});
+                   EnergyCategory category, Mac::SendCallback callback = {},
+                   TraceContext trace = {});
 
   /// Sends a one-hop broadcast (unacknowledged).
   void SendBroadcast(MessageType type, std::shared_ptr<const Message> payload,
                      size_t body_bytes, EnergyCategory category,
-                     Mac::SendCallback callback = {});
+                     Mac::SendCallback callback = {}, TraceContext trace = {});
 
   /// Entry point from the Channel when a frame reaches this node's radio.
   void HandlePhyReceive(const Packet& packet);

@@ -13,6 +13,7 @@
 #include <string>
 
 #include "net/energy_model.h"
+#include "obs/trace_context.h"
 
 namespace diknn {
 
@@ -101,6 +102,10 @@ struct Packet {
   /// Accounting bucket: carried as simulation metadata so receivers charge
   /// reception to the same bucket the sender charged transmission to.
   EnergyCategory category = EnergyCategory::kQuery;
+  /// Trace attribution: which traced query (and span) this frame serves.
+  /// Simulation metadata like `category` — never counted in `size_bytes`,
+  /// never consulted by protocol logic.
+  TraceContext trace;
 
   bool IsBroadcast() const { return dst == kBroadcastId; }
 };

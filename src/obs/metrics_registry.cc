@@ -1,0 +1,248 @@
+#include "obs/metrics_registry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace diknn {
+
+const char* GaugeModeName(GaugeMode mode) {
+  switch (mode) {
+    case GaugeMode::kMax: return "max";
+    case GaugeMode::kMin: return "min";
+    case GaugeMode::kSum: return "sum";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// MetricsHistogram
+
+int MetricsHistogram::BucketOf(double value) {
+  if (!(value > kMinValue)) return 0;
+  const int bucket = static_cast<int>(
+      std::log2(value / kMinValue) * kBucketsPerOctave);
+  return std::clamp(bucket, 0, kNumBuckets - 1);
+}
+
+double MetricsHistogram::BucketMidpoint(int bucket) {
+  return kMinValue *
+         std::exp2((bucket + 0.5) / static_cast<double>(kBucketsPerOctave));
+}
+
+void MetricsHistogram::Add(double value) {
+  value = std::max(value, 0.0);
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  ++buckets_[BucketOf(value)];
+}
+
+void MetricsHistogram::Merge(const MetricsHistogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (int i = 0; i < kNumBuckets; ++i) buckets_[i] += other.buckets_[i];
+}
+
+double MetricsHistogram::Percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(p / 100.0 * count_)));
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen >= rank) {
+      return std::clamp(BucketMidpoint(i), min_, max_);
+    }
+  }
+  return max_;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsSnapshot
+
+namespace {
+
+// Merges name-sorted entry vectors; `fold` combines entries that exist on
+// both sides, new names are inserted in order.
+template <typename Entry, typename Fold>
+void MergeSorted(std::vector<Entry>& into, const std::vector<Entry>& from,
+                 Fold fold) {
+  std::vector<Entry> merged;
+  merged.reserve(into.size() + from.size());
+  size_t i = 0;
+  size_t j = 0;
+  while (i < into.size() && j < from.size()) {
+    if (into[i].name < from[j].name) {
+      merged.push_back(std::move(into[i++]));
+    } else if (from[j].name < into[i].name) {
+      merged.push_back(from[j++]);
+    } else {
+      Entry e = std::move(into[i++]);
+      fold(e, from[j++]);
+      merged.push_back(std::move(e));
+    }
+  }
+  while (i < into.size()) merged.push_back(std::move(into[i++]));
+  while (j < from.size()) merged.push_back(from[j++]);
+  into = std::move(merged);
+}
+
+void AppendJsonNumber(std::ostringstream& os, double v) {
+  // Shortest round-trippable form keeps the JSON deterministic and
+  // byte-comparable across shard counts.
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os << buf;
+}
+
+}  // namespace
+
+void MetricsSnapshot::Merge(const MetricsSnapshot& other) {
+  MergeSorted(counters, other.counters,
+              [](Counter& a, const Counter& b) { a.value += b.value; });
+  MergeSorted(gauges, other.gauges, [](Gauge& a, const Gauge& b) {
+    if (!b.set) return;
+    if (!a.set) {
+      a.value = b.value;
+      a.set = true;
+      return;
+    }
+    switch (a.mode) {
+      case GaugeMode::kMax: a.value = std::max(a.value, b.value); break;
+      case GaugeMode::kMin: a.value = std::min(a.value, b.value); break;
+      case GaugeMode::kSum: a.value += b.value; break;
+    }
+  });
+  MergeSorted(histograms, other.histograms,
+              [](Histogram& a, const Histogram& b) { a.hist.Merge(b.hist); });
+}
+
+uint64_t MetricsSnapshot::CounterValue(const std::string& name) const {
+  const auto it = std::lower_bound(
+      counters.begin(), counters.end(), name,
+      [](const Counter& c, const std::string& n) { return c.name < n; });
+  return (it != counters.end() && it->name == name) ? it->value : 0;
+}
+
+double MetricsSnapshot::GaugeValue(const std::string& name) const {
+  const auto it = std::lower_bound(
+      gauges.begin(), gauges.end(), name,
+      [](const Gauge& g, const std::string& n) { return g.name < n; });
+  return (it != gauges.end() && it->name == name) ? it->value : 0.0;
+}
+
+const MetricsHistogram* MetricsSnapshot::FindHistogram(
+    const std::string& name) const {
+  const auto it = std::lower_bound(
+      histograms.begin(), histograms.end(), name,
+      [](const Histogram& h, const std::string& n) { return h.name < n; });
+  return (it != histograms.end() && it->name == name) ? &it->hist : nullptr;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::ostringstream os;
+  os << "{\"counters\": {";
+  for (size_t i = 0; i < counters.size(); ++i) {
+    os << (i > 0 ? ", " : "") << '"' << counters[i].name
+       << "\": " << counters[i].value;
+  }
+  os << "}, \"gauges\": {";
+  for (size_t i = 0; i < gauges.size(); ++i) {
+    os << (i > 0 ? ", " : "") << '"' << gauges[i].name << "\": ";
+    AppendJsonNumber(os, gauges[i].value);
+  }
+  os << "}, \"histograms\": {";
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    const MetricsHistogram& h = histograms[i].hist;
+    os << (i > 0 ? ", " : "") << '"' << histograms[i].name
+       << "\": {\"count\": " << h.Count() << ", \"mean\": ";
+    AppendJsonNumber(os, h.Mean());
+    os << ", \"min\": ";
+    AppendJsonNumber(os, h.Min());
+    os << ", \"p50\": ";
+    AppendJsonNumber(os, h.Percentile(50.0));
+    os << ", \"p99\": ";
+    AppendJsonNumber(os, h.Percentile(99.0));
+    os << ", \"max\": ";
+    AppendJsonNumber(os, h.Max());
+    os << "}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+
+bool MetricsRegistry::ClaimName(const std::string& name) {
+  const auto it = std::lower_bound(names_.begin(), names_.end(), name);
+  if (it != names_.end() && *it == name) return false;
+  names_.insert(it, name);
+  return true;
+}
+
+MetricId MetricsRegistry::RegisterCounter(const std::string& name) {
+  if (!ClaimName(name)) return kInvalidMetricId;
+  counters_.push_back(MetricsSnapshot::Counter{name, 0});
+  return static_cast<MetricId>(counters_.size() - 1);
+}
+
+MetricId MetricsRegistry::RegisterGauge(const std::string& name,
+                                        GaugeMode mode) {
+  if (!ClaimName(name)) return kInvalidMetricId;
+  gauges_.push_back(MetricsSnapshot::Gauge{name, mode, 0.0, false});
+  return static_cast<MetricId>(gauges_.size() - 1);
+}
+
+MetricId MetricsRegistry::RegisterHistogram(const std::string& name) {
+  if (!ClaimName(name)) return kInvalidMetricId;
+  histograms_.push_back(MetricsSnapshot::Histogram{name, {}});
+  return static_cast<MetricId>(histograms_.size() - 1);
+}
+
+void MetricsRegistry::Set(MetricId gauge, double value) {
+  if (gauge < 0 || static_cast<size_t>(gauge) >= gauges_.size()) return;
+  MetricsSnapshot::Gauge& g = gauges_[gauge];
+  if (!g.set) {
+    g.value = value;
+    g.set = true;
+    return;
+  }
+  switch (g.mode) {
+    case GaugeMode::kMax: g.value = std::max(g.value, value); break;
+    case GaugeMode::kMin: g.value = std::min(g.value, value); break;
+    case GaugeMode::kSum: g.value += value; break;
+  }
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  snap.counters = counters_;
+  snap.gauges = gauges_;
+  snap.histograms = histograms_;
+  const auto by_name = [](const auto& a, const auto& b) {
+    return a.name < b.name;
+  };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
+  return snap;
+}
+
+}  // namespace diknn

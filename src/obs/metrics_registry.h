@@ -1,0 +1,172 @@
+// Named metrics with deterministic cross-shard merging.
+//
+// Each run (the unit of `--jobs` parallelism) owns one MetricsRegistry —
+// a private, lock-free store of counters, gauges, and log-bucketed
+// histograms registered by name. At the end of the run the registry is
+// frozen into a MetricsSnapshot (name-sorted), carried in RunMetrics, and
+// merged in seed order by AggregateRuns — the same integer-count merge
+// discipline that makes SloReport bit-identical at any jobs count:
+// counters add, histogram bucket counts add, gauges combine by their
+// declared mode, and doubles are only ever combined in the fixed seed
+// order, never in thread-completion order.
+
+#ifndef DIKNN_OBS_METRICS_REGISTRY_H_
+#define DIKNN_OBS_METRICS_REGISTRY_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace diknn {
+
+/// How two shards' values of the same gauge combine.
+enum class GaugeMode : uint8_t {
+  kMax = 0,  ///< Peak across shards (e.g. peak in-flight queries).
+  kMin,      ///< Trough across shards.
+  kSum,      ///< Total across shards (for non-count totals, e.g. joules).
+};
+
+const char* GaugeModeName(GaugeMode mode);
+
+/// Handle returned by registration; indexes are per-kind.
+using MetricId = int32_t;
+inline constexpr MetricId kInvalidMetricId = -1;
+
+/// Log-spaced streaming histogram over [0, +inf). Same merge discipline
+/// as LatencyHistogram (integer bucket counts add), but with a wider
+/// span so it can hold latencies, hop counts, or byte sizes alike.
+class MetricsHistogram {
+ public:
+  static constexpr double kMinValue = 1e-6;
+  static constexpr int kBucketsPerOctave = 4;
+  /// 40 octaves cover [1e-6, ~1.1e6); outliers land in clamp buckets but
+  /// exact min/max are kept, so percentiles stay inside observed range.
+  static constexpr int kNumBuckets = 160;
+
+  void Add(double value);
+  void Merge(const MetricsHistogram& other);
+
+  uint64_t Count() const { return count_; }
+  double Sum() const { return sum_; }
+  double Mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+  double Min() const { return count_ == 0 ? 0.0 : min_; }
+  double Max() const { return count_ == 0 ? 0.0 : max_; }
+
+  /// Nearest-rank percentile from the bucket midpoint, clamped to the
+  /// observed [Min, Max]. 0 when empty.
+  double Percentile(double p) const;
+
+  bool operator==(const MetricsHistogram&) const = default;
+
+ private:
+  static int BucketOf(double value);
+  static double BucketMidpoint(int bucket);
+
+  std::array<uint64_t, kNumBuckets> buckets_ = {};
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Frozen, name-sorted view of one registry (or a merge of several).
+struct MetricsSnapshot {
+  struct Counter {
+    std::string name;
+    uint64_t value = 0;
+    bool operator==(const Counter&) const = default;
+  };
+  struct Gauge {
+    std::string name;
+    GaugeMode mode = GaugeMode::kMax;
+    double value = 0.0;
+    bool set = false;  ///< Never-set gauges merge as identity.
+    bool operator==(const Gauge&) const = default;
+  };
+  struct Histogram {
+    std::string name;
+    MetricsHistogram hist;
+    bool operator==(const Histogram&) const = default;
+  };
+
+  std::vector<Counter> counters;
+  std::vector<Gauge> gauges;
+  std::vector<Histogram> histograms;
+
+  /// Folds `other` into this snapshot by name (union; both sides stay
+  /// name-sorted). Deterministic for a fixed merge order.
+  void Merge(const MetricsSnapshot& other);
+
+  /// Counter value by name; 0 when absent.
+  uint64_t CounterValue(const std::string& name) const;
+  /// Gauge value by name; 0 when absent.
+  double GaugeValue(const std::string& name) const;
+  /// Histogram by name; nullptr when absent.
+  const MetricsHistogram* FindHistogram(const std::string& name) const;
+
+  /// Deterministic JSON object: {"counters":{...},"gauges":{...},
+  /// "histograms":{...}} with names in sorted order.
+  std::string ToJson() const;
+
+  bool operator==(const MetricsSnapshot&) const = default;
+};
+
+/// Per-run metrics store. Registration is explicit and duplicate names
+/// are rejected (returns kInvalidMetricId) so two subsystems cannot
+/// silently alias one metric. All mutation paths are branch-and-store on
+/// a dense vector — no locks, no hashing.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  MetricId RegisterCounter(const std::string& name);
+  MetricId RegisterGauge(const std::string& name,
+                         GaugeMode mode = GaugeMode::kMax);
+  MetricId RegisterHistogram(const std::string& name);
+
+  void Add(MetricId counter, uint64_t delta = 1) {
+    if (counter >= 0 && static_cast<size_t>(counter) < counters_.size()) {
+      counters_[counter].value += delta;
+    }
+  }
+  void Set(MetricId gauge, double value);
+  void Observe(MetricId histogram, double value) {
+    if (histogram >= 0 &&
+        static_cast<size_t>(histogram) < histograms_.size()) {
+      histograms_[histogram].hist.Add(value);
+    }
+  }
+
+  /// Register-and-set conveniences for end-of-run publication of values
+  /// already accumulated elsewhere (stats structs). Duplicate names are
+  /// rejected like the plain registrations.
+  void PublishCounter(const std::string& name, uint64_t value) {
+    Add(RegisterCounter(name), value);
+  }
+  void PublishGauge(const std::string& name, double value,
+                    GaugeMode mode = GaugeMode::kMax) {
+    Set(RegisterGauge(name, mode), value);
+  }
+
+  size_t CounterCount() const { return counters_.size(); }
+  size_t GaugeCount() const { return gauges_.size(); }
+  size_t HistogramCount() const { return histograms_.size(); }
+
+  /// Freezes the registry into a name-sorted snapshot.
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  bool ClaimName(const std::string& name);
+
+  std::vector<MetricsSnapshot::Counter> counters_;
+  std::vector<MetricsSnapshot::Gauge> gauges_;
+  std::vector<MetricsSnapshot::Histogram> histograms_;
+  std::vector<std::string> names_;  ///< Sorted; one namespace, all kinds.
+};
+
+}  // namespace diknn
+
+#endif  // DIKNN_OBS_METRICS_REGISTRY_H_

@@ -1,0 +1,36 @@
+// Trace-context tag propagated with simulated messages and frames.
+//
+// A TraceContext names the query trace a message belongs to and the span
+// within that trace that caused it. It is pure simulation metadata: it is
+// never counted in a packet's `size_bytes`, never consulted by protocol
+// logic, and a default-constructed (unsampled) context makes every
+// tracing call a no-op — so carrying it through the stack cannot perturb
+// simulated behaviour.
+//
+// This header is dependency-free so `net/packet.h` can include it without
+// pulling the tracer into the net layer's headers.
+
+#ifndef DIKNN_OBS_TRACE_CONTEXT_H_
+#define DIKNN_OBS_TRACE_CONTEXT_H_
+
+#include <cstdint>
+
+namespace diknn {
+
+/// Identifies one traced query's span tree. 0 = unsampled.
+using TraceId = uint64_t;
+
+/// Identifies one span within a trace (1-based; 0 = none).
+using SpanId = uint32_t;
+
+struct TraceContext {
+  TraceId trace_id = 0;
+  SpanId span_id = 0;
+
+  /// True when this context belongs to a sampled (recorded) query.
+  bool sampled() const { return trace_id != 0; }
+};
+
+}  // namespace diknn
+
+#endif  // DIKNN_OBS_TRACE_CONTEXT_H_

@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "core/logging.h"
+#include "obs/tracer.h"
 #include "routing/planarize.h"
 
 namespace diknn {
@@ -70,7 +71,7 @@ void GpsrRouting::Send(Node* src, Point destination, MessageType inner_type,
                        std::shared_ptr<const Message> inner,
                        size_t inner_bytes, EnergyCategory category,
                        bool collect_info, NodeId target_node,
-                       bool cheap_delivery) {
+                       bool cheap_delivery, TraceContext trace) {
   auto msg = std::make_shared<GeoRoutedMessage>();
   msg->destination = destination;
   msg->target_node = target_node;
@@ -81,6 +82,7 @@ void GpsrRouting::Send(Node* src, Point destination, MessageType inner_type,
   msg->ttl = params_.ttl;
   msg->collect_info = collect_info;
   msg->flow_id = next_flow_id_++;
+  msg->trace = trace;
   ++stats_.sends;
   Forward(src, std::move(msg), category);
 }
@@ -194,6 +196,10 @@ void GpsrRouting::Forward(Node* node, std::shared_ptr<GeoRoutedMessage> msg,
     msg->perimeter_entry = self;
     msg->perimeter_entry_node = node->id();
     msg->perimeter_hops = 0;
+    if (tracer_ != nullptr && msg->trace.sampled()) {
+      tracer_->AddEvent(msg->trace, TraceEventKind::kPerimeterEnter, now,
+                        node->id());
+    }
   }
 
   // Perimeter mode: right-hand rule on the planarized neighbor set.
@@ -254,6 +260,10 @@ void GpsrRouting::SendToNeighbor(Node* node, NodeId next,
           ++stats_.forks_suppressed;
           return;
         }
+        if (tracer_ != nullptr && msg->trace.sampled()) {
+          tracer_->AddEvent(msg->trace, TraceEventKind::kReroute,
+                            node->sim()->Now(), node->id(), next);
+        }
         node->neighbors().Remove(next);
         auto retry = std::make_shared<GeoRoutedMessage>(*msg);
         --retry->hop_index;  // Forward() re-increments on the next send.
@@ -262,7 +272,8 @@ void GpsrRouting::SendToNeighbor(Node* node, NodeId next,
           retry->info_list.pop_back();
         }
         Forward(node, std::move(retry), category);
-      });
+      },
+      msg->trace);
 }
 
 void GpsrRouting::Deliver(Node* node, const GeoRoutedMessage& msg) {

@@ -31,6 +31,8 @@
 
 namespace diknn {
 
+class Tracer;
+
 /// One entry of DIKNN's information list L (Section 4.1).
 struct RouteHopInfo {
   Point location;  ///< loc_i: position of the node triggering hop i.
@@ -76,6 +78,11 @@ struct GeoRoutedMessage : Message {
   // -- DIKNN phase-1 info list --
   bool collect_info = false;
   std::vector<RouteHopInfo> info_list;
+
+  /// Trace attribution (simulation metadata; not counted by WireBytes).
+  /// Stamped on every per-hop frame so MAC retries and collisions along
+  /// the route attribute to the owning query's span.
+  TraceContext trace;
 
   /// Modeled over-the-air byte size of the whole envelope.
   size_t WireBytes() const;
@@ -146,7 +153,11 @@ class GpsrRouting {
             std::shared_ptr<const Message> inner, size_t inner_bytes,
             EnergyCategory category, bool collect_info = false,
             NodeId target_node = kInvalidNodeId,
-            bool cheap_delivery = false);
+            bool cheap_delivery = false, TraceContext trace = {});
+
+  /// Query tracer for routing events (greedy->perimeter transitions,
+  /// link-failure reroutes) on traced flows. Not owned; may be null.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
 
   const Stats& stats() const { return stats_; }
 
@@ -177,6 +188,7 @@ class GpsrRouting {
   GpsrParams params_;
   std::map<MessageType, DeliveryHandler> deliveries_;
   Stats stats_;
+  Tracer* tracer_ = nullptr;
 
   uint64_t next_flow_id_ = 1;
   // Last hop_index seen per flow (bounded FIFO eviction).

@@ -5,6 +5,8 @@
 #include <unordered_set>
 #include <utility>
 
+#include "obs/tracer.h"
+
 namespace diknn {
 
 namespace {
@@ -145,8 +147,16 @@ QueryDriver::Prepared QueryDriver::Draw() {
 void QueryDriver::Admit(Prepared prep) {
   ++report_.issued;
   ++report_.issued_by_class[static_cast<int>(prep.cls)];
+  if (tracer_ != nullptr) {
+    prep.trace = tracer_->StartQuery(prep.arrived_at);
+  }
   if (spec_.max_inflight > 0 && inflight_count_ >= spec_.max_inflight) {
     if (static_cast<int>(queue_.size()) < spec_.queue_capacity) {
+      if (prep.trace.sampled()) {
+        prep.queue_span =
+            tracer_->BeginSpan(prep.trace, SpanKind::kQueue,
+                               prep.arrived_at, -1, prep.sink);
+      }
       queue_.push_back(std::move(prep));
     } else {
       WorkloadQueryRecord rec;
@@ -156,6 +166,9 @@ void QueryDriver::Admit(Prepared prep) {
       rec.outcome = QueryOutcome::kRejected;
       records_.push_back(rec);
       ++report_.rejected;
+      if (prep.trace.sampled()) {
+        tracer_->CloseTrace(prep.trace.trace_id, prep.arrived_at);
+      }
     }
     return;
   }
@@ -164,12 +177,17 @@ void QueryDriver::Admit(Prepared prep) {
 
 void QueryDriver::Launch(Prepared prep) {
   const uint64_t id = prep.id;
+  if (prep.queue_span != 0) {
+    tracer_->EndSpan(prep.trace.trace_id, prep.queue_span,
+                     network_->sim().Now());
+  }
   Inflight info;
   info.cls = prep.cls;
   info.arrived_at = prep.arrived_at;
   info.queue_wait = network_->sim().Now() - prep.arrived_at;
   info.q = prep.q;
   info.k = prep.k;
+  info.trace = prep.trace;
   if (prep.cls == QueryClass::kKnn && score_accuracy_) {
     info.truth_pre = network_->TrueKnn(prep.q, prep.k);
   }
@@ -179,13 +197,19 @@ void QueryDriver::Launch(Prepared prep) {
                                    static_cast<uint64_t>(inflight_count_));
 
   switch (prep.cls) {
-    case QueryClass::kKnn:
+    case QueryClass::kKnn: {
+      // Hand the root context to the protocol for the duration of the
+      // launch call: its IssueQuery adopts the ambient trace instead of
+      // starting a second one, so protocol phases nest under this root.
+      Tracer::AmbientScope ambient(prep.trace.sampled() ? tracer_ : nullptr,
+                                   prep.trace);
       protocol_->IssueQuery(prep.sink, prep.q, prep.k,
                             [this, id](const KnnResult& result) {
                               Resolve(id, result.Latency(), result.timed_out,
                                       result.CandidateIds());
                             });
       break;
+    }
     case QueryClass::kKnnBoundary:
       // Range query over the estimated KNN boundary of q: the square
       // circumscribing the radius-R disk that should hold ~k nodes.
@@ -252,6 +276,16 @@ void QueryDriver::Resolve(uint64_t id, double protocol_latency,
     rec.post_accuracy =
         Overlap(returned, network_->TrueKnn(info.q, info.k));
   }
+  if (info.trace.sampled()) {
+    const SimTime tnow = network_->sim().Now();
+    if (rec.outcome == QueryOutcome::kDeadlineMissed) {
+      tracer_->AddEvent(info.trace, TraceEventKind::kDeadlineMissed, tnow,
+                        -1, rec.latency);
+    }
+    // Idempotent on top of the protocol's own CloseTrace (kKnn class);
+    // the only closer for window / aggregate / continuous classes.
+    tracer_->CloseTrace(info.trace.trace_id, tnow);
+  }
   records_.push_back(rec);
 
   // Freed capacity: promote the longest-waiting queued query.
@@ -298,6 +332,9 @@ void QueryDriver::Finalize() {
     rec.outcome = QueryOutcome::kRejected;
     records_.push_back(rec);
     ++report_.rejected;
+    if (prep.trace.sampled()) {
+      tracer_->CloseTrace(prep.trace.trace_id, now);
+    }
   }
   queue_.clear();
   // Still in flight after the drain: unresolved, so they score as
@@ -317,6 +354,9 @@ void QueryDriver::Finalize() {
     rec.outcome = QueryOutcome::kTimedOut;
     records_.push_back(rec);
     ++report_.timed_out;
+    if (info.trace.sampled()) {
+      tracer_->CloseTrace(info.trace.trace_id, now);
+    }
   }
   inflight_.clear();
   inflight_count_ = 0;

@@ -75,6 +75,12 @@ class QueryDriver {
   /// on). Costs one TrueKnn scan at issue and one at resolution.
   void set_score_accuracy(bool score) { score_accuracy_ = score; }
 
+  /// Query tracer (not owned; may be null). The driver opens the root
+  /// span at arrival (so admission queueing is a visible kQueue phase),
+  /// hands the context to kKnn protocol launches via the tracer's
+  /// ambient scope, and closes the trace at resolution.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
   const SloReport& report() const { return report_; }
   const std::vector<WorkloadQueryRecord>& records() const {
     return records_;
@@ -104,6 +110,8 @@ class QueryDriver {
     Point q;
     int k = 1;
     SimTime arrived_at = 0.0;
+    TraceContext trace;      ///< Root context; unsampled when not traced.
+    SpanId queue_span = 0;   ///< Open kQueue span while waiting.
   };
 
   /// Book-keeping for a launched query.
@@ -114,6 +122,7 @@ class QueryDriver {
     std::vector<NodeId> truth_pre;  ///< Scored KNN queries only.
     Point q;
     int k = 0;
+    TraceContext trace;
   };
 
   Prepared Draw();
@@ -136,6 +145,7 @@ class QueryDriver {
   Rng rng_;
   NodeId sink_;
   bool score_accuracy_ = true;
+  Tracer* tracer_ = nullptr;
 
   // Lazily constructed engines (only when the mix uses them).
   std::unique_ptr<ItineraryWindowQuery> window_;

@@ -177,6 +177,11 @@ bool ParseClause(const std::string& clause, WorkloadSpec* out,
     if (out->continuous_period <= 0.0 || out->continuous_rounds <= 0) {
       return Fail(error, "continuous needs period>0 and rounds>0");
     }
+  } else if (section == "trace") {
+    if (!r.TakeDouble("rate", &out->trace_sample)) return false;
+    if (out->trace_sample < 0.0 || out->trace_sample > 1.0) {
+      return Fail(error, "trace rate must be in [0,1]");
+    }
   } else {
     return Fail(error, "unknown section '" + section + "'");
   }
@@ -260,6 +265,7 @@ std::string WorkloadSpec::ToSpec() const {
     os << ";continuous@period=" << continuous_period
        << ",rounds=" << continuous_rounds;
   }
+  if (trace_sample > 0.0) os << ";trace@rate=" << trace_sample;
   return os.str();
 }
 

@@ -40,6 +40,9 @@
 //                                        query rectangles
 //   continuous period=S,rounds=N        refresh period and round count per
 //                                        continuous subscription
+//   trace    rate=R                     fraction of queries traced by the
+//                                        harness Tracer, in [0,1]; 0 (the
+//                                        default) records nothing
 //
 // Example — 8 q/s Poisson, 80/20 point-KNN/window, k in [20,60], hotspot
 // arrivals, a 2 s deadline and at most 64 in flight:
@@ -111,6 +114,10 @@ struct WorkloadSpec {
   double window_side = 30.0;       ///< Window/aggregate rect side (m).
   double continuous_period = 1.0;  ///< Continuous refresh period (s).
   int continuous_rounds = 3;       ///< Rounds per subscription.
+
+  /// Fraction of queries traced (when the harness attaches a Tracer);
+  /// 0 disables tracing for this workload.
+  double trace_sample = 0.0;
 
   /// Sum of the class weights (> 0 for a valid spec).
   double TotalWeight() const;

@@ -1,0 +1,204 @@
+#include "obs/metrics_registry.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+
+namespace diknn {
+namespace {
+
+// --- Registry basics -------------------------------------------------
+
+TEST(MetricsRegistryTest, CountersAccumulate) {
+  MetricsRegistry reg;
+  const MetricId id = reg.RegisterCounter("frames.sent");
+  ASSERT_NE(id, kInvalidMetricId);
+  reg.Add(id);
+  reg.Add(id, 41);
+  const MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.CounterValue("frames.sent"), 42u);
+  EXPECT_EQ(snap.CounterValue("absent"), 0u);
+}
+
+TEST(MetricsRegistryTest, GaugesKeepDeclaredMode) {
+  MetricsRegistry reg;
+  reg.PublishGauge("peak", 3.0, GaugeMode::kMax);
+  reg.PublishGauge("total", 1.5, GaugeMode::kSum);
+  const MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.GaugeValue("peak"), 3.0);
+  EXPECT_EQ(snap.GaugeValue("total"), 1.5);
+}
+
+TEST(MetricsRegistryTest, DuplicateNamesRejectedAcrossKinds) {
+  MetricsRegistry reg;
+  ASSERT_NE(reg.RegisterCounter("x"), kInvalidMetricId);
+  // The name is one namespace: no second counter, gauge, or histogram
+  // may alias it.
+  EXPECT_EQ(reg.RegisterCounter("x"), kInvalidMetricId);
+  EXPECT_EQ(reg.RegisterGauge("x"), kInvalidMetricId);
+  EXPECT_EQ(reg.RegisterHistogram("x"), kInvalidMetricId);
+  EXPECT_EQ(reg.CounterCount(), 1u);
+  EXPECT_EQ(reg.GaugeCount(), 0u);
+  EXPECT_EQ(reg.HistogramCount(), 0u);
+  // Mutations through an invalid id are ignored, not fatal.
+  reg.Add(kInvalidMetricId, 5);
+  reg.Set(kInvalidMetricId, 1.0);
+  reg.Observe(kInvalidMetricId, 1.0);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsNameSorted) {
+  MetricsRegistry reg;
+  reg.PublishCounter("zeta", 1);
+  reg.PublishCounter("alpha", 2);
+  reg.PublishCounter("mid", 3);
+  const MetricsSnapshot snap = reg.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 3u);
+  EXPECT_EQ(snap.counters[0].name, "alpha");
+  EXPECT_EQ(snap.counters[1].name, "mid");
+  EXPECT_EQ(snap.counters[2].name, "zeta");
+}
+
+// --- Histogram -------------------------------------------------------
+
+TEST(MetricsHistogramTest, TracksCountSumMinMax) {
+  MetricsHistogram h;
+  EXPECT_EQ(h.Percentile(50), 0.0);
+  for (double v : {0.5, 1.0, 2.0, 4.0}) h.Add(v);
+  EXPECT_EQ(h.Count(), 4u);
+  EXPECT_EQ(h.Sum(), 7.5);
+  EXPECT_EQ(h.Min(), 0.5);
+  EXPECT_EQ(h.Max(), 4.0);
+  EXPECT_EQ(h.Mean(), 7.5 / 4.0);
+  // Percentiles stay within the observed range.
+  EXPECT_GE(h.Percentile(0), 0.5);
+  EXPECT_LE(h.Percentile(100), 4.0);
+  EXPECT_GT(h.Percentile(99), h.Percentile(1));
+}
+
+TEST(MetricsHistogramTest, MergeMatchesCombinedStream) {
+  MetricsHistogram a, b, all;
+  for (int i = 1; i <= 100; ++i) {
+    const double v = i * 0.01;
+    (i % 2 == 0 ? a : b).Add(v);
+    all.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a, all);  // Bucket counts, count, sum, min, max all match.
+}
+
+TEST(MetricsHistogramTest, OutliersClampIntoRange) {
+  MetricsHistogram h;
+  h.Add(0.0);     // Below kMinValue.
+  h.Add(1e12);    // Beyond the top octave.
+  EXPECT_EQ(h.Count(), 2u);
+  EXPECT_EQ(h.Min(), 0.0);
+  EXPECT_EQ(h.Max(), 1e12);
+  EXPECT_GE(h.Percentile(50), 0.0);
+  EXPECT_LE(h.Percentile(100), 1e12);
+}
+
+// --- Snapshot merge --------------------------------------------------
+
+TEST(MetricsSnapshotTest, MergeIsUnionWithPerKindSemantics) {
+  MetricsRegistry a, b;
+  a.PublishCounter("shared", 10);
+  a.PublishCounter("only_a", 1);
+  a.PublishGauge("gmax", 2.0, GaugeMode::kMax);
+  a.PublishGauge("gmin", 2.0, GaugeMode::kMin);
+  a.PublishGauge("gsum", 2.0, GaugeMode::kSum);
+  const MetricId ha = a.RegisterHistogram("h");
+  a.Observe(ha, 1.0);
+
+  b.PublishCounter("shared", 32);
+  b.PublishCounter("only_b", 5);
+  b.PublishGauge("gmax", 3.0, GaugeMode::kMax);
+  b.PublishGauge("gmin", 3.0, GaugeMode::kMin);
+  b.PublishGauge("gsum", 3.0, GaugeMode::kSum);
+  const MetricId hb = b.RegisterHistogram("h");
+  b.Observe(hb, 2.0);
+
+  MetricsSnapshot merged = a.Snapshot();
+  merged.Merge(b.Snapshot());
+  EXPECT_EQ(merged.CounterValue("shared"), 42u);
+  EXPECT_EQ(merged.CounterValue("only_a"), 1u);
+  EXPECT_EQ(merged.CounterValue("only_b"), 5u);
+  EXPECT_EQ(merged.GaugeValue("gmax"), 3.0);
+  EXPECT_EQ(merged.GaugeValue("gmin"), 2.0);
+  EXPECT_EQ(merged.GaugeValue("gsum"), 5.0);
+  const MetricsHistogram* h = merged.FindHistogram("h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->Count(), 2u);
+  EXPECT_EQ(h->Sum(), 3.0);
+  // The merged snapshot stays name-sorted.
+  for (size_t i = 1; i < merged.counters.size(); ++i) {
+    EXPECT_LT(merged.counters[i - 1].name, merged.counters[i].name);
+  }
+}
+
+TEST(MetricsSnapshotTest, NeverSetGaugeMergesAsIdentity) {
+  MetricsRegistry a, b;
+  a.RegisterGauge("g", GaugeMode::kMin);  // Registered, never Set.
+  b.PublishGauge("g", 7.0, GaugeMode::kMin);
+  MetricsSnapshot merged = a.Snapshot();
+  merged.Merge(b.Snapshot());
+  // kMin against an unset side must not pull in the unset side's 0.
+  EXPECT_EQ(merged.GaugeValue("g"), 7.0);
+}
+
+TEST(MetricsSnapshotTest, ToJsonIsDeterministic) {
+  MetricsRegistry reg;
+  reg.PublishCounter("b", 2);
+  reg.PublishCounter("a", 1);
+  reg.PublishGauge("g", 0.5, GaugeMode::kSum);
+  const MetricId h = reg.RegisterHistogram("lat");
+  reg.Observe(h, 0.25);
+  const std::string json = reg.Snapshot().ToJson();
+  EXPECT_EQ(json, reg.Snapshot().ToJson());
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  // Sorted key order inside the counters object.
+  EXPECT_LT(json.find("\"a\""), json.find("\"b\""));
+}
+
+// --- End-to-end: aggregate is bit-identical at any jobs count --------
+
+TEST(MetricsRegistryTest, AggregateBitIdenticalAcrossJobs) {
+  ExperimentConfig config;
+  config.network.node_count = 70;
+  config.network.field = Rect::Field(68.0, 68.0);
+  config.duration = 6.0;
+  config.drain = 4.0;
+  config.runs = 4;
+  std::string error;
+  config.workload = WorkloadSpec::Parse(
+      "arrival@kind=poisson,rate=4;mix@knn=60,window=20,aggregate=20;"
+      "k@lo=4,hi=10;deadline@s=1.5;admit@inflight=8,queue=4;trace@rate=1",
+      &error);
+  ASSERT_TRUE(config.workload.has_value()) << error;
+
+  std::vector<std::string> jsons;
+  for (int jobs : {1, 2, 8}) {
+    config.jobs = jobs;
+    const ExperimentMetrics agg = AggregateRuns(RunExperimentRuns(config));
+    ASSERT_FALSE(agg.obs.counters.empty());
+    jsons.push_back(agg.obs.ToJson());
+  }
+  EXPECT_EQ(jsons[0], jsons[1]);
+  EXPECT_EQ(jsons[0], jsons[2]);
+  // The run actually recorded traffic and traces, so the equality above
+  // compares live data, not empty snapshots.
+  const ExperimentMetrics agg = AggregateRuns(RunExperimentRuns(config));
+  EXPECT_GT(agg.obs.CounterValue("channel.frames_sent"), 0u);
+  EXPECT_GT(agg.obs.CounterValue("tracer.queries_sampled"), 0u);
+  const MetricsHistogram* lat = agg.obs.FindHistogram("query.latency_s");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_GT(lat->Count(), 0u);
+}
+
+}  // namespace
+}  // namespace diknn

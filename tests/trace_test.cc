@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "harness/experiment.h"
+#include "obs/tracer.h"
 
 namespace diknn {
 namespace {
@@ -81,6 +82,27 @@ TEST(TraceTest, CsvExportIsWellFormed) {
   const size_t lines = std::count(csv.begin(), csv.end(), '\n');
   EXPECT_EQ(lines, trace.entries().size() + 1);
   EXPECT_NE(csv.find("Beacon"), std::string::npos);
+}
+
+TEST(TraceTest, RecordersAndTracerCoexistOnOneChannel) {
+  // The channel keeps a transmit-observer list, so multiple TraceRecorders
+  // and the causal Tracer can all watch the same run without evicting one
+  // another.
+  Network net(SmallConfig());
+  TraceRecorder first(&net);
+  TraceRecorder second(&net);
+  Tracer tracer(1.0, 9);
+  net.channel().set_tracer(&tracer);
+  net.Warmup(2.0);
+  ASSERT_GT(first.entries().size(), 100u);
+  EXPECT_EQ(first.entries().size(), second.entries().size());
+
+  // Detaching one recorder leaves the other (and the tracer hook) alive.
+  first.Detach();
+  const size_t frozen = first.entries().size();
+  net.sim().RunUntil(net.sim().Now() + 2.0);
+  EXPECT_EQ(first.entries().size(), frozen);
+  EXPECT_GT(second.entries().size(), frozen);
 }
 
 TEST(TraceTest, DetachStopsRecording) {

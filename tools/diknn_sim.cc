@@ -18,6 +18,8 @@
 
 #include "harness/experiment.h"
 #include "harness/trace.h"
+#include "obs/trace_sink.h"
+#include "obs/tracer.h"
 
 namespace {
 
@@ -75,6 +77,13 @@ void PrintUsage(const char* argv0) {
       "output:\n"
       "  --csv             machine-readable one-line-per-run output\n"
       "  --trace FILE      write a per-frame CSV trace (first run only)\n"
+      "  --trace-out FILE  write a Chrome/Perfetto trace JSON of the base\n"
+      "                    seed's run (query span trees + critical paths);\n"
+      "                    implies --trace-sample 1 unless set explicitly\n"
+      "  --trace-sample R  fraction of queries traced, 0..1 (default 0)\n"
+      "  --metrics-out FILE\n"
+      "                    write the merged metrics registry (counters,\n"
+      "                    gauges, histograms across all runs) as JSON\n"
       "  --help            this text\n",
       argv0);
 }
@@ -95,6 +104,9 @@ int main(int argc, char** argv) {
   config.runs = 3;
   bool csv = false;
   std::string trace_path;
+  std::string trace_out_path;
+  std::string metrics_out_path;
+  double trace_sample = -1.0;  // < 0 = not set on the command line.
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -192,6 +204,12 @@ int main(int argc, char** argv) {
       csv = true;
     } else if (arg == "--trace") {
       trace_path = next_value();
+    } else if (arg == "--trace-out") {
+      trace_out_path = next_value();
+    } else if (arg == "--trace-sample") {
+      trace_sample = std::atof(next_value());
+    } else if (arg == "--metrics-out") {
+      metrics_out_path = next_value();
     } else {
       std::fprintf(stderr, "unknown option %s (try --help)\n", arg.c_str());
       return 2;
@@ -202,6 +220,15 @@ int main(int argc, char** argv) {
       config.network.node_count <= 0) {
     std::fprintf(stderr, "k, runs and nodes must be positive\n");
     return 2;
+  }
+  if (trace_sample >= 0.0) {
+    if (trace_sample > 1.0) {
+      std::fprintf(stderr, "--trace-sample must be in [0,1]\n");
+      return 2;
+    }
+    config.trace_sample = trace_sample;
+  } else if (!trace_out_path.empty()) {
+    config.trace_sample = 1.0;  // A trace file without a rate means "all".
   }
 
   if (csv) {
@@ -233,6 +260,25 @@ int main(int argc, char** argv) {
     recorder.WriteCsv(out);
     std::fprintf(stderr, "wrote %zu frames to %s\n",
                  recorder.entries().size(), trace_path.c_str());
+  }
+
+  if (!trace_out_path.empty()) {
+    // Traced run of the base seed: export the query span trees as Chrome
+    // trace-event JSON (loadable in Perfetto / chrome://tracing) and
+    // print the slowest query's critical-path summary.
+    TraceData trace;
+    RunOnce(config, config.base_seed, nullptr, &trace);
+    TraceSink sink(std::move(trace));
+    std::ofstream out(trace_out_path);
+    sink.WriteChromeTrace(out);
+    std::fprintf(stderr, "wrote %llu spans across %zu traced queries to %s\n",
+                 static_cast<unsigned long long>(sink.data().stats.spans),
+                 sink.critical_paths().size(), trace_out_path.c_str());
+    if (!sink.critical_paths().empty()) {
+      std::fprintf(stderr, "slowest: %s\n",
+                   TraceSink::FormatCriticalPath(sink.critical_paths().front())
+                       .c_str());
+    }
   }
 
   const std::vector<RunMetrics> runs = RunExperimentRuns(config);
@@ -269,15 +315,23 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
   }
 
-  if (!csv) {
+  if (!csv || !metrics_out_path.empty()) {
     const ExperimentMetrics agg = AggregateRuns(runs);
-    std::printf("mean: latency %.2f±%.2fs, energy %.3fJ, pre %.2f, "
-                "post %.2f, timeout rate %.0f%%\n",
-                agg.latency.mean, agg.latency.stddev, agg.energy.mean,
-                agg.pre_accuracy.mean, agg.post_accuracy.mean,
-                100 * agg.timeout_rate.mean);
-    if (config.workload.has_value()) {
-      std::printf("slo:  %s\n", agg.slo.Format().c_str());
+    if (!csv) {
+      std::printf("mean: latency %.2f±%.2fs, energy %.3fJ, pre %.2f, "
+                  "post %.2f, timeout rate %.0f%%\n",
+                  agg.latency.mean, agg.latency.stddev, agg.energy.mean,
+                  agg.pre_accuracy.mean, agg.post_accuracy.mean,
+                  100 * agg.timeout_rate.mean);
+      if (config.workload.has_value()) {
+        std::printf("slo:  %s\n", agg.slo.Format().c_str());
+      }
+    }
+    if (!metrics_out_path.empty()) {
+      std::ofstream out(metrics_out_path);
+      out << agg.obs.ToJson() << '\n';
+      std::fprintf(stderr, "wrote merged metrics of %d run(s) to %s\n",
+                   agg.runs, metrics_out_path.c_str());
     }
   }
   return 0;

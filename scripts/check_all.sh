@@ -45,4 +45,23 @@ else
   echo "python3 not found; skipping JSON validation"
 fi
 
+echo "== served-workload smoke =="
+./build/tools/diknn-sim --runs 1 --duration 30 --nodes 120 --field 90 \
+  --workload 'arrival@kind=poisson,rate=8;k@lo=10;space@kind=hotspot,n=2,sigma=5,skew=1.2;deadline@s=4;admit@inflight=128,queue=32,shed=1;cache@ttl=8,cells=3;coalesce@window=3,kslack=6' \
+  --metrics-out "$obs_dir/served.json"
+if command -v python3 >/dev/null; then
+  python3 - "$obs_dir/served.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+hits = doc["counters"].get("serving.cache_hits", 0)
+if hits <= 0:
+    raise SystemExit("served-workload smoke: expected serving.cache_hits > 0, "
+                     f"got {hits}")
+print(f"serving.cache_hits = {hits}")
+PY
+else
+  echo "python3 not found; skipping served-workload validation"
+fi
+
 echo "All checks passed."

@@ -186,6 +186,18 @@ void PublishObsMetrics(Network& net, const GpsrRouting& gpsr,
   reg.PublishCounter("lifecycle.violations", metrics->lifecycle_violations);
   reg.PublishCounter("lifecycle.leaked_entries", metrics->leaked_entries);
 
+  // Serving front-end counters (all zero unless the workload spec enables
+  // cache@ / coalesce@ / admit@shed stages).
+  const ServingCounters& sc = metrics->slo.serving;
+  reg.PublishCounter("serving.cache_hits", sc.cache_hits);
+  reg.PublishCounter("serving.cache_misses", sc.cache_misses);
+  reg.PublishCounter("serving.cache_expired", sc.cache_expired);
+  reg.PublishCounter("serving.cache_insertions", sc.cache_insertions);
+  reg.PublishCounter("serving.coalesced", sc.coalesced);
+  reg.PublishCounter("serving.fanned_out", sc.fanned_out);
+  reg.PublishCounter("serving.shed", sc.shed);
+  reg.PublishCounter("serving.shed_probes", sc.shed_probes);
+
   const TracerStats ts = tracer != nullptr ? tracer->stats() : TracerStats{};
   reg.PublishCounter("tracer.queries_seen", ts.queries_seen);
   reg.PublishCounter("tracer.queries_sampled", ts.queries_sampled);

@@ -50,6 +50,10 @@ const char* TraceEventKindName(TraceEventKind kind) {
     case TraceEventKind::kFaultDuplicate: return "fault-duplicate";
     case TraceEventKind::kTimeout: return "timeout";
     case TraceEventKind::kDeadlineMissed: return "deadline-missed";
+    case TraceEventKind::kCacheHit: return "cache-hit";
+    case TraceEventKind::kCoalesced: return "coalesced";
+    case TraceEventKind::kFanOut: return "fan-out";
+    case TraceEventKind::kShed: return "shed";
   }
   return "?";
 }

@@ -58,6 +58,10 @@ enum class TraceEventKind : uint8_t {
   kFaultDuplicate,     ///< Fault injection duplicated a frame.
   kTimeout,            ///< Query gave up at its protocol timeout.
   kDeadlineMissed,     ///< Completed after its workload deadline.
+  kCacheHit,           ///< Answered from the serving result cache.
+  kCoalesced,          ///< Attached as follower to an in-flight leader.
+  kFanOut,             ///< Follower answer delivered from its leader.
+  kShed,               ///< Dropped by deadline-aware admission.
 };
 
 const char* SpanKindName(SpanKind kind);

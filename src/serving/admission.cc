@@ -1,0 +1,44 @@
+#include "serving/admission.h"
+
+#include <algorithm>
+
+namespace diknn {
+
+int CompletionPredictor::ClampRing(int ring) {
+  return std::clamp(ring, 0, kNumRings - 1);
+}
+
+void CompletionPredictor::Observe(int ring, double latency) {
+  ring = ClampRing(ring);
+  if (samples_[ring] == 0) {
+    ewma_[ring] = latency;
+  } else {
+    ewma_[ring] += alpha_ * (latency - ewma_[ring]);
+  }
+  ++samples_[ring];
+  ++total_samples_;
+}
+
+double CompletionPredictor::Estimate(int ring) const {
+  ring = ClampRing(ring);
+  if (samples_[ring] > 0) return ewma_[ring];
+  // Borrow the nearest ring with history (inner rings preferred on ties:
+  // they under-estimate, which sheds less — the safe direction).
+  for (int d = 1; d < kNumRings; ++d) {
+    if (ring - d >= 0 && samples_[ring - d] > 0) return ewma_[ring - d];
+    if (ring + d < kNumRings && samples_[ring + d] > 0) return ewma_[ring + d];
+  }
+  return 0.0;
+}
+
+bool CompletionPredictor::ShouldShed(int ring, double budget) {
+  if (!CanPredict()) return false;
+  if (Estimate(ring) <= budget) return false;
+  if (++shed_streak_ % kProbeInterval == 0) {
+    ++probes_;
+    return false;  // Launch as a probe to keep the estimate fresh.
+  }
+  return true;
+}
+
+}  // namespace diknn

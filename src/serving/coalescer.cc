@@ -1,0 +1,46 @@
+#include "serving/coalescer.h"
+
+namespace diknn {
+
+std::optional<uint64_t> QueryCoalescer::TryAttach(uint64_t key,
+                                                  uint64_t ticket, int k,
+                                                  SimTime now) {
+  const auto key_it = by_key_.find(key);
+  if (key_it == by_key_.end()) return std::nullopt;
+  const auto it = by_ticket_.find(key_it->second);
+  if (it == by_ticket_.end()) return std::nullopt;
+  Leader& leader = it->second;
+  if (now - leader.launched_at > window_) return std::nullopt;
+  if (k > leader.k + kslack_) return std::nullopt;
+  leader.followers.push_back(Follower{ticket, k});
+  return leader.ticket;
+}
+
+void QueryCoalescer::RegisterLeader(uint64_t key, uint64_t ticket, int k,
+                                    SimTime now) {
+  // A replaced leader (too old or too small a k to attach to) keeps its
+  // followers in by_ticket_ and still fans out on completion; it just
+  // stops being the key's attach target.
+  by_key_[key] = ticket;
+  by_ticket_[ticket] = Leader{ticket, k, now, {}};
+  leader_key_[ticket] = key;
+}
+
+std::vector<QueryCoalescer::Follower> QueryCoalescer::OnLeaderResolved(
+    uint64_t ticket) {
+  const auto it = by_ticket_.find(ticket);
+  if (it == by_ticket_.end()) return {};
+  std::vector<Follower> followers = std::move(it->second.followers);
+  by_ticket_.erase(it);
+  const auto key_it = leader_key_.find(ticket);
+  if (key_it != leader_key_.end()) {
+    const auto current = by_key_.find(key_it->second);
+    if (current != by_key_.end() && current->second == ticket) {
+      by_key_.erase(current);
+    }
+    leader_key_.erase(key_it);
+  }
+  return followers;
+}
+
+}  // namespace diknn

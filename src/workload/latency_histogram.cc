@@ -88,6 +88,7 @@ void SloReport::Merge(const SloReport& other) {
   peak_inflight = std::max(peak_inflight, other.peak_inflight);
   duration += other.duration;
   latency.Merge(other.latency);
+  serving.Merge(other.serving);
 }
 
 std::string SloReport::Format() const {
@@ -100,6 +101,11 @@ std::string SloReport::Format() const {
      << " reject=" << 100.0 * RejectRate() << "%"
      << " timeout=" << 100.0 * TimeoutRate() << "%"
      << " peak_inflight=" << peak_inflight;
+  if (serving.Any()) {
+    os << " cache=" << serving.cache_hits << '/'
+       << (serving.cache_hits + serving.cache_misses)
+       << " coalesced=" << serving.coalesced << " shed=" << serving.shed;
+  }
   return os.str();
 }
 
@@ -114,7 +120,13 @@ std::string SloReport::ToJson() const {
      << ", \"p95_s\": " << p95() << ", \"p99_s\": " << p99()
      << ", \"p999_s\": " << p999() << ", \"miss_rate\": " << MissRate()
      << ", \"reject_rate\": " << RejectRate()
-     << ", \"timeout_rate\": " << TimeoutRate() << "}";
+     << ", \"timeout_rate\": " << TimeoutRate()
+     << ", \"cache_hits\": " << serving.cache_hits
+     << ", \"cache_misses\": " << serving.cache_misses
+     << ", \"cache_insertions\": " << serving.cache_insertions
+     << ", \"coalesced\": " << serving.coalesced
+     << ", \"fanned_out\": " << serving.fanned_out
+     << ", \"shed\": " << serving.shed << "}";
   return os.str();
 }
 

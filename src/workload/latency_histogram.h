@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <string>
 
+#include "serving/serving_types.h"
 #include "workload/workload_spec.h"
 
 namespace diknn {
@@ -90,6 +91,11 @@ struct SloReport {
   /// Latencies of everything that finished (completed + missed); rejected
   /// and timed-out queries never enter the distribution.
   LatencyHistogram latency;
+  /// Serving front-end counters (cache hits / coalesced followers / shed
+  /// queries); all zero when the workload ran without a front end. Shed
+  /// queries are counted inside `rejected` (they never launched), so the
+  /// outcome partition above still balances.
+  ServingCounters serving;
 
   double p50() const { return latency.Percentile(50.0); }
   double p95() const { return latency.Percentile(95.0); }

@@ -53,6 +53,18 @@ QueryDriver::QueryDriver(Network* network, GpsrRouting* gpsr,
   if (weight(QueryClass::kContinuous) > 0.0) {
     continuous_ = std::make_unique<ContinuousKnn>(network_, protocol_);
   }
+  const ServingParams serving_params = spec_.Serving();
+  if (serving_params.Enabled()) {
+    // Static fields have zero drift, so the cache validity time is only
+    // capped by the spec's ttl there.
+    const double max_speed =
+        network_->config().mobility == MobilityKind::kStatic
+            ? 0.0
+            : network_->config().max_speed;
+    serving_ = std::make_unique<ServingFrontEnd>(
+        serving_params, network_->config().field, max_speed,
+        network_->config().radio_range_m);
+  }
   if (spec_.spatial == SpatialKind::kHotspot) {
     double cum = 0.0;
     for (int i = 0; i < spec_.hotspots; ++i) {
@@ -177,16 +189,38 @@ void QueryDriver::Admit(Prepared prep) {
 
 void QueryDriver::Launch(Prepared prep) {
   const uint64_t id = prep.id;
+  const SimTime now = network_->sim().Now();
   if (prep.queue_span != 0) {
-    tracer_->EndSpan(prep.trace.trace_id, prep.queue_span,
-                     network_->sim().Now());
+    tracer_->EndSpan(prep.trace.trace_id, prep.queue_span, now);
   }
+
+  // The serving front end only fronts point-KNN queries: the cache and
+  // the coalescer both reason about a single query point.
+  ServingFrontEnd::Decision decision;
+  Point sink_pos;
+  if (serving_ != nullptr && prep.cls == QueryClass::kKnn) {
+    sink_pos = network_->node(prep.sink)->Position();
+    // Time left before the deadline; < 0 means the queue wait already ate
+    // the whole budget, exactly 0 encodes "no deadline" (see Route()).
+    const double budget =
+        spec_.deadline > 0.0 ? prep.arrived_at + spec_.deadline - now : 0.0;
+    decision = serving_->Route(id, prep.q, sink_pos,
+                               static_cast<int>(prep.cls), prep.k, budget,
+                               now);
+    if (decision.action == ServingFrontEnd::Decision::Action::kShed) {
+      Shed(prep, decision.estimate);
+      return;
+    }
+  }
+
   Inflight info;
   info.cls = prep.cls;
   info.arrived_at = prep.arrived_at;
-  info.queue_wait = network_->sim().Now() - prep.arrived_at;
+  info.launched_at = now;
+  info.queue_wait = now - prep.arrived_at;
   info.q = prep.q;
   info.k = prep.k;
+  info.sink_pos = sink_pos;
   info.trace = prep.trace;
   if (prep.cls == QueryClass::kKnn && score_accuracy_) {
     info.truth_pre = network_->TrueKnn(prep.q, prep.k);
@@ -198,6 +232,31 @@ void QueryDriver::Launch(Prepared prep) {
 
   switch (prep.cls) {
     case QueryClass::kKnn: {
+      using Action = ServingFrontEnd::Decision::Action;
+      if (decision.action == Action::kCacheHit) {
+        // Answered from the cache: resolves synchronously, zero protocol
+        // latency, no channel traffic.
+        inflight_.at(id).path = ServingPath::kCacheHit;
+        if (prep.trace.sampled()) {
+          tracer_->AddEvent(prep.trace, TraceEventKind::kCacheHit, now, -1,
+                            static_cast<double>(decision.candidates.size()));
+        }
+        std::vector<NodeId> ids;
+        ids.reserve(decision.candidates.size());
+        for (const KnnCandidate& c : decision.candidates) ids.push_back(c.id);
+        Resolve(id, 0.0, false, std::move(ids));
+        break;
+      }
+      if (decision.action == Action::kFollower) {
+        // Parked on the leader's itinerary; ResolveKnnLeader fans the
+        // answer back out when the leader completes (or times out).
+        inflight_.at(id).path = ServingPath::kFollower;
+        if (prep.trace.sampled()) {
+          tracer_->AddEvent(prep.trace, TraceEventKind::kCoalesced, now, -1,
+                            static_cast<double>(decision.leader));
+        }
+        break;
+      }
       // Hand the root context to the protocol for the duration of the
       // launch call: its IssueQuery adopts the ambient trace instead of
       // starting a second one, so protocol phases nest under this root.
@@ -205,8 +264,7 @@ void QueryDriver::Launch(Prepared prep) {
                                    prep.trace);
       protocol_->IssueQuery(prep.sink, prep.q, prep.k,
                             [this, id](const KnnResult& result) {
-                              Resolve(id, result.Latency(), result.timed_out,
-                                      result.CandidateIds());
+                              ResolveKnnLeader(id, result);
                             });
       break;
     }
@@ -245,6 +303,63 @@ void QueryDriver::Launch(Prepared prep) {
   }
 }
 
+void QueryDriver::Shed(const Prepared& prep, double estimate) {
+  const SimTime now = network_->sim().Now();
+  WorkloadQueryRecord rec;
+  rec.id = prep.id;
+  rec.cls = prep.cls;
+  rec.arrived_at = prep.arrived_at;
+  rec.queue_wait = now - prep.arrived_at;
+  rec.outcome = QueryOutcome::kRejected;
+  rec.path = ServingPath::kShed;
+  records_.push_back(rec);
+  ++report_.rejected;
+  if (prep.trace.sampled()) {
+    tracer_->AddEvent(prep.trace, TraceEventKind::kShed, now, -1, estimate);
+    tracer_->CloseTrace(prep.trace.trace_id, now);
+  }
+}
+
+void QueryDriver::ResolveKnnLeader(uint64_t id, const KnnResult& result) {
+  if (serving_ == nullptr) {
+    Resolve(id, result.Latency(), result.timed_out, result.CandidateIds());
+    return;
+  }
+  const SimTime now = network_->sim().Now();
+  // Snapshot the leader's geometry before Resolve() erases it, then feed
+  // the front end FIRST: the cache entry it seeds and the leader slot it
+  // frees must be visible to any queued query promoted by Resolve().
+  std::vector<QueryCoalescer::Follower> followers;
+  const auto it = inflight_.find(id);
+  if (it != inflight_.end()) {
+    const Inflight& leader = it->second;
+    followers = serving_->OnResolved(
+        id, leader.q, leader.sink_pos, static_cast<int>(leader.cls),
+        leader.k, result.candidates, result.Latency(), result.timed_out, now);
+  }
+  Resolve(id, result.Latency(), result.timed_out, result.CandidateIds());
+  // Fan the leader's answer out: each follower gets the superset
+  // re-pruned around its own query point, truncated to its own k. A
+  // timed-out leader times its followers out too — they rode the same
+  // itinerary — which keeps issued == completed + missed + rejected +
+  // timed_out intact.
+  for (const QueryCoalescer::Follower& f : followers) {
+    const auto fit = inflight_.find(f.ticket);
+    if (fit == inflight_.end()) continue;  // Already finalized.
+    const std::vector<KnnCandidate> pruned =
+        ServingFrontEnd::TruncateFor(result.candidates, fit->second.q, f.k);
+    std::vector<NodeId> ids;
+    ids.reserve(pruned.size());
+    for (const KnnCandidate& c : pruned) ids.push_back(c.id);
+    if (fit->second.trace.sampled()) {
+      tracer_->AddEvent(fit->second.trace, TraceEventKind::kFanOut, now, -1,
+                        static_cast<double>(id));
+    }
+    Resolve(f.ticket, now - fit->second.launched_at, result.timed_out,
+            std::move(ids));
+  }
+}
+
 void QueryDriver::Resolve(uint64_t id, double protocol_latency,
                           bool timed_out, std::vector<NodeId> returned) {
   auto it = inflight_.find(id);
@@ -259,6 +374,7 @@ void QueryDriver::Resolve(uint64_t id, double protocol_latency,
   rec.arrived_at = info.arrived_at;
   rec.queue_wait = info.queue_wait;
   rec.latency = info.queue_wait + protocol_latency;
+  rec.path = info.path;
   if (timed_out) {
     rec.outcome = QueryOutcome::kTimedOut;
     ++report_.timed_out;
@@ -352,6 +468,7 @@ void QueryDriver::Finalize() {
     rec.queue_wait = info.queue_wait;
     rec.latency = now - info.arrived_at;
     rec.outcome = QueryOutcome::kTimedOut;
+    rec.path = info.path;
     records_.push_back(rec);
     ++report_.timed_out;
     if (info.trace.sampled()) {
@@ -360,6 +477,7 @@ void QueryDriver::Finalize() {
   }
   inflight_.clear();
   inflight_count_ = 0;
+  if (serving_ != nullptr) report_.serving = serving_->counters();
 }
 
 SloReport QueryDriver::Run(SimTime duration, SimTime drain) {

@@ -21,6 +21,12 @@
 //  - At the end of Run(), queries still queued are scored kRejected and
 //    queries still in flight kTimedOut, so the outcome partition always
 //    sums to the issued count.
+//  - When the spec enables serving stages (cache@ / coalesce@ /
+//    admit@shed), point-KNN launches route through a ServingFrontEnd
+//    first: cache hits resolve synchronously with zero protocol latency,
+//    followers park until their leader's itinerary completes (inheriting
+//    its timeout, answer re-pruned around their own q), and shed queries
+//    score as kRejected (docs/SERVING.md).
 
 #ifndef DIKNN_WORKLOAD_QUERY_DRIVER_H_
 #define DIKNN_WORKLOAD_QUERY_DRIVER_H_
@@ -38,6 +44,7 @@
 #include "net/network.h"
 #include "net/sensor_field.h"
 #include "routing/gpsr.h"
+#include "serving/front_end.h"
 #include "workload/latency_histogram.h"
 #include "workload/workload_spec.h"
 
@@ -51,6 +58,9 @@ struct WorkloadQueryRecord {
   double queue_wait = 0.0;  ///< Seconds spent in the admission queue.
   double latency = 0.0;     ///< Arrival to resolution (0 if rejected).
   QueryOutcome outcome = QueryOutcome::kCompleted;
+  /// How the serving front end handled the query (kDirect when serving
+  /// is off or the query launched its own itinerary).
+  ServingPath path = ServingPath::kDirect;
   double pre_accuracy = -1.0;   ///< Scored KNN queries only; -1 = unscored.
   double post_accuracy = -1.0;
 };
@@ -101,6 +111,10 @@ class QueryDriver {
     return continuous_.get();
   }
 
+  /// The serving front end, when the spec enables any of its stages
+  /// (cache@ / coalesce@ / admit@shed), else nullptr.
+  const ServingFrontEnd* serving() const { return serving_.get(); }
+
  private:
   /// A drawn-but-not-yet-launched query.
   struct Prepared {
@@ -118,10 +132,13 @@ class QueryDriver {
   struct Inflight {
     QueryClass cls = QueryClass::kKnn;
     SimTime arrived_at = 0.0;
+    SimTime launched_at = 0.0;
     double queue_wait = 0.0;
     std::vector<NodeId> truth_pre;  ///< Scored KNN queries only.
     Point q;
     int k = 0;
+    Point sink_pos;  ///< Sink position at launch (serving ring lookup).
+    ServingPath path = ServingPath::kDirect;
     TraceContext trace;
   };
 
@@ -134,6 +151,12 @@ class QueryDriver {
   void Launch(Prepared prep);
   void Resolve(uint64_t id, double protocol_latency, bool timed_out,
                std::vector<NodeId> returned = {});
+  /// Completion handler for protocol-launched kKnn queries: feeds the
+  /// serving front end, resolves the leader, then fans the answer out to
+  /// its coalesced followers (in attach order).
+  void ResolveKnnLeader(uint64_t id, const KnnResult& result);
+  /// Records a shed query as kRejected (path kShed) without launching.
+  void Shed(const Prepared& prep, double estimate);
   void ScheduleNextArrival();
   void StartSession();
   void Finalize();
@@ -152,6 +175,7 @@ class QueryDriver {
   std::unique_ptr<SensorField> field_;
   std::unique_ptr<ItineraryAggregateQuery> aggregate_;
   std::unique_ptr<ContinuousKnn> continuous_;
+  std::unique_ptr<ServingFrontEnd> serving_;
 
   std::vector<Point> hotspot_centers_;
   std::vector<double> hotspot_cumweight_;

@@ -165,8 +165,34 @@ bool ParseClause(const std::string& clause, WorkloadSpec* out,
   } else if (section == "admit") {
     if (!r.TakeInt("inflight", &out->max_inflight)) return false;
     if (!r.TakeInt("queue", &out->queue_capacity)) return false;
+    int shed = out->admit_shed ? 1 : 0;
+    if (!r.TakeInt("shed", &shed)) return false;
+    if (shed != 0 && shed != 1) {
+      return Fail(error, "admit shed must be 0 or 1");
+    }
+    out->admit_shed = shed == 1;
     if (out->max_inflight < 0 || out->queue_capacity < 0) {
       return Fail(error, "admit bounds must be >= 0");
+    }
+  } else if (section == "cache") {
+    if (!r.TakeDouble("ttl", &out->cache_ttl)) return false;
+    if (!r.TakeInt("cells", &out->cache_cells)) return false;
+    if (out->cache_ttl <= 0.0) {
+      return Fail(error, "cache needs ttl>0 (seconds; the validity-time "
+                         "cap)");
+    }
+    if (out->cache_cells <= 0) {
+      return Fail(error, "cache needs cells>0 (grid cells per field axis)");
+    }
+  } else if (section == "coalesce") {
+    if (!r.TakeDouble("window", &out->coalesce_window)) return false;
+    if (!r.TakeInt("kslack", &out->coalesce_kslack)) return false;
+    if (out->coalesce_window <= 0.0) {
+      return Fail(error, "coalesce needs window>0 (seconds; max leader "
+                         "age a follower may attach to)");
+    }
+    if (out->coalesce_kslack < 0) {
+      return Fail(error, "coalesce kslack must be >= 0");
     }
   } else if (section == "window") {
     if (!r.TakeDouble("side", &out->window_side)) return false;
@@ -252,9 +278,17 @@ std::string WorkloadSpec::ToSpec() const {
        << ",skew=" << hotspot_skew;
   }
   if (deadline > 0.0) os << ";deadline@s=" << deadline;
-  if (max_inflight > 0) {
+  if (max_inflight > 0 || admit_shed) {
     os << ";admit@inflight=" << max_inflight
        << ",queue=" << queue_capacity;
+    if (admit_shed) os << ",shed=1";
+  }
+  if (cache_ttl > 0.0) {
+    os << ";cache@ttl=" << cache_ttl << ",cells=" << cache_cells;
+  }
+  if (coalesce_window > 0.0) {
+    os << ";coalesce@window=" << coalesce_window
+       << ",kslack=" << coalesce_kslack;
   }
   if (mix[static_cast<int>(QueryClass::kWindow)] > 0.0 ||
       mix[static_cast<int>(QueryClass::kAggregate)] > 0.0 ||

@@ -36,6 +36,20 @@
 //   admit    inflight=N                  max in-flight queries; 0 = unbounded
 //            queue=Q                     waiting-room capacity once at the
 //                                        bound (0 = reject immediately)
+//            shed=0|1                    deadline-aware admission: shed
+//                                        queries whose predicted completion
+//                                        misses their deadline (needs
+//                                        deadline@s > 0 to bite)
+//   cache    ttl=S                       sink-side result cache: TTL cap in
+//                                        seconds (> 0 enables; the
+//                                        effective validity time is
+//                                        min(ttl, radio_range / mu_max))
+//            cells=N                     cache-grid cells per field axis
+//   coalesce window=S                    attach co-located queries to an
+//                                        in-flight leader up to this age
+//                                        (> 0 enables coalescing)
+//            kslack=K                    a follower may ask for up to K
+//                                        more neighbors than its leader
 //   window   side=S                      extent (m) of window/aggregate
 //                                        query rectangles
 //   continuous period=S,rounds=N        refresh period and round count per
@@ -55,6 +69,8 @@
 #include <array>
 #include <optional>
 #include <string>
+
+#include "serving/serving_types.h"
 
 namespace diknn {
 
@@ -110,6 +126,13 @@ struct WorkloadSpec {
 
   int max_inflight = 0;    ///< Admission bound; 0 = unbounded.
   int queue_capacity = 0;  ///< Waiting room at the bound; 0 = reject.
+  bool admit_shed = false; ///< Deadline-aware shedding (admit@shed=1).
+
+  double cache_ttl = 0.0;  ///< Result-cache TTL cap (s); 0 = no cache.
+  int cache_cells = 16;    ///< Cache-grid cells per field axis.
+
+  double coalesce_window = 0.0;  ///< Max leader age (s); 0 = no coalescing.
+  int coalesce_kslack = 0;       ///< Follower k overshoot tolerance.
 
   double window_side = 30.0;       ///< Window/aggregate rect side (m).
   double continuous_period = 1.0;  ///< Continuous refresh period (s).
@@ -121,6 +144,18 @@ struct WorkloadSpec {
 
   /// Sum of the class weights (> 0 for a valid spec).
   double TotalWeight() const;
+
+  /// The serving front-end tunables of this spec (Enabled() is false
+  /// when no cache/coalesce/shed clause was given).
+  ServingParams Serving() const {
+    ServingParams p;
+    p.cache_ttl = cache_ttl;
+    p.cache_cells = cache_cells;
+    p.coalesce_window = coalesce_window;
+    p.coalesce_kslack = coalesce_kslack;
+    p.shed = admit_shed;
+    return p;
+  }
 
   /// Parses the grammar above. Returns std::nullopt on malformed input
   /// and, when `error` is non-null, stores a human-readable reason.

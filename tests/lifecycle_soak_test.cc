@@ -180,6 +180,55 @@ TEST(LifecycleSoakTest, ThousandsOfFaultedQueriesLeaveNoResidue) {
   EXPECT_GT(m.faults_injected, 0u);
 }
 
+// Serving-stack soak: a cached + coalesced workload under the same fault
+// cocktail. Leaders get killed, frozen and timed out mid-itinerary with
+// followers attached; the fan-out path must finalize every follower
+// (issued == completed + missed + rejected + timed_out), the auditor must
+// see zero protocol residue, and the coalescer itself must drain.
+TEST(LifecycleSoakTest, FaultedServedWorkloadBalancesAndLeavesNoResidue) {
+  ExperimentConfig config;
+  config.network.node_count = 120;
+  config.network.field = Rect::Field(90, 90);
+  config.network.loss_rate = 0.1;
+  config.runs = 1;
+  config.duration = 60.0;
+  config.diknn.query_timeout = 1.5;
+  config.drain = 4.0;
+  config.audit_lifecycle = true;
+  std::string error;
+  const auto spec = WorkloadSpec::Parse(
+      "arrival@kind=poisson,rate=12;k@lo=8;"
+      "space@kind=hotspot,n=2,sigma=5,skew=1.2;deadline@s=2;"
+      "admit@inflight=128,queue=32,shed=1;"
+      "cache@ttl=2,cells=3;coalesce@window=3,kslack=6",
+      &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  config.workload = *spec;
+  const auto plan = FaultPlan::Parse(
+      "kill@t=5,count=8;churn@t=10,up=15,down=5;"
+      "ackloss@t=20,dur=5,prob=0.8;drop@t=30,dur=5,prob=0.3;"
+      "dup@t=40,dur=10,prob=0.2;freeze@t=50,node=0,dur=4");
+  ASSERT_TRUE(plan.has_value());
+  config.faults = *plan;
+
+  const RunMetrics m = RunOnce(config, /*seed=*/42);
+  EXPECT_TRUE(m.slo.Consistent())
+      << "issued=" << m.slo.issued << " completed=" << m.slo.completed
+      << " missed=" << m.slo.deadline_missed
+      << " rejected=" << m.slo.rejected << " timed_out=" << m.slo.timed_out;
+  EXPECT_GT(m.slo.issued, 400u);
+  // The serving stages all exercised under faults.
+  EXPECT_GT(m.slo.serving.cache_hits, 0u);
+  EXPECT_GT(m.slo.serving.coalesced, 0u);
+  EXPECT_LE(m.slo.serving.fanned_out, m.slo.serving.coalesced);
+  EXPECT_GT(m.slo.timed_out, 0u);  // Some leaders really died/timed out.
+  // Zero protocol residue and a clean audit despite the fan-out paths.
+  EXPECT_GT(m.lifecycle_checks, 0u);
+  EXPECT_EQ(m.lifecycle_violations, 0u);
+  EXPECT_EQ(m.leaked_entries, 0u);
+  EXPECT_GT(m.faults_injected, 0u);
+}
+
 // Same seed + same fault plan must be bit-identical at any --jobs count:
 // the injector and auditor live entirely inside each run's own stack.
 TEST(LifecycleSoakTest, FaultedRunsAreBitIdenticalAcrossJobs) {

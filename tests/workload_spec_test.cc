@@ -66,6 +66,32 @@ TEST(WorkloadSpecTest, ClosedLoopArrival) {
   EXPECT_DOUBLE_EQ(spec->think_time, 0.25);
 }
 
+TEST(WorkloadSpecTest, ParsesServingClauses) {
+  const auto spec = WorkloadSpec::Parse(
+      "deadline@s=4;admit@inflight=64,queue=16,shed=1;"
+      "cache@ttl=2.5,cells=12;coalesce@window=0.75,kslack=8");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_TRUE(spec->admit_shed);
+  EXPECT_DOUBLE_EQ(spec->cache_ttl, 2.5);
+  EXPECT_EQ(spec->cache_cells, 12);
+  EXPECT_DOUBLE_EQ(spec->coalesce_window, 0.75);
+  EXPECT_EQ(spec->coalesce_kslack, 8);
+  const ServingParams params = spec->Serving();
+  EXPECT_TRUE(params.Enabled());
+  EXPECT_DOUBLE_EQ(params.cache_ttl, 2.5);
+  EXPECT_EQ(params.cache_cells, 12);
+  EXPECT_DOUBLE_EQ(params.coalesce_window, 0.75);
+  EXPECT_EQ(params.coalesce_kslack, 8);
+  EXPECT_TRUE(params.shed);
+}
+
+TEST(WorkloadSpecTest, ServingDisabledByDefault) {
+  const auto spec = WorkloadSpec::Parse("deadline@s=2;admit@inflight=8");
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_FALSE(spec->admit_shed);
+  EXPECT_FALSE(spec->Serving().Enabled());
+}
+
 TEST(WorkloadSpecTest, RoundTripsThroughToSpec) {
   const char* specs[] = {
       "",
@@ -76,6 +102,11 @@ TEST(WorkloadSpecTest, RoundTripsThroughToSpec) {
       "queue=16",
       "mix@knnb=1,continuous=2,aggregate=0.5;window@side=18;"
       "continuous@period=0.4,rounds=2",
+      "deadline@s=4;admit@inflight=64,queue=16,shed=1;cache@ttl=2,cells=8;"
+      "coalesce@window=0.5,kslack=4",
+      "cache@ttl=1.5,cells=20",
+      "coalesce@window=2,kslack=0",
+      "admit@shed=1",
   };
   for (const char* s : specs) {
     std::string error;

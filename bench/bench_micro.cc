@@ -1,13 +1,35 @@
 // Microbenchmarks (google-benchmark) for the library's hot paths:
 // KNNB estimation, itinerary geometry, Gabriel planarization, R-tree
-// operations, the discrete-event queue, and ground-truth KNN scans.
+// operations, the discrete-event queue, flat-map churn, the frame pool,
+// and ground-truth KNN scans.
+//
+// Before the benchmark loop runs, main() executes the steady-state
+// allocation gate: two identically-seeded DIKNN simulations whose
+// allocation counters are reset at the midpoint of each run. The gate
+// asserts (a) the packet plane performs zero transient allocations per
+// frame once warm (net counter), and (b) the per-query KNN churn is
+// amortized-flat — a second run on warm thread-local pools never
+// allocates more than the first (knn counter). Counter semantics
+// (capacity vs transient attribution) are documented in
+// docs/PACKET_PLANE.md. DIKNN_MICRO_SMOKE=1 shrinks the benchmark loop
+// to a seconds-long CI pass; the gate always runs at full strength.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
 #include "baselines/rtree.h"
+#include "core/flat_map.h"
 #include "core/rng.h"
+#include "harness/experiment.h"
 #include "knn/itinerary.h"
 #include "knn/knnb.h"
+#include "net/packet_pool.h"
 #include "routing/planarize.h"
 #include "sim/simulator.h"
 
@@ -132,7 +154,180 @@ void BM_LuneArea(benchmark::State& state) {
 }
 BENCHMARK(BM_LuneArea);
 
+// Per-query container churn: the insert/find/erase cycle every query's
+// dedup set and collection window performs, on a table that has reached
+// its steady-state capacity. Compare against the node-based standard
+// container it replaced.
+void BM_FlatMapChurn(benchmark::State& state) {
+  FlatMap<uint64_t, int> map;
+  const uint64_t window = static_cast<uint64_t>(state.range(0));
+  uint64_t next = 0;
+  // Warm to steady-state occupancy so the loop measures reuse, not growth.
+  for (; next < window; ++next) map.InsertOrAssign(next, static_cast<int>(next));
+  for (auto _ : state) {
+    map.InsertOrAssign(next, static_cast<int>(next));
+    benchmark::DoNotOptimize(map.find(next - window / 2));
+    map.erase(next - window);
+    ++next;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlatMapChurn)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_StdUnorderedChurn(benchmark::State& state) {
+  std::unordered_map<uint64_t, int> map;
+  const uint64_t window = static_cast<uint64_t>(state.range(0));
+  uint64_t next = 0;
+  for (; next < window; ++next) map[next] = static_cast<int>(next);
+  for (auto _ : state) {
+    map[next] = static_cast<int>(next);
+    benchmark::DoNotOptimize(map.find(next - window / 2));
+    map.erase(next - window);
+    ++next;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StdUnorderedChurn)->Arg(16)->Arg(256)->Arg(4096);
+
+// Frame-pool hot path: the acquire/release cycle the channel performs
+// once per transmitted frame, with a bounded set of frames in flight.
+// After the first lap the slab never grows, so the loop is
+// allocation-free.
+struct PooledFrame {
+  std::vector<uint64_t> flags;
+  void Reuse() { flags.clear(); }
+};
+
+void BM_FramePoolCycle(benchmark::State& state) {
+  FramePool<PooledFrame> pool;
+  const size_t live = static_cast<size_t>(state.range(0));
+  std::vector<FramePool<PooledFrame>::Handle> held;
+  held.reserve(live);
+  for (auto _ : state) {
+    held.push_back(pool.Acquire());
+    if (held.size() == live) {
+      for (const auto h : held) pool.Release(h);
+      held.clear();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FramePoolCycle)->Arg(8)->Arg(64);
+
+// ---------------------------------------------------------------------------
+// Steady-state allocation gate (runs before the benchmark loop).
+
+struct GateWindow {
+  uint64_t net_allocs = 0;   ///< Transient packet-plane allocations.
+  uint64_t knn_allocs = 0;   ///< Transient per-query protocol allocations.
+  uint64_t frames = 0;       ///< Frames sent in the measured half.
+  int completions = 0;
+};
+
+// One seeded DIKNN run; both counters are reset at the midpoint so only
+// the steady-state (post-warm-up, post-capacity-growth) half is measured.
+GateWindow RunGateOnce(uint64_t seed) {
+  ExperimentConfig config;
+  config.network.node_count = 150;
+  config.network.field = Rect::Field(100, 100);
+  config.k = 20;
+  config.duration = 20.0;
+  config.query_interval_mean = 0.5;
+
+  ProtocolStack stack(config, seed);
+  Network& net = stack.network();
+  net.Warmup(config.warmup);
+
+  Rng rng(seed);
+  GateWindow w;
+  const SimTime deadline = net.sim().Now() + config.duration;
+  std::function<void()> issue_next = [&]() {
+    const SimTime next =
+        net.sim().Now() + rng.Exponential(config.query_interval_mean);
+    if (next >= deadline) return;
+    net.sim().ScheduleAt(next, [&]() {
+      const Point q = rng.PointInRect(config.network.field);
+      stack.protocol().IssueQuery(0, q, config.k,
+                                  [&](const KnnResult&) { ++w.completions; });
+      issue_next();
+    });
+  };
+  issue_next();
+
+  uint64_t frames_baseline = 0;
+  net.sim().ScheduleAt(net.sim().Now() + config.duration * 0.5, [&]() {
+    net.channel().net_allocs().Reset();
+    stack.protocol().ResetAllocCounters();
+    frames_baseline = net.channel().stats().frames_sent;
+  });
+  net.sim().RunUntil(deadline + config.drain);
+
+  w.net_allocs = net.channel().net_allocs().allocations;
+  w.knn_allocs = stack.protocol().alloc_counters().allocations;
+  w.frames = net.channel().stats().frames_sent - frames_baseline;
+  return w;
+}
+
+// Returns 0 on pass. The two runs share one process, so the second run's
+// thread-local pools start warm: its knn churn must not exceed the first
+// run's (amortized-flat), and the net counter must be exactly zero in
+// both (transient-free per frame).
+int RunAllocationGate() {
+  std::printf("allocation gate: two midpoint-reset DIKNN runs...\n");
+  const GateWindow first = RunGateOnce(42);
+  const GateWindow second = RunGateOnce(42);
+  std::printf(
+      "  run1: net=%llu knn=%llu frames=%llu completions=%d\n"
+      "  run2: net=%llu knn=%llu frames=%llu completions=%d\n",
+      static_cast<unsigned long long>(first.net_allocs),
+      static_cast<unsigned long long>(first.knn_allocs),
+      static_cast<unsigned long long>(first.frames), first.completions,
+      static_cast<unsigned long long>(second.net_allocs),
+      static_cast<unsigned long long>(second.knn_allocs),
+      static_cast<unsigned long long>(second.frames), second.completions);
+  int failures = 0;
+  if (first.frames < 1000 || first.completions < 5) {
+    std::fprintf(stderr,
+                 "allocation gate: scenario too quiet to be meaningful\n");
+    ++failures;
+  }
+  if (first.net_allocs != 0 || second.net_allocs != 0) {
+    std::fprintf(stderr,
+                 "allocation gate FAILED: packet plane made transient "
+                 "allocations in steady state (want 0 per frame)\n");
+    ++failures;
+  }
+  if (second.knn_allocs > first.knn_allocs) {
+    std::fprintf(stderr,
+                 "allocation gate FAILED: knn churn grew on warm pools "
+                 "(%llu -> %llu); per-query allocations are not "
+                 "amortized-flat\n",
+                 static_cast<unsigned long long>(first.knn_allocs),
+                 static_cast<unsigned long long>(second.knn_allocs));
+    ++failures;
+  }
+  if (failures == 0) std::printf("allocation gate: PASS\n");
+  return failures;
+}
+
 }  // namespace
 }  // namespace diknn
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  if (diknn::RunAllocationGate() != 0) return 1;
+
+  // DIKNN_MICRO_SMOKE=1: keep the benchmark loop to a seconds-long pass
+  // (the gate above is the check; the numbers are not meaningful).
+  std::vector<char*> args(argv, argv + argc);
+  std::string smoke_min_time = "--benchmark_min_time=0.01";
+  const char* smoke = std::getenv("DIKNN_MICRO_SMOKE");
+  if (smoke != nullptr && smoke[0] == '1') {
+    args.push_back(smoke_min_time.data());
+  }
+  int count = static_cast<int>(args.size());
+  benchmark::Initialize(&count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(count, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

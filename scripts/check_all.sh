@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # The whole pre-merge gauntlet in one command: release build + full test
 # suite, the ASan/UBSan and TSan presets, smoke passes of the workload,
-# event-engine, and observability benches (seconds-long
-# DIKNN_WORKLOAD_SMOKE / DIKNN_ENGINE_SMOKE / DIKNN_OBS_SMOKE runs, so
-# the bench binaries themselves are exercised; DIKNN_CHECK_BENCH=0 skips
-# them), and a traced-query run whose Chrome-trace and metrics JSON are
-# validated with python3 -m json.tool.
+# event-engine, observability, and micro benches (seconds-long
+# DIKNN_WORKLOAD_SMOKE / DIKNN_ENGINE_SMOKE / DIKNN_OBS_SMOKE /
+# DIKNN_MICRO_SMOKE runs, so the bench binaries themselves are exercised;
+# bench_micro's steady-state allocation gate runs at full strength even
+# in smoke mode; DIKNN_CHECK_BENCH=0 skips them), and a traced-query run
+# whose Chrome-trace and metrics JSON are validated with python3 — the
+# metrics must report zero steady-state packet-plane allocations
+# (net.allocs == 0, net.alloc_per_frame == 0; see docs/PACKET_PLANE.md).
 #
 # Usage: scripts/check_all.sh
 set -euo pipefail
@@ -30,6 +33,8 @@ if [[ "${DIKNN_CHECK_BENCH:-1}" != "0" ]]; then
   DIKNN_ENGINE_SMOKE=1 ./build/bench/bench_engine
   echo "== bench_obs smoke =="
   DIKNN_OBS_SMOKE=1 ./build/bench/bench_obs
+  echo "== bench_micro smoke (allocation gate) =="
+  DIKNN_MICRO_SMOKE=1 ./build/bench/bench_micro
 fi
 
 echo "== traced-query smoke =="
@@ -39,8 +44,17 @@ trap 'rm -rf "$obs_dir"' EXIT
   --trace-out "$obs_dir/trace.json" --metrics-out "$obs_dir/metrics.json"
 if command -v python3 >/dev/null; then
   python3 -m json.tool "$obs_dir/trace.json" >/dev/null
-  python3 -m json.tool "$obs_dir/metrics.json" >/dev/null
-  echo "trace + metrics JSON well-formed"
+  python3 - "$obs_dir/metrics.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+allocs = doc["counters"].get("net.allocs")
+per_frame = doc["gauges"].get("net.alloc_per_frame")
+if allocs != 0 or per_frame != 0:
+    raise SystemExit("allocation gate: expected net.allocs == 0 and "
+                     f"net.alloc_per_frame == 0, got {allocs} / {per_frame}")
+print("trace + metrics JSON well-formed; net.allocs == 0")
+PY
 else
   echo "python3 not found; skipping JSON validation"
 fi

@@ -110,6 +110,7 @@ void FillEngineCounters(const Simulator& sim, RunMetrics* metrics) {
 void PublishObsMetrics(Network& net, const GpsrRouting& gpsr,
                        const Diknn* diknn, const Tracer* tracer,
                        const std::vector<double>& latencies,
+                       uint64_t steady_frames_baseline,
                        RunMetrics* metrics) {
   MetricsRegistry reg;
 
@@ -198,6 +199,32 @@ void PublishObsMetrics(Network& net, const GpsrRouting& gpsr,
   reg.PublishCounter("serving.shed", sc.shed);
   reg.PublishCounter("serving.shed_probes", sc.shed_probes);
 
+  // Allocation-free packet plane gate (docs/PACKET_PLANE.md). The net
+  // counter is reset at the midpoint of the measured window — after
+  // pools, per-query containers and MAC queues reached their high-water
+  // capacity — so what it holds here is the steady state and must be
+  // exactly zero. The knn-side counters are deliberately NOT published:
+  // they include growth of recycled payload buffers, which depends on
+  // thread-local pool warmth carried across runs in one process and would
+  // break bit-identity across --jobs; bench_micro asserts the knn gate
+  // (amortized-flat) in-process instead.
+  const AllocCounters& na = net.channel().net_allocs();
+  const uint64_t steady_frames =
+      ch.frames_sent - std::min(ch.frames_sent, steady_frames_baseline);
+  reg.PublishCounter("net.allocs", na.allocations);
+  reg.PublishCounter("net.alloc_bytes", na.bytes);
+  reg.PublishCounter("net.frames", steady_frames);
+  reg.PublishGauge("net.alloc_per_frame",
+                   steady_frames > 0
+                       ? static_cast<double>(na.allocations) /
+                             static_cast<double>(steady_frames)
+                       : static_cast<double>(na.allocations));
+  const MessagePoolStats& fp = net.channel().frame_pool_stats();
+  reg.PublishCounter("pool.frame_fresh", fp.fresh_allocations);
+  reg.PublishCounter("pool.frame_reuses", fp.reuses);
+  reg.PublishGauge("pool.frames_live",
+                   static_cast<double>(net.channel().frames_in_flight()));
+
   const TracerStats ts = tracer != nullptr ? tracer->stats() : TracerStats{};
   reg.PublishCounter("tracer.queries_seen", ts.queries_seen);
   reg.PublishCounter("tracer.queries_sampled", ts.queries_sampled);
@@ -266,6 +293,24 @@ RunMetrics RunOnce(const ExperimentConfig& config, uint64_t seed,
 
   RunMetrics metrics;
 
+  // Steady-state mark for the allocation gate: halfway through the
+  // measured window reset the subsystem counters and remember how many
+  // frames the air had carried, so net.alloc_per_frame measures only the
+  // warmed-up regime. The event touches nothing the simulation reads, so
+  // it cannot perturb determinism.
+  auto steady_frames_baseline = std::make_shared<uint64_t>(0);
+  {
+    Network* net_ptr = &net;
+    KnnProtocol* protocol_ptr = &protocol;
+    auto baseline = steady_frames_baseline;
+    sim.ScheduleAt(sim.Now() + config.duration * 0.5,
+                   [net_ptr, protocol_ptr, baseline]() {
+                     net_ptr->channel().net_allocs().Reset();
+                     protocol_ptr->ResetAllocCounters();
+                     *baseline = net_ptr->channel().stats().frames_sent;
+                   });
+  }
+
   // Workload-spec path: hand the run to the QueryDriver (concurrent
   // queries, mixed classes, deadlines, admission control) and score an
   // SloReport. Shares the paper path's derived seed so a knn-only spec
@@ -321,8 +366,9 @@ RunMetrics RunOnce(const ExperimentConfig& config, uint64_t seed,
         resolved.push_back(r.latency);
       }
     }
-    PublishObsMetrics(net, stack.gpsr(), stack.diknn(), tracer.get(),
-                      resolved, &metrics);
+    PublishObsMetrics(net, stack.gpsr(), stack.diknn(),
+                      tracer.get(), resolved, *steady_frames_baseline,
+                      &metrics);
     if (trace_out != nullptr && tracer != nullptr) {
       *trace_out = tracer->Snapshot();
     }
@@ -423,8 +469,9 @@ RunMetrics RunOnce(const ExperimentConfig& config, uint64_t seed,
   for (const QueryRecord& r : *records) {
     if (!r.timed_out) resolved.push_back(r.latency);
   }
-  PublishObsMetrics(net, stack.gpsr(), stack.diknn(), tracer.get(),
-                    resolved, &metrics);
+  PublishObsMetrics(net, stack.gpsr(), stack.diknn(),
+                    tracer.get(), resolved, *steady_frames_baseline,
+                    &metrics);
   if (trace_out != nullptr && tracer != nullptr) {
     *trace_out = tracer->Snapshot();
   }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "knn/itinerary.h"
+#include "net/packet_pool.h"
 
 namespace diknn {
 
@@ -26,28 +27,50 @@ double ItineraryAggregateQuery::EffectiveWidth() const {
              : DefaultItineraryWidth(network_->config().radio_range_m);
 }
 
+FlatSet<NodeId>& ItineraryAggregateQuery::RepliedFor(uint64_t query_id) {
+  auto [kv, inserted] = replied_.TryEmplace(query_id);
+  if (inserted && !replied_freelist_.empty()) {
+    kv->second = std::move(replied_freelist_.back());
+    replied_freelist_.pop_back();
+  }
+  return kv->second;
+}
+
+void ItineraryAggregateQuery::RecycleReplied(uint64_t query_id) {
+  FlatSet<NodeId>* replied = replied_.find(query_id);
+  if (replied == nullptr) return;
+  replied->clear();
+  replied_freelist_.push_back(std::move(*replied));
+  replied_.erase(query_id);
+}
+
 void ItineraryAggregateQuery::Install() {
   gpsr_->RegisterDelivery(
       MessageType::kAggQuery,
       [this](Node* node, const GeoRoutedMessage& msg) {
+        AllocScope scope(&knn_allocs_);
         OnEntryArrival(node, msg);
       });
   gpsr_->RegisterDelivery(
       MessageType::kAggResult,
       [this](Node* node, const GeoRoutedMessage& msg) {
+        AllocScope scope(&knn_allocs_);
         OnResult(node, msg);
       });
   for (Node* node : network_->AllNodes()) {
     node->RegisterHandler(
         MessageType::kAggProbe, [this, node](const Packet& p) {
+          AllocScope scope(&knn_allocs_);
           OnProbe(node, *static_cast<const ProbeMessage*>(p.payload.get()));
         });
     node->RegisterHandler(
         MessageType::kAggReply, [this, node](const Packet& p) {
+          AllocScope scope(&knn_allocs_);
           OnReply(node, *static_cast<const ReplyMessage*>(p.payload.get()));
         });
     node->RegisterHandler(
         MessageType::kAggForward, [this, node](const Packet& p) {
+          AllocScope scope(&knn_allocs_);
           StartQNode(node,
                      static_cast<const ForwardMessage*>(p.payload.get())
                          ->state);
@@ -57,6 +80,7 @@ void ItineraryAggregateQuery::Install() {
 
 void ItineraryAggregateQuery::IssueQuery(NodeId sink, const Rect& region,
                                          AggregateResultHandler handler) {
+  AllocScope scope(&knn_allocs_);
   Node* sink_node = network_->node(sink);
   QueryDescriptor query;
   query.id = next_query_id_++;
@@ -78,10 +102,10 @@ void ItineraryAggregateQuery::IssueQuery(NodeId sink, const Rect& region,
   const uint64_t id = query.id;
   pending.timeout_event = network_->sim().ScheduleAfter(
       timeout, [this, id]() { CompleteQuery(id, true); });
-  pending_.emplace(id, std::move(pending));
+  pending_.TryEmplace(id, std::move(pending));
   ++stats_.queries_issued;
 
-  auto bootstrap = std::make_shared<QueryBootstrap>();
+  auto bootstrap = MessagePool::Make<QueryBootstrap>();
   bootstrap->query = query;
   gpsr_->Send(sink_node, path.PointAt(0.0), MessageType::kAggQuery,
               std::move(bootstrap), kBootstrapBytes,
@@ -105,24 +129,24 @@ void ItineraryAggregateQuery::StartQNode(Node* node, SweepState state) {
     return;
   }
   {
-    auto [it, inserted] =
-        last_hop_seen_.try_emplace(state.query.id, state.hop_count);
+    auto [kv, inserted] =
+        last_hop_seen_.TryEmplace(state.query.id, state.hop_count);
     if (!inserted) {
-      if (state.hop_count <= it->second) return;
-      it->second = state.hop_count;
+      if (state.hop_count <= kv->second) return;
+      kv->second = state.hop_count;
     }
   }
   ++stats_.qnode_hops;
 
   const SimTime now = network_->sim().Now();
   int expected = 0;
-  for (const NeighborEntry& n : node->neighbors().Snapshot(now)) {
+  node->neighbors().ForEachFresh(now, [&](const NeighborEntry& n) {
     if (state.query.region.Contains(n.position)) ++expected;
-  }
+  });
   const double window_s =
       params_.time_unit * std::clamp(expected / 2 + 1, 3, 20);
 
-  auto probe = std::make_shared<ProbeMessage>();
+  auto probe = MessagePool::Make<ProbeMessage>();
   probe->query_id = state.query.id;
   probe->region = state.query.region;
   probe->qnode_position = node->Position();
@@ -130,20 +154,20 @@ void ItineraryAggregateQuery::StartQNode(Node* node, SweepState state) {
       AngleOf(node->Position(), state.query.region.Center());
   probe->collect_window = window_s;
 
+  const uint64_t id = state.query.id;
   Collection collection;
   collection.state = std::move(state);
   collection.qnode = node->id();
-  const uint64_t id = collection.state.query.id;
   // A deeper fork supersedes an open collection; cancel the superseded
   // finish timer so it cannot close the new collection early.
-  if (auto old = collections_.find(id); old != collections_.end()) {
-    network_->sim().Cancel(old->second.finish_event);
+  if (Collection* old = collections_.find(id)) {
+    network_->sim().Cancel(old->finish_event);
   }
-  auto [cit, unused] = collections_.insert_or_assign(id, std::move(collection));
+  collections_.InsertOrAssign(id, std::move(collection));
 
   node->SendBroadcast(MessageType::kAggProbe, std::move(probe),
                       kProbeBytes, EnergyCategory::kQuery);
-  cit->second.finish_event = network_->sim().ScheduleAfter(
+  collections_.find(id)->finish_event = network_->sim().ScheduleAfter(
       window_s + 5.0 * params_.time_unit,
       [this, id]() { FinishCollection(id); });
 }
@@ -156,7 +180,7 @@ void ItineraryAggregateQuery::OnProbe(Node* node,
     return;
   }
   if (!probe.region.Contains(node->Position())) return;
-  auto& replied = replied_[probe.query_id];
+  FlatSet<NodeId>& replied = RepliedFor(probe.query_id);
   if (replied.contains(node->id())) return;
   replied.insert(node->id());
 
@@ -165,25 +189,25 @@ void ItineraryAggregateQuery::OnProbe(Node* node,
       probe.reference_angle);
   const double delay = (alpha / kTwoPi) * probe.collect_window;
   const uint64_t query_id = probe.query_id;
-  // The un-mark paths below must not use operator[]: after the query
-  // completes and its replied_ entry is torn down, indexing would
-  // resurrect it as permanent residue.
+  // The un-mark paths below must not use RepliedFor: after the query
+  // completes and its replied_ entry is torn down, re-creating it would
+  // leave permanent residue.
   const auto unmark = [this](uint64_t qid, NodeId nid) {
-    auto rit = replied_.find(qid);
-    if (rit != replied_.end()) rit->second.erase(nid);
+    if (FlatSet<NodeId>* r = replied_.find(qid)) r->erase(nid);
   };
   network_->sim().ScheduleAfter(delay, [this, node, query_id, unmark]() {
+    AllocScope scope(&knn_allocs_);
     if (!node->alive()) return;
-    auto it = collections_.find(query_id);
-    if (it == collections_.end()) {
+    Collection* collection = collections_.find(query_id);
+    if (collection == nullptr) {
       unmark(query_id, node->id());
       return;
     }
-    auto reply = std::make_shared<ReplyMessage>();
+    auto reply = MessagePool::Make<ReplyMessage>();
     reply->query_id = query_id;
     reply->sample =
         field_->Sample(node->Position(), network_->sim().Now());
-    node->SendUnicast(it->second.qnode, MessageType::kAggReply,
+    node->SendUnicast(collection->qnode, MessageType::kAggReply,
                       std::move(reply), kSampleBytes,
                       EnergyCategory::kQuery,
                       [query_id, node, unmark](bool ok) {
@@ -195,16 +219,17 @@ void ItineraryAggregateQuery::OnProbe(Node* node,
 
 void ItineraryAggregateQuery::OnReply(Node* node,
                                       const ReplyMessage& reply) {
-  auto it = collections_.find(reply.query_id);
-  if (it == collections_.end() || it->second.qnode != node->id()) return;
-  it->second.replies.Fold(reply.sample);
+  Collection* collection = collections_.find(reply.query_id);
+  if (collection == nullptr || collection->qnode != node->id()) return;
+  collection->replies.Fold(reply.sample);
 }
 
 void ItineraryAggregateQuery::FinishCollection(uint64_t query_id) {
-  auto it = collections_.find(query_id);
-  if (it == collections_.end()) return;
-  Collection collection = std::move(it->second);
-  collections_.erase(it);
+  AllocScope scope(&knn_allocs_);
+  Collection* found = collections_.find(query_id);
+  if (found == nullptr) return;
+  Collection collection = std::move(*found);
+  collections_.erase(query_id);
   if (!QueryActive(query_id)) {
     ++stats_.stale_drops;
     return;
@@ -215,7 +240,7 @@ void ItineraryAggregateQuery::FinishCollection(uint64_t query_id) {
   state.aggregate.Merge(collection.replies);
   if (!node->is_infrastructure() &&
       state.query.region.Contains(node->Position()) &&
-      replied_[query_id].insert(node->id()).second) {
+      RepliedFor(query_id).insert(node->id())) {
     state.aggregate.Fold(
         field_->Sample(node->Position(), network_->sim().Now()));
   }
@@ -243,19 +268,18 @@ void ItineraryAggregateQuery::ForwardAlongSweep(Node* node,
       return;
     }
     const Point anchor = path.PointAt(next_s);
-    const auto neighbors = node->neighbors().Snapshot(now);
-    const NeighborEntry* next_qnode = nullptr;
+    NodeId next_id = kInvalidNodeId;
     double best_d = Distance(node->Position(), anchor);
     const double tolerance = EffectiveWidth() / 2.0;
-    for (const NeighborEntry& n : neighbors) {
+    node->neighbors().ForEachFresh(now, [&](const NeighborEntry& n) {
       const double d = Distance(n.position, anchor);
       if ((d < best_d || d <= tolerance) &&
-          (next_qnode == nullptr || d < best_d)) {
+          (next_id == kInvalidNodeId || d < best_d)) {
         best_d = d;
-        next_qnode = &n;
+        next_id = n.id;
       }
-    }
-    if (next_qnode == nullptr) {
+    });
+    if (next_id == kInvalidNodeId) {
       ++stats_.voids;
       if (++skips > params_.max_void_skips) {
         FinishSweep(node, std::move(state));
@@ -265,32 +289,36 @@ void ItineraryAggregateQuery::ForwardAlongSweep(Node* node,
       continue;
     }
 
-    SweepState retry_state = state;
+    // The pre-advance retry copy rides a pooled envelope: SweepState is
+    // ~112 bytes, far past the inline-callback budget, so capturing it
+    // by value would heap-allocate on every hop.
+    auto retry = MessagePool::Make<ForwardMessage>();
+    retry->state = state;
     state.progress = next_s;
     ++state.hop_count;
-    auto fwd = std::make_shared<ForwardMessage>();
+    auto fwd = MessagePool::Make<ForwardMessage>();
     fwd->state = std::move(state);
     const size_t bytes = fwd->state.WireBytes();
-    const NodeId next_id = next_qnode->id;
     node->SendUnicast(next_id, MessageType::kAggForward, std::move(fwd),
                       bytes, EnergyCategory::kQuery,
-                      [this, node, next_id, retry_state](bool ok) mutable {
+                      [this, node, next_id, retry](bool ok) mutable {
                         if (ok) return;
-                        auto it =
-                            last_hop_seen_.find(retry_state.query.id);
-                        if (it != last_hop_seen_.end() &&
-                            it->second > retry_state.hop_count) {
+                        AllocScope scope(&knn_allocs_);
+                        const int* last =
+                            last_hop_seen_.find(retry->state.query.id);
+                        if (last != nullptr &&
+                            *last > retry->state.hop_count) {
                           return;
                         }
                         node->neighbors().Remove(next_id);
-                        ForwardAlongSweep(node, std::move(retry_state));
+                        ForwardAlongSweep(node, std::move(retry->state));
                       });
     return;
   }
 }
 
 void ItineraryAggregateQuery::FinishSweep(Node* node, SweepState state) {
-  auto result = std::make_shared<ResultMessage>();
+  auto result = MessagePool::Make<ResultMessage>();
   result->query_id = state.query.id;
   result->value = state.aggregate;
   gpsr_->Send(node, state.query.sink_position, MessageType::kAggResult,
@@ -301,9 +329,9 @@ void ItineraryAggregateQuery::FinishSweep(Node* node, SweepState state) {
 void ItineraryAggregateQuery::OnResult(Node* node,
                                        const GeoRoutedMessage& msg) {
   const auto* result = static_cast<const ResultMessage*>(msg.inner.get());
-  auto it = pending_.find(result->query_id);
-  if (it == pending_.end()) return;
-  PendingQuery& pending = it->second;
+  PendingQuery* found = pending_.find(result->query_id);
+  if (found == nullptr) return;
+  PendingQuery& pending = *found;
   if (node->id() != pending.query.sink || pending.completed) return;
 
   pending.completed = true;
@@ -317,27 +345,27 @@ void ItineraryAggregateQuery::OnResult(Node* node,
   out.completed_at = network_->sim().Now();
 
   AggregateResultHandler handler = std::move(pending.handler);
-  pending_.erase(it);
+  pending_.erase(result->query_id);
   TeardownQueryState(result->query_id);
   if (handler) handler(out);
 }
 
 void ItineraryAggregateQuery::TeardownQueryState(uint64_t query_id) {
-  replied_.erase(query_id);
+  RecycleReplied(query_id);
   last_hop_seen_.erase(query_id);
-  auto cit = collections_.find(query_id);
-  if (cit != collections_.end()) {
-    network_->sim().Cancel(cit->second.finish_event);
-    collections_.erase(cit);
+  if (Collection* open = collections_.find(query_id)) {
+    network_->sim().Cancel(open->finish_event);
+    collections_.erase(query_id);
     ++stats_.collections_cancelled;
   }
 }
 
 void ItineraryAggregateQuery::CompleteQuery(uint64_t query_id,
                                             bool timed_out) {
-  auto it = pending_.find(query_id);
-  if (it == pending_.end() || it->second.completed) return;
-  PendingQuery& pending = it->second;
+  AllocScope scope(&knn_allocs_);
+  PendingQuery* found = pending_.find(query_id);
+  if (found == nullptr || found->completed) return;
+  PendingQuery& pending = *found;
   pending.completed = true;
   if (timed_out) ++stats_.timeouts;
 
@@ -348,7 +376,7 @@ void ItineraryAggregateQuery::CompleteQuery(uint64_t query_id,
   out.timed_out = timed_out;
 
   AggregateResultHandler handler = std::move(pending.handler);
-  pending_.erase(it);
+  pending_.erase(query_id);
   TeardownQueryState(query_id);
   if (handler) handler(out);
 }

@@ -8,6 +8,10 @@
 // tiny no matter how many nodes contribute — the fusion advantage this
 // module exists to demonstrate next to the collect-everything window
 // query.
+//
+// Allocation discipline mirrors DIKNN (docs/PACKET_PLANE.md). Every
+// payload here is flat, so pooled size-class messages suffice; only the
+// per-query replied sets need freelist recycling.
 
 #ifndef DIKNN_KNN_AGGREGATE_H_
 #define DIKNN_KNN_AGGREGATE_H_
@@ -15,9 +19,11 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
-#include <unordered_map>
-#include <unordered_set>
+#include <memory>
+#include <vector>
 
+#include "core/alloc_probe.h"
+#include "core/flat_map.h"
 #include "knn/window.h"
 #include "net/network.h"
 #include "net/sensor_field.h"
@@ -88,6 +94,10 @@ class ItineraryAggregateQuery {
     return pending_.size() + collections_.size() + replied_.size() +
            last_hop_seen_.size();
   }
+
+  /// Heap allocations attributed to the protocol's handlers and events.
+  const AllocCounters& alloc_counters() const { return knn_allocs_; }
+  void ResetAllocCounters() { knn_allocs_.Reset(); }
 
  private:
   struct QueryDescriptor {
@@ -167,6 +177,10 @@ class ItineraryAggregateQuery {
   void TeardownQueryState(uint64_t query_id);
   void CompleteQuery(uint64_t query_id, bool timed_out);
 
+  // Freelist-backed per-query containers (see diknn.h for the rationale).
+  FlatSet<NodeId>& RepliedFor(uint64_t query_id);
+  void RecycleReplied(uint64_t query_id);
+
   Network* network_;
   GpsrRouting* gpsr_;
   SensorField* field_;
@@ -174,10 +188,13 @@ class ItineraryAggregateQuery {
   WindowQueryStats stats_;
 
   uint64_t next_query_id_ = 1;
-  std::unordered_map<uint64_t, PendingQuery> pending_;
-  std::unordered_map<uint64_t, Collection> collections_;
-  std::unordered_map<uint64_t, std::unordered_set<NodeId>> replied_;
-  std::unordered_map<uint64_t, int> last_hop_seen_;
+  FlatMap<uint64_t, PendingQuery> pending_;
+  FlatMap<uint64_t, Collection> collections_;
+  FlatMap<uint64_t, FlatSet<NodeId>> replied_;
+  FlatMap<uint64_t, int> last_hop_seen_;
+
+  std::vector<FlatSet<NodeId>> replied_freelist_;
+  AllocCounters knn_allocs_;
 };
 
 }  // namespace diknn

@@ -18,7 +18,7 @@ uint64_t ContinuousKnn::Subscribe(NodeId sink, Point q, int k,
   sub.period = period;
   sub.rounds_left = rounds > 0 ? rounds : -1;
   sub.handler = std::move(handler);
-  subscriptions_.emplace(id, std::move(sub));
+  subscriptions_.TryEmplace(id, std::move(sub));
   IssueRound(id);
   return id;
 }
@@ -28,28 +28,28 @@ void ContinuousKnn::Cancel(uint64_t subscription_id) {
 }
 
 void ContinuousKnn::IssueRound(uint64_t id) {
-  auto it = subscriptions_.find(id);
-  if (it == subscriptions_.end()) return;
-  Subscription& sub = it->second;
+  Subscription* found = subscriptions_.find(id);
+  if (found == nullptr) return;
+  Subscription& sub = *found;
 
   protocol_->IssueQuery(
       sub.sink, sub.q, sub.k, [this, id](const KnnResult& result) {
-        auto it = subscriptions_.find(id);
-        if (it == subscriptions_.end()) return;  // Cancelled mid-flight.
-        Subscription& sub = it->second;
+        Subscription* found = subscriptions_.find(id);
+        if (found == nullptr) return;  // Cancelled mid-flight.
+        Subscription& sub = *found;
 
         KnnUpdate update;
         update.subscription_id = id;
         update.round = sub.round++;
         update.result = result;
-        std::unordered_set<NodeId> current;
+        FlatSet<NodeId> current;
         for (NodeId node : result.CandidateIds()) {
           current.insert(node);
           if (!sub.last_ids.contains(node)) update.added.push_back(node);
         }
-        for (NodeId node : sub.last_ids) {
+        sub.last_ids.ForEach([&](NodeId node) {
           if (!current.contains(node)) update.removed.push_back(node);
-        }
+        });
         std::sort(update.added.begin(), update.added.end());
         std::sort(update.removed.begin(), update.removed.end());
         sub.last_ids = std::move(current);
@@ -59,7 +59,7 @@ void ContinuousKnn::IssueRound(uint64_t id) {
         const SimTime period = sub.period;
         bool more = sub.rounds_left < 0 || --sub.rounds_left > 0;
         KnnUpdateHandler handler = sub.handler;
-        if (!more) subscriptions_.erase(it);
+        if (!more) subscriptions_.erase(id);
         if (handler) handler(update);
         if (more && subscriptions_.contains(id)) {
           network_->sim().ScheduleAfter(period,

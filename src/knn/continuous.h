@@ -13,10 +13,9 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "core/flat_map.h"
 #include "knn/query.h"
 #include "net/network.h"
 
@@ -63,7 +62,7 @@ class ContinuousKnn {
     int rounds_left = 0;   ///< Remaining rounds; -1 = unbounded.
     int round = 0;
     KnnUpdateHandler handler;
-    std::unordered_set<NodeId> last_ids;
+    FlatSet<NodeId> last_ids;
   };
 
   void IssueRound(uint64_t id);
@@ -71,7 +70,7 @@ class ContinuousKnn {
   Network* network_;
   KnnProtocol* protocol_;
   uint64_t next_id_ = 1;
-  std::unordered_map<uint64_t, Subscription> subscriptions_;
+  FlatMap<uint64_t, Subscription> subscriptions_;
 };
 
 }  // namespace diknn

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "core/logging.h"
+#include "net/packet_pool.h"
 #include "obs/tracer.h"
 
 namespace diknn {
@@ -60,7 +61,7 @@ double Diknn::MaxBoundaryRadius() const {
   return params_.max_radius_factor * half_diagonal;
 }
 
-Itinerary Diknn::MakeItinerary(const SectorState& state) const {
+Itinerary& Diknn::RebuildItinerary(const SectorState& state) {
   ItineraryParams ip;
   ip.q = state.query.q;
   ip.radius = state.radius;
@@ -68,38 +69,74 @@ Itinerary Diknn::MakeItinerary(const SectorState& state) const {
   ip.num_sectors = params_.num_sectors;
   ip.width = EffectiveWidth();
   ip.extra_rings = state.extra_rings;
-  return Itinerary(ip);
+  itinerary_scratch_.Rebuild(ip);
+  return itinerary_scratch_;
+}
+
+FlatSet<NodeId>& Diknn::RepliedFor(uint64_t query_id) {
+  auto [kv, inserted] = replied_.TryEmplace(query_id);
+  if (inserted && !replied_freelist_.empty()) {
+    // A retired query's dedup set, already cleared: its grown table
+    // makes this query's inserts rehash-free from the start.
+    kv->second = std::move(replied_freelist_.back());
+    replied_freelist_.pop_back();
+  }
+  return kv->second;
+}
+
+void Diknn::RecycleReplied(uint64_t query_id) {
+  FlatSet<NodeId>* replied = replied_.find(query_id);
+  if (replied == nullptr) return;
+  replied->clear();
+  replied_freelist_.push_back(std::move(*replied));
+  replied_.erase(query_id);
+}
+
+void Diknn::RecycleReplies(std::vector<KnnCandidate>* replies) {
+  replies->clear();
+  replies_freelist_.push_back(std::move(*replies));
 }
 
 void Diknn::Install() {
   gpsr_->RegisterDelivery(
       MessageType::kDiknnQuery,
       [this](Node* node, const GeoRoutedMessage& msg) {
+        AllocScope scope(&knn_allocs_);
         OnHomeNodeArrival(node, msg);
       });
   gpsr_->RegisterDelivery(
       MessageType::kDiknnResult,
       [this](Node* node, const GeoRoutedMessage& msg) {
+        AllocScope scope(&knn_allocs_);
         OnSectorResult(node, msg);
       });
 
   for (Node* node : network_->AllNodes()) {
     node->RegisterHandler(
         MessageType::kDiknnProbe, [this, node](const Packet& p) {
+          AllocScope scope(&knn_allocs_);
           OnProbe(node, *static_cast<const ProbeMessage*>(p.payload.get()));
         });
     node->RegisterHandler(
         MessageType::kDiknnDataReply, [this, node](const Packet& p) {
+          AllocScope scope(&knn_allocs_);
           OnReply(node, *static_cast<const ReplyMessage*>(p.payload.get()));
         });
     node->RegisterHandler(
         MessageType::kDiknnForward, [this, node](const Packet& p) {
+          AllocScope scope(&knn_allocs_);
           const auto* fwd =
               static_cast<const ForwardMessage*>(p.payload.get());
-          StartQNode(node, fwd->state);
+          // The received payload is shared and immutable; the traversal
+          // continues in a recycled pool object whose vector capacity
+          // survives from earlier hops.
+          auto copy = MessagePool::MakeReusable<ForwardMessage>();
+          copy->state = fwd->state;
+          StartQNode(node, std::move(copy));
         });
     node->RegisterHandler(
         MessageType::kDiknnRendezvous, [this, node](const Packet& p) {
+          AllocScope scope(&knn_allocs_);
           OnRendezvous(
               node, *static_cast<const RendezvousMessage*>(p.payload.get()));
         });
@@ -107,6 +144,7 @@ void Diknn::Install() {
 }
 
 void Diknn::IssueQuery(NodeId sink, Point q, int k, ResultHandler handler) {
+  AllocScope scope(&knn_allocs_);
   Node* sink_node = network_->node(sink);
   KnnQuery query;
   query.id = next_query_id_++;
@@ -137,10 +175,10 @@ void Diknn::IssueQuery(NodeId sink, Point q, int k, ResultHandler handler) {
   const uint64_t id = query.id;
   pending.timeout_event = network_->sim().ScheduleAfter(
       params_.query_timeout, [this, id]() { CompleteQuery(id, true); });
-  pending_.emplace(id, std::move(pending));
+  pending_.TryEmplace(id, std::move(pending));
   ++stats_.queries_issued;
 
-  auto bootstrap = std::make_shared<QueryBootstrap>();
+  auto bootstrap = MessagePool::Make<QueryBootstrap>();
   bootstrap->query = query;
   gpsr_->Send(sink_node, q, MessageType::kDiknnQuery, std::move(bootstrap),
               kQueryFixedBytes, EnergyCategory::kQuery,
@@ -163,10 +201,10 @@ void Diknn::OnHomeNodeArrival(Node* node, const GeoRoutedMessage& msg) {
 
   TraceContext root_ctx;
   if (tracer_ != nullptr) {
-    auto pit = pending_.find(query.id);
-    if (pit != pending_.end() && pit->second.trace.sampled()) {
-      root_ctx = pit->second.trace;
-      tracer_->EndSpan(root_ctx.trace_id, pit->second.route_span,
+    PendingQuery* pending = pending_.find(query.id);
+    if (pending != nullptr && pending->trace.sampled()) {
+      root_ctx = pending->trace;
+      tracer_->EndSpan(root_ctx.trace_id, pending->route_span,
                        network_->sim().Now());
     }
   }
@@ -187,7 +225,8 @@ void Diknn::OnHomeNodeArrival(Node* node, const GeoRoutedMessage& msg) {
   const SectorPartition sectors(query.q, params_.num_sectors);
   const int home_sector = sectors.SectorOf(node->Position());
   for (int s = 0; s < params_.num_sectors; ++s) {
-    SectorState state;
+    auto fwd = MessagePool::MakeReusable<ForwardMessage>();
+    SectorState& state = fwd->state;
     state.query = query;
     state.sector = s;
     state.radius = knnb.radius;
@@ -206,14 +245,15 @@ void Diknn::OnHomeNodeArrival(Node* node, const GeoRoutedMessage& msg) {
       self.sampled_at = ts;
       state.best.push_back(self);
       state.explored = 1;
-      replied_[query.id].insert(node->id());
+      RepliedFor(query.id).insert(node->id());
     }
     state.sector_explored[s] = state.explored;
-    ForwardAlongItinerary(node, std::move(state));
+    ForwardAlongItinerary(node, std::move(fwd));
   }
 }
 
-void Diknn::StartQNode(Node* node, SectorState state) {
+void Diknn::StartQNode(Node* node, std::shared_ptr<ForwardMessage> fwd) {
+  SectorState& state = fwd->state;
   // A forward that arrives after CompleteQuery tore the query down is a
   // straggler; processing it would re-insert last_hop_seen_ / collection
   // entries that nothing erases anymore.
@@ -224,10 +264,10 @@ void Diknn::StartQNode(Node* node, SectorState state) {
   // Suppress duplicate traversal branches (ACK-loss forks).
   {
     const uint64_t key = CollectionKey(state.query.id, state.sector);
-    auto [it, inserted] = last_hop_seen_.try_emplace(key, state.hop_count);
+    auto [kv, inserted] = last_hop_seen_.TryEmplace(key, state.hop_count);
     if (!inserted) {
-      if (state.hop_count <= it->second) return;
-      it->second = state.hop_count;
+      if (state.hop_count <= kv->second) return;
+      kv->second = state.hop_count;
     }
   }
   ++stats_.qnode_hops;
@@ -254,7 +294,8 @@ void Diknn::StartQNode(Node* node, SectorState state) {
   // boundary, and the nodes out there must answer too.
   const double collect_radius =
       std::max(state.radius,
-               MakeItinerary(state).CoverageRadius() + EffectiveWidth() / 2);
+               RebuildItinerary(state).CoverageRadius() +
+                   EffectiveWidth() / 2);
 
   // Collection scheduling (Section 3.3 + footnote 1). The known
   // in-boundary neighbors form the precedence list, nearest to q first;
@@ -263,14 +304,15 @@ void Diknn::StartQNode(Node* node, SectorState state) {
   // disk overlaps its predecessor's by roughly half at the default step —
   // so the contention budget is about half the neighborhood.
   const SimTime now = network_->sim().Now();
-  std::vector<NeighborEntry> in_boundary;
-  for (const NeighborEntry& n : node->neighbors().Snapshot(now)) {
+  std::vector<NeighborEntry>& in_boundary = in_boundary_scratch_;
+  in_boundary.clear();
+  node->neighbors().ForEachFresh(now, [&](const NeighborEntry& n) {
     if (Distance(n.position, state.query.q) <= collect_radius) {
       in_boundary.push_back(n);
     }
-  }
+  });
   const double m = params_.time_unit;
-  auto probe = std::make_shared<ProbeMessage>();
+  auto probe = MessagePool::MakeReusable<ProbeMessage>();
   double window = 0.0;
   switch (params_.collection_scheme) {
     case CollectionScheme::kContention: {
@@ -319,16 +361,21 @@ void Diknn::StartQNode(Node* node, SectorState state) {
   // An ACK-loss fork can open a second collection for the same sector
   // while a predecessor's window is still pending; cancel the stale
   // window so its finish event cannot close the new collection early.
-  if (auto stale = collections_.find(key); stale != collections_.end()) {
-    network_->sim().Cancel(stale->second.finish_event);
-    collections_.erase(stale);
+  if (Collection* stale = collections_.find(key)) {
+    network_->sim().Cancel(stale->finish_event);
+    RecycleReplies(&stale->replies);
+    collections_.erase(key);
     ++stats_.collections_cancelled;
   }
   Collection collection;
-  collection.state = std::move(state);
+  collection.fwd = std::move(fwd);
   collection.qnode = node->id();
   collection.hop_span = hop_span;
   collection.collection_span = collection_span;
+  if (!replies_freelist_.empty()) {
+    collection.replies = std::move(replies_freelist_.back());
+    replies_freelist_.pop_back();
+  }
 
   const size_t probe_bytes =
       kProbeBytes + probe->precedence.size() * kNodeIdBytes;
@@ -341,7 +388,7 @@ void Diknn::StartQNode(Node* node, SectorState state) {
   const double guard = 5.0 * params_.time_unit;
   collection.finish_event = network_->sim().ScheduleAfter(
       window + guard, [this, key]() { FinishCollection(key); });
-  collections_[key] = std::move(collection);
+  collections_.InsertOrAssign(key, std::move(collection));
 }
 
 void Diknn::OnProbe(Node* node, const ProbeMessage& probe) {
@@ -349,13 +396,13 @@ void Diknn::OnProbe(Node* node, const ProbeMessage& probe) {
   if (node->is_infrastructure()) return;
   if (Distance(node->Position(), probe.q) > probe.radius) return;
   // A probe heard after its query completed must not touch replied_:
-  // operator[] below would resurrect an entry CompleteQuery just erased.
+  // RepliedFor below would resurrect an entry CompleteQuery just erased.
   if (!QueryActive(probe.query_id)) {
     ++stats_.stale_branches_dropped;
     return;
   }
 
-  auto& replied = replied_[probe.query_id];
+  FlatSet<NodeId>& replied = RepliedFor(probe.query_id);
   if (replied.contains(node->id())) return;
   replied.insert(node->id());
 
@@ -391,8 +438,9 @@ void Diknn::OnProbe(Node* node, const ProbeMessage& probe) {
   const TraceContext probe_ctx = probe.trace;
   network_->sim().ScheduleAfter(delay, [this, node, query_id, sector,
                                         probe_ctx]() {
+    AllocScope scope(&knn_allocs_);
     if (!node->alive()) return;
-    auto reply = std::make_shared<ReplyMessage>();
+    auto reply = MessagePool::Make<ReplyMessage>();
     reply->query_id = query_id;
     reply->sector = sector;
     reply->candidate.id = node->id();
@@ -403,23 +451,24 @@ void Diknn::OnProbe(Node* node, const ProbeMessage& probe) {
     // the window already closed (or the unicast fails), un-mark the node
     // so a later probe of the same query can still harvest it. The
     // un-marking uses find(): the query may have completed meanwhile, and
-    // operator[] would re-insert an empty set that nothing ever cleans,
+    // RepliedFor would re-insert an empty set that nothing ever cleans,
     // growing replied_ unboundedly across queries.
-    auto it = collections_.find(CollectionKey(query_id, sector));
-    if (it == collections_.end()) {
-      if (auto r = replied_.find(query_id); r != replied_.end()) {
-        r->second.erase(node->id());
+    Collection* collection = collections_.find(CollectionKey(query_id,
+                                                             sector));
+    if (collection == nullptr) {
+      if (FlatSet<NodeId>* r = replied_.find(query_id)) {
+        r->erase(node->id());
       }
       return;
     }
-    node->SendUnicast(it->second.qnode, MessageType::kDiknnDataReply,
+    node->SendUnicast(collection->qnode, MessageType::kDiknnDataReply,
                       std::move(reply), kQueryResponseBytes,
                       EnergyCategory::kQuery,
                       [this, query_id, node](bool success) {
                         if (success) return;
-                        if (auto r = replied_.find(query_id);
-                            r != replied_.end()) {
-                          r->second.erase(node->id());
+                        AllocScope retry_scope(&knn_allocs_);
+                        if (FlatSet<NodeId>* r = replied_.find(query_id)) {
+                          r->erase(node->id());
                         }
                       },
                       probe_ctx);
@@ -428,13 +477,13 @@ void Diknn::OnProbe(Node* node, const ProbeMessage& probe) {
 }
 
 void Diknn::OnReply(Node* node, const ReplyMessage& reply) {
-  auto it = collections_.find(CollectionKey(reply.query_id, reply.sector));
-  if (it == collections_.end() || it->second.qnode != node->id()) return;
-  it->second.replies.push_back(reply.candidate);
-  const Collection& collection = it->second;
-  if (tracer_ != nullptr && collection.state.trace.sampled()) {
-    tracer_->AddEvent(TraceContext{collection.state.trace.trace_id,
-                                   collection.collection_span},
+  Collection* collection =
+      collections_.find(CollectionKey(reply.query_id, reply.sector));
+  if (collection == nullptr || collection->qnode != node->id()) return;
+  collection->replies.push_back(reply.candidate);
+  if (tracer_ != nullptr && collection->fwd->state.trace.sampled()) {
+    tracer_->AddEvent(TraceContext{collection->fwd->state.trace.trace_id,
+                                   collection->collection_span},
                       TraceEventKind::kReply, network_->sim().Now(),
                       reply.candidate.id);
   }
@@ -447,7 +496,7 @@ void Diknn::OnRendezvous(Node* node, const RendezvousMessage& msg) {
     ++stats_.stale_branches_dropped;
     return;
   }
-  auto& heard = heard_rendezvous_[node->id()];
+  std::vector<HeardRendezvous>& heard = heard_rendezvous_[node->id()];
   const SimTime now = network_->sim().Now();
   // Bound the per-node buffer: drop stale entries (older than any query
   // could still be running).
@@ -458,13 +507,14 @@ void Diknn::OnRendezvous(Node* node, const RendezvousMessage& msg) {
 }
 
 void Diknn::FinishCollection(uint64_t key) {
-  auto it = collections_.find(key);
-  if (it == collections_.end()) return;
-  Collection collection = std::move(it->second);
-  collections_.erase(it);
+  AllocScope scope(&knn_allocs_);
+  Collection* found = collections_.find(key);
+  if (found == nullptr) return;
+  Collection collection = std::move(*found);
+  collections_.erase(key);
 
   Node* node = network_->node(collection.qnode);
-  SectorState& state = collection.state;
+  SectorState& state = collection.fwd->state;
   const KnnQuery& query = state.query;
   const bool traced = tracer_ != nullptr && state.trace.sampled();
   if (traced) {
@@ -474,7 +524,7 @@ void Diknn::FinishCollection(uint64_t key) {
   }
 
   // The Q-node is a sensor too: contribute its own reading once.
-  auto& replied = replied_[query.id];
+  FlatSet<NodeId>& replied = RepliedFor(query.id);
   if (!node->is_infrastructure() && !replied.contains(node->id())) {
     replied.insert(node->id());
     KnnCandidate self;
@@ -493,16 +543,16 @@ void Diknn::FinishCollection(uint64_t key) {
   state.explored += static_cast<int>(collection.replies.size());
   PruneCandidates(&state.best, query.q, query.k);
   state.sector_explored[state.sector] = state.explored;
+  RecycleReplies(&collection.replies);
 
   // Rendezvous and dynamic boundary adjustment (Section 4.3). Heard
   // statistics merge at every Q-node; the broadcast itself happens at
   // ring transitions (where adjacent sectors' adj-segments meet).
-  const Itinerary itinerary = MakeItinerary(state);
-  const int ring = itinerary.RingAt(state.progress);
+  const int ring = RebuildItinerary(state).RingAt(state.progress);
   if (params_.rendezvous) {
     if (ring != state.last_rendezvous_ring) {
       state.last_rendezvous_ring = ring;
-      auto rendezvous = std::make_shared<RendezvousMessage>();
+      auto rendezvous = MessagePool::Make<RendezvousMessage>();
       rendezvous->query_id = query.id;
       rendezvous->sector = state.sector;
       rendezvous->ring = ring;
@@ -521,19 +571,20 @@ void Diknn::FinishCollection(uint64_t key) {
         tracer_->AddEvent(state.trace, TraceEventKind::kBoundaryTruncated,
                           network_->sim().Now(), node->id(), ring);
       }
-      FinishSector(node, std::move(state));
+      FinishSector(node, &state);
       return;
     }
   }
 
-  ForwardAlongItinerary(node, std::move(state));
+  ForwardAlongItinerary(node, std::move(collection.fwd));
 }
 
 bool Diknn::AdjustBoundary(Node* node, SectorState* state, int ring) {
   // Merge statistics heard from adjacent sub-itineraries at rendezvous.
-  auto heard_it = heard_rendezvous_.find(node->id());
-  if (heard_it != heard_rendezvous_.end()) {
-    for (const HeardRendezvous& h : heard_it->second) {
+  const std::vector<HeardRendezvous>* heard =
+      heard_rendezvous_.find(node->id());
+  if (heard != nullptr) {
+    for (const HeardRendezvous& h : *heard) {
       if (h.msg.query_id != state->query.id) continue;
       if (h.msg.sector == state->sector) continue;
       int& slot = state->sector_explored[h.msg.sector];
@@ -557,7 +608,9 @@ bool Diknn::AdjustBoundary(Node* node, SectorState* state, int ring) {
   return false;
 }
 
-void Diknn::ForwardAlongItinerary(Node* node, SectorState state) {
+void Diknn::ForwardAlongItinerary(Node* node,
+                                  std::shared_ptr<ForwardMessage> fwd) {
+  SectorState& state = fwd->state;
   // Stale traversal work: the query completed (or timed out) while this
   // branch was still in flight. Dropping it here, instead of letting it
   // probe its way to the sink, is what keeps timed-out queries from
@@ -580,7 +633,9 @@ void Diknn::ForwardAlongItinerary(Node* node, SectorState state) {
   const SimTime now = network_->sim().Now();
   const double step = params_.step_fraction * network_->config().radio_range_m;
 
-  Itinerary itinerary = MakeItinerary(state);
+  // `itinerary` is the member scratch; in-loop boundary adjustments
+  // rebuild it in place (same object, no reseating needed).
+  Itinerary& itinerary = RebuildItinerary(state);
   double next_s = state.progress + step;
   int skips = 0;
 
@@ -597,7 +652,7 @@ void Diknn::ForwardAlongItinerary(Node* node, SectorState state) {
           tracer_->AddEvent(state.trace, TraceEventKind::kBoundaryExtended,
                             now, node->id(), state.extra_rings);
         }
-        itinerary = MakeItinerary(state);
+        RebuildItinerary(state);
         continue;
       }
       // Second: the mobility assurance expansion R' = R + g*(te-ts)*mu
@@ -614,11 +669,11 @@ void Diknn::ForwardAlongItinerary(Node* node, SectorState state) {
             tracer_->AddEvent(state.trace, TraceEventKind::kAssuranceExpanded,
                               now, node->id(), expansion);
           }
-          itinerary = MakeItinerary(state);
+          RebuildItinerary(state);
           if (next_s <= itinerary.TotalLength()) continue;
         }
       }
-      FinishSector(node, std::move(state));
+      FinishSector(node, &state);
       return;
     }
 
@@ -640,21 +695,20 @@ void Diknn::ForwardAlongItinerary(Node* node, SectorState state) {
 
     // Pick the neighbor closest to the next anchor point that actually
     // makes progress toward it.
-    const auto neighbors = node->neighbors().Snapshot(now);
-    const NeighborEntry* next_qnode = nullptr;
+    NodeId next_id = kInvalidNodeId;
     double best_d = Distance(node->Position(), anchor);
     const double tolerance = EffectiveWidth() / 2.0;
-    for (const NeighborEntry& n : neighbors) {
+    node->neighbors().ForEachFresh(now, [&](const NeighborEntry& n) {
       const double d = Distance(n.position, anchor);
       if (d < best_d || d <= tolerance) {
-        if (next_qnode == nullptr || d < best_d) {
+        if (next_id == kInvalidNodeId || d < best_d) {
           best_d = d;
-          next_qnode = &n;
+          next_id = n.id;
         }
       }
-    }
+    });
 
-    if (next_qnode == nullptr) {
+    if (next_id == kInvalidNodeId) {
       // Itinerary void: skip ahead along the conceptual path (perimeter
       // forwarding stand-in; see Fig. 7 discussion).
       ++stats_.voids_encountered;
@@ -666,27 +720,28 @@ void Diknn::ForwardAlongItinerary(Node* node, SectorState state) {
       }
       if (skips > params_.max_void_skips) {
         ++stats_.sectors_abandoned;
-        FinishSector(node, std::move(state));
+        FinishSector(node, &state);
         return;
       }
       next_s += step;
       continue;
     }
 
-    // Forward the state to the chosen next Q-node.
-    SectorState retry_state = state;  // Pre-advance copy for MAC failure.
+    // Forward the state to the chosen next Q-node. The pre-advance copy
+    // rides in its own pooled envelope, released unused on success.
+    auto retry = MessagePool::MakeReusable<ForwardMessage>();
+    retry->state = state;
     state.progress = next_s;
     ++state.hop_count;
     const TraceContext fwd_ctx = state.trace;
-    auto fwd = std::make_shared<ForwardMessage>();
-    fwd->state = std::move(state);
-    const size_t bytes = fwd->state.WireBytes();
-    const NodeId next_id = next_qnode->id;
+    const size_t bytes = state.WireBytes();
     node->SendUnicast(
         next_id, MessageType::kDiknnForward, std::move(fwd), bytes,
         EnergyCategory::kQuery,
-        [this, node, next_id, retry_state](bool success) mutable {
+        [this, node, next_id, retry](bool success) mutable {
           if (success) return;
+          AllocScope scope(&knn_allocs_);
+          SectorState& retry_state = retry->state;
           const bool retraced =
               tracer_ != nullptr && retry_state.trace.sampled();
           // A node killed by churn mid-retry must not keep routing
@@ -704,9 +759,8 @@ void Diknn::ForwardAlongItinerary(Node* node, SectorState state) {
           // frame (lost ACK) and the traversal is already ahead of us.
           const uint64_t key = CollectionKey(retry_state.query.id,
                                              retry_state.sector);
-          auto it = last_hop_seen_.find(key);
-          if (it != last_hop_seen_.end() &&
-              it->second > retry_state.hop_count) {
+          const int* last = last_hop_seen_.find(key);
+          if (last != nullptr && *last > retry_state.hop_count) {
             return;
           }
           if (retraced) {
@@ -714,14 +768,15 @@ void Diknn::ForwardAlongItinerary(Node* node, SectorState state) {
                               network_->sim().Now(), node->id(), next_id);
           }
           node->neighbors().Remove(next_id);
-          ForwardAlongItinerary(node, std::move(retry_state));
+          ForwardAlongItinerary(node, std::move(retry));
         },
         fwd_ctx);
     return;
   }
 }
 
-void Diknn::FinishSector(Node* node, SectorState state) {
+void Diknn::FinishSector(Node* node, SectorState* state_in) {
+  SectorState& state = *state_in;
   // A sector finishing after CompleteQuery would re-insert a
   // finished_sectors_ key whose only eraser (CompleteQuery) already ran.
   if (!QueryActive(state.query.id)) {
@@ -729,7 +784,7 @@ void Diknn::FinishSector(Node* node, SectorState state) {
     return;
   }
   const uint64_t key = CollectionKey(state.query.id, state.sector);
-  if (!finished_sectors_.insert(key).second) return;  // Fork branch.
+  if (!finished_sectors_.insert(key)) return;  // Fork branch.
   ++stats_.sector_results_sent;
 
   // The reply-route span is a child of the sector span; the sink closes
@@ -746,7 +801,7 @@ void Diknn::FinishSector(Node* node, SectorState state) {
   // without this, the other sectors' interpolation assumes it explored as
   // much as they did and they stop too early (edge-of-field queries).
   if (params_.rendezvous && state.hop_count == 0 && node->alive()) {
-    auto rendezvous = std::make_shared<RendezvousMessage>();
+    auto rendezvous = MessagePool::Make<RendezvousMessage>();
     rendezvous->query_id = state.query.id;
     rendezvous->sector = state.sector;
     rendezvous->ring = 0;
@@ -756,10 +811,10 @@ void Diknn::FinishSector(Node* node, SectorState state) {
                         state.trace);
     ++stats_.rendezvous_sent;
   }
-  auto result = std::make_shared<SectorResult>();
+  auto result = MessagePool::MakeReusable<SectorResult>();
   result->query_id = state.query.id;
   result->sector = state.sector;
-  result->candidates = std::move(state.best);
+  result->candidates = state.best;  // Copy into the recycled buffer.
   result->explored = state.explored;
   const size_t bytes =
       16 + result->candidates.size() * kCandidateBytes;
@@ -772,9 +827,9 @@ void Diknn::FinishSector(Node* node, SectorState state) {
 
 void Diknn::OnSectorResult(Node* node, const GeoRoutedMessage& msg) {
   const auto* result = static_cast<const SectorResult*>(msg.inner.get());
-  auto it = pending_.find(result->query_id);
-  if (it == pending_.end()) return;  // Late result after completion.
-  PendingQuery& pending = it->second;
+  PendingQuery* found = pending_.find(result->query_id);
+  if (found == nullptr) return;  // Late result after completion.
+  PendingQuery& pending = *found;
   if (node->id() != pending.query.sink) {
     // The bundle landed at the wrong node (sink moved out of reach);
     // the query-timeout path will close the query.
@@ -825,9 +880,10 @@ void Diknn::OnSectorResult(Node* node, const GeoRoutedMessage& msg) {
 }
 
 void Diknn::CompleteQuery(uint64_t query_id, bool timed_out) {
-  auto it = pending_.find(query_id);
-  if (it == pending_.end() || it->second.completed) return;
-  PendingQuery& pending = it->second;
+  AllocScope scope(&knn_allocs_);
+  PendingQuery* found = pending_.find(query_id);
+  if (found == nullptr || found->completed) return;
+  PendingQuery& pending = *found;
   pending.completed = true;
   network_->sim().Cancel(pending.timeout_event);
   network_->sim().Cancel(pending.grace_event);
@@ -859,16 +915,17 @@ void Diknn::CompleteQuery(uint64_t query_id, bool timed_out) {
   }
 
   ResultHandler handler = std::move(pending.handler);
-  pending_.erase(it);
-  replied_.erase(query_id);
+  pending_.erase(query_id);
+  RecycleReplied(query_id);
   for (int s = 0; s < params_.num_sectors; ++s) {
     const uint64_t key = CollectionKey(query_id, s);
     // An open collection window would keep the sector traversing, probing
     // and routing a result nobody reads; close it and cancel its finish
     // event.
-    if (auto cit = collections_.find(key); cit != collections_.end()) {
-      network_->sim().Cancel(cit->second.finish_event);
-      collections_.erase(cit);
+    if (Collection* open = collections_.find(key)) {
+      network_->sim().Cancel(open->finish_event);
+      RecycleReplies(&open->replies);
+      collections_.erase(key);
       ++stats_.collections_cancelled;
     }
     last_hop_seen_.erase(key);
@@ -876,18 +933,14 @@ void Diknn::CompleteQuery(uint64_t query_id, bool timed_out) {
   }
   // Scrub the per-node rendezvous buffers: entries for this query can
   // never be merged again, and age-based eviction only runs when a node
-  // happens to hear another broadcast.
-  for (auto hit = heard_rendezvous_.begin();
-       hit != heard_rendezvous_.end();) {
-    std::erase_if(hit->second, [query_id](const HeardRendezvous& h) {
-      return h.msg.query_id == query_id;
-    });
-    if (hit->second.empty()) {
-      hit = heard_rendezvous_.erase(hit);
-    } else {
-      ++hit;
-    }
-  }
+  // happens to hear another broadcast. The vectors themselves stay in the
+  // map — their capacity serves the node's next query.
+  heard_rendezvous_.ForEach(
+      [query_id](NodeId, std::vector<HeardRendezvous>& heard) {
+        std::erase_if(heard, [query_id](const HeardRendezvous& h) {
+          return h.msg.query_id == query_id;
+        });
+      });
   if (completion_observer_) completion_observer_(query_id, timed_out);
   if (handler) handler(result);
 }
@@ -899,12 +952,13 @@ DiknnLifecycleCounts Diknn::lifecycle_counts() const {
   counts.last_hop_seen = last_hop_seen_.size();
   counts.finished_sectors = finished_sectors_.size();
   counts.replied_queries = replied_.size();
-  for (const auto& [id, nodes] : replied_) {
+  replied_.ForEach([&](uint64_t, const FlatSet<NodeId>& nodes) {
     counts.replied_entries += nodes.size();
-  }
-  for (const auto& [id, heard] : heard_rendezvous_) {
-    counts.heard_rendezvous_entries += heard.size();
-  }
+  });
+  heard_rendezvous_.ForEach(
+      [&](NodeId, const std::vector<HeardRendezvous>& heard) {
+        counts.heard_rendezvous_entries += heard.size();
+      });
   return counts;
 }
 
@@ -913,20 +967,21 @@ size_t Diknn::ResidueFor(uint64_t query_id) const {
   const auto owned = [query_id](uint64_t key) {
     return (key >> 8) == query_id;
   };
-  for (const auto& [key, collection] : collections_) {
+  collections_.ForEach([&](uint64_t key, const Collection&) {
     if (owned(key)) ++residue;
-  }
-  for (const auto& [key, hop] : last_hop_seen_) {
+  });
+  last_hop_seen_.ForEach([&](uint64_t key, const int&) {
     if (owned(key)) ++residue;
-  }
-  for (uint64_t key : finished_sectors_) {
+  });
+  finished_sectors_.ForEach([&](uint64_t key) {
     if (owned(key)) ++residue;
-  }
-  for (const auto& [id, heard] : heard_rendezvous_) {
-    for (const HeardRendezvous& h : heard) {
-      if (h.msg.query_id == query_id) ++residue;
-    }
-  }
+  });
+  heard_rendezvous_.ForEach(
+      [&](NodeId, const std::vector<HeardRendezvous>& heard) {
+        for (const HeardRendezvous& h : heard) {
+          if (h.msg.query_id == query_id) ++residue;
+        }
+      });
   return residue;
 }
 

@@ -19,6 +19,15 @@
 //      dynamically (spatial irregularity, Section 4.3); the last Q-node
 //      applies the mobility assurance expansion R' = R + g*(te-ts)*mu.
 //      Finally each sector's aggregate is geo-routed back to the sink.
+//
+// Steady-state allocation discipline (docs/PACKET_PLANE.md): the sector
+// state travels Q-node to Q-node inside one pooled ForwardMessage whose
+// buffers are recycled (MessagePool::MakeReusable), per-query bookkeeping
+// lives in flat open-addressing maps, reply/dedup containers are recycled
+// through freelists, and the itinerary geometry is rebuilt in a member
+// scratch. After warmup a query hop costs zero heap allocations on the
+// protocol side; the `knn` AllocCounters armed in every handler measure
+// exactly that.
 
 #ifndef DIKNN_KNN_DIKNN_H_
 #define DIKNN_KNN_DIKNN_H_
@@ -27,10 +36,10 @@
 #include <functional>
 #include <memory>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "core/alloc_probe.h"
+#include "core/flat_map.h"
 #include "knn/itinerary.h"
 #include "knn/knnb.h"
 #include "knn/query.h"
@@ -168,6 +177,12 @@ class Diknn : public KnnProtocol {
   /// completion.
   size_t ResidueFor(uint64_t query_id) const;
 
+  /// Heap allocations attributed to the protocol's handlers and events
+  /// (docs/PACKET_PLANE.md). Flat after warmup; the bench_micro self-check
+  /// asserts it.
+  const AllocCounters& alloc_counters() const override { return knn_allocs_; }
+  void ResetAllocCounters() override { knn_allocs_.Reset(); }
+
  private:
   // -------- wire messages --------
 
@@ -202,10 +217,36 @@ class Diknn : public KnnProtocol {
     TraceContext trace;
 
     size_t WireBytes() const;
+
+    /// MessagePool::MakeReusable contract: back to the default state,
+    /// vector capacity retained.
+    void Reuse() {
+      query = KnnQuery{};
+      sector = 0;
+      radius = 0.0;
+      progress = 0.0;
+      extra_rings = 0;
+      best.clear();
+      explored = 0;
+      max_speed_seen = 0;
+      dissemination_start = 0;
+      last_rendezvous_ring = -1;
+      assurance_applied = false;
+      void_skips_total = 0;
+      hop_count = 0;
+      sector_explored.clear();
+      trace = TraceContext{};
+    }
   };
 
+  /// The pooled envelope the sector state rides in. The same object flows
+  /// through the channel, the receiving handler's copy, the open
+  /// collection window, and the itinerary forwarder, so one recycled
+  /// buffer per in-flight sector branch serves the whole traversal.
   struct ForwardMessage : Message {
     SectorState state;
+
+    void Reuse() { state.Reuse(); }
   };
 
   struct ProbeMessage : Message {
@@ -222,6 +263,19 @@ class Diknn : public KnnProtocol {
     double tail_start = 0.0;   ///< Contention tail begins here (kHybrid).
     /// (trace, collection-span) so D-node replies attribute to the window.
     TraceContext trace;
+
+    void Reuse() {
+      query_id = 0;
+      sector = 0;
+      q = Point{};
+      radius = 0.0;
+      qnode_position = Point{};
+      reference_angle = 0.0;
+      window = 0.0;
+      precedence.clear();
+      tail_start = 0.0;
+      trace = TraceContext{};
+    }
   };
 
   struct ReplyMessage : Message {
@@ -243,6 +297,13 @@ class Diknn : public KnnProtocol {
     int sector = 0;
     std::vector<KnnCandidate> candidates;
     int explored = 0;
+
+    void Reuse() {
+      query_id = 0;
+      sector = 0;
+      candidates.clear();
+      explored = 0;
+    }
   };
 
   // -------- sink-side state --------
@@ -251,7 +312,7 @@ class Diknn : public KnnProtocol {
     KnnQuery query;
     ResultHandler handler;
     std::vector<KnnCandidate> candidates;
-    std::unordered_set<int> sectors_received;  ///< Dedups branch forks.
+    FlatSet<int> sectors_received;  ///< Dedups branch forks.
     SimTime issued_at = 0;
     EventId timeout_event = 0;
     EventId grace_event = 0;
@@ -267,7 +328,9 @@ class Diknn : public KnnProtocol {
   // -------- Q-node-side transient state --------
 
   struct Collection {
-    SectorState state;
+    /// The pooled forward envelope whose state this window accumulates
+    /// into; handed back to ForwardAlongItinerary when the window closes.
+    std::shared_ptr<ForwardMessage> fwd;
     NodeId qnode = kInvalidNodeId;
     std::vector<KnnCandidate> replies;
     /// The scheduled FinishCollection event, cancelled if the query
@@ -288,7 +351,7 @@ class Diknn : public KnnProtocol {
   // Phase 2 entry: KNNB at the home node, then sector spawn.
   void OnHomeNodeArrival(Node* node, const GeoRoutedMessage& msg);
   // A Q-node received the per-sector state: probe and collect.
-  void StartQNode(Node* node, SectorState state);
+  void StartQNode(Node* node, std::shared_ptr<ForwardMessage> fwd);
   // Collection window elapsed: aggregate, adjust, forward or finish.
   void FinishCollection(uint64_t key);
   // D-node heard a probe.
@@ -302,16 +365,29 @@ class Diknn : public KnnProtocol {
 
   // -------- helpers --------
 
-  Itinerary MakeItinerary(const SectorState& state) const;
+  // Rebuilds the member itinerary scratch for `state` and returns it.
+  // The reference is valid until the next RebuildItinerary call; every
+  // nested call (FinishSector -> route -> deliver -> spawn) happens after
+  // the caller's last read.
+  Itinerary& RebuildItinerary(const SectorState& state);
   // Applies rendezvous-based dynamic boundary adjustment; returns true if
   // the sub-itinerary should stop now.
   bool AdjustBoundary(Node* node, SectorState* state, int current_ring);
   // Chooses the next Q-node and forwards; finishes the sector on a void.
-  void ForwardAlongItinerary(Node* node, SectorState state);
-  // Routes the sector aggregate back to the sink.
-  void FinishSector(Node* node, SectorState state);
+  void ForwardAlongItinerary(Node* node, std::shared_ptr<ForwardMessage> fwd);
+  // Routes the sector aggregate back to the sink. Consumes the state's
+  // candidate list.
+  void FinishSector(Node* node, SectorState* state);
   // Completes a pending query at the sink (idempotent).
   void CompleteQuery(uint64_t query_id, bool timed_out);
+
+  // The reply-dedup set for `query_id`, recycled through a freelist so
+  // steady-state queries reuse grown tables. The reference is valid until
+  // the next insert into replied_ (set-level inserts are fine).
+  FlatSet<NodeId>& RepliedFor(uint64_t query_id);
+  // Moves a cleared container to its freelist for the next query.
+  void RecycleReplied(uint64_t query_id);
+  void RecycleReplies(std::vector<KnnCandidate>* replies);
 
   double EffectiveWidth() const;
   double MaxBoundaryRadius() const;
@@ -333,25 +409,33 @@ class Diknn : public KnnProtocol {
   Tracer* tracer_ = nullptr;
 
   uint64_t next_query_id_ = 1;
-  std::unordered_map<uint64_t, PendingQuery> pending_;
-  std::unordered_map<uint64_t, Collection> collections_;
+  FlatMap<uint64_t, PendingQuery> pending_;
+  FlatMap<uint64_t, Collection> collections_;
   // Highest hop_count seen per (query, sector); lower-or-equal arrivals
   // are duplicate traversal branches and are dropped.
-  std::unordered_map<uint64_t, int> last_hop_seen_;
+  FlatMap<uint64_t, int> last_hop_seen_;
   // Sectors whose aggregate has already been routed to the sink; further
   // FinishSector calls for them are stale fork branches.
-  std::unordered_set<uint64_t> finished_sectors_;
+  FlatSet<uint64_t> finished_sectors_;
 
   // Per-node state mirrors (indexed by node id, as a real deployment would
   // store them on the node itself):
   // nodes that already replied to a query, per query id.
-  std::unordered_map<uint64_t, std::unordered_set<NodeId>> replied_;
-  // recently heard rendezvous info, per node id.
+  FlatMap<uint64_t, FlatSet<NodeId>> replied_;
+  // recently heard rendezvous info, per node id. Emptied vectors stay in
+  // the map so their capacity serves the node's next query.
   struct HeardRendezvous {
     RendezvousMessage msg;
     SimTime heard_at = 0;
   };
-  std::unordered_map<NodeId, std::vector<HeardRendezvous>> heard_rendezvous_;
+  FlatMap<NodeId, std::vector<HeardRendezvous>> heard_rendezvous_;
+
+  // Scratch + freelists (allocation-free steady state).
+  Itinerary itinerary_scratch_;
+  std::vector<NeighborEntry> in_boundary_scratch_;
+  std::vector<FlatSet<NodeId>> replied_freelist_;
+  std::vector<std::vector<KnnCandidate>> replies_freelist_;
+  AllocCounters knn_allocs_;
 };
 
 }  // namespace diknn

@@ -5,7 +5,14 @@
 
 namespace diknn {
 
-Itinerary::Itinerary(const ItineraryParams& params) : params_(params) {
+void Itinerary::Rebuild(const ItineraryParams& params) {
+  params_ = params;
+  center_ = Point{};
+  init_length_ = 0.0;
+  num_rings_ = 0;
+  total_length_ = 0.0;
+  segments_.clear();
+  cumulative_.clear();
   assert(params_.num_sectors >= 1);
   assert(params_.width > 0.0);
   const double S = params_.num_sectors;

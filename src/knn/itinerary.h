@@ -52,7 +52,16 @@ class Itinerary {
  public:
   enum class SegmentKind { kInit, kAdj, kPeri };
 
-  explicit Itinerary(const ItineraryParams& params);
+  /// Empty itinerary; call Rebuild before use. Exists so hot paths can
+  /// keep one scratch instance and rebuild it in place per hop instead of
+  /// constructing (and heap-allocating) a fresh one.
+  Itinerary() = default;
+
+  explicit Itinerary(const ItineraryParams& params) { Rebuild(params); }
+
+  /// Recomputes the geometry for `params`, reusing the segment buffers
+  /// (allocation-free once at high-water capacity).
+  void Rebuild(const ItineraryParams& params);
 
   const ItineraryParams& params() const { return params_; }
 
@@ -106,6 +115,7 @@ class Itinerary {
   ItineraryParams params_;
   Point center_;
   double init_length_ = 0;
+  // (Rebuild resets every scalar and clears the vectors.)
   int num_rings_ = 0;
   double total_length_ = 0;
   std::vector<Segment> segments_;

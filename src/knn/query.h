@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "core/alloc_probe.h"
 #include "core/geometry.h"
 #include "net/packet.h"
 #include "sim/event_queue.h"
@@ -67,6 +68,15 @@ class KnnProtocol {
 
   /// Short display name ("DIKNN", "KPT+KNNB", "PeerTree", ...).
   virtual std::string name() const = 0;
+
+  /// Heap allocations attributed to the protocol's handlers and events
+  /// (docs/PACKET_PLANE.md). Protocols that do not arm an AllocScope
+  /// return the default zero counters.
+  virtual const AllocCounters& alloc_counters() const {
+    static const AllocCounters kNone;
+    return kNone;
+  }
+  virtual void ResetAllocCounters() {}
 };
 
 /// Keeps the `count` candidates nearest to `q` in `candidates`, best

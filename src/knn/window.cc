@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "knn/itinerary.h"
+#include "net/packet_pool.h"
 
 namespace diknn {
 
@@ -56,37 +57,68 @@ double ItineraryWindowQuery::EffectiveWidth() const {
              : DefaultItineraryWidth(network_->config().radio_range_m);
 }
 
+FlatSet<NodeId>& ItineraryWindowQuery::RepliedFor(uint64_t query_id) {
+  auto [kv, inserted] = replied_.TryEmplace(query_id);
+  if (inserted && !replied_freelist_.empty()) {
+    kv->second = std::move(replied_freelist_.back());
+    replied_freelist_.pop_back();
+  }
+  return kv->second;
+}
+
+void ItineraryWindowQuery::RecycleReplied(uint64_t query_id) {
+  FlatSet<NodeId>* replied = replied_.find(query_id);
+  if (replied == nullptr) return;
+  replied->clear();
+  replied_freelist_.push_back(std::move(*replied));
+  replied_.erase(query_id);
+}
+
+void ItineraryWindowQuery::RecycleReplies(
+    std::vector<KnnCandidate>* replies) {
+  replies->clear();
+  replies_freelist_.push_back(std::move(*replies));
+}
+
 void ItineraryWindowQuery::Install() {
   gpsr_->RegisterDelivery(
       MessageType::kWindowQuery,
       [this](Node* node, const GeoRoutedMessage& msg) {
+        AllocScope scope(&knn_allocs_);
         OnEntryArrival(node, msg);
       });
   gpsr_->RegisterDelivery(
       MessageType::kWindowResult,
       [this](Node* node, const GeoRoutedMessage& msg) {
+        AllocScope scope(&knn_allocs_);
         OnResult(node, msg);
       });
   for (Node* node : network_->AllNodes()) {
     node->RegisterHandler(
         MessageType::kWindowProbe, [this, node](const Packet& p) {
+          AllocScope scope(&knn_allocs_);
           OnProbe(node, *static_cast<const ProbeMessage*>(p.payload.get()));
         });
     node->RegisterHandler(
         MessageType::kWindowReply, [this, node](const Packet& p) {
+          AllocScope scope(&knn_allocs_);
           OnReply(node, *static_cast<const ReplyMessage*>(p.payload.get()));
         });
     node->RegisterHandler(
         MessageType::kWindowForward, [this, node](const Packet& p) {
-          StartQNode(node,
-                     static_cast<const ForwardMessage*>(p.payload.get())
-                         ->state);
+          AllocScope scope(&knn_allocs_);
+          const auto* fwd =
+              static_cast<const ForwardMessage*>(p.payload.get());
+          auto copy = MessagePool::MakeReusable<ForwardMessage>();
+          copy->state = fwd->state;
+          StartQNode(node, std::move(copy));
         });
   }
 }
 
 void ItineraryWindowQuery::IssueQuery(NodeId sink, const Rect& window,
                                       WindowResultHandler handler) {
+  AllocScope scope(&knn_allocs_);
   Node* sink_node = network_->node(sink);
   WindowQuery query;
   query.id = next_query_id_++;
@@ -112,12 +144,12 @@ void ItineraryWindowQuery::IssueQuery(NodeId sink, const Rect& window,
   const uint64_t id = query.id;
   pending.timeout_event = network_->sim().ScheduleAfter(
       timeout, [this, id]() { CompleteQuery(id, true); });
-  pending_.emplace(id, std::move(pending));
+  pending_.TryEmplace(id, std::move(pending));
   ++stats_.queries_issued;
 
   // Enter the sweep at the start of the serpentine path (the window's
   // lower-left scan line).
-  auto bootstrap = std::make_shared<QueryBootstrap>();
+  auto bootstrap = MessagePool::Make<QueryBootstrap>();
   bootstrap->query = query;
   gpsr_->Send(sink_node, path.PointAt(0.0), MessageType::kWindowQuery,
               std::move(bootstrap), kBootstrapBytes, EnergyCategory::kQuery);
@@ -127,13 +159,15 @@ void ItineraryWindowQuery::OnEntryArrival(Node* node,
                                           const GeoRoutedMessage& msg) {
   const auto* bootstrap =
       static_cast<const QueryBootstrap*>(msg.inner.get());
-  SweepState state;
-  state.query = bootstrap->query;
-  state.progress = 0.0;
-  StartQNode(node, std::move(state));
+  auto fwd = MessagePool::MakeReusable<ForwardMessage>();
+  fwd->state.query = bootstrap->query;
+  fwd->state.progress = 0.0;
+  StartQNode(node, std::move(fwd));
 }
 
-void ItineraryWindowQuery::StartQNode(Node* node, SweepState state) {
+void ItineraryWindowQuery::StartQNode(Node* node,
+                                      std::shared_ptr<ForwardMessage> fwd) {
+  SweepState& state = fwd->state;
   // A forward that outlived its query must not re-seed last_hop_seen_ or
   // open a new collection; the sweep dies here.
   if (!QueryActive(state.query.id)) {
@@ -142,24 +176,24 @@ void ItineraryWindowQuery::StartQNode(Node* node, SweepState state) {
   }
   // Fork suppression, as in DIKNN (see diknn.h).
   {
-    auto [it, inserted] =
-        last_hop_seen_.try_emplace(state.query.id, state.hop_count);
+    auto [kv, inserted] =
+        last_hop_seen_.TryEmplace(state.query.id, state.hop_count);
     if (!inserted) {
-      if (state.hop_count <= it->second) return;
-      it->second = state.hop_count;
+      if (state.hop_count <= kv->second) return;
+      kv->second = state.hop_count;
     }
   }
   ++stats_.qnode_hops;
 
   const SimTime now = network_->sim().Now();
   int expected = 0;
-  for (const NeighborEntry& n : node->neighbors().Snapshot(now)) {
+  node->neighbors().ForEachFresh(now, [&](const NeighborEntry& n) {
     if (state.query.window.Contains(n.position)) ++expected;
-  }
+  });
   const double window_s =
       params_.time_unit * std::clamp(expected / 2 + 1, 3, 20);
 
-  auto probe = std::make_shared<ProbeMessage>();
+  auto probe = MessagePool::Make<ProbeMessage>();
   probe->query_id = state.query.id;
   probe->window = state.query.window;
   probe->qnode_position = node->Position();
@@ -167,20 +201,25 @@ void ItineraryWindowQuery::StartQNode(Node* node, SweepState state) {
       AngleOf(node->Position(), state.query.window.Center());
   probe->collect_window = window_s;
 
+  const uint64_t id = state.query.id;
   Collection collection;
-  collection.state = std::move(state);
+  collection.fwd = std::move(fwd);
   collection.qnode = node->id();
-  const uint64_t id = collection.state.query.id;
+  if (!replies_freelist_.empty()) {
+    collection.replies = std::move(replies_freelist_.back());
+    replies_freelist_.pop_back();
+  }
   // A deeper fork supersedes an open collection; cancel the superseded
   // finish timer so it cannot close the new collection early.
-  if (auto old = collections_.find(id); old != collections_.end()) {
-    network_->sim().Cancel(old->second.finish_event);
+  if (Collection* old = collections_.find(id)) {
+    network_->sim().Cancel(old->finish_event);
+    RecycleReplies(&old->replies);
   }
-  auto [cit, unused] = collections_.insert_or_assign(id, std::move(collection));
+  collections_.InsertOrAssign(id, std::move(collection));
 
   node->SendBroadcast(MessageType::kWindowProbe, std::move(probe),
                       kProbeBytes, EnergyCategory::kQuery);
-  cit->second.finish_event = network_->sim().ScheduleAfter(
+  collections_.find(id)->finish_event = network_->sim().ScheduleAfter(
       window_s + 5.0 * params_.time_unit,
       [this, id]() { FinishCollection(id); });
 }
@@ -192,7 +231,7 @@ void ItineraryWindowQuery::OnProbe(Node* node, const ProbeMessage& probe) {
     return;
   }
   if (!probe.window.Contains(node->Position())) return;
-  auto& replied = replied_[probe.query_id];
+  FlatSet<NodeId>& replied = RepliedFor(probe.query_id);
   if (replied.contains(node->id())) return;
   replied.insert(node->id());
 
@@ -201,27 +240,27 @@ void ItineraryWindowQuery::OnProbe(Node* node, const ProbeMessage& probe) {
       probe.reference_angle);
   const double delay = (alpha / kTwoPi) * probe.collect_window;
   const uint64_t query_id = probe.query_id;
-  // The un-mark paths below must not use operator[]: after the query
-  // completes and its replied_ entry is torn down, indexing would
-  // resurrect it as permanent residue.
+  // The un-mark paths below must not use RepliedFor: after the query
+  // completes and its replied_ entry is torn down, re-creating it would
+  // leave permanent residue.
   const auto unmark = [this](uint64_t qid, NodeId nid) {
-    auto rit = replied_.find(qid);
-    if (rit != replied_.end()) rit->second.erase(nid);
+    if (FlatSet<NodeId>* r = replied_.find(qid)) r->erase(nid);
   };
   network_->sim().ScheduleAfter(delay, [this, node, query_id, unmark]() {
+    AllocScope scope(&knn_allocs_);
     if (!node->alive()) return;
-    auto it = collections_.find(query_id);
-    if (it == collections_.end()) {
+    Collection* collection = collections_.find(query_id);
+    if (collection == nullptr) {
       unmark(query_id, node->id());
       return;
     }
-    auto reply = std::make_shared<ReplyMessage>();
+    auto reply = MessagePool::Make<ReplyMessage>();
     reply->query_id = query_id;
     reply->candidate.id = node->id();
     reply->candidate.position = node->Position();
     reply->candidate.speed = node->Speed();
     reply->candidate.sampled_at = network_->sim().Now();
-    node->SendUnicast(it->second.qnode, MessageType::kWindowReply,
+    node->SendUnicast(collection->qnode, MessageType::kWindowReply,
                       std::move(reply), kQueryResponseBytes,
                       EnergyCategory::kQuery,
                       [query_id, node, unmark](bool ok) {
@@ -232,29 +271,31 @@ void ItineraryWindowQuery::OnProbe(Node* node, const ProbeMessage& probe) {
 }
 
 void ItineraryWindowQuery::OnReply(Node* node, const ReplyMessage& reply) {
-  auto it = collections_.find(reply.query_id);
-  if (it == collections_.end() || it->second.qnode != node->id()) return;
-  it->second.replies.push_back(reply.candidate);
+  Collection* collection = collections_.find(reply.query_id);
+  if (collection == nullptr || collection->qnode != node->id()) return;
+  collection->replies.push_back(reply.candidate);
 }
 
 void ItineraryWindowQuery::FinishCollection(uint64_t query_id) {
-  auto it = collections_.find(query_id);
-  if (it == collections_.end()) return;
-  Collection collection = std::move(it->second);
-  collections_.erase(it);
+  AllocScope scope(&knn_allocs_);
+  Collection* found = collections_.find(query_id);
+  if (found == nullptr) return;
+  Collection collection = std::move(*found);
+  collections_.erase(query_id);
   if (!QueryActive(query_id)) {
     ++stats_.stale_drops;
+    RecycleReplies(&collection.replies);
     return;
   }
 
   Node* node = network_->node(collection.qnode);
-  SweepState& state = collection.state;
+  SweepState& state = collection.fwd->state;
   for (const KnnCandidate& c : collection.replies) {
     state.collected.push_back(c);
   }
   if (!node->is_infrastructure() &&
       state.query.window.Contains(node->Position()) &&
-      replied_[query_id].insert(node->id()).second) {
+      RepliedFor(query_id).insert(node->id())) {
     KnnCandidate self;
     self.id = node->id();
     self.position = node->Position();
@@ -262,10 +303,13 @@ void ItineraryWindowQuery::FinishCollection(uint64_t query_id) {
     self.sampled_at = network_->sim().Now();
     state.collected.push_back(self);
   }
-  ForwardAlongSweep(node, std::move(state));
+  RecycleReplies(&collection.replies);
+  ForwardAlongSweep(node, std::move(collection.fwd));
 }
 
-void ItineraryWindowQuery::ForwardAlongSweep(Node* node, SweepState state) {
+void ItineraryWindowQuery::ForwardAlongSweep(
+    Node* node, std::shared_ptr<ForwardMessage> fwd) {
+  SweepState& state = fwd->state;
   // Also reached from unicast-failure retries, which may fire after the
   // query completed; a dead query's sweep must not keep hopping.
   if (!QueryActive(state.query.id)) {
@@ -281,60 +325,60 @@ void ItineraryWindowQuery::ForwardAlongSweep(Node* node, SweepState state) {
   int skips = 0;
   while (true) {
     if (next_s > path.TotalLength()) {
-      FinishSweep(node, std::move(state));
+      FinishSweep(node, &state);
       return;
     }
     const Point anchor = path.PointAt(next_s);
-    const auto neighbors = node->neighbors().Snapshot(now);
-    const NeighborEntry* next_qnode = nullptr;
+    NodeId next_id = kInvalidNodeId;
     double best_d = Distance(node->Position(), anchor);
     const double tolerance = EffectiveWidth() / 2.0;
-    for (const NeighborEntry& n : neighbors) {
+    node->neighbors().ForEachFresh(now, [&](const NeighborEntry& n) {
       const double d = Distance(n.position, anchor);
       if ((d < best_d || d <= tolerance) &&
-          (next_qnode == nullptr || d < best_d)) {
+          (next_id == kInvalidNodeId || d < best_d)) {
         best_d = d;
-        next_qnode = &n;
+        next_id = n.id;
       }
-    }
-    if (next_qnode == nullptr) {
+    });
+    if (next_id == kInvalidNodeId) {
       ++stats_.voids;
       if (++skips > params_.max_void_skips) {
-        FinishSweep(node, std::move(state));
+        FinishSweep(node, &state);
         return;
       }
       next_s += step;
       continue;
     }
 
-    SweepState retry_state = state;
+    // Pre-advance copy in its own pooled envelope, released on success.
+    auto retry = MessagePool::MakeReusable<ForwardMessage>();
+    retry->state = state;
     state.progress = next_s;
     ++state.hop_count;
-    auto fwd = std::make_shared<ForwardMessage>();
-    fwd->state = std::move(state);
-    const size_t bytes = fwd->state.WireBytes();
-    const NodeId next_id = next_qnode->id;
+    const size_t bytes = state.WireBytes();
     node->SendUnicast(next_id, MessageType::kWindowForward, std::move(fwd),
                       bytes, EnergyCategory::kQuery,
-                      [this, node, next_id, retry_state](bool ok) mutable {
+                      [this, node, next_id, retry](bool ok) mutable {
                         if (ok) return;
-                        auto it =
-                            last_hop_seen_.find(retry_state.query.id);
-                        if (it != last_hop_seen_.end() &&
-                            it->second > retry_state.hop_count) {
+                        AllocScope scope(&knn_allocs_);
+                        const int* last =
+                            last_hop_seen_.find(retry->state.query.id);
+                        if (last != nullptr &&
+                            *last > retry->state.hop_count) {
                           return;  // The traversal is already ahead.
                         }
                         node->neighbors().Remove(next_id);
-                        ForwardAlongSweep(node, std::move(retry_state));
+                        ForwardAlongSweep(node, std::move(retry));
                       });
     return;
   }
 }
 
-void ItineraryWindowQuery::FinishSweep(Node* node, SweepState state) {
-  auto result = std::make_shared<ResultMessage>();
+void ItineraryWindowQuery::FinishSweep(Node* node, SweepState* state_in) {
+  SweepState& state = *state_in;
+  auto result = MessagePool::MakeReusable<ResultMessage>();
   result->query_id = state.query.id;
-  result->nodes = std::move(state.collected);
+  result->nodes = state.collected;  // Copy into the recycled buffer.
   const size_t bytes = 10 + result->nodes.size() * kCandidateBytes;
   gpsr_->Send(node, state.query.sink_position, MessageType::kWindowResult,
               std::move(result), bytes, EnergyCategory::kQuery, false,
@@ -343,9 +387,9 @@ void ItineraryWindowQuery::FinishSweep(Node* node, SweepState state) {
 
 void ItineraryWindowQuery::OnResult(Node* node, const GeoRoutedMessage& msg) {
   const auto* result = static_cast<const ResultMessage*>(msg.inner.get());
-  auto it = pending_.find(result->query_id);
-  if (it == pending_.end()) return;
-  PendingQuery& pending = it->second;
+  PendingQuery* found = pending_.find(result->query_id);
+  if (found == nullptr) return;
+  PendingQuery& pending = *found;
   if (node->id() != pending.query.sink || pending.completed) return;
 
   pending.completed = true;
@@ -364,26 +408,27 @@ void ItineraryWindowQuery::OnResult(Node* node, const GeoRoutedMessage& msg) {
                   out.nodes.size());
 
   WindowResultHandler handler = std::move(pending.handler);
-  pending_.erase(it);
+  pending_.erase(result->query_id);
   TeardownQueryState(result->query_id);
   if (handler) handler(out);
 }
 
 void ItineraryWindowQuery::TeardownQueryState(uint64_t query_id) {
-  replied_.erase(query_id);
+  RecycleReplied(query_id);
   last_hop_seen_.erase(query_id);
-  auto cit = collections_.find(query_id);
-  if (cit != collections_.end()) {
-    network_->sim().Cancel(cit->second.finish_event);
-    collections_.erase(cit);
+  if (Collection* open = collections_.find(query_id)) {
+    network_->sim().Cancel(open->finish_event);
+    RecycleReplies(&open->replies);
+    collections_.erase(query_id);
     ++stats_.collections_cancelled;
   }
 }
 
 void ItineraryWindowQuery::CompleteQuery(uint64_t query_id, bool timed_out) {
-  auto it = pending_.find(query_id);
-  if (it == pending_.end() || it->second.completed) return;
-  PendingQuery& pending = it->second;
+  AllocScope scope(&knn_allocs_);
+  PendingQuery* found = pending_.find(query_id);
+  if (found == nullptr || found->completed) return;
+  PendingQuery& pending = *found;
   pending.completed = true;
   if (timed_out) ++stats_.timeouts;
 
@@ -394,7 +439,7 @@ void ItineraryWindowQuery::CompleteQuery(uint64_t query_id, bool timed_out) {
   out.timed_out = timed_out;
 
   WindowResultHandler handler = std::move(pending.handler);
-  pending_.erase(it);
+  pending_.erase(query_id);
   TeardownQueryState(query_id);
   if (handler) handler(out);
 }

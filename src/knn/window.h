@@ -8,16 +8,20 @@
 // it shares GPSR, the probe/collect/forward machinery, and the collection
 // scheme with DIKNN, and serves both as a standalone query facility and
 // as the "infrastructure-free window query" point of comparison.
+//
+// Allocation discipline mirrors DIKNN (docs/PACKET_PLANE.md): pooled
+// sweep-state envelopes, flat per-query maps, recycled reply buffers.
 
 #ifndef DIKNN_KNN_WINDOW_H_
 #define DIKNN_KNN_WINDOW_H_
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
-#include <unordered_set>
+#include <memory>
 #include <vector>
 
+#include "core/alloc_probe.h"
+#include "core/flat_map.h"
 #include "knn/query.h"
 #include "net/network.h"
 #include "routing/gpsr.h"
@@ -109,6 +113,10 @@ class ItineraryWindowQuery {
            last_hop_seen_.size();
   }
 
+  /// Heap allocations attributed to the protocol's handlers and events.
+  const AllocCounters& alloc_counters() const { return knn_allocs_; }
+  void ResetAllocCounters() { knn_allocs_.Reset(); }
+
  private:
   struct QueryBootstrap : Message {
     WindowQuery query;
@@ -123,10 +131,21 @@ class ItineraryWindowQuery {
     size_t WireBytes() const {
       return 24 + collected.size() * 12;
     }
+
+    void Reuse() {
+      query = WindowQuery{};
+      progress = 0.0;
+      hop_count = 0;
+      collected.clear();
+    }
   };
 
+  /// Pooled envelope the sweep state rides in, hop to hop (recycled, the
+  /// collected list keeps its capacity).
   struct ForwardMessage : Message {
     SweepState state;
+
+    void Reuse() { state.Reuse(); }
   };
 
   struct ProbeMessage : Message {
@@ -145,6 +164,11 @@ class ItineraryWindowQuery {
   struct ResultMessage : Message {
     uint64_t query_id = 0;
     std::vector<KnnCandidate> nodes;
+
+    void Reuse() {
+      query_id = 0;
+      nodes.clear();
+    }
   };
 
   struct PendingQuery {
@@ -156,7 +180,7 @@ class ItineraryWindowQuery {
   };
 
   struct Collection {
-    SweepState state;
+    std::shared_ptr<ForwardMessage> fwd;
     NodeId qnode = kInvalidNodeId;
     std::vector<KnnCandidate> replies;
     EventId finish_event = 0;
@@ -171,15 +195,20 @@ class ItineraryWindowQuery {
 
   double EffectiveWidth() const;
   void OnEntryArrival(Node* node, const GeoRoutedMessage& msg);
-  void StartQNode(Node* node, SweepState state);
+  void StartQNode(Node* node, std::shared_ptr<ForwardMessage> fwd);
   void FinishCollection(uint64_t query_id);
   void OnProbe(Node* node, const ProbeMessage& probe);
   void OnReply(Node* node, const ReplyMessage& reply);
-  void ForwardAlongSweep(Node* node, SweepState state);
-  void FinishSweep(Node* node, SweepState state);
+  void ForwardAlongSweep(Node* node, std::shared_ptr<ForwardMessage> fwd);
+  void FinishSweep(Node* node, SweepState* state);
   void OnResult(Node* node, const GeoRoutedMessage& msg);
   void TeardownQueryState(uint64_t query_id);
   void CompleteQuery(uint64_t query_id, bool timed_out);
+
+  // Freelist-backed per-query containers (see diknn.h for the rationale).
+  FlatSet<NodeId>& RepliedFor(uint64_t query_id);
+  void RecycleReplied(uint64_t query_id);
+  void RecycleReplies(std::vector<KnnCandidate>* replies);
 
   Network* network_;
   GpsrRouting* gpsr_;
@@ -187,10 +216,14 @@ class ItineraryWindowQuery {
   WindowQueryStats stats_;
 
   uint64_t next_query_id_ = 1;
-  std::unordered_map<uint64_t, PendingQuery> pending_;
-  std::unordered_map<uint64_t, Collection> collections_;
-  std::unordered_map<uint64_t, std::unordered_set<NodeId>> replied_;
-  std::unordered_map<uint64_t, int> last_hop_seen_;
+  FlatMap<uint64_t, PendingQuery> pending_;
+  FlatMap<uint64_t, Collection> collections_;
+  FlatMap<uint64_t, FlatSet<NodeId>> replied_;
+  FlatMap<uint64_t, int> last_hop_seen_;
+
+  std::vector<FlatSet<NodeId>> replied_freelist_;
+  std::vector<std::vector<KnnCandidate>> replies_freelist_;
+  AllocCounters knn_allocs_;
 };
 
 }  // namespace diknn

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <memory>
 
+#include "core/alloc_probe.h"
+#include "net/packet_pool.h"
+
 namespace diknn {
 
 BeaconService::BeaconService(Simulator* sim, std::vector<Node*> nodes,
@@ -44,6 +47,12 @@ void BeaconService::ScheduleSweep() {
 }
 
 void BeaconService::FireSweep() {
+  // Beaconing is packet-plane work: attribute its allocations to the
+  // channel's net scope (pooled payloads make the steady state free).
+  Channel* channel =
+      nodes_.empty() ? nullptr : nodes_.front()->channel();
+  AllocScope alloc_scope(channel != nullptr ? &channel->net_allocs()
+                                            : nullptr);
   // Send every beacon due at exactly this timestamp (ties only arise
   // when two accumulated phase series collide bit-for-bit; they then
   // fire in sweep order, which is the order separate events would have
@@ -61,7 +70,7 @@ void BeaconService::FireSweep() {
 }
 
 void BeaconService::SendBeacon(Node* node) {
-  auto msg = std::make_shared<BeaconMessage>();
+  auto msg = MessagePool::Make<BeaconMessage>();
   msg->id = node->id();
   msg->position = node->Position();
   msg->speed = node->Speed();

@@ -1,6 +1,7 @@
 #include "net/channel.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 
 #include "net/node.h"
@@ -18,19 +19,14 @@ void Channel::Attach(Node* node) {
   grid_dirty_ = true;
 }
 
-void Channel::PruneAir() {
-  const SimTime now = sim_->Now();
-  std::erase_if(air_, [now](const AirFrame& f) { return f.end_time <= now; });
-}
+void Channel::PruneAir() { air_.Compact(sim_->Now()); }
 
 void Channel::SweepReceptions(SimTime now) {
-  for (std::vector<Reception>& recs : active_receptions_) {
-    std::erase_if(recs,
-                  [now](const Reception& r) { return r.end_time <= now; });
-  }
+  for (ReceptionLane& lane : active_receptions_) lane.Compact(now);
 }
 
 void Channel::PlaceNode(Node* node, const Point& position) {
+  AllocScopePause capacity;  // Cell membership lists grow to high water.
   const int32_t index = CellIndexOf(position);
   const size_t slot = static_cast<size_t>(node->id());
   if (slot >= node_cell_of_.size()) node_cell_of_.resize(slot + 1, -1);
@@ -98,17 +94,20 @@ void Channel::PeriodicSweep() {
       grid_ny_ = static_cast<int32_t>(
                      std::floor((max_y - grid_min_y_) / cell_size_)) + 1;
       // Collect live air frames before the geometry changes under them.
-      std::vector<AirFrame> live_air;
-      for (auto& frames : air_cells_) {
-        for (const AirFrame& f : frames) {
-          if (f.end_time > now) live_air.push_back(f);
+      AirLane live_air;
+      for (const AirLane& lane : air_cells_) {
+        for (size_t i = 0; i < lane.end_times.size(); ++i) {
+          if (lane.end_times[i] > now) {
+            live_air.Add(lane.origins[i], lane.end_times[i]);
+          }
         }
       }
       node_cells_.assign(static_cast<size_t>(grid_nx_) * grid_ny_, {});
       air_cells_.assign(static_cast<size_t>(grid_nx_) * grid_ny_, {});
       std::fill(node_cell_of_.begin(), node_cell_of_.end(), -1);
-      for (const AirFrame& f : live_air) {
-        air_cells_[CellIndexOf(f.origin)].push_back(f);
+      for (size_t i = 0; i < live_air.end_times.size(); ++i) {
+        air_cells_[CellIndexOf(live_air.origins[i])].Add(
+            live_air.origins[i], live_air.end_times[i]);
       }
       grid_dirty_ = false;
     }
@@ -116,15 +115,13 @@ void Channel::PeriodicSweep() {
     // (their radio is off, not their legs) and may be revived by churn,
     // so they stay tracked.
     for (Node* n : nodes_) PlaceNode(n, n->Position());
-    for (auto& frames : air_cells_) {
-      std::erase_if(frames,
-                    [now](const AirFrame& f) { return f.end_time <= now; });
-    }
+    for (AirLane& lane : air_cells_) lane.Compact(now);
   }
   SweepReceptions(now);
 }
 
 void Channel::GatherCandidates(const Point& origin) const {
+  AllocScopePause capacity;  // Scratch high-water growth only.
   scratch_.clear();
   const CellCoord c = CellCoordOf(origin);
   const int32_t x0 = std::max(c.cx - 1, 0);
@@ -149,14 +146,7 @@ bool Channel::IsBusyAt(const Point& pos) const {
   const SimTime now = sim_->Now();
   const double range2 = params_.radio_range_m * params_.radio_range_m;
 
-  if (!params_.use_spatial_grid) {
-    for (const AirFrame& f : air_) {
-      if (f.end_time > now && SquaredDistance(f.origin, pos) <= range2) {
-        return true;
-      }
-    }
-    return false;
-  }
+  if (!params_.use_spatial_grid) return air_.AnyAudible(pos, now, range2);
 
   if (grid_nx_ <= 0) return false;  // No transmission yet.
   const CellCoord c = CellCoordOf(pos);
@@ -167,10 +157,8 @@ bool Channel::IsBusyAt(const Point& pos) const {
   for (int32_t cy = y0; cy <= y1; ++cy) {
     for (int32_t cx = x0; cx <= x1; ++cx) {
       // Expired frames are skipped here and reclaimed by PeriodicSweep.
-      for (const AirFrame& f : air_cells_[cy * grid_nx_ + cx]) {
-        if (f.end_time > now && SquaredDistance(f.origin, pos) <= range2) {
-          return true;
-        }
+      if (air_cells_[cy * grid_nx_ + cx].AnyAudible(pos, now, range2)) {
+        return true;
       }
     }
   }
@@ -178,7 +166,7 @@ bool Channel::IsBusyAt(const Point& pos) const {
 }
 
 void Channel::Transmit(Node* sender, const Packet& packet) {
-  const EnergyCategory category = packet.category;
+  AllocScope alloc_scope(&net_allocs_);
   const SimTime now = sim_->Now();
   const double duration = FrameDuration(packet.size_bytes);
   const SimTime end = now + duration;
@@ -201,37 +189,54 @@ void Channel::Transmit(Node* sender, const Packet& packet) {
 
   ++stats_.frames_sent;
   sender->energy().ChargeTx(packet.size_bytes, params_.radio_range_m,
-                            category);
+                            packet.category);
   for (const auto& entry : transmit_observers_) {
     entry.second(packet, sender->id(), origin);
   }
 
   PeriodicSweep();
-  if (params_.use_spatial_grid) {
-    air_cells_[CellIndexOf(origin)].push_back(AirFrame{origin, end});
-  } else {
-    PruneAir();
-    air_.push_back(AirFrame{origin, end});
+  {
+    // Air-cell occupancy lanes compact in place and only ever grow to the
+    // cell's busiest instant: capacity, not per-frame churn.
+    AllocScopePause capacity;
+    if (params_.use_spatial_grid) {
+      air_cells_[CellIndexOf(origin)].Add(origin, end);
+    } else {
+      PruneAir();
+      air_.Add(origin, end);
+    }
   }
 
   if (fault.duplicate) {
     // Re-air an identical copy (same uid) right after this frame clears
     // the air. The replay bypasses the fault hook so a duplicate cannot
-    // spawn further duplicates.
-    sim_->ScheduleAt(end, [this, sender, packet]() {
-      if (!sender->alive()) return;
-      replaying_fault_ = true;
-      Transmit(sender, packet);
-      replaying_fault_ = false;
+    // spawn further duplicates. The copy is parked in a pooled slot so
+    // the event captures only {this, sender, handle}.
+    const FrameHandle dup = frames_.Acquire();
+    frames_.Get(dup)->packet = packet;
+    sim_->ScheduleAt(end, [this, sender, dup]() {
+      ReplayDuplicate(sender, dup);
     });
   }
   if (fault.drop) return;  // On the air but heard by nobody.
   if (params_.use_spatial_grid) GatherCandidates(origin);
 
+  // All of a frame's receptions complete at the same instant, so they are
+  // delivered by one batched event whose only captured state is the
+  // frame's pool handle. Receivers are appended in ascending id order,
+  // which the batch preserves — the same firing order as scheduling one
+  // event per receiver. The slot's flags vector carries every receiver's
+  // corruption bit for this frame; batch[i] pairs with flags[i].
+  const FrameHandle handle = frames_.Acquire();
+  InFlightFrame* frame = frames_.Get(handle);
+  frame->packet = packet;
+
   const double range2 = params_.radio_range_m * params_.radio_range_m;
-  const auto scan = [&](const auto& candidates, auto node_of,
-                        std::shared_ptr<FrameFlags>& flags,
-                        std::vector<Delivery>& batch) {
+  const auto scan = [&](const auto& candidates, auto node_of) {
+    // Everything the scan appends lives in recycled storage — the slot's
+    // flags/batch vectors and the per-receiver reception lanes — so any
+    // allocation here is high-water capacity growth, not per-frame churn.
+    AllocScopePause capacity;
     for (const auto& candidate : candidates) {
       ++stats_.candidates_scanned;
       Node* receiver = node_of(candidate);
@@ -243,72 +248,96 @@ void Channel::Transmit(Node* sender, const Packet& packet) {
       // Collision check: any reception still in progress at this
       // receiver overlaps the new frame, corrupting both (the new frame
       // always; the ongoing one too unless capture mode preserves it).
-      if (flags == nullptr) flags = std::make_shared<FrameFlags>();
-      const uint32_t index = static_cast<uint32_t>(flags->size());
-      flags->push_back(0);
+      const uint32_t index = static_cast<uint32_t>(frame->flags.size());
+      frame->flags.push_back(0);
       const size_t slot = static_cast<size_t>(receiver->id());
       if (slot >= active_receptions_.size()) {
         active_receptions_.resize(slot + 1);
       }
-      auto& recs = active_receptions_[slot];
-      std::erase_if(recs,
-                    [&](const Reception& r) { return r.end_time <= now; });
-      for (Reception& r : recs) {
-        (*flags)[index] = 1;
-        if (!params_.capture) (*r.flags)[r.index] = 1;
+      ReceptionLane& lane = active_receptions_[slot];
+      lane.Compact(now);
+      for (size_t i = 0; i < lane.end_times.size(); ++i) {
+        frame->flags[index] = 1;
+        if (!params_.capture) {
+          // A reception still in progress always refers to a live slot
+          // (its delivery event has not fired yet).
+          InFlightFrame* other = frames_.Get(lane.frames[i]);
+          assert(other != nullptr);
+          other->flags[lane.flag_indices[i]] = 1;
+        }
       }
-      recs.push_back(Reception{end, flags, index});
+      lane.end_times.push_back(end);
+      lane.frames.push_back(handle);
+      lane.flag_indices.push_back(index);
 
       // Independent random loss (fading, external interference).
       const bool randomly_lost = rng_.Bernoulli(params_.loss_rate);
-      batch.push_back(Delivery{receiver, randomly_lost});
+      frame->batch.push_back(Delivery{receiver, randomly_lost});
     }
   };
 
-  // All of a frame's receptions complete at the same instant, so they are
-  // delivered by one batched event (one allocation + one heap push per
-  // frame instead of per receiver). Receivers are appended in ascending
-  // id order, which the batch preserves — the same firing order as
-  // scheduling one event per receiver. One shared flags vector carries
-  // every receiver's corruption bit for this frame; batch[i] pairs with
-  // flags[i].
-  std::shared_ptr<FrameFlags> flags;
-  std::vector<Delivery> batch;
   if (params_.use_spatial_grid) {
-    scan(scratch_, [](const auto& entry) { return entry.second; }, flags,
-         batch);
+    scan(scratch_, [](const auto& entry) { return entry.second; });
   } else {
-    scan(nodes_, [](Node* n) { return n; }, flags, batch);
+    scan(nodes_, [](Node* n) { return n; });
   }
-  if (batch.empty()) return;
+  if (frame->batch.empty()) {
+    frames_.Release(handle);
+    return;
+  }
 
-  sim_->ScheduleAt(
-      end, [this, packet, category, flags = std::move(flags),
-            batch = std::move(batch)]() {
-        for (size_t i = 0; i < batch.size(); ++i) {
-          const Delivery& d = batch[i];
-          // The radio listened for the whole frame either way.
-          d.receiver->energy().ChargeRx(packet.size_bytes, category);
-          if ((*flags)[i] != 0) {
-            ++stats_.receptions_collided;
-            if (tracer_ != nullptr && packet.trace.sampled()) {
-              tracer_->AddEvent(packet.trace, TraceEventKind::kCollision,
-                                sim_->Now(), d.receiver->id());
-            }
-            continue;
-          }
-          if (d.randomly_lost) {
-            ++stats_.receptions_lost;
-            if (tracer_ != nullptr && packet.trace.sampled()) {
-              tracer_->AddEvent(packet.trace, TraceEventKind::kFrameLost,
-                                sim_->Now(), d.receiver->id());
-            }
-            continue;
-          }
-          ++stats_.receptions_delivered;
-          d.receiver->HandlePhyReceive(packet);
-        }
-      });
+  sim_->ScheduleAt(end, [this, handle]() { DeliverFrame(handle); });
+}
+
+void Channel::ReplayDuplicate(Node* sender, FrameHandle handle) {
+  InFlightFrame* frame = frames_.Get(handle);
+  assert(frame != nullptr);
+  // Copy out and release first: Transmit acquires a slot, which may grow
+  // the slab under `frame`.
+  const Packet packet = frame->packet;
+  frames_.Release(handle);
+  if (!sender->alive()) return;
+  replaying_fault_ = true;
+  Transmit(sender, packet);
+  replaying_fault_ = false;
+}
+
+void Channel::DeliverFrame(FrameHandle handle) {
+  AllocScope alloc_scope(&net_allocs_);
+  InFlightFrame* frame = frames_.Get(handle);
+  assert(frame != nullptr);
+  // Stack copy: receivers' protocol handlers may transmit re-entrantly
+  // through deep call chains someday; the pool slot must not be assumed
+  // stable across them. The flags/batch arrays are re-resolved instead of
+  // copied — they are only read between handler invocations.
+  const Packet packet = frame->packet;
+  const EnergyCategory category = packet.category;
+  const size_t batch_size = frame->batch.size();
+  for (size_t i = 0; i < batch_size; ++i) {
+    frame = frames_.Get(handle);
+    const Delivery d = frame->batch[i];
+    // The radio listened for the whole frame either way.
+    d.receiver->energy().ChargeRx(packet.size_bytes, category);
+    if (frame->flags[i] != 0) {
+      ++stats_.receptions_collided;
+      if (tracer_ != nullptr && packet.trace.sampled()) {
+        tracer_->AddEvent(packet.trace, TraceEventKind::kCollision,
+                          sim_->Now(), d.receiver->id());
+      }
+      continue;
+    }
+    if (d.randomly_lost) {
+      ++stats_.receptions_lost;
+      if (tracer_ != nullptr && packet.trace.sampled()) {
+        tracer_->AddEvent(packet.trace, TraceEventKind::kFrameLost,
+                          sim_->Now(), d.receiver->id());
+      }
+      continue;
+    }
+    ++stats_.receptions_delivered;
+    d.receiver->HandlePhyReceive(packet);
+  }
+  frames_.Release(handle);
 }
 
 }  // namespace diknn

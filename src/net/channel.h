@@ -26,16 +26,17 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <utility>
 #include <vector>
 
+#include "core/alloc_probe.h"
 #include "core/geometry.h"
 #include "core/rng.h"
 #include "net/energy_model.h"
 #include "net/packet.h"
+#include "net/packet_pool.h"
 #include "sim/simulator.h"
 
 namespace diknn {
@@ -158,31 +159,105 @@ class Channel {
   using FaultHook = std::function<FrameFault(const Packet&, NodeId sender)>;
   void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
 
+  /// Frames currently parked in the in-flight pool (un-fired delivery or
+  /// duplicate-replay events). Returns to zero when the air drains.
+  size_t frames_in_flight() const { return frames_.live_count(); }
+
+  /// In-flight frame pool traffic (slab growth vs. slot reuse).
+  const MessagePoolStats& frame_pool_stats() const { return frames_.stats(); }
+
+  /// Heap allocations attributed to the packet plane (channel, MAC,
+  /// beacons). The MAC and beacon layers arm this scope around their
+  /// event bodies; after warmup it must stop advancing — the steady
+  /// state is allocation-free (docs/PACKET_PLANE.md), gated by
+  /// bench_micro and scripts/check_all.sh.
+  AllocCounters& net_allocs() { return net_allocs_; }
+  const AllocCounters& net_allocs() const { return net_allocs_; }
+
  private:
-  // Per-receiver corruption flags of one in-flight frame, shared between
-  // the frame's Reception entries and its batched delivery event. One
-  // allocation per frame (not per receiver).
-  using FrameFlags = std::vector<unsigned char>;
-
-  // One frame currently being received by one receiver. `flags[index]`
-  // is set when a later overlapping frame corrupts this reception.
-  struct Reception {
-    SimTime end_time = 0.0;
-    std::shared_ptr<FrameFlags> flags;
-    uint32_t index = 0;
-  };
-
-  // One frame currently in the air (for carrier sensing).
-  struct AirFrame {
-    Point origin;
-    SimTime end_time = 0.0;
-  };
-
-  // One receiver's pending outcome of a frame; position i of the batch
-  // corresponds to flags[i].
+  // One receiver's pending outcome of a frame; position i of the delivery
+  // batch corresponds to flags[i] in the owning InFlightFrame.
   struct Delivery {
     Node* receiver = nullptr;
     bool randomly_lost = false;
+  };
+
+  // Everything the channel needs to finish one transmitted frame, parked
+  // in a pooled slot so the delivery event captures only {this, handle}
+  // (inline in SmallFn — no per-frame closure allocation) and the flag /
+  // batch buffers are recycled across frames. `flags[i]` is set when a
+  // later overlapping frame corrupts receiver i's reception.
+  struct InFlightFrame {
+    Packet packet;
+    std::vector<unsigned char> flags;
+    std::vector<Delivery> batch;
+
+    void Reuse() {
+      packet = Packet{};  // Drops the payload reference.
+      flags.clear();
+      batch.clear();
+    }
+  };
+  using FrameHandle = FramePool<InFlightFrame>::Handle;
+
+  // In-progress receptions of one receiver, struct-of-arrays: the sweep
+  // and collision scans test `end_times` contiguously and only touch the
+  // parallel arrays on a hit. Entry i of the three arrays describes one
+  // reception: frame `frames[i]`, whose corruption bit is
+  // `flags[flag_indices[i]]`. An entry with end_time > now always refers
+  // to a live pool slot (its delivery event has not fired yet).
+  struct ReceptionLane {
+    std::vector<SimTime> end_times;
+    std::vector<FrameHandle> frames;
+    std::vector<uint32_t> flag_indices;
+
+    // Drops entries whose reception already ended, preserving order.
+    void Compact(SimTime now) {
+      size_t kept = 0;
+      for (size_t i = 0; i < end_times.size(); ++i) {
+        if (end_times[i] <= now) continue;
+        end_times[kept] = end_times[i];
+        frames[kept] = frames[i];
+        flag_indices[kept] = flag_indices[i];
+        ++kept;
+      }
+      end_times.resize(kept);
+      frames.resize(kept);
+      flag_indices.resize(kept);
+    }
+  };
+
+  // Frames currently in the air (carrier sensing), struct-of-arrays for
+  // the same reason: IsBusyAt scans `end_times` first and reads the
+  // origin only for non-expired frames.
+  struct AirLane {
+    std::vector<SimTime> end_times;
+    std::vector<Point> origins;
+
+    void Add(const Point& origin, SimTime end_time) {
+      end_times.push_back(end_time);
+      origins.push_back(origin);
+    }
+    void Compact(SimTime now) {
+      size_t kept = 0;
+      for (size_t i = 0; i < end_times.size(); ++i) {
+        if (end_times[i] <= now) continue;
+        end_times[kept] = end_times[i];
+        origins[kept] = origins[i];
+        ++kept;
+      }
+      end_times.resize(kept);
+      origins.resize(kept);
+    }
+    bool AnyAudible(const Point& pos, SimTime now, double range2) const {
+      for (size_t i = 0; i < end_times.size(); ++i) {
+        if (end_times[i] > now &&
+            SquaredDistance(origins[i], pos) <= range2) {
+          return true;
+        }
+      }
+      return false;
+    }
   };
 
   // Cell coordinates of `p`, clamped into the grid's bounding box. The
@@ -208,9 +283,17 @@ class Channel {
     return c.cy * grid_nx_ + c.cx;
   }
 
-  // Drops expired frames from the brute-force air deque (anywhere in the
-  // deque, not just the front, so one long frame cannot pin short ones).
+  // Drops expired frames from the brute-force air lane (anywhere in the
+  // lane, not just the front, so one long frame cannot pin short ones).
   void PruneAir();
+
+  // Fires the batched delivery of one pooled frame, then releases its
+  // slot.
+  void DeliverFrame(FrameHandle handle);
+
+  // Re-airs a fault-duplicated frame parked in `handle`, then releases
+  // its slot.
+  void ReplayDuplicate(Node* sender, FrameHandle handle);
 
   // Runs the periodic housekeeping when due: (re)builds or refreshes the
   // node grid, sweeps expired air frames, and drains finished reception
@@ -237,12 +320,16 @@ class Channel {
   FaultHook fault_hook_;
   bool replaying_fault_ = false;  // Guards hook re-entry on duplicates.
   std::vector<Node*> nodes_;
+  // In-flight frame slots; slots are released when the delivery (or
+  // duplicate-replay) event fires, so live_count tracks the air.
+  FramePool<InFlightFrame> frames_;
   // In-progress receptions, indexed by receiver id (node ids are dense).
   // Swept periodically, so memory stays bounded by the live population
   // even across churn-heavy runs.
-  std::vector<std::vector<Reception>> active_receptions_;
-  std::deque<AirFrame> air_;  // Brute-force mode only.
+  std::vector<ReceptionLane> active_receptions_;
+  AirLane air_;  // Brute-force mode only.
   ChannelStats stats_;
+  AllocCounters net_allocs_;
 
   // Spatial grid state: a flat row-major array of grid_nx_ x grid_ny_
   // cells fitted to the fleet's bounding box at rebuild time. Flat
@@ -262,7 +349,7 @@ class Channel {
   // unbucketed). The periodic refresh touches every node, so this
   // lookup must not hash.
   std::vector<int32_t> node_cell_of_;
-  mutable std::vector<std::vector<AirFrame>> air_cells_;
+  mutable std::vector<AirLane> air_cells_;
   mutable std::vector<std::pair<NodeId, Node*>> scratch_;  // Gather buffer.
 };
 

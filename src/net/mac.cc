@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "net/node.h"
+#include "net/packet_pool.h"
 #include "obs/tracer.h"
 
 namespace diknn {
@@ -16,7 +17,16 @@ Mac::Mac(Node* node, Channel* channel, Simulator* sim, MacParams params,
       sim_(sim),
       params_(params),
       rng_(rng),
-      next_uid_base_(0) {}
+      next_uid_base_(0) {
+  // The duplicate cache is bounded; size its table and FIFO once so
+  // steady-state inserts never rehash or grow the ring.
+  seen_uids_.reserve(kSeenCapacity + 1);
+  seen_order_.reserve(kSeenCapacity + 1);
+}
+
+AllocCounters* Mac::net_allocs() const {
+  return channel_ != nullptr ? &channel_->net_allocs() : nullptr;
+}
 
 void Mac::Send(Packet packet, EnergyCategory category,
                SendCallback callback) {
@@ -48,6 +58,7 @@ void Mac::CsmaAttempt(int backoffs_done, int be) {
       params_.backoff_slot_s * rng_.UniformInt(0, max_slots);
   const uint64_t generation = csma_generation_;
   sim_->ScheduleAfter(backoff, [this, backoffs_done, be, generation]() {
+    AllocScope alloc_scope(net_allocs());
     if (generation != csma_generation_) return;  // Superseded round.
     if (queue_.empty() || !node_->alive()) {
       busy_ = false;
@@ -92,14 +103,20 @@ void Mac::TransmitHead() {
 
   if (head.packet.IsBroadcast()) {
     // Broadcasts are unacknowledged: done when the frame leaves the air.
-    sim_->ScheduleAfter(duration, [this]() { CompleteHead(true); });
+    sim_->ScheduleAfter(duration, [this]() {
+      AllocScope alloc_scope(net_allocs());
+      CompleteHead(true);
+    });
     return;
   }
 
   // Unicast: wait for the MAC ACK.
   awaiting_ack_uid_ = head.packet.uid;
   ack_timeout_event_ = sim_->ScheduleAfter(
-      duration + params_.ack_timeout_s, [this]() { OnAckTimeout(); });
+      duration + params_.ack_timeout_s, [this]() {
+        AllocScope alloc_scope(net_allocs());
+        OnAckTimeout();
+      });
 }
 
 void Mac::OnAckTimeout() {
@@ -162,22 +179,31 @@ bool Mac::FilterReceive(const Packet& packet) {
 
     // Acknowledge after the fixed turnaround, bypassing CSMA (802.15.4
     // ACK behaviour). The ACK is a real frame and may itself collide.
-    Packet ack;
-    ack.src = node_->id();
-    ack.dst = packet.src;
-    ack.type = MessageType::kMacAck;
-    ack.size_bytes = params_.ack_bytes;
-    ack.payload = std::make_shared<AckMessage>(packet.uid);
-    ack.uid = (static_cast<uint64_t>(static_cast<uint32_t>(node_->id()))
-               << 40) |
-              ++next_uid_base_;
-    ack.category = packet.category;
-    // ACKs inherit the frame's trace tag so their collisions attribute to
-    // the same query.
-    ack.trace = packet.trace;
-    sim_->ScheduleAfter(params_.ack_turnaround_s, [this, ack]() {
-      if (node_->alive()) channel_->Transmit(node_, ack);
-    });
+    // Only the scalars needed to rebuild the ACK are captured (the uid is
+    // drawn now to keep the uid stream identical to queuing-time
+    // assignment); the payload comes from the message pool at send time.
+    const uint64_t ack_uid =
+        (static_cast<uint64_t>(static_cast<uint32_t>(node_->id())) << 40) |
+        ++next_uid_base_;
+    sim_->ScheduleAfter(
+        params_.ack_turnaround_s,
+        [this, dst = packet.src, acked_uid = packet.uid, ack_uid,
+         category = packet.category, trace = packet.trace]() {
+          if (!node_->alive()) return;
+          AllocScope alloc_scope(net_allocs());
+          Packet ack;
+          ack.src = node_->id();
+          ack.dst = dst;
+          ack.type = MessageType::kMacAck;
+          ack.size_bytes = params_.ack_bytes;
+          ack.payload = MessagePool::Make<AckMessage>(acked_uid);
+          ack.uid = ack_uid;
+          ack.category = category;
+          // ACKs inherit the frame's trace tag so their collisions
+          // attribute to the same query.
+          ack.trace = trace;
+          channel_->Transmit(node_, ack);
+        });
   }
 
   // Duplicate suppression (an ACK loss makes the sender retransmit a frame

@@ -12,19 +12,25 @@
 // Receivers acknowledge unicast frames addressed to them without CSMA
 // (802.15.4 ACKs follow a fixed turnaround) and suppress duplicate
 // deliveries to the protocol layer via a recent (src, uid) cache.
+//
+// Steady-state allocation discipline (docs/PACKET_PLANE.md): the outbound
+// FIFO and duplicate cache are flat recycled buffers, ACK payloads come
+// from the message pool, and completion callbacks use inline-storage
+// BasicSmallFn — after warmup, queuing / sending / acknowledging a frame
+// performs no heap allocation.
 
 #ifndef DIKNN_NET_MAC_H_
 #define DIKNN_NET_MAC_H_
 
 #include <cstdint>
-#include <deque>
-#include <functional>
-#include <unordered_set>
 
+#include "core/flat_map.h"
+#include "core/ring_buffer.h"
 #include "core/rng.h"
 #include "net/channel.h"
 #include "net/packet.h"
 #include "sim/simulator.h"
+#include "sim/small_fn.h"
 
 namespace diknn {
 
@@ -58,7 +64,9 @@ class Mac {
  public:
   /// Completion callback: true when the frame was delivered (broadcasts:
   /// when it finished transmitting), false when all retries failed.
-  using SendCallback = std::function<void(bool success)>;
+  /// Move-only with inline storage — protocol completion lambdas must fit
+  /// BasicSmallFn's capture budget to stay off the heap.
+  using SendCallback = BasicSmallFn<void(bool)>;
 
   Mac(Node* node, Channel* channel, Simulator* sim, MacParams params,
       Rng rng);
@@ -82,7 +90,7 @@ class Mac {
  private:
   struct OutFrame {
     Packet packet;
-    EnergyCategory category;
+    EnergyCategory category = EnergyCategory::kQuery;
     SendCallback callback;
     int retries_left = 0;
   };
@@ -104,13 +112,17 @@ class Mac {
   // ACK wait expired without a matching ACK.
   void OnAckTimeout();
 
+  // The channel's packet-plane allocation counters (nullptr when detached
+  // from a channel, e.g. bare test rigs).
+  AllocCounters* net_allocs() const;
+
   Node* node_;
   Channel* channel_;
   Simulator* sim_;
   MacParams params_;
   Rng rng_;
 
-  std::deque<OutFrame> queue_;
+  RingBuffer<OutFrame> queue_;
   bool busy_ = false;              // CSMA or transmission in progress.
   uint64_t awaiting_ack_uid_ = 0;  // 0 = not waiting.
   EventId ack_timeout_event_ = 0;
@@ -120,8 +132,8 @@ class Mac {
   uint64_t csma_generation_ = 0;
 
   // Duplicate suppression: uids recently delivered upward, bounded FIFO.
-  std::unordered_set<uint64_t> seen_uids_;
-  std::deque<uint64_t> seen_order_;
+  FlatSet<uint64_t> seen_uids_;
+  RingBuffer<uint64_t> seen_order_;
   static constexpr size_t kSeenCapacity = 256;
 
   MacStats stats_;

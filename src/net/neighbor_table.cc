@@ -3,57 +3,118 @@
 #include <algorithm>
 #include <limits>
 
+#include "core/alloc_probe.h"
+
 namespace diknn {
 
 void NeighborTable::Update(NodeId id, Point position, double speed,
                            SimTime now) {
-  entries_[id] = NeighborEntry{id, position, speed, now};
+  if (const uint32_t* k = index_.find(id)) {
+    positions_[*k] = position;
+    speeds_[*k] = speed;
+    last_heard_[*k] = now;
+    return;
+  }
+  // First contact: lane growth is table capacity (lanes and index never
+  // shrink), not a per-beacon transient allocation.
+  AllocScopePause capacity;
+  index_.TryEmplace(id, static_cast<uint32_t>(ids_.size()));
+  ids_.push_back(id);
+  positions_.push_back(position);
+  speeds_.push_back(speed);
+  last_heard_.push_back(now);
 }
 
-void NeighborTable::Remove(NodeId id) { entries_.erase(id); }
+void NeighborTable::RebuildIndex() {
+  index_.clear();
+  for (size_t i = 0; i < ids_.size(); ++i) {
+    index_.TryEmplace(ids_[i], static_cast<uint32_t>(i));
+  }
+}
+
+void NeighborTable::Remove(NodeId id) {
+  const uint32_t* k = index_.find(id);
+  if (k == nullptr) return;
+  const size_t i = *k;
+  ids_.erase(ids_.begin() + i);
+  positions_.erase(positions_.begin() + i);
+  speeds_.erase(speeds_.begin() + i);
+  last_heard_.erase(last_heard_.begin() + i);
+  RebuildIndex();
+}
 
 void NeighborTable::Expire(SimTime now) {
-  std::erase_if(entries_,
-                [&](const auto& kv) { return !Fresh(kv.second, now); });
+  size_t w = 0;
+  for (size_t r = 0; r < ids_.size(); ++r) {
+    if (!FreshAt(r, now)) continue;
+    if (w != r) {
+      ids_[w] = ids_[r];
+      positions_[w] = positions_[r];
+      speeds_[w] = speeds_[r];
+      last_heard_[w] = last_heard_[r];
+    }
+    ++w;
+  }
+  if (w == ids_.size()) return;
+  ids_.resize(w);
+  positions_.resize(w);
+  speeds_.resize(w);
+  last_heard_.resize(w);
+  RebuildIndex();
 }
 
 std::optional<NeighborEntry> NeighborTable::Lookup(NodeId id,
                                                    SimTime now) const {
-  auto it = entries_.find(id);
-  if (it == entries_.end() || !Fresh(it->second, now)) return std::nullopt;
-  return it->second;
+  const uint32_t* k = index_.find(id);
+  if (k == nullptr || !FreshAt(*k, now)) return std::nullopt;
+  const size_t i = *k;
+  return NeighborEntry{ids_[i], positions_[i], speeds_[i], last_heard_[i]};
 }
 
 std::vector<NeighborEntry> NeighborTable::Snapshot(SimTime now) const {
   std::vector<NeighborEntry> out;
-  out.reserve(entries_.size());
-  for (const auto& [id, e] : entries_) {
-    if (Fresh(e, now)) out.push_back(e);
-  }
+  SnapshotInto(now, &out);
   return out;
+}
+
+void NeighborTable::SnapshotInto(SimTime now,
+                                 std::vector<NeighborEntry>* out) const {
+  out->clear();
+  if (out->capacity() < ids_.size()) {
+    AllocScopePause capacity;  // Scratch high-water growth only.
+    out->reserve(ids_.size());
+  }
+  for (size_t i = 0; i < ids_.size(); ++i) {
+    if (FreshAt(i, now)) {
+      out->push_back(
+          NeighborEntry{ids_[i], positions_[i], speeds_[i], last_heard_[i]});
+    }
+  }
 }
 
 int NeighborTable::CountFresh(SimTime now) const {
   int count = 0;
-  for (const auto& [id, e] : entries_) {
-    if (Fresh(e, now)) ++count;
+  for (size_t i = 0; i < ids_.size(); ++i) {
+    if (FreshAt(i, now)) ++count;
   }
   return count;
 }
 
 std::optional<NeighborEntry> NeighborTable::ClosestTo(const Point& target,
                                                       SimTime now) const {
-  std::optional<NeighborEntry> best;
+  size_t best = ids_.size();
   double best_d2 = std::numeric_limits<double>::infinity();
-  for (const auto& [id, e] : entries_) {
-    if (!Fresh(e, now)) continue;
-    const double d2 = SquaredDistance(e.position, target);
+  for (size_t i = 0; i < ids_.size(); ++i) {
+    if (!FreshAt(i, now)) continue;
+    const double d2 = SquaredDistance(positions_[i], target);
     if (d2 < best_d2) {
       best_d2 = d2;
-      best = e;
+      best = i;
     }
   }
-  return best;
+  if (best == ids_.size()) return std::nullopt;
+  return NeighborEntry{ids_[best], positions_[best], speeds_[best],
+                       last_heard_[best]};
 }
 
 std::vector<NeighborEntry> NeighborTable::CloserThan(const Point& target,
@@ -61,9 +122,10 @@ std::vector<NeighborEntry> NeighborTable::CloserThan(const Point& target,
                                                      SimTime now) const {
   std::vector<NeighborEntry> out;
   const double t2 = threshold * threshold;
-  for (const auto& [id, e] : entries_) {
-    if (Fresh(e, now) && SquaredDistance(e.position, target) < t2) {
-      out.push_back(e);
+  for (size_t i = 0; i < ids_.size(); ++i) {
+    if (FreshAt(i, now) && SquaredDistance(positions_[i], target) < t2) {
+      out.push_back(
+          NeighborEntry{ids_[i], positions_[i], speeds_[i], last_heard_[i]});
     }
   }
   return out;
@@ -73,16 +135,16 @@ int NeighborTable::CountFartherThan(const Point& from, double radius,
                                     SimTime now) const {
   int count = 0;
   const double r2 = radius * radius;
-  for (const auto& [id, e] : entries_) {
-    if (Fresh(e, now) && SquaredDistance(e.position, from) > r2) ++count;
+  for (size_t i = 0; i < ids_.size(); ++i) {
+    if (FreshAt(i, now) && SquaredDistance(positions_[i], from) > r2) ++count;
   }
   return count;
 }
 
 double NeighborTable::MaxNeighborSpeed(SimTime now) const {
   double max_speed = 0.0;
-  for (const auto& [id, e] : entries_) {
-    if (Fresh(e, now)) max_speed = std::max(max_speed, e.speed);
+  for (size_t i = 0; i < ids_.size(); ++i) {
+    if (FreshAt(i, now)) max_speed = std::max(max_speed, speeds_[i]);
   }
   return max_speed;
 }

@@ -5,14 +5,25 @@
 // enrolling IDs and locations of neighbor nodes falling within its radio
 // range r." Entries expire after a staleness timeout (several beacon
 // periods), so nodes that moved away or died disappear from the table.
+//
+// Layout (docs/PACKET_PLANE.md): struct-of-arrays. The geometric scans
+// that dominate the hot path — greedy next-hop selection, boundary
+// estimation, planarization — touch only the position lane, so entries
+// are stored as four parallel flat vectors in insertion order with a
+// FlatMap id->lane index on the side. Insertion order is preserved across
+// erasure (lanes are compacted, not swap-erased), which makes iteration
+// order a pure function of the beacon history and keeps runs bit-identical
+// across --jobs counts. In steady state (table grown to its high-water
+// capacity) updates, removals, expiry sweeps and scans allocate nothing.
 
 #ifndef DIKNN_NET_NEIGHBOR_TABLE_H_
 #define DIKNN_NET_NEIGHBOR_TABLE_H_
 
+#include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
+#include "core/flat_map.h"
 #include "core/geometry.h"
 #include "net/packet.h"
 #include "sim/event_queue.h"
@@ -45,8 +56,24 @@ class NeighborTable {
   /// Live entry for `id`, if present and fresh at `now`.
   std::optional<NeighborEntry> Lookup(NodeId id, SimTime now) const;
 
-  /// All fresh entries at time `now`.
+  /// All fresh entries at time `now`. Allocates the result vector; hot
+  /// paths should use SnapshotInto with a reused scratch buffer instead.
   std::vector<NeighborEntry> Snapshot(SimTime now) const;
+
+  /// Clears `out` and fills it with all fresh entries at `now`, in table
+  /// (insertion) order. Reusing `out` across calls makes this
+  /// allocation-free once it has reached its high-water capacity.
+  void SnapshotInto(SimTime now, std::vector<NeighborEntry>* out) const;
+
+  /// Calls `fn(const NeighborEntry&)` for every fresh entry at `now`, in
+  /// table order, without materializing a snapshot.
+  template <typename Fn>
+  void ForEachFresh(SimTime now, Fn&& fn) const {
+    for (size_t i = 0; i < ids_.size(); ++i) {
+      if (!FreshAt(i, now)) continue;
+      fn(NeighborEntry{ids_[i], positions_[i], speeds_[i], last_heard_[i]});
+    }
+  }
 
   /// Number of fresh entries at `now`.
   int CountFresh(SimTime now) const;
@@ -70,12 +97,21 @@ class NeighborTable {
   SimTime timeout() const { return timeout_; }
 
  private:
-  bool Fresh(const NeighborEntry& e, SimTime now) const {
-    return now - e.last_heard <= timeout_;
+  bool FreshAt(size_t i, SimTime now) const {
+    return now - last_heard_[i] <= timeout_;
   }
 
+  // Rebuilds the id->lane index from the lanes (after compaction).
+  // Allocation-free: FlatMap::clear retains capacity.
+  void RebuildIndex();
+
   SimTime timeout_;
-  std::unordered_map<NodeId, NeighborEntry> entries_;
+  // Parallel lanes, insertion-ordered; index_ maps id -> lane position.
+  std::vector<NodeId> ids_;
+  std::vector<Point> positions_;
+  std::vector<double> speeds_;
+  std::vector<SimTime> last_heard_;
+  FlatMap<NodeId, uint32_t> index_;
 };
 
 }  // namespace diknn

@@ -1,5 +1,7 @@
 #include "net/node.h"
 
+#include <cassert>
+
 #include "core/logging.h"
 
 namespace diknn {
@@ -36,7 +38,9 @@ void Node::ClearPinnedPosition() {
 }
 
 void Node::RegisterHandler(MessageType type, Handler handler) {
-  handlers_[type] = std::move(handler);
+  const size_t index = static_cast<size_t>(type);
+  assert(index < kMessageTypeSpan && "MessageType outside dispatch table");
+  handlers_[index] = std::move(handler);
 }
 
 void Node::SendUnicast(NodeId dst, MessageType type,
@@ -77,13 +81,13 @@ void Node::HandlePhyReceive(const Packet& packet) {
   if (!alive_) return;
   if (mac_.FilterReceive(packet)) return;
 
-  auto it = handlers_.find(packet.type);
-  if (it == handlers_.end()) {
+  const size_t index = static_cast<size_t>(packet.type);
+  if (index >= kMessageTypeSpan || !handlers_[index]) {
     DIKNN_LOG(kDebug) << "node " << id_ << ": no handler for "
                       << MessageTypeName(packet.type);
     return;
   }
-  it->second(packet);
+  handlers_[index](packet);
 }
 
 }  // namespace diknn

@@ -4,8 +4,8 @@
 #ifndef DIKNN_NET_NODE_H_
 #define DIKNN_NET_NODE_H_
 
+#include <array>
 #include <functional>
-#include <map>
 #include <memory>
 #include <utility>
 
@@ -44,6 +44,11 @@ class Node {
 
   NodeId id() const { return id_; }
   Simulator* sim() { return sim_; }
+
+  /// The shared medium this node is attached to (nullptr in detached test
+  /// rigs). Gives the MAC and beacon layers access to the channel's
+  /// packet-plane allocation scope.
+  Channel* channel() const { return channel_; }
 
   /// True position right now (nodes are location-aware per Section 3.1).
   Point Position() const {
@@ -123,7 +128,10 @@ class Node {
   bool infrastructure_ = false;
   bool position_pinned_ = false;
   Point pinned_position_;
-  std::map<MessageType, Handler> handlers_;
+  // Dispatch table indexed by MessageType value: receive dispatch is an
+  // array load instead of a tree walk, and registration order can never
+  // influence behavior (there is nothing to iterate).
+  std::array<Handler, kMessageTypeSpan> handlers_;
 };
 
 }  // namespace diknn

@@ -87,6 +87,12 @@ enum class MessageType : uint16_t {
   kAggResult = 84,
 };
 
+/// One past the largest MessageType value. Dispatch tables (per-node
+/// protocol handlers, GPSR delivery handlers) are flat arrays indexed by
+/// the type tag; bump this when adding message types past kAggResult.
+inline constexpr size_t kMessageTypeSpan =
+    static_cast<size_t>(MessageType::kAggResult) + 1;
+
 /// Returns a short human-readable tag name for traces.
 const char* MessageTypeName(MessageType type);
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/alloc_probe.h"
+
 namespace diknn {
 
 namespace {
@@ -76,6 +78,10 @@ TraceContext Tracer::StartQuery(SimTime now) {
       (sample_rate_ > 0.0 && Mix64(counter ^ seed_) < sample_threshold_);
   if (!sampled) return TraceContext{};
 
+  // Span storage is observability overhead, not protocol work: suspend
+  // attribution so traced runs publish the same subsystem counters as
+  // untraced ones (obs_noop_test).
+  AllocScopePause pause;
   ++stats_.queries_sampled;
   const TraceId trace = next_trace_id_++;
   Span root;
@@ -92,6 +98,7 @@ TraceContext Tracer::StartQuery(SimTime now) {
 SpanId Tracer::BeginSpan(const TraceContext& parent, SpanKind kind,
                          SimTime now, int32_t sector, int32_t node) {
   if (!parent.sampled()) return 0;
+  AllocScopePause pause;
   Span span;
   span.trace_id = parent.trace_id;
   span.id = static_cast<SpanId>(spans_.size() + 1);
@@ -108,6 +115,7 @@ SpanId Tracer::BeginSpan(const TraceContext& parent, SpanKind kind,
 
 void Tracer::EndSpan(TraceId trace, SpanId span, SimTime now) {
   if (trace == 0 || span == 0 || span > spans_.size()) return;
+  AllocScopePause pause;
   Span& s = spans_[span - 1];
   if (s.trace_id != trace || s.closed()) return;
   s.end = std::max(now, s.start);
@@ -126,6 +134,7 @@ void Tracer::EndSpan(TraceId trace, SpanId span, SimTime now) {
 void Tracer::AddEvent(const TraceContext& ctx, TraceEventKind kind,
                       SimTime now, int32_t node, double value) {
   if (!ctx.sampled()) return;
+  AllocScopePause pause;
   SpanEvent ev;
   ev.trace_id = ctx.trace_id;
   ev.span_id = ctx.span_id;
@@ -139,6 +148,7 @@ void Tracer::AddEvent(const TraceContext& ctx, TraceEventKind kind,
 
 void Tracer::CloseTrace(TraceId trace, SimTime now) {
   if (trace == 0) return;
+  AllocScopePause pause;
   auto it = open_.find(trace);
   if (it == open_.end()) return;
   for (const SpanId id : it->second) {

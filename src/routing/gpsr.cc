@@ -5,7 +5,9 @@
 #include <cmath>
 #include <limits>
 
+#include "core/alloc_probe.h"
 #include "core/logging.h"
+#include "net/packet_pool.h"
 #include "obs/tracer.h"
 #include "routing/planarize.h"
 
@@ -29,6 +31,11 @@ GpsrRouting::GpsrRouting(Network* network, GpsrParams params)
         96, static_cast<int>(8.0 * diagonal /
                              network_->config().radio_range_m));
   }
+  // Size the fork-suppression table and its eviction FIFO once;
+  // steady-state flow churn then never rehashes or grows the ring (the +1
+  // covers the transient insert-before-evict).
+  flow_progress_.reserve(kFlowCapacity + 1);
+  flow_order_.reserve(kFlowCapacity + 1);
 }
 
 void GpsrRouting::Install() {
@@ -39,7 +46,7 @@ void GpsrRouting::Install() {
               static_cast<const GeoRoutedMessage*>(p.payload.get());
           // Collapse token forks: only arrivals that advance the flow's
           // hop counter are processed.
-          auto [it, inserted] = flow_progress_.try_emplace(
+          auto [kv, inserted] = flow_progress_.TryEmplace(
               received->flow_id, received->hop_index);
           if (inserted) {
             flow_order_.push_back(received->flow_id);
@@ -48,15 +55,21 @@ void GpsrRouting::Install() {
               flow_order_.pop_front();
             }
           } else {
-            if (received->hop_index <= it->second) {
+            if (received->hop_index <= kv->second) {
               ++stats_.forks_suppressed;
               return;
             }
-            it->second = received->hop_index;
+            kv->second = received->hop_index;
           }
           // Copy the routing envelope: state mutates per hop, while the
-          // received payload is shared and immutable.
-          auto msg = std::make_shared<GeoRoutedMessage>(*received);
+          // received payload is shared and immutable. The copy target is
+          // a recycled pool object (its info-list capacity survives), so
+          // the assignment only allocates while that capacity still grows.
+          auto msg = MessagePool::MakeReusable<GeoRoutedMessage>();
+          {
+            AllocScopePause capacity;
+            *msg = *received;
+          }
           Forward(node, std::move(msg), p.category);
         });
   }
@@ -64,7 +77,9 @@ void GpsrRouting::Install() {
 
 void GpsrRouting::RegisterDelivery(MessageType inner_type,
                                    DeliveryHandler handler) {
-  deliveries_[inner_type] = std::move(handler);
+  const size_t index = static_cast<size_t>(inner_type);
+  assert(index < kMessageTypeSpan && "MessageType outside dispatch table");
+  deliveries_[index] = std::move(handler);
 }
 
 void GpsrRouting::Send(Node* src, Point destination, MessageType inner_type,
@@ -72,7 +87,7 @@ void GpsrRouting::Send(Node* src, Point destination, MessageType inner_type,
                        size_t inner_bytes, EnergyCategory category,
                        bool collect_info, NodeId target_node,
                        bool cheap_delivery, TraceContext trace) {
-  auto msg = std::make_shared<GeoRoutedMessage>();
+  auto msg = MessagePool::MakeReusable<GeoRoutedMessage>();
   msg->destination = destination;
   msg->target_node = target_node;
   msg->cheap_delivery = cheap_delivery;
@@ -101,6 +116,9 @@ void GpsrRouting::AppendHopInfo(Node* node, GeoRoutedMessage* msg,
     info.encountered = node->neighbors().CountFartherThan(
         msg->info_list.back().location, radio_range, now);
   }
+  // The info list rides a recycled envelope; growth past the envelope's
+  // previous high water is capacity, not a per-hop transient.
+  AllocScopePause capacity;
   msg->info_list.push_back(info);
 }
 
@@ -152,7 +170,11 @@ void GpsrRouting::Forward(Node* node, std::shared_ptr<GeoRoutedMessage> msg,
     }
   }
 
-  const auto neighbors = node->neighbors().Snapshot(now);
+  // Scratch reuse is safe: every nested Forward (delivery handler sending,
+  // dead-node synchronous failure callback) happens after this call's last
+  // read of the buffers.
+  std::vector<NeighborEntry>& neighbors = neighbors_scratch_;
+  node->neighbors().SnapshotInto(now, &neighbors);
   if (neighbors.empty()) {
     ++stats_.dropped_no_neighbor;
     Deliver(node, *msg);  // Isolated node: best effort delivery in place.
@@ -203,9 +225,12 @@ void GpsrRouting::Forward(Node* node, std::shared_ptr<GeoRoutedMessage> msg,
   }
 
   // Perimeter mode: right-hand rule on the planarized neighbor set.
-  auto planar = params_.planarization == Planarization::kGabriel
-                    ? GabrielNeighbors(self, neighbors)
-                    : RngNeighbors(self, neighbors);
+  std::vector<NeighborEntry>& planar = planar_scratch_;
+  if (params_.planarization == Planarization::kGabriel) {
+    GabrielNeighborsInto(self, neighbors, &planar);
+  } else {
+    RngNeighborsInto(self, neighbors, &planar);
+  }
   if (planar.empty()) {
     ++stats_.dropped_no_neighbor;
     Deliver(node, *msg);
@@ -254,9 +279,8 @@ void GpsrRouting::SendToNeighbor(Node* node, NodeId next,
         // re-route from this node — unless the "failed" recipient actually
         // got the frame (lost ACK) and the token is already ahead of us.
         ++stats_.link_failures;
-        auto progress = flow_progress_.find(msg->flow_id);
-        if (progress != flow_progress_.end() &&
-            progress->second >= msg->hop_index) {
+        const int* progress = flow_progress_.find(msg->flow_id);
+        if (progress != nullptr && *progress >= msg->hop_index) {
           ++stats_.forks_suppressed;
           return;
         }
@@ -265,7 +289,13 @@ void GpsrRouting::SendToNeighbor(Node* node, NodeId next,
                             node->sim()->Now(), node->id(), next);
         }
         node->neighbors().Remove(next);
-        auto retry = std::make_shared<GeoRoutedMessage>(*msg);
+        auto retry = MessagePool::MakeReusable<GeoRoutedMessage>();
+        {
+          // Recycled envelope: the copy only allocates while the pooled
+          // object's info-list capacity is still growing.
+          AllocScopePause capacity;
+          *retry = *msg;
+        }
         --retry->hop_index;  // Forward() re-increments on the next send.
         if (retry->collect_info && !retry->info_list.empty()) {
           // Forward() will re-append this node's entry.
@@ -279,17 +309,17 @@ void GpsrRouting::SendToNeighbor(Node* node, NodeId next,
 void GpsrRouting::Deliver(Node* node, const GeoRoutedMessage& msg) {
   ++stats_.deliveries;
   // A delivered flow is finished; suppress any straggling fork copies.
-  auto flow_it = flow_progress_.find(msg.flow_id);
-  if (flow_it != flow_progress_.end()) {
-    flow_it->second = std::numeric_limits<int>::max();
+  int* progress = flow_progress_.find(msg.flow_id);
+  if (progress != nullptr) {
+    *progress = std::numeric_limits<int>::max();
   }
-  auto it = deliveries_.find(msg.inner_type);
-  if (it == deliveries_.end()) {
+  const size_t index = static_cast<size_t>(msg.inner_type);
+  if (index >= kMessageTypeSpan || !deliveries_[index]) {
     DIKNN_LOG(kWarn) << "GPSR delivery with no handler for inner type "
                      << MessageTypeName(msg.inner_type);
     return;
   }
-  it->second(node, msg);
+  deliveries_[index](node, msg);
 }
 
 }  // namespace diknn

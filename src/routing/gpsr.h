@@ -13,19 +13,26 @@
 // of DIKNN's phase 1: each relaying node records its location loc_i and
 // enc_i, the number of newly-encountered neighbors (those farther than the
 // radio range r from the previous hop's location).
+//
+// Steady-state allocation discipline (docs/PACKET_PLANE.md): routing
+// envelopes come from the message pool (recycled per thread, Reuse()
+// retains info-list capacity), the fork-suppression table is a flat map
+// with a ring-buffer eviction FIFO, delivery dispatch is an array indexed
+// by message type, and the per-hop neighbor snapshot / planarization use
+// member scratch buffers — after warmup a routed hop allocates nothing.
 
 #ifndef DIKNN_ROUTING_GPSR_H_
 #define DIKNN_ROUTING_GPSR_H_
 
+#include <array>
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <map>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
+#include "core/flat_map.h"
 #include "core/geometry.h"
+#include "core/ring_buffer.h"
 #include "net/network.h"
 #include "net/packet.h"
 
@@ -86,6 +93,29 @@ struct GeoRoutedMessage : Message {
 
   /// Modeled over-the-air byte size of the whole envelope.
   size_t WireBytes() const;
+
+  /// MessagePool::MakeReusable contract: resets every field to its
+  /// default-constructed value while keeping the info list's capacity.
+  void Reuse() {
+    destination = Point{};
+    target_node = kInvalidNodeId;
+    inner_type = MessageType{};
+    inner.reset();
+    inner_bytes = 0;
+    cheap_delivery = false;
+    flow_id = 0;
+    hop_index = 0;
+    mode = Mode::kGreedy;
+    perimeter_entry = Point{};
+    perimeter_entry_node = kInvalidNodeId;
+    prev_hop = kInvalidNodeId;
+    prev_hop_position = Point{};
+    perimeter_hops = 0;
+    ttl = 0;
+    collect_info = false;
+    info_list.clear();
+    trace = TraceContext{};
+  }
 };
 
 /// Planar subgraph used by perimeter mode.
@@ -186,14 +216,21 @@ class GpsrRouting {
 
   Network* network_;
   GpsrParams params_;
-  std::map<MessageType, DeliveryHandler> deliveries_;
+  // Delivery dispatch indexed by the inner MessageType value (no ordered
+  // map walk, no iteration-order sensitivity).
+  std::array<DeliveryHandler, kMessageTypeSpan> deliveries_;
   Stats stats_;
   Tracer* tracer_ = nullptr;
 
   uint64_t next_flow_id_ = 1;
   // Last hop_index seen per flow (bounded FIFO eviction).
-  std::unordered_map<uint64_t, int> flow_progress_;
-  std::deque<uint64_t> flow_order_;
+  FlatMap<uint64_t, int> flow_progress_;
+  RingBuffer<uint64_t> flow_order_;
+
+  // Per-hop scratch (Forward is never re-entered while these are live:
+  // every nested call happens after the buffers' last read).
+  std::vector<NeighborEntry> neighbors_scratch_;
+  std::vector<NeighborEntry> planar_scratch_;
 };
 
 }  // namespace diknn

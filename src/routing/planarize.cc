@@ -2,12 +2,20 @@
 
 #include <algorithm>
 
+#include "core/alloc_probe.h"
+
 namespace diknn {
 
-std::vector<NeighborEntry> GabrielNeighbors(
-    const Point& self, const std::vector<NeighborEntry>& neighbors) {
-  std::vector<NeighborEntry> out;
-  out.reserve(neighbors.size());
+void GabrielNeighborsInto(const Point& self,
+                          const std::vector<NeighborEntry>& neighbors,
+                          std::vector<NeighborEntry>* out) {
+  out->clear();
+  if (out->capacity() < neighbors.size()) {
+    // The caller passes a persistent scratch; growth past its previous
+    // high-water mark is retained capacity, not a per-hop transient.
+    AllocScopePause capacity;
+    out->reserve(neighbors.size());
+  }
   for (const NeighborEntry& v : neighbors) {
     const Point mid = Lerp(self, v.position, 0.5);
     const double radius2 = SquaredDistance(self, v.position) / 4.0;
@@ -19,15 +27,19 @@ std::vector<NeighborEntry> GabrielNeighbors(
         break;
       }
     }
-    if (!witnessed) out.push_back(v);
+    if (!witnessed) out->push_back(v);
   }
-  return out;
 }
 
-std::vector<NeighborEntry> RngNeighbors(
-    const Point& self, const std::vector<NeighborEntry>& neighbors) {
-  std::vector<NeighborEntry> out;
-  out.reserve(neighbors.size());
+void RngNeighborsInto(const Point& self,
+                      const std::vector<NeighborEntry>& neighbors,
+                      std::vector<NeighborEntry>* out) {
+  out->clear();
+  if (out->capacity() < neighbors.size()) {
+    // Persistent-scratch growth: capacity, see GabrielNeighborsInto.
+    AllocScopePause capacity;
+    out->reserve(neighbors.size());
+  }
   for (const NeighborEntry& v : neighbors) {
     const double duv2 = SquaredDistance(self, v.position);
     bool witnessed = false;
@@ -40,8 +52,21 @@ std::vector<NeighborEntry> RngNeighbors(
         break;
       }
     }
-    if (!witnessed) out.push_back(v);
+    if (!witnessed) out->push_back(v);
   }
+}
+
+std::vector<NeighborEntry> GabrielNeighbors(
+    const Point& self, const std::vector<NeighborEntry>& neighbors) {
+  std::vector<NeighborEntry> out;
+  GabrielNeighborsInto(self, neighbors, &out);
+  return out;
+}
+
+std::vector<NeighborEntry> RngNeighbors(
+    const Point& self, const std::vector<NeighborEntry>& neighbors) {
+  std::vector<NeighborEntry> out;
+  RngNeighborsInto(self, neighbors, &out);
   return out;
 }
 

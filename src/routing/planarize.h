@@ -17,14 +17,24 @@
 
 namespace diknn {
 
-/// Returns the neighbors of a node at `self` that survive Gabriel Graph
-/// planarization, computed over the given fresh-neighbor snapshot.
-std::vector<NeighborEntry> GabrielNeighbors(
-    const Point& self, const std::vector<NeighborEntry>& neighbors);
+/// Clears `out` and fills it with the neighbors at `self` that survive
+/// Gabriel Graph planarization, computed over the given fresh-neighbor
+/// snapshot. Reusing `out` keeps the per-hop planarization allocation-free
+/// once it has reached its high-water capacity.
+void GabrielNeighborsInto(const Point& self,
+                          const std::vector<NeighborEntry>& neighbors,
+                          std::vector<NeighborEntry>* out);
 
 /// Relative Neighborhood Graph (RNG) variant: the edge (u, v) survives iff
 /// no witness w with max(d(u,w), d(v,w)) < d(u,v). RNG is a subgraph of GG
 /// (sparser); provided for ablations.
+void RngNeighborsInto(const Point& self,
+                      const std::vector<NeighborEntry>& neighbors,
+                      std::vector<NeighborEntry>* out);
+
+/// Allocating conveniences (tests, offline analysis).
+std::vector<NeighborEntry> GabrielNeighbors(
+    const Point& self, const std::vector<NeighborEntry>& neighbors);
 std::vector<NeighborEntry> RngNeighbors(
     const Point& self, const std::vector<NeighborEntry>& neighbors);
 

@@ -5,6 +5,8 @@
 #include <cassert>
 #include <utility>
 
+#include "core/alloc_probe.h"
+
 namespace diknn {
 
 namespace {
@@ -24,6 +26,10 @@ constexpr auto kRefAfter = [](const auto& a, const auto& b) {
 }  // namespace
 
 EventId EventQueue::PushLegacy(SimTime t, std::function<void()> fn) {
+  // Scheduler storage (heap array, id set) is engine capacity, not the
+  // scheduling subsystem's transient allocation. The caller's closure was
+  // already built (and attributed) before this call.
+  AllocScopePause capacity;
   const EventId id = legacy_next_id_++;
   legacy_heap_.push_back(LegacyEntry{t, next_seq_++, id, std::move(fn)});
   std::push_heap(legacy_heap_.begin(), legacy_heap_.end(), kRefAfter);
@@ -38,6 +44,12 @@ EventId EventQueue::PushLegacy(SimTime t, std::function<void()> fn) {
 }
 
 EventId EventQueue::PushWheel(SimTime t, SmallFn fn) {
+  // Wheel buckets, the sorted run, the overflow heap and the slot pool
+  // all grow to a high-water mark and are recycled thereafter: engine
+  // capacity, excluded from the caller's transient allocation counters.
+  // (An oversized callback's heap spill happened at the call site, before
+  // this function, and is attributed there.)
+  AllocScopePause capacity;
   const bool stored_inline = fn.is_inline();
   const uint32_t slot = AllocSlot(std::move(fn));
   const Ref ref{t, next_seq_++, slot, pool_[slot].gen};
@@ -159,6 +171,7 @@ int64_t EventQueue::NextOccupiedWheelBucket() const {
 }
 
 void EventQueue::EnsureRunReady() {
+  AllocScopePause capacity;  // Run-buffer growth during bucket draws.
   for (;;) {
     // Reclaim cancelled references at the head of the run.
     while (run_head_ < run_.size() && !IsLiveRef(run_[run_head_])) {

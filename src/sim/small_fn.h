@@ -1,13 +1,14 @@
-// Move-only `void()` callable with inline storage, the event engine's
-// replacement for `std::function<void()>`.
+// Move-only callable with inline storage, the event engine's replacement
+// for `std::function`.
 //
 // Scheduler callbacks are almost always small lambdas (a `this` pointer
 // plus a few scalars), yet `std::function` heap-allocates anything above
 // its tiny SBO threshold and drags in RTTI + copyability machinery the
-// event queue never uses. SmallFn stores any nothrow-movable callable of
-// up to kInlineBytes directly in the event's pool slot and falls back to
-// a single heap allocation only for oversized captures (e.g. the
-// channel's batched-delivery closure, which owns a reception vector).
+// event queue never uses. BasicSmallFn stores any nothrow-movable callable
+// of up to kInlineBytes directly inline and falls back to a single heap
+// allocation only for oversized captures. `SmallFn` is the event queue's
+// `void()` instantiation; the MAC uses `BasicSmallFn<void(bool)>` for its
+// send-completion callbacks so queuing a frame never allocates either.
 
 #ifndef DIKNN_SIM_SMALL_FN_H_
 #define DIKNN_SIM_SMALL_FN_H_
@@ -21,21 +22,25 @@
 
 namespace diknn {
 
-class SmallFn {
+template <typename Sig>
+class BasicSmallFn;  // Only the R(Args...) specialization exists.
+
+template <typename R, typename... Args>
+class BasicSmallFn<R(Args...)> {
  public:
   /// Inline capture budget. Sized so every MAC/beacon/protocol-timer
-  /// lambda in the tree fits (the largest, a `this` + Packet capture, is
-  /// just under 64 bytes).
+  /// lambda in the tree fits (the largest captures a `this` pointer, a
+  /// pooled-frame handle, and a few scalars).
   static constexpr size_t kInlineBytes = 64;
   static constexpr size_t kInlineAlign = 16;
 
-  SmallFn() = default;
+  BasicSmallFn() = default;
 
   template <typename F,
             typename = std::enable_if_t<
-                !std::is_same_v<std::decay_t<F>, SmallFn> &&
-                std::is_invocable_r_v<void, std::decay_t<F>&>>>
-  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor)
+                !std::is_same_v<std::decay_t<F>, BasicSmallFn> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  BasicSmallFn(F&& f) {  // NOLINT(google-explicit-constructor)
     using Fn = std::decay_t<F>;
     if constexpr (FitsInline<Fn>()) {
       ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
@@ -46,14 +51,14 @@ class SmallFn {
     }
   }
 
-  SmallFn(SmallFn&& other) noexcept : ops_(other.ops_) {
+  BasicSmallFn(BasicSmallFn&& other) noexcept : ops_(other.ops_) {
     if (ops_ != nullptr) {
       ops_->relocate(storage_, other.storage_);
       other.ops_ = nullptr;
     }
   }
 
-  SmallFn& operator=(SmallFn&& other) noexcept {
+  BasicSmallFn& operator=(BasicSmallFn&& other) noexcept {
     if (this != &other) {
       Reset();
       ops_ = other.ops_;
@@ -65,13 +70,13 @@ class SmallFn {
     return *this;
   }
 
-  SmallFn(const SmallFn&) = delete;
-  SmallFn& operator=(const SmallFn&) = delete;
+  BasicSmallFn(const BasicSmallFn&) = delete;
+  BasicSmallFn& operator=(const BasicSmallFn&) = delete;
 
-  ~SmallFn() { Reset(); }
+  ~BasicSmallFn() { Reset(); }
 
   /// Destroys the held callable (releasing captured resources now),
-  /// leaving the SmallFn empty. Safe on an empty SmallFn.
+  /// leaving the BasicSmallFn empty. Safe on an empty BasicSmallFn.
   void Reset() {
     if (ops_ != nullptr) {
       ops_->destroy(storage_);
@@ -79,9 +84,9 @@ class SmallFn {
     }
   }
 
-  void operator()() {
-    assert(ops_ != nullptr && "invoking an empty SmallFn");
-    ops_->invoke(storage_);
+  R operator()(Args... args) {
+    assert(ops_ != nullptr && "invoking an empty BasicSmallFn");
+    return ops_->invoke(storage_, std::forward<Args>(args)...);
   }
 
   explicit operator bool() const { return ops_ != nullptr; }
@@ -98,7 +103,7 @@ class SmallFn {
 
  private:
   struct Ops {
-    void (*invoke)(void* storage);
+    R (*invoke)(void* storage, Args... args);
     // Move-constructs dst from src and destroys src.
     void (*relocate)(void* dst, void* src) noexcept;
     void (*destroy)(void* storage) noexcept;
@@ -107,7 +112,10 @@ class SmallFn {
 
   template <typename F>
   struct InlineOpsFor {
-    static void Invoke(void* s) { (*std::launder(reinterpret_cast<F*>(s)))(); }
+    static R Invoke(void* s, Args... args) {
+      return (*std::launder(reinterpret_cast<F*>(s)))(
+          std::forward<Args>(args)...);
+    }
     static void Relocate(void* dst, void* src) noexcept {
       F* from = std::launder(reinterpret_cast<F*>(src));
       ::new (dst) F(std::move(*from));
@@ -122,7 +130,9 @@ class SmallFn {
   template <typename F>
   struct HeapOpsFor {
     static F*& Ptr(void* s) { return *std::launder(reinterpret_cast<F**>(s)); }
-    static void Invoke(void* s) { (*Ptr(s))(); }
+    static R Invoke(void* s, Args... args) {
+      return (*Ptr(s))(std::forward<Args>(args)...);
+    }
     static void Relocate(void* dst, void* src) noexcept {
       ::new (dst) F*(Ptr(src));
     }
@@ -133,6 +143,9 @@ class SmallFn {
   alignas(kInlineAlign) unsigned char storage_[kInlineBytes];
   const Ops* ops_ = nullptr;
 };
+
+/// The event engine's `void()` callable.
+using SmallFn = BasicSmallFn<void()>;
 
 }  // namespace diknn
 

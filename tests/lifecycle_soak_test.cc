@@ -33,9 +33,11 @@ ExperimentConfig HostileConfig() {
 
 struct StressOutcome {
   DiknnStats stats;
+  DiknnLifecycleCounts counts;
   uint64_t checks = 0;
   uint64_t violations = 0;
   size_t residue = 0;
+  size_t frames_in_flight = 0;
   bool flow_bounded = true;
   int completions = 0;
 };
@@ -77,9 +79,11 @@ StressOutcome RunStress(const ExperimentConfig& config, uint64_t seed,
 
   StressOutcome out;
   out.stats = stack.diknn()->stats();
+  out.counts = stack.diknn()->lifecycle_counts();
   out.checks = auditor.checks();
   out.violations = auditor.violations();
   out.residue = auditor.FinalResidue();
+  out.frames_in_flight = net.channel().frames_in_flight();
   out.flow_bounded = auditor.FlowStateBounded();
   out.completions = completions;
   return out;
@@ -97,6 +101,13 @@ TEST(LifecycleRegressionTest, TimedOutStragglersLeaveNoResidue) {
   EXPECT_GT(out.stats.stale_branches_dropped, 0u);
   EXPECT_EQ(out.violations, 0u);
   EXPECT_EQ(out.residue, 0u) << "leaked per-query entries";
+  // Container by container: the fork-suppression map and the buffered
+  // rendezvous broadcasts are the two that historically leaked from
+  // straggling traversal branches.
+  EXPECT_EQ(out.counts.last_hop_seen, 0u);
+  EXPECT_EQ(out.counts.heard_rendezvous_entries, 0u);
+  EXPECT_EQ(out.counts.replied_queries, 0u);
+  EXPECT_EQ(out.counts.collections, 0u);
   EXPECT_GT(out.checks, 0u);
 }
 
@@ -121,7 +132,14 @@ TEST(LifecycleRegressionTest, DeadNodesDropTraversalWork) {
   EXPECT_GT(out.stats.dead_node_drops, 0u);
   EXPECT_EQ(out.violations, 0u);
   EXPECT_EQ(out.residue, 0u);
+  EXPECT_EQ(out.counts.last_hop_seen, 0u);
+  EXPECT_EQ(out.counts.heard_rendezvous_entries, 0u);
   EXPECT_TRUE(out.flow_bounded);
+  // Frame-pool slots are released when each delivery event fires, so
+  // after the drain the air holds at most the beacons of the final
+  // instant. A leaked slot (dropped or duplicated frame that never
+  // released) accumulates into the hundreds over a faulted run.
+  EXPECT_LE(out.frames_in_flight, 8u);
 }
 
 // Sanity for the audit itself: ResidueFor / lifecycle_counts must see

@@ -1,0 +1,227 @@
+#include "net/packet_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/alloc_probe.h"
+#include "core/rng.h"
+#include "net/packet.h"
+
+namespace diknn {
+namespace {
+
+struct TestMessage : Message {
+  uint64_t value = 0;
+  explicit TestMessage(uint64_t v) : value(v) {}
+};
+
+struct ReusableMessage : Message {
+  std::vector<int> items;
+
+  void Reuse() { items.clear(); }  // Keeps capacity.
+};
+
+TEST(MessagePoolTest, MakeConstructsAndRecycles) {
+  const uint64_t live_before = MessagePool::ThreadLive();
+  {
+    auto msg = MessagePool::Make<TestMessage>(42u);
+    ASSERT_NE(msg, nullptr);
+    EXPECT_EQ(msg->value, 42u);
+    EXPECT_EQ(MessagePool::ThreadLive(), live_before + 1);
+  }
+  EXPECT_EQ(MessagePool::ThreadLive(), live_before);
+
+  // The freed block serves the next Make of the same size class.
+  const uint64_t reuses_before = MessagePool::ThreadStats().reuses;
+  auto again = MessagePool::Make<TestMessage>(7u);
+  EXPECT_EQ(again->value, 7u);
+  EXPECT_GT(MessagePool::ThreadStats().reuses, reuses_before);
+}
+
+TEST(MessagePoolTest, SteadyStateMakeIsAllocationFree) {
+  // Warm the size class.
+  MessagePool::Make<TestMessage>(1u).reset();
+
+  AllocCounters counters;
+  {
+    AllocScope scope(&counters);
+    for (int i = 0; i < 100; ++i) {
+      auto msg = MessagePool::Make<TestMessage>(static_cast<uint64_t>(i));
+      msg.reset();
+    }
+  }
+  EXPECT_EQ(counters.allocations, 0u);
+}
+
+TEST(MessagePoolTest, PayloadConvertsToConstMessage) {
+  std::shared_ptr<const Message> payload =
+      MessagePool::Make<TestMessage>(5u);
+  ASSERT_NE(payload, nullptr);
+  EXPECT_EQ(static_cast<const TestMessage*>(payload.get())->value, 5u);
+}
+
+TEST(MessagePoolTest, ReusableKeepsObjectAndCapacity) {
+  const int* data_before = nullptr;
+  ReusableMessage* raw_before = nullptr;
+  {
+    auto msg = MessagePool::MakeReusable<ReusableMessage>();
+    raw_before = msg.get();
+    msg->items.reserve(64);
+    msg->items.assign({1, 2, 3});
+    data_before = msg->items.data();
+  }
+  // Same object comes back, Reuse()d (empty) but with its buffer intact.
+  auto again = MessagePool::MakeReusable<ReusableMessage>();
+  EXPECT_EQ(again.get(), raw_before);
+  EXPECT_TRUE(again->items.empty());
+  EXPECT_GE(again->items.capacity(), 64u);
+  EXPECT_EQ(again->items.data(), data_before);
+}
+
+TEST(MessagePoolTest, ReusableSteadyStateIsAllocationFree) {
+  { auto warm = MessagePool::MakeReusable<ReusableMessage>(); }
+
+  AllocCounters counters;
+  {
+    AllocScope scope(&counters);
+    for (int i = 0; i < 100; ++i) {
+      auto msg = MessagePool::MakeReusable<ReusableMessage>();
+      msg.reset();
+    }
+  }
+  EXPECT_EQ(counters.allocations, 0u);
+}
+
+// ---- FramePool ----------------------------------------------------------
+
+struct TestFrame {
+  Packet packet;
+  std::vector<unsigned char> flags;
+
+  void Reuse() {
+    packet = Packet{};  // Drops the payload reference.
+    flags.clear();
+  }
+};
+
+TEST(FramePoolTest, AcquireGetRelease) {
+  FramePool<TestFrame> pool;
+  EXPECT_EQ(pool.Get(FramePool<TestFrame>::kNullHandle), nullptr);
+
+  const auto h = pool.Acquire();
+  ASSERT_NE(pool.Get(h), nullptr);
+  EXPECT_EQ(pool.live_count(), 1u);
+  pool.Get(h)->packet.uid = 99;
+
+  pool.Release(h);
+  EXPECT_EQ(pool.live_count(), 0u);
+  EXPECT_EQ(pool.Get(h), nullptr);  // Stale after release.
+  pool.Release(h);                  // Double release is a no-op.
+  EXPECT_EQ(pool.live_count(), 0u);
+}
+
+TEST(FramePoolTest, GenerationTagDetectsAliasedSlot) {
+  FramePool<TestFrame> pool;
+  const auto h1 = pool.Acquire();
+  pool.Get(h1)->packet.uid = 1;
+  pool.Release(h1);
+
+  // Same slot, new generation.
+  const auto h2 = pool.Acquire();
+  ASSERT_NE(h2, h1);
+  ASSERT_NE(pool.Get(h2), nullptr);
+  EXPECT_EQ(pool.Get(h1), nullptr);   // Old handle must not alias.
+  pool.Release(h1);                   // Stale release must not free h2.
+  EXPECT_NE(pool.Get(h2), nullptr);
+  EXPECT_EQ(pool.live_count(), 1u);
+  pool.Release(h2);
+}
+
+TEST(FramePoolTest, ReleasedSlotStateIsReused) {
+  FramePool<TestFrame> pool;
+  const auto h1 = pool.Acquire();
+  TestFrame* f = pool.Get(h1);
+  f->flags.assign(16, 1);
+  f->packet.payload = MessagePool::Make<TestMessage>(3u);
+  const unsigned char* flag_data = f->flags.data();
+  pool.Release(h1);
+
+  const auto h2 = pool.Acquire();
+  TestFrame* g = pool.Get(h2);
+  EXPECT_TRUE(g->flags.empty());             // Reuse() cleared it...
+  EXPECT_EQ(g->flags.data(), flag_data);     // ...but kept the buffer.
+  EXPECT_EQ(g->packet.payload, nullptr);     // Payload ref was dropped.
+  EXPECT_EQ(pool.stats().reuses, 1u);
+  pool.Release(h2);
+}
+
+TEST(FramePoolTest, ChurnUnderFaultLikePatternDrainsToZero) {
+  // Mimics the fault-plan churn the channel sees: frames acquired in
+  // bursts (duplicates re-air the same packet), some released early
+  // (drops), the rest at staggered times. Cross-checked against a
+  // reference list of live handles.
+  FramePool<TestFrame> pool;
+  Rng rng(2024);
+  std::vector<uint64_t> live;
+  std::vector<uint64_t> stale;
+
+  for (int step = 0; step < 5000; ++step) {
+    const int action = rng.UniformInt(0, 2);
+    if (action <= 1 && live.size() < 64) {  // Acquire (dup bursts: 1-2).
+      const int burst = rng.UniformInt(1, 2);
+      for (int b = 0; b < burst && live.size() < 64; ++b) {
+        const auto h = pool.Acquire();
+        ASSERT_NE(pool.Get(h), nullptr);
+        pool.Get(h)->packet.uid = h;
+        live.push_back(h);
+      }
+    } else if (!live.empty()) {  // Release a random live frame (drop).
+      const size_t pick =
+          static_cast<size_t>(rng.UniformInt(0, static_cast<int>(live.size()) - 1));
+      pool.Release(live[pick]);
+      stale.push_back(live[pick]);
+      live[pick] = live.back();
+      live.pop_back();
+    }
+    ASSERT_EQ(pool.live_count(), live.size());
+  }
+
+  for (const uint64_t h : live) {
+    ASSERT_NE(pool.Get(h), nullptr);
+    EXPECT_EQ(pool.Get(h)->packet.uid, h);  // No aliasing corrupted it.
+    pool.Release(h);
+  }
+  EXPECT_EQ(pool.live_count(), 0u);
+  for (const uint64_t h : stale) EXPECT_EQ(pool.Get(h), nullptr);
+
+  // Slab reached a bounded steady state well under the churn volume.
+  EXPECT_LE(pool.capacity(), 64u);
+  EXPECT_GT(pool.stats().reuses, pool.stats().fresh_allocations);
+}
+
+TEST(FramePoolTest, SteadyStateAcquireIsAllocationFree) {
+  FramePool<TestFrame> pool;
+  // Warm: grow the slab and the slots' flag buffers once.
+  std::vector<uint64_t> handles;
+  for (int i = 0; i < 32; ++i) handles.push_back(pool.Acquire());
+  for (auto h : handles) pool.Get(h)->flags.assign(8, 0);
+  for (auto h : handles) pool.Release(h);
+
+  AllocCounters counters;
+  {
+    AllocScope scope(&counters);
+    for (int round = 0; round < 100; ++round) {
+      handles.clear();
+      for (int i = 0; i < 32; ++i) handles.push_back(pool.Acquire());
+      for (auto h : handles) pool.Get(h)->flags.assign(8, 0);
+      for (auto h : handles) pool.Release(h);
+    }
+  }
+  EXPECT_EQ(counters.allocations, 0u);
+}
+
+}  // namespace
+}  // namespace diknn

@@ -35,6 +35,8 @@ if [[ "${DIKNN_CHECK_BENCH:-1}" != "0" ]]; then
   DIKNN_OBS_SMOKE=1 ./build/bench/bench_obs
   echo "== bench_micro smoke (allocation gate) =="
   DIKNN_MICRO_SMOKE=1 ./build/bench/bench_micro
+  echo "== bench_pdes smoke (shard equivalence) =="
+  DIKNN_PDES_SMOKE=1 ./build/bench/bench_pdes
 fi
 
 echo "== traced-query smoke =="

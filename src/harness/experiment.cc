@@ -10,6 +10,7 @@
 #include "faults/lifecycle_auditor.h"
 #include "obs/metrics_registry.h"
 #include "obs/tracer.h"
+#include "psim/engine.h"
 #include "workload/query_driver.h"
 
 namespace diknn {
@@ -242,11 +243,53 @@ void PublishObsMetrics(Network& net, const GpsrRouting& gpsr,
   metrics->obs = reg.Snapshot();
 }
 
+// A sharded run: hand the substrate to the parallel engine. Queries stay
+// at 0 (the protocol plane is still serial-only; see experiment.h), so
+// the RunMetrics carry the psim traffic counters, merged per-shard
+// scheduler stats, and the psim.* observability snapshot.
+RunMetrics RunPsimSubstrate(const ExperimentConfig& config, uint64_t seed) {
+  const NetworkConfig& net = config.network;
+  PsimConfig pc;
+  pc.node_count = net.node_count;
+  pc.field = net.field;
+  pc.radio_range_m = net.radio_range_m;
+  pc.bit_rate_bps = net.bit_rate_bps;
+  pc.loss_rate = net.loss_rate;
+  pc.beacon_interval = net.beacon_interval;
+  pc.neighbor_timeout = net.neighbor_timeout;
+  pc.max_speed =
+      net.mobility == MobilityKind::kStatic ? 0.0 : net.max_speed;
+  pc.mac = net.mac;
+  pc.scheduler = net.scheduler;
+  pc.shards = config.shards;
+  pc.duration = config.warmup + config.duration;
+  pc.seed = seed;
+
+  PsimResult result = RunPsim(pc);
+
+  RunMetrics metrics;
+  metrics.average_degree = result.average_degree;
+  EngineRunCounters& en = metrics.engine;
+  en.events_pushed = result.engine.events_pushed;
+  en.events_fired = result.engine.events_fired;
+  en.events_cancelled = result.engine.events_cancelled;
+  en.wheel_scheduled = result.engine.wheel_scheduled;
+  en.overflow_scheduled = result.engine.overflow_scheduled;
+  en.inline_callbacks = result.engine.inline_callbacks;
+  en.heap_callbacks = result.engine.heap_callbacks;
+  en.peak_live = result.engine.peak_live;
+  en.peak_resident = result.engine.peak_resident;
+  en.peak_pool_slots = result.engine.peak_pool_slots;
+  metrics.obs = result.obs;
+  return metrics;
+}
+
 }  // namespace
 
 RunMetrics RunOnce(const ExperimentConfig& config, uint64_t seed,
                    std::vector<QueryRecord>* records_out,
                    TraceData* trace_out) {
+  if (config.shards > 1) return RunPsimSubstrate(config, seed);
   ProtocolStack stack(config, seed);
   Network& net = stack.network();
   Simulator& sim = net.sim();

@@ -7,6 +7,14 @@
 
 namespace diknn {
 
+void NeighborTable::Reserve(size_t n) {
+  ids_.reserve(n);
+  positions_.reserve(n);
+  speeds_.reserve(n);
+  last_heard_.reserve(n);
+  index_.reserve(n);
+}
+
 void NeighborTable::Update(NodeId id, Point position, double speed,
                            SimTime now) {
   if (const uint32_t* k = index_.find(id)) {

@@ -44,6 +44,12 @@ class NeighborTable {
   /// `timeout`: entries unheard-of for longer than this are dropped.
   explicit NeighborTable(SimTime timeout = 1.5) : timeout_(timeout) {}
 
+  /// Pre-sizes the lanes and the id index for `n` entries, so a table
+  /// that never exceeds `n` concurrent neighbors never allocates after
+  /// construction. The parallel engine calls this with a density-derived
+  /// bound to keep its steady-state allocation gate at zero.
+  void Reserve(size_t n);
+
   /// Inserts or refreshes an entry from a beacon heard at time `now`.
   void Update(NodeId id, Point position, double speed, SimTime now);
 

@@ -187,6 +187,17 @@ std::string MetricsSnapshot::ToJson() const {
   return os.str();
 }
 
+std::string ShardMetricName(int shard, const std::string& name) {
+  return "psim.shard" + std::to_string(shard) + "." + name;
+}
+
+MetricsSnapshot MergeShardSnapshots(
+    const std::vector<MetricsSnapshot>& shards) {
+  MetricsSnapshot merged;
+  for (const MetricsSnapshot& s : shards) merged.Merge(s);
+  return merged;
+}
+
 // ---------------------------------------------------------------------------
 // MetricsRegistry
 

@@ -112,6 +112,19 @@ struct MetricsSnapshot {
   bool operator==(const MetricsSnapshot&) const = default;
 };
 
+/// Name of a shard-attributed metric: "psim.shard3.frames_sent" for
+/// (3, "frames_sent"). The per-shard names are disjoint across shards, so
+/// MergeShardSnapshots unions them while the canonical (unprefixed)
+/// counters add up to partition-invariant totals.
+std::string ShardMetricName(int shard, const std::string& name);
+
+/// Merges per-shard snapshots in shard-id order (index order of `shards`).
+/// Same fold as MetricsSnapshot::Merge — counters add, gauges combine by
+/// mode, histogram buckets add — applied left to right so double-valued
+/// gauges combine in a fixed order regardless of which worker thread
+/// finished first.
+MetricsSnapshot MergeShardSnapshots(const std::vector<MetricsSnapshot>& shards);
+
 /// Per-run metrics store. Registration is explicit and duplicate names
 /// are rejected (returns kInvalidMetricId) so two subsystems cannot
 /// silently alias one metric. All mutation paths are branch-and-store on

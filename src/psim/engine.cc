@@ -1,0 +1,290 @@
+#include "psim/engine.h"
+
+#include <algorithm>
+#include <barrier>
+#include <cassert>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "net/beacon.h"
+#include "net/packet.h"
+
+namespace diknn {
+
+namespace {
+
+PsimNetParams NetParamsFrom(const PsimConfig& config) {
+  PsimNetParams net;
+  net.field = config.field;
+  net.radio_range_m = config.radio_range_m;
+  net.bit_rate_bps = config.bit_rate_bps;
+  net.max_speed = config.max_speed;
+  net.grid_refresh_interval_s = config.grid_refresh_interval_s;
+  net.backoff_slot_s = config.mac.backoff_slot_s;
+  net.max_frame_bytes = kMacHeaderBytes + kBeaconBodyBytes;
+  return net;
+}
+
+double Seconds(std::chrono::steady_clock::duration d) {
+  return std::chrono::duration<double>(d).count();
+}
+
+}  // namespace
+
+EngineStats MergeEngineStats(const std::vector<EngineStats>& stats) {
+  EngineStats merged;
+  for (const EngineStats& s : stats) {
+    merged.events_pushed += s.events_pushed;
+    merged.events_fired += s.events_fired;
+    merged.events_cancelled += s.events_cancelled;
+    merged.wheel_scheduled += s.wheel_scheduled;
+    merged.overflow_scheduled += s.overflow_scheduled;
+    merged.overflow_migrated += s.overflow_migrated;
+    merged.inline_callbacks += s.inline_callbacks;
+    merged.heap_callbacks += s.heap_callbacks;
+    merged.peak_live = std::max(merged.peak_live, s.peak_live);
+    merged.peak_resident = std::max(merged.peak_resident, s.peak_resident);
+    merged.peak_pool_slots =
+        std::max(merged.peak_pool_slots, s.peak_pool_slots);
+  }
+  return merged;
+}
+
+PsimEngine::PsimEngine(const PsimConfig& config) : config_(config) {
+  world_ = std::make_unique<PsimWorld>(config_, NetParamsFrom(config_));
+  world_->frame_air_time =
+      static_cast<double>(kMacHeaderBytes + kBeaconBodyBytes) * 8.0 /
+      config_.bit_rate_bps;
+  BuildWorld();
+}
+
+void PsimEngine::BuildWorld() {
+  const FieldPartition& part = world_->partition;
+  const int n = config_.node_count;
+  world_->nodes.resize(static_cast<size_t>(n));
+  world_->cell_nodes.resize(static_cast<size_t>(part.cell_count()));
+
+  // Placement comes from the run seed alone, and each node's CSMA and
+  // mobility streams are forked from (seed, node id) — never from a
+  // shard stream — so the traffic a node generates is independent of
+  // which shard happens to own it.
+  // Neighbor tables are pre-sized from the field density (4x the mean
+  // degree, floor 16) so a table never regrows mid-run — part of the
+  // zero-steady-state-allocation contract.
+  const double area = config_.field.Width() * config_.field.Height();
+  const double mean_degree =
+      area <= 0.0 ? static_cast<double>(n)
+                  : static_cast<double>(n) * 3.14159265358979323846 *
+                        config_.radio_range_m * config_.radio_range_m /
+                        area;
+  const size_t degree_bound = std::min<size_t>(
+      static_cast<size_t>(std::max(0, n - 1)),
+      static_cast<size_t>(4.0 * mean_degree) + 16);
+
+  Rng placement_rng(config_.seed);
+  for (int i = 0; i < n; ++i) {
+    PsimNode& node = world_->nodes[static_cast<size_t>(i)];
+    const Point pos = placement_rng.PointInRect(config_.field);
+    node.rng = Rng(PsimShard::NodeSeed(config_.seed,
+                                       static_cast<uint32_t>(i), 0));
+    if (config_.max_speed > 0.0) {
+      node.mobility = std::make_unique<RandomWaypointMobility>(
+          pos, config_.field, config_.max_speed,
+          Rng(PsimShard::NodeSeed(config_.seed, static_cast<uint32_t>(i),
+                                  1)));
+    } else {
+      node.mobility = std::make_unique<StaticMobility>(pos);
+    }
+    node.neighbors = NeighborTable(config_.neighbor_timeout);
+    node.neighbors.Reserve(degree_bound);
+    node.cell = part.CellOf(pos);
+    node.next_beacon = node.rng.Uniform(0.0, config_.beacon_interval);
+    world_->cell_nodes[static_cast<size_t>(node.cell)].push_back(
+        static_cast<uint32_t>(i));
+  }
+  // Head-room so per-cell buckets rarely regrow once the run reaches
+  // steady state (the allocation gate counts second-half growth).
+  for (std::vector<uint32_t>& bucket : world_->cell_nodes) {
+    bucket.reserve(bucket.size() * 2 + 8);
+  }
+
+  shards_.reserve(static_cast<size_t>(part.shards()));
+  for (int s = 0; s < part.shards(); ++s) {
+    shards_.push_back(std::make_unique<PsimShard>(world_.get(), s));
+  }
+  for (int s = 0; s < part.shards(); ++s) {
+    shards_[static_cast<size_t>(s)]->BindNeighbors(
+        s > 0 ? shards_[static_cast<size_t>(s - 1)].get() : nullptr,
+        s + 1 < part.shards() ? shards_[static_cast<size_t>(s + 1)].get()
+                              : nullptr);
+  }
+  // Adoption in node-id order gives every shard a deterministic owned
+  // list and initial event-push order.
+  for (int i = 0; i < n; ++i) {
+    const int owner =
+        part.OwnerOfCell(world_->nodes[static_cast<size_t>(i)].cell);
+    shards_[static_cast<size_t>(owner)]->AdoptNode(
+        static_cast<uint32_t>(i));
+  }
+}
+
+PsimResult PsimEngine::Run() {
+  assert(!ran_ && "PsimEngine::Run is single-shot");
+  ran_ = true;
+  const FieldPartition& part = world_->partition;
+  const int shard_count = part.shards();
+  const uint64_t windows = std::max<uint64_t>(
+      1, static_cast<uint64_t>(
+             std::ceil(config_.duration / part.lookahead())));
+  const uint64_t midpoint = windows / 2;
+
+  std::barrier<> sync(shard_count);
+  const auto worker = [&](int s) {
+    PsimShard& shard = *shards_[static_cast<size_t>(s)];
+    // Attribute this worker's allocations to its shard so the
+    // steady-state gate aggregates correctly across psim threads (the
+    // repetition-level --jobs model arms one scope per run; here it is
+    // one scope per shard thread).
+    AllocScope scope(shard.allocs());
+    using Clock = std::chrono::steady_clock;
+    double busy = 0.0;
+    for (uint64_t k = 0; k < windows; ++k) {
+      sync.arrive_and_wait();
+      auto t0 = Clock::now();
+      shard.SweepIfDue(k);
+      busy += Seconds(Clock::now() - t0);
+      sync.arrive_and_wait();
+      t0 = Clock::now();
+      if (k == midpoint) shard.BeginSteadyState();
+      shard.DrainMailboxes(k);
+      shard.ProcessWindow(k);
+      busy += Seconds(Clock::now() - t0);
+    }
+    // Final barrier: every producer has finished its last process phase,
+    // so one more drain settles the boundary/foreign balance exactly.
+    sync.arrive_and_wait();
+    shard.DrainRemaining();
+    shard.FinalizeStats();
+    shard.stats().busy_s = busy;
+  };
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(shard_count));
+  for (int s = 0; s < shard_count; ++s) threads.emplace_back(worker, s);
+  for (std::thread& t : threads) t.join();
+  const double wall_s =
+      Seconds(std::chrono::steady_clock::now() - wall_start);
+
+  PsimResult result;
+  result.shards = shard_count;
+  result.windows = windows;
+  result.lookahead_s = part.lookahead();
+  result.wall_s = wall_s;
+  for (int s = 0; s < shard_count; ++s) {
+    const PsimShard& shard = *shards_[static_cast<size_t>(s)];
+    result.shard_stats.push_back(shard.stats());
+    result.shard_engine.push_back(shard.sim().engine_stats());
+    result.totals += shard.stats();
+  }
+  result.engine = MergeEngineStats(result.shard_engine);
+
+  const SimTime end_time = windows * part.lookahead();
+  double degree_sum = 0.0;
+  for (PsimNode& node : world_->nodes) {
+    degree_sum += node.neighbors.CountFresh(end_time);
+  }
+  result.average_degree =
+      world_->nodes.empty() ? 0.0
+                            : degree_sum / static_cast<double>(
+                                               world_->nodes.size());
+  result.obs = BuildObsSnapshot(result);
+  return result;
+}
+
+MetricsSnapshot PsimEngine::BuildObsSnapshot(
+    const PsimResult& result) const {
+  // One registry per shard, merged in shard order: canonical psim.* and
+  // net.* counters add up to the partition-invariant totals, while the
+  // ShardMetricName entries attribute work to individual shards.
+  std::vector<MetricsSnapshot> snaps;
+  snaps.reserve(result.shard_stats.size());
+  for (size_t s = 0; s < result.shard_stats.size(); ++s) {
+    const PsimStats& st = result.shard_stats[s];
+    const EngineStats& es = result.shard_engine[s];
+    MetricsRegistry reg;
+    reg.PublishCounter("psim.frames_sent", st.frames_sent);
+    reg.PublishCounter("psim.csma_attempts", st.csma_attempts);
+    reg.PublishCounter("psim.csma_busy", st.csma_busy);
+    reg.PublishCounter("psim.csma_failures", st.csma_failures);
+    reg.PublishCounter("psim.receptions_attempted",
+                       st.receptions_attempted);
+    reg.PublishCounter("psim.receptions_delivered",
+                       st.receptions_delivered);
+    reg.PublishCounter("psim.receptions_collided",
+                       st.receptions_collided);
+    reg.PublishCounter("psim.receptions_lost", st.receptions_lost);
+    reg.PublishCounter("psim.candidates_scanned", st.candidates_scanned);
+    reg.PublishCounter("psim.neighbor_updates", st.neighbor_updates);
+    reg.PublishCounter("psim.boundary_frames", st.boundary_frames);
+    reg.PublishCounter("psim.foreign_frames", st.foreign_frames);
+    reg.PublishCounter("psim.migrations_out", st.migrations_out);
+    reg.PublishCounter("psim.migrations_in", st.migrations_in);
+    reg.PublishCounter("psim.sweeps", st.sweeps);
+    reg.PublishCounter("psim.windows", st.windows);
+    reg.PublishCounter("psim.audit_probes", st.audit_probes);
+    reg.PublishCounter("psim.audit_mismatches", st.audit_mismatches);
+    // Keep the packet plane's gate name meaningful under --shards > 1:
+    // the summed per-thread steady-state tallies land on net.allocs,
+    // exactly where scripts/check_all.sh asserts 0.
+    reg.PublishCounter("net.allocs", st.steady_allocs);
+    reg.PublishCounter("net.alloc_bytes", st.steady_alloc_bytes);
+    reg.PublishCounter("engine.events_pushed", es.events_pushed);
+    reg.PublishCounter("engine.events_fired", es.events_fired);
+    reg.PublishCounter("engine.events_cancelled", es.events_cancelled);
+    reg.PublishGauge("engine.peak_live",
+                     static_cast<double>(es.peak_live), GaugeMode::kMax);
+    reg.PublishGauge("psim.lookahead_s", result.lookahead_s,
+                     GaugeMode::kMax);
+    reg.PublishGauge("psim.shards", static_cast<double>(result.shards),
+                     GaugeMode::kMax);
+    // Shard-attributed rows (names disjoint across shards).
+    const int sid = static_cast<int>(s);
+    reg.PublishCounter(ShardMetricName(sid, "frames_sent"),
+                       st.frames_sent);
+    reg.PublishCounter(ShardMetricName(sid, "boundary_frames"),
+                       st.boundary_frames);
+    reg.PublishCounter(ShardMetricName(sid, "migrations_in"),
+                       st.migrations_in);
+    reg.PublishCounter(ShardMetricName(sid, "migrations_out"),
+                       st.migrations_out);
+    reg.PublishCounter(ShardMetricName(sid, "allocs"), st.steady_allocs);
+    // busy_s deliberately stays out of the snapshot: it is wall-clock,
+    // and the obs snapshot must be bit-identical across repeated runs.
+    // The bench reads it from PsimResult::shard_stats instead.
+    reg.PublishGauge(
+        ShardMetricName(sid, "owned_nodes"),
+        static_cast<double>(shards_[s]->owned_count()), GaugeMode::kMax);
+    snaps.push_back(reg.Snapshot());
+  }
+  return MergeShardSnapshots(snaps);
+}
+
+bool PsimEngine::OwnershipInvariantHolds() const {
+  for (const std::unique_ptr<PsimShard>& shard : shards_) {
+    if (!shard->OwnershipInvariantHolds()) return false;
+  }
+  size_t owned_total = 0;
+  for (const std::unique_ptr<PsimShard>& shard : shards_) {
+    owned_total += shard->owned_count();
+  }
+  return owned_total == world_->nodes.size();
+}
+
+PsimResult RunPsim(const PsimConfig& config) {
+  PsimEngine engine(config);
+  return engine.Run();
+}
+
+}  // namespace diknn

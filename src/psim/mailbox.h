@@ -1,0 +1,108 @@
+// Single-producer single-consumer mailboxes for cross-shard exchange.
+//
+// The parallel engine (src/psim) connects each adjacent shard pair with
+// two SpscMailbox instances per direction: one for boundary frames, one
+// for node migrations. Exactly one worker thread ever pushes into a given
+// mailbox and exactly one ever drains it, so the ring needs only a pair
+// of acquire/release indices — no locks, no CAS loops. This is
+// core/ring_buffer's recycled-flat-ring idea with the two ends decoupled
+// onto different threads.
+//
+// Capacity is fixed at construction (rounded up to a power of two) and
+// the ring never reallocates: pushing is allocation-free, which keeps the
+// packet plane's steady-state `net.allocs == 0` contract intact under
+// `--shards > 1`. A full mailbox is a sizing bug, not a flow-control
+// condition — the engine sizes each ring for its worst case (migrations
+// are bounded by the node count, boundary frames per window by the border
+// population), so Push aborts loudly rather than silently dropping a
+// frame and corrupting the determinism contract.
+//
+// FIFO order is part of the contract: a shard pushes its boundary frames
+// in simulation order (timestamp, then sender, then sequence number), and
+// the consumer re-sorts deliveries anyway, but the partition tests assert
+// FIFO survival under same-timestamp storms so mailbox bugs surface as
+// ordering failures, not as rare metric drift.
+
+#ifndef DIKNN_PSIM_MAILBOX_H_
+#define DIKNN_PSIM_MAILBOX_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace diknn {
+
+template <typename T>
+class SpscMailbox {
+ public:
+  explicit SpscMailbox(size_t capacity = 1024) {
+    size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    ring_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscMailbox(const SpscMailbox&) = delete;
+  SpscMailbox& operator=(const SpscMailbox&) = delete;
+
+  size_t capacity() const { return ring_.size(); }
+
+  /// Producer side. Returns false when the ring is full.
+  bool TryPush(const T& value) {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const uint64_t head = head_.load(std::memory_order_acquire);
+    if (tail - head == ring_.size()) return false;
+    ring_[tail & mask_] = value;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Producer side; a full ring is a capacity-sizing bug (see header
+  /// comment) and aborts rather than dropping traffic.
+  void Push(const T& value) {
+    if (!TryPush(value)) {
+      std::fprintf(stderr,
+                   "SpscMailbox overflow: capacity %zu exhausted\n",
+                   ring_.size());
+      std::abort();
+    }
+  }
+
+  /// Consumer side: pops everything currently visible, in FIFO order,
+  /// calling `fn(const T&)` for each. Returns the number consumed. Safe
+  /// to run concurrently with the producer's pushes; entries pushed
+  /// after the initial tail read are left for the next drain.
+  template <typename Fn>
+  size_t Drain(Fn&& fn) {
+    uint64_t head = head_.load(std::memory_order_relaxed);
+    const uint64_t tail = tail_.load(std::memory_order_acquire);
+    size_t consumed = 0;
+    while (head != tail) {
+      fn(ring_[head & mask_]);
+      ++head;
+      ++consumed;
+    }
+    head_.store(head, std::memory_order_release);
+    return consumed;
+  }
+
+  /// Consumer-side size estimate (exact when the producer is quiescent).
+  size_t SizeApprox() const {
+    return static_cast<size_t>(tail_.load(std::memory_order_acquire) -
+                               head_.load(std::memory_order_acquire));
+  }
+
+ private:
+  std::vector<T> ring_;
+  size_t mask_ = 0;
+  // Separate cache lines so the producer's tail stores never invalidate
+  // the consumer's head line and vice versa.
+  alignas(64) std::atomic<uint64_t> head_{0};
+  alignas(64) std::atomic<uint64_t> tail_{0};
+};
+
+}  // namespace diknn
+
+#endif  // DIKNN_PSIM_MAILBOX_H_

@@ -1,0 +1,55 @@
+#include "psim/partition.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace diknn {
+
+double FieldPartition::Lookahead(const PsimNetParams& params) {
+  const double air_time =
+      static_cast<double>(params.max_frame_bytes) * 8.0 /
+      params.bit_rate_bps;
+  return std::max(air_time, params.backoff_slot_s);
+}
+
+FieldPartition::FieldPartition(const PsimNetParams& params,
+                               int requested_shards)
+    : requested_shards_(std::max(1, requested_shards)) {
+  lookahead_ = Lookahead(params);
+  // Sweeps land on window boundaries, so the achievable refresh period is
+  // a whole number of windows; cell size is derived from the *effective*
+  // period so the drift bound (<= one cell per refresh) stays exact.
+  refresh_windows_ = std::max(
+      1, static_cast<int>(
+             std::llround(params.grid_refresh_interval_s / lookahead_)));
+  const double drift = params.max_speed * effective_refresh_s();
+  cell_size_ = params.radio_range_m + drift;
+  assert(cell_size_ > 0.0);
+
+  nx_ = std::max(
+      1, static_cast<int>(std::ceil(params.field.Width() / cell_size_)));
+  ny_ = std::max(
+      1, static_cast<int>(std::ceil(params.field.Height() / cell_size_)));
+
+  shards_ = std::clamp(requested_shards_, 1,
+                       std::max(1, nx_ / kMinStripColumns));
+
+  // Columns are dealt out as evenly as possible; the first nx % shards
+  // strips get one extra column. Every strip is >= kMinStripColumns wide
+  // (guaranteed by the clamp above) except in the single-shard case.
+  column_owner_.resize(nx_);
+  first_column_.resize(shards_);
+  strip_width_.resize(shards_);
+  const int base = nx_ / shards_;
+  const int extra = nx_ % shards_;
+  int column = 0;
+  for (int s = 0; s < shards_; ++s) {
+    first_column_[s] = column;
+    strip_width_[s] = base + (s < extra ? 1 : 0);
+    for (int i = 0; i < strip_width_[s]; ++i) column_owner_[column++] = s;
+  }
+  assert(column == nx_);
+}
+
+}  // namespace diknn

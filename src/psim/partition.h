@@ -1,0 +1,123 @@
+// Spatial field partition for the conservative parallel engine.
+//
+// The field is covered by the same kind of cell grid the serial channel
+// uses (cell side = radio range + worst-case drift between bucket
+// refreshes) and split into vertical column strips, one strip per shard.
+// Columns are the partition unit because the radio's interference
+// neighborhood is a fixed number of columns wide: a frame transmitted
+// from column c can only be sensed, received, or collided with by nodes
+// bucketed within two columns of c (see docs/SIMULATOR.md for the
+// derivation), so with strips at least kMinStripColumns wide every frame
+// concerns at most the owning shard and its immediate west/east
+// neighbors — cross-shard traffic flows only between adjacent strips.
+//
+// Lookahead: all synchronization happens on a fixed window of length
+// Lookahead() = max(air time of the largest substrate frame, one CSMA
+// backoff slot). Because every frame's duration is <= the window, a
+// frame transmitted in window k can overlap transmissions only from
+// windows k-1..k+1 and is fully decided by window k+2 — that bound is
+// what lets shards run a whole window ahead of their neighbors between
+// barriers (docs/ENGINE.md).
+
+#ifndef DIKNN_PSIM_PARTITION_H_
+#define DIKNN_PSIM_PARTITION_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/geometry.h"
+
+namespace diknn {
+
+/// The substrate parameters the partition geometry depends on.
+struct PsimNetParams {
+  Rect field = Rect::Field(115.0, 115.0);
+  double radio_range_m = 20.0;
+  double bit_rate_bps = 250e3;
+  double max_speed = 10.0;               ///< mu_max (m/s).
+  double grid_refresh_interval_s = 0.25; ///< Target re-bucket period.
+  double backoff_slot_s = 320e-6;        ///< aUnitBackoffPeriod.
+  size_t max_frame_bytes = 23;           ///< Largest frame on the air.
+};
+
+class FieldPartition {
+ public:
+  /// Strips narrower than this could leak interference past an adjacent
+  /// shard (a frame drifts one column out of its strip and its 2-column
+  /// interference reach would cross a 2-column neighbor entirely), so
+  /// the effective shard count is clamped to nx / kMinStripColumns.
+  static constexpr int kMinStripColumns = 3;
+
+  FieldPartition(const PsimNetParams& params, int requested_shards);
+
+  /// Conservative window length (s): the largest frame air time, never
+  /// below one CSMA backoff slot.
+  static double Lookahead(const PsimNetParams& params);
+
+  int shards() const { return shards_; }
+  int requested_shards() const { return requested_shards_; }
+  double lookahead() const { return lookahead_; }
+  double cell_size() const { return cell_size_; }
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  int cell_count() const { return nx_ * ny_; }
+  /// Windows between bucket-refresh sweeps; sweeps fire on windows k with
+  /// k % refresh_windows() == 0, so the effective refresh period is
+  /// refresh_windows() * lookahead().
+  int refresh_windows() const { return refresh_windows_; }
+  double effective_refresh_s() const { return refresh_windows_ * lookahead_; }
+
+  /// Grid cell containing `p` (clamped into the field).
+  int32_t CellOf(const Point& p) const {
+    int ix = static_cast<int>(p.x / cell_size_);
+    int iy = static_cast<int>(p.y / cell_size_);
+    if (ix < 0) ix = 0;
+    if (ix >= nx_) ix = nx_ - 1;
+    if (iy < 0) iy = 0;
+    if (iy >= ny_) iy = ny_ - 1;
+    return iy * nx_ + ix;
+  }
+
+  int ColumnOf(int32_t cell) const { return static_cast<int>(cell) % nx_; }
+
+  int OwnerOfColumn(int column) const { return column_owner_[column]; }
+  int OwnerOfCell(int32_t cell) const {
+    return column_owner_[ColumnOf(cell)];
+  }
+
+  /// Inclusive column range [first, last] owned by `shard`.
+  std::pair<int, int> ColumnRange(int shard) const {
+    return {first_column_[shard],
+            first_column_[shard] + strip_width_[shard] - 1};
+  }
+
+  /// True when a frame whose origin falls in `column` must also be
+  /// handed to the shard west (resp. east) of the column's owner: its
+  /// 2-column interference reach extends into that neighbor's strip.
+  /// `column` may lie one column outside the owner's strip (a node's
+  /// true position can drift one column past its bucket).
+  bool NeedsWestNeighbor(int column, int owner) const {
+    return owner > 0 && column <= first_column_[owner] + 1;
+  }
+  bool NeedsEastNeighbor(int column, int owner) const {
+    return owner + 1 < shards_ &&
+           column >= first_column_[owner] + strip_width_[owner] - 2;
+  }
+
+ private:
+  int requested_shards_ = 1;
+  int shards_ = 1;
+  double lookahead_ = 0.0;
+  double cell_size_ = 0.0;
+  int nx_ = 1;
+  int ny_ = 1;
+  int refresh_windows_ = 1;
+  std::vector<int> column_owner_;  ///< nx entries.
+  std::vector<int> first_column_;  ///< Per shard.
+  std::vector<int> strip_width_;   ///< Per shard.
+};
+
+}  // namespace diknn
+
+#endif  // DIKNN_PSIM_PARTITION_H_

@@ -1,0 +1,318 @@
+// One shard of the parallel substrate simulation: a column strip of the
+// field, its nodes, its own timer-wheel Simulator, and the per-window
+// frame exchange with the adjacent shards.
+//
+// The shard simulates the beacon substrate (the traffic that dominates
+// large fields): every node runs the 802.15.4 unslotted CSMA-CA dance —
+// random backoff, carrier sense, broadcast — through a PHY model whose
+// visibility is quantized to the conservative lookahead window L:
+//
+//   * a frame transmitted during window k becomes *visible* (to carrier
+//     sense and to collision checks) from window k+1 on;
+//   * its receptions are decided at the start of window k+2, when every
+//     transmission that could overlap it (windows k-1..k+1; frame
+//     duration <= L) is known on all shards.
+//
+// The quantization applies uniformly — to frames from the local strip
+// and to frames mailed across a boundary alike — which is what makes
+// every traffic counter an exact function of (seed, config), independent
+// of the shard count: psim with --shards 8 counts the same frames,
+// collisions, and losses as psim with --shards 1 (asserted by
+// psim_determinism_test). Randomness follows the same rule: every draw
+// that affects traffic comes from a per-node stream forked from
+// (seed, node id); the per-shard stream forked from (seed, shard id)
+// feeds only the ownership audit probes.
+//
+// Thread safety is by phase discipline, not by locking (the SPSC
+// mailboxes are the only concurrently-touched state): within a window,
+// all shards pass a barrier, re-bucket/migrate (sweep windows only),
+// pass a second barrier, drain their inboxes, then process the window.
+// A node is touched exclusively by its owner; ownership changes hands
+// only across the sweep barriers. See docs/ENGINE.md.
+
+#ifndef DIKNN_PSIM_SHARD_H_
+#define DIKNN_PSIM_SHARD_H_
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/alloc_probe.h"
+#include "core/rng.h"
+#include "net/mac.h"
+#include "net/mobility.h"
+#include "net/neighbor_table.h"
+#include "psim/mailbox.h"
+#include "psim/partition.h"
+#include "sim/simulator.h"
+
+namespace diknn {
+
+/// Parallel-substrate run configuration. Field/radio/MAC defaults match
+/// NetworkConfig (the paper's Section 5.1 table).
+struct PsimConfig {
+  int node_count = 2000;
+  Rect field = Rect::Field(115.0, 115.0);
+  double radio_range_m = 20.0;
+  double bit_rate_bps = 250e3;
+  double loss_rate = 0.0;
+  SimTime beacon_interval = 0.5;
+  SimTime neighbor_timeout = 1.5;
+  double max_speed = 10.0;  ///< mu_max; 0 = static nodes.
+  double grid_refresh_interval_s = 0.25;
+  MacParams mac;
+  EngineKind scheduler = EngineKind::kWheel;
+  int shards = 1;           ///< Requested; clamped by the partition.
+  SimTime duration = 5.0;
+  uint64_t seed = 1;
+  /// Boundary-frame ring capacity per (pair, direction); 0 = sized from
+  /// node_count. Migration rings are always sized from node_count.
+  size_t frame_mailbox_capacity = 0;
+};
+
+/// A transmission on the air, as exchanged between shards. `origin` is
+/// the sender's true position at transmit time; receivers and interferers
+/// are judged against it, so a mailed copy carries everything a neighbor
+/// shard needs — sender state is never touched across a boundary.
+struct PsimFrame {
+  Point origin;
+  SimTime t = 0.0;       ///< Transmit start.
+  SimTime end = 0.0;     ///< Transmit end (t + air time).
+  float speed = 0.0f;    ///< Sender speed advertised in the beacon.
+  uint32_t sender = 0;
+  uint32_t seq = 0;      ///< Sender-local sequence number.
+  int32_t cell = -1;     ///< Grid cell of `origin` at transmit time.
+  uint32_t window = 0;   ///< Lookahead window the frame was sent in.
+};
+
+/// Per-node state. Owned (read and written) exclusively by the shard
+/// that owns the node's bucket cell; ownership migrates with the node.
+struct PsimNode {
+  enum class Phase : uint8_t { kIdle, kBackoff };
+
+  Rng rng{0};            ///< CSMA backoff draws; forked from (seed, id).
+  std::unique_ptr<MobilityModel> mobility;
+  NeighborTable neighbors{1.5};
+  int32_t cell = -1;     ///< Bucket cell (refreshed at sweep windows).
+  uint32_t seq = 0;
+  SimTime next_beacon = 0.0;
+  SimTime event_time = 0.0;  ///< Absolute time of the pending event.
+  EventId event = 0;  ///< 0 = no pending event (the null handle).
+  Phase phase = Phase::kIdle;
+  uint8_t backoffs = 0;  ///< CSMA backoff rounds done for this frame.
+  uint8_t be = 0;        ///< Current backoff exponent.
+};
+
+/// Per-shard counters. The traffic block is partition-invariant — equal
+/// (summed across shards) for any shard count — while the exchange block
+/// describes the partitioning itself.
+struct PsimStats {
+  // Partition-invariant traffic counters.
+  uint64_t frames_sent = 0;
+  uint64_t csma_attempts = 0;
+  uint64_t csma_busy = 0;
+  uint64_t csma_failures = 0;
+  uint64_t receptions_attempted = 0;
+  uint64_t receptions_delivered = 0;
+  uint64_t receptions_collided = 0;
+  uint64_t receptions_lost = 0;
+  uint64_t candidates_scanned = 0;
+  uint64_t neighbor_updates = 0;
+  // Partition-dependent exchange counters.
+  uint64_t boundary_frames = 0;   ///< Frames mailed to a neighbor shard.
+  uint64_t foreign_frames = 0;    ///< Frames drained from neighbors.
+  uint64_t migrations_out = 0;
+  uint64_t migrations_in = 0;
+  uint64_t sweeps = 0;
+  uint64_t windows = 0;
+  uint64_t audit_probes = 0;      ///< Shard-RNG ownership spot checks.
+  uint64_t audit_mismatches = 0;  ///< Must stay 0.
+  // Steady-state allocation tallies (second half of the run).
+  uint64_t steady_allocs = 0;
+  uint64_t steady_alloc_bytes = 0;
+  /// Wall-clock seconds this shard spent working (barrier waits
+  /// excluded); feeds the bench's parallel-efficiency estimate.
+  double busy_s = 0.0;
+
+  PsimStats& operator+=(const PsimStats& o);
+
+  /// The partition-invariant subset, comparable across shard counts.
+  struct Invariants {
+    uint64_t frames_sent, csma_attempts, csma_busy, csma_failures;
+    uint64_t receptions_attempted, receptions_delivered;
+    uint64_t receptions_collided, receptions_lost;
+    uint64_t candidates_scanned, neighbor_updates;
+    bool operator==(const Invariants&) const = default;
+  };
+  Invariants InvariantCounters() const {
+    return {frames_sent,          csma_attempts,
+            csma_busy,            csma_failures,
+            receptions_attempted, receptions_delivered,
+            receptions_collided,  receptions_lost,
+            candidates_scanned,   neighbor_updates};
+  }
+};
+
+/// Shared world state, built single-threaded by the engine. During the
+/// run, `nodes[i]` and each cell list are touched only by the owning
+/// shard (phase discipline above).
+struct PsimWorld {
+  PsimConfig config;
+  FieldPartition partition;
+  double frame_air_time = 0.0;
+  std::vector<PsimNode> nodes;
+  /// Node indices bucketed per grid cell.
+  std::vector<std::vector<uint32_t>> cell_nodes;
+
+  PsimWorld(const PsimConfig& cfg, const PsimNetParams& net)
+      : config(cfg), partition(net, cfg.shards) {}
+
+  /// Boundary-frame ring capacity: a frame stays undrained for at most
+  /// two windows, and frames per window are bounded by the border
+  /// population, so node_count is a comfortable worst case.
+  size_t FrameMailboxCapacity() const {
+    if (config.frame_mailbox_capacity > 0) {
+      return config.frame_mailbox_capacity;
+    }
+    return std::max<size_t>(4096,
+                            static_cast<size_t>(config.node_count));
+  }
+  /// Migration ring capacity: at most every node migrates in one sweep.
+  size_t MigrationMailboxCapacity() const {
+    return std::max<size_t>(1024,
+                            static_cast<size_t>(config.node_count));
+  }
+};
+
+class PsimShard {
+ public:
+  PsimShard(PsimWorld* world, int id);
+
+  PsimShard(const PsimShard&) = delete;
+  PsimShard& operator=(const PsimShard&) = delete;
+
+  int id() const { return id_; }
+  /// Wires the adjacent shards (nullptr at the field edge). Must be
+  /// called before scheduling starts.
+  void BindNeighbors(PsimShard* west, PsimShard* east);
+
+  /// Takes ownership of node `i` and schedules its first beacon. Engine
+  /// setup only (single-threaded).
+  void AdoptNode(uint32_t i);
+
+  // --- Window phases, driven by the engine's worker loop. ---------------
+
+  /// Phase A (between the two barriers): on sweep windows, re-bucket
+  /// every owned node at the window boundary, mail nodes whose bucket
+  /// moved to another strip, expire neighbor tables, and run an
+  /// ownership audit probe off the shard RNG.
+  void SweepIfDue(uint64_t k);
+
+  /// Phase B.1: adopt migrated-in nodes and chain drained boundary
+  /// frames into the window slots.
+  void DrainMailboxes(uint64_t k);
+
+  /// Phase B.2: decide receptions for the frames of window k-2, then run
+  /// this shard's events scheduled inside [kL, (k+1)L).
+  void ProcessWindow(uint64_t k);
+
+  /// After the final window (and a final barrier): consume frames mailed
+  /// during the last windows so the boundary/foreign tallies balance.
+  void DrainRemaining();
+
+  /// Resets the allocation counters at the run midpoint so the final
+  /// tally covers only the steady-state half.
+  void BeginSteadyState() { allocs_.Reset(); }
+
+  /// Folds the allocation tallies into stats(); call once, after the
+  /// last window.
+  void FinalizeStats();
+
+  const PsimStats& stats() const { return stats_; }
+  PsimStats& stats() { return stats_; }
+  AllocCounters* allocs() { return &allocs_; }
+  Simulator& sim() { return sim_; }
+  const Simulator& sim() const { return sim_; }
+  size_t owned_count() const { return owned_.size(); }
+
+  /// True when every owned node's bucket cell maps back to this shard
+  /// and its pending event is live. Test hook (call between runs or
+  /// after Run; not thread-safe against the worker loop).
+  bool OwnershipInvariantHolds() const;
+
+  /// Deterministic per-shard seed; the resulting stream feeds only the
+  /// ownership audit probes, never traffic decisions.
+  static uint64_t ShardSeed(uint64_t run_seed, int shard_id);
+  /// Deterministic per-node seed (`lane` separates the mobility stream
+  /// from the CSMA stream).
+  static uint64_t NodeSeed(uint64_t run_seed, uint32_t node, uint32_t lane);
+
+ private:
+  friend class PsimEngine;
+
+  // A window slot holds every known frame of one lookahead window
+  // (local + drained foreign), chained per grid cell for the geometric
+  // scans. Four slots cover the live range k-3..k. The head index is a
+  // dense per-cell array (cells are small dense ints), so chaining and
+  // clearing never allocate.
+  struct WindowSlot {
+    std::vector<PsimFrame> frames;
+    std::vector<int32_t> next;       ///< Chain links, parallel to frames.
+    std::vector<int32_t> cell_head;  ///< cell -> first frame index, -1 = none.
+
+    void Clear() {
+      frames.clear();
+      next.clear();
+      std::fill(cell_head.begin(), cell_head.end(), -1);
+    }
+  };
+
+  WindowSlot& Slot(uint64_t window) { return slots_[window & 3]; }
+
+  void AppendFrame(const PsimFrame& f);
+  void OnNodeEvent(uint32_t i);
+  void StartCsma(uint32_t i, SimTime now);
+  void ScheduleBackoff(uint32_t i, SimTime now);
+  void CsmaAttempt(uint32_t i, SimTime now);
+  void Transmit(uint32_t i, SimTime now, const Point& pos);
+  void ScheduleNextBeacon(uint32_t i);
+  void ScheduleNode(uint32_t i, SimTime t);
+  bool SenseBusy(const Point& pos, SimTime now) const;
+  void DeliverWindow(uint64_t k);
+  void DeliverFrame(const PsimFrame& f, SimTime now);
+  bool LossDraw(const PsimFrame& f, uint32_t receiver) const;
+
+  PsimWorld* world_;
+  int id_;
+  int first_column_ = 0;
+  int last_column_ = 0;
+  PsimShard* west_ = nullptr;
+  PsimShard* east_ = nullptr;
+
+  Simulator sim_;
+  Rng shard_rng_;
+  AllocCounters allocs_;
+  PsimStats stats_;
+  uint64_t current_window_ = 0;
+
+  std::vector<uint32_t> owned_;  ///< Node indices owned by this shard.
+  std::array<WindowSlot, 4> slots_;
+
+  // Inboxes (this shard consumes; the named neighbor produces).
+  SpscMailbox<PsimFrame> frames_from_west_;
+  SpscMailbox<PsimFrame> frames_from_east_;
+  SpscMailbox<uint32_t> migrations_from_west_;
+  SpscMailbox<uint32_t> migrations_from_east_;
+
+  // Reused scratch (allocation-free once at high-water capacity).
+  std::vector<uint32_t> delivery_order_;     ///< Frame index permutation.
+  std::vector<const PsimFrame*> interferers_;
+  std::vector<uint32_t> receivers_;
+  std::vector<uint32_t> migrated_out_;
+};
+
+}  // namespace diknn
+
+#endif  // DIKNN_PSIM_SHARD_H_

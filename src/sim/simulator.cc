@@ -42,6 +42,20 @@ uint64_t Simulator::Run(uint64_t max_events) {
   return executed;
 }
 
+uint64_t Simulator::RunBefore(SimTime t) {
+  uint64_t executed = 0;
+  while (!queue_.Empty() && queue_.NextTime() < t) {
+    SimTime et;
+    SmallFn fn = queue_.Pop(&et);
+    now_ = et;
+    fn();
+    ++executed;
+  }
+  if (t > now_) now_ = t;
+  events_executed_ += executed;
+  return executed;
+}
+
 uint64_t Simulator::RunUntil(SimTime t) {
   uint64_t executed = 0;
   while (!queue_.Empty() && queue_.NextTime() <= t) {

@@ -72,6 +72,14 @@ class Simulator {
   /// `t` (even if no event fired at `t`). Returns events executed.
   uint64_t RunUntil(SimTime t);
 
+  /// Runs events with timestamps strictly < `t`, then advances the clock
+  /// to exactly `t`. The half-open variant of RunUntil: the parallel
+  /// engine (src/psim) drains each shard's window [kL, (k+1)L) with
+  /// RunBefore((k+1)L), so an event at exactly the window boundary fires
+  /// in the *next* window — after the cross-shard barrier exchange — and
+  /// never races a neighbor shard's frames for the same instant.
+  uint64_t RunBefore(SimTime t);
+
   /// Total events executed since construction.
   uint64_t events_executed() const { return events_executed_; }
 

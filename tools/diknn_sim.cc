@@ -36,6 +36,12 @@ void PrintUsage(const char* argv0) {
       "  --runs N          seeded repetitions (default 3; paper used 20)\n"
       "  --jobs N          worker threads across repetitions (default 1;\n"
       "                    metrics are bit-identical at any job count)\n"
+      "  --shards N        worker threads inside each run (default 1 =\n"
+      "                    the serial engine). > 1 shards the field into\n"
+      "                    column strips on the conservative parallel\n"
+      "                    engine (src/psim): beacon-substrate only,\n"
+      "                    queries=0, traffic counters equal at any\n"
+      "                    shard count; total threads = jobs x shards\n"
       "  --duration S      simulated seconds per run (default 100)\n"
       "  --seed N          base seed (default 42)\n"
       "  --interval S      mean query interval, exponential (default 4)\n"
@@ -134,6 +140,8 @@ int main(int argc, char** argv) {
       config.runs = std::atoi(next_value());
     } else if (arg == "--jobs") {
       config.jobs = std::atoi(next_value());
+    } else if (arg == "--shards") {
+      config.shards = std::atoi(next_value());
     } else if (arg == "--duration") {
       config.duration = std::atof(next_value());
     } else if (arg == "--seed") {

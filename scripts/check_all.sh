@@ -37,6 +37,8 @@ if [[ "${DIKNN_CHECK_BENCH:-1}" != "0" ]]; then
   DIKNN_MICRO_SMOKE=1 ./build/bench/bench_micro
   echo "== bench_pdes smoke (shard equivalence) =="
   DIKNN_PDES_SMOKE=1 ./build/bench/bench_pdes
+  echo "== bench_pdes query smoke (served workload across shards) =="
+  DIKNN_PDES_QUERY_SMOKE=1 ./build/bench/bench_pdes
 fi
 
 echo "== traced-query smoke =="

@@ -243,10 +243,12 @@ void PublishObsMetrics(Network& net, const GpsrRouting& gpsr,
   metrics->obs = reg.Snapshot();
 }
 
-// A sharded run: hand the substrate to the parallel engine. Queries stay
-// at 0 (the protocol plane is still serial-only; see experiment.h), so
-// the RunMetrics carry the psim traffic counters, merged per-shard
-// scheduler stats, and the psim.* observability snapshot.
+// A sharded (or force-windowed) run: hand the substrate to the parallel
+// engine. With a workload spec the engine also runs the query plane
+// (GPSR forwarding + DIKNN itineraries + the serving front end across
+// shard mailboxes), so the RunMetrics carry a populated SloReport next
+// to the psim traffic counters, merged per-shard scheduler stats, and
+// the psim.* / qp.* observability snapshot.
 RunMetrics RunPsimSubstrate(const ExperimentConfig& config, uint64_t seed) {
   const NetworkConfig& net = config.network;
   PsimConfig pc;
@@ -264,11 +266,34 @@ RunMetrics RunPsimSubstrate(const ExperimentConfig& config, uint64_t seed) {
   pc.shards = config.shards;
   pc.duration = config.warmup + config.duration;
   pc.seed = seed;
+  if (config.workload.has_value()) {
+    // The sink mirrors the serial harness' static sink (node 0). Arrivals
+    // cover the measured interval; the drain tail lets in-flight replies
+    // land before the horizon times the rest out.
+    pc.query.enabled = true;
+    pc.query.spec = *config.workload;
+    pc.query.diknn = config.diknn;
+    pc.query.sink = 0;
+    pc.query.warmup = config.warmup;
+    pc.query.horizon = config.warmup + config.duration;
+    pc.duration = config.warmup + config.duration + config.drain;
+  }
 
   PsimResult result = RunPsim(pc);
 
   RunMetrics metrics;
   metrics.average_degree = result.average_degree;
+  metrics.shards_requested = result.shards_requested;
+  metrics.shards_effective = result.shards;
+  if (result.query_ran) {
+    metrics.slo = result.slo;
+    metrics.queries = static_cast<int>(result.slo.issued);
+    metrics.timeouts = static_cast<int>(result.slo.timed_out);
+    metrics.avg_latency = result.slo.latency.Mean();
+    metrics.p50_latency = result.slo.p50();
+    metrics.p95_latency = result.slo.p95();
+    metrics.p99_latency = result.slo.p99();
+  }
   EngineRunCounters& en = metrics.engine;
   en.events_pushed = result.engine.events_pushed;
   en.events_fired = result.engine.events_fired;
@@ -289,7 +314,9 @@ RunMetrics RunPsimSubstrate(const ExperimentConfig& config, uint64_t seed) {
 RunMetrics RunOnce(const ExperimentConfig& config, uint64_t seed,
                    std::vector<QueryRecord>* records_out,
                    TraceData* trace_out) {
-  if (config.shards > 1) return RunPsimSubstrate(config, seed);
+  if (config.shards > 1 || config.force_windowed) {
+    return RunPsimSubstrate(config, seed);
+  }
   ProtocolStack stack(config, seed);
   Network& net = stack.network();
   Simulator& sim = net.sim();

@@ -80,6 +80,11 @@ struct RunMetrics {
   uint64_t lifecycle_checks = 0;     ///< Query completions audited.
   uint64_t lifecycle_violations = 0; ///< Completions that left residue.
   uint64_t leaked_entries = 0;       ///< Per-query entries alive post-drain.
+  /// Intra-run sharding of this run: what the config asked for and what
+  /// the partition geometry granted (the field may be too small for the
+  /// requested tile count). Both 1 on serial runs.
+  int shards_requested = 1;
+  int shards_effective = 1;
   /// SLO scorecard of the run's workload. Populated only when the run was
   /// driven by a WorkloadSpec (ExperimentConfig::workload); empty (issued
   /// == 0) on paper-style runs.

@@ -5,6 +5,7 @@
 #include <cassert>
 #include <chrono>
 #include <cmath>
+#include <limits>
 #include <thread>
 
 #include "net/beacon.h"
@@ -31,6 +32,52 @@ double Seconds(std::chrono::steady_clock::duration d) {
 }
 
 }  // namespace
+
+namespace {
+
+/// Metrics whose value legitimately depends on how the field was
+/// partitioned: per-shard rows, exchange traffic, scheduler internals,
+/// and allocation tallies (capacity growth differs per thread). The
+/// "psim.shard" prefix also covers the psim.shards / shards_requested
+/// gauges, which by construction differ between the compared runs.
+bool PartitionDependentMetric(const std::string& name) {
+  static constexpr const char* kPrefixes[] = {
+      "psim.shard",
+      "engine.",
+      "net.alloc",
+  };
+  static constexpr const char* kExact[] = {
+      "psim.boundary_frames", "psim.foreign_frames",
+      "psim.migrations_in",   "psim.migrations_out",
+      "psim.sweeps",          "psim.windows",
+      "psim.audit_probes",    "psim.audit_mismatches",
+      "qp.boundary_frames",   "qp.foreign_frames",
+      "qp.remails",           "qp.state_migrations",
+  };
+  for (const char* prefix : kPrefixes) {
+    if (name.rfind(prefix, 0) == 0) return true;
+  }
+  for (const char* exact : kExact) {
+    if (name == exact) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string InvariantObsJson(const MetricsSnapshot& snapshot) {
+  MetricsSnapshot filtered;
+  for (const MetricsSnapshot::Counter& c : snapshot.counters) {
+    if (!PartitionDependentMetric(c.name)) filtered.counters.push_back(c);
+  }
+  for (const MetricsSnapshot::Gauge& g : snapshot.gauges) {
+    if (!PartitionDependentMetric(g.name)) filtered.gauges.push_back(g);
+  }
+  for (const MetricsSnapshot::Histogram& h : snapshot.histograms) {
+    if (!PartitionDependentMetric(h.name)) filtered.histograms.push_back(h);
+  }
+  return filtered.ToJson();
+}
 
 EngineStats MergeEngineStats(const std::vector<EngineStats>& stats) {
   EngineStats merged;
@@ -109,15 +156,63 @@ void PsimEngine::BuildWorld() {
     bucket.reserve(bucket.size() * 2 + 8);
   }
 
+  // Fault schedule: a kill lands on the first sweep window whose time is
+  // >= the configured instant, so the set of dead nodes at any window is
+  // a pure function of (schedule, window) — identical on every shard
+  // layout.
+  world_->alive.assign(static_cast<size_t>(n), 1);
+  if (!config_.node_kills.empty()) {
+    world_->kill_window.assign(static_cast<size_t>(n),
+                               std::numeric_limits<uint64_t>::max());
+    const uint64_t refresh =
+        static_cast<uint64_t>(part.refresh_windows());
+    const double sweep_period = part.lookahead() * part.refresh_windows();
+    for (const auto& [when, id] : config_.node_kills) {
+      if (id >= static_cast<uint32_t>(n)) continue;
+      const uint64_t kw =
+          when <= 0.0
+              ? 0
+              : static_cast<uint64_t>(std::ceil(when / sweep_period)) *
+                    refresh;
+      uint64_t& slot = world_->kill_window[id];
+      slot = std::min(slot, kw);
+    }
+  }
+
+  // The query plane's schedule and sizing must exist before the shards:
+  // each shard ctor pre-warms its itinerary scratch from max_radius and
+  // sizes its query mailboxes from the workload bounds.
+  world_->query.config = config_.query;
+  BuildQueryPlane(&world_->query, config_.field, n, config_.radio_range_m,
+                  config_.max_speed, config_.duration, config_.seed);
+  if (config_.query.enabled) {
+    const double time_unit =
+        std::max(part.lookahead(), config_.query.diknn.time_unit);
+    world_->query.collection_windows =
+        static_cast<uint32_t>(std::clamp<int64_t>(
+            std::llround(time_unit / part.lookahead()), 1,
+            static_cast<int64_t>(kQuerySlotCount) - 2));
+  }
+
   shards_.reserve(static_cast<size_t>(part.shards()));
   for (int s = 0; s < part.shards(); ++s) {
     shards_.push_back(std::make_unique<PsimShard>(world_.get(), s));
   }
+  // Neighbor links follow the tiling's 8-neighborhood: each shard owns
+  // one SPSC inbox per adjacent shard (that neighbor is its only
+  // producer) and holds an outbox pointer at each neighbor's matching
+  // inbox. Creation and binding are separate passes so inbox addresses
+  // are stable before anyone captures them.
   for (int s = 0; s < part.shards(); ++s) {
-    shards_[static_cast<size_t>(s)]->BindNeighbors(
-        s > 0 ? shards_[static_cast<size_t>(s - 1)].get() : nullptr,
-        s + 1 < part.shards() ? shards_[static_cast<size_t>(s + 1)].get()
-                              : nullptr);
+    for (int from : part.NeighborShards(s)) {
+      shards_[static_cast<size_t>(s)]->CreateInbox(from);
+    }
+  }
+  for (int s = 0; s < part.shards(); ++s) {
+    for (int to : part.NeighborShards(s)) {
+      shards_[static_cast<size_t>(s)]->AddOutbox(
+          to, shards_[static_cast<size_t>(to)]->InboxFrom(s));
+    }
   }
   // Adoption in node-id order gives every shard a deterministic owned
   // list and initial event-push order.
@@ -149,13 +244,18 @@ PsimResult PsimEngine::Run() {
     AllocScope scope(shard.allocs());
     using Clock = std::chrono::steady_clock;
     double busy = 0.0;
+    double wait = 0.0;
     for (uint64_t k = 0; k < windows; ++k) {
+      auto w0 = Clock::now();
       sync.arrive_and_wait();
       auto t0 = Clock::now();
+      wait += Seconds(t0 - w0);
       shard.SweepIfDue(k);
       busy += Seconds(Clock::now() - t0);
+      w0 = Clock::now();
       sync.arrive_and_wait();
       t0 = Clock::now();
+      wait += Seconds(t0 - w0);
       if (k == midpoint) shard.BeginSteadyState();
       shard.DrainMailboxes(k);
       shard.ProcessWindow(k);
@@ -163,10 +263,13 @@ PsimResult PsimEngine::Run() {
     }
     // Final barrier: every producer has finished its last process phase,
     // so one more drain settles the boundary/foreign balance exactly.
+    auto w0 = Clock::now();
     sync.arrive_and_wait();
+    wait += Seconds(Clock::now() - w0);
     shard.DrainRemaining();
     shard.FinalizeStats();
     shard.stats().busy_s = busy;
+    shard.stats().barrier_wait_s = wait;
   };
 
   const auto wall_start = std::chrono::steady_clock::now();
@@ -177,11 +280,19 @@ PsimResult PsimEngine::Run() {
   const double wall_s =
       Seconds(std::chrono::steady_clock::now() - wall_start);
 
+  // Workers are joined: single-threaded from here. Settle everything the
+  // horizon left pending (in-flight queries time out) and seal the
+  // report before it is published into the snapshot.
+  if (config_.query.enabled) FinalizeQueryPlane(&world_->query);
+
   PsimResult result;
   result.shards = shard_count;
+  result.shards_requested = part.requested_shards();
   result.windows = windows;
   result.lookahead_s = part.lookahead();
   result.wall_s = wall_s;
+  result.query_ran = config_.query.enabled;
+  result.slo = world_->query.slo;
   for (int s = 0; s < shard_count; ++s) {
     const PsimShard& shard = *shards_[static_cast<size_t>(s)];
     result.shard_stats.push_back(shard.stats());
@@ -249,6 +360,9 @@ MetricsSnapshot PsimEngine::BuildObsSnapshot(
                      GaugeMode::kMax);
     reg.PublishGauge("psim.shards", static_cast<double>(result.shards),
                      GaugeMode::kMax);
+    reg.PublishGauge("psim.shards_requested",
+                     static_cast<double>(result.shards_requested),
+                     GaugeMode::kMax);
     // Shard-attributed rows (names disjoint across shards).
     const int sid = static_cast<int>(s);
     reg.PublishCounter(ShardMetricName(sid, "frames_sent"),
@@ -266,6 +380,58 @@ MetricsSnapshot PsimEngine::BuildObsSnapshot(
     reg.PublishGauge(
         ShardMetricName(sid, "owned_nodes"),
         static_cast<double>(shards_[s]->owned_count()), GaugeMode::kMax);
+    if (config_.query.enabled) {
+      // Query-plane counters: canonical qp.* rows add to
+      // partition-invariant totals (exchange rows excepted, like the
+      // substrate's boundary/foreign split).
+      const QueryPlaneStats& qs = st.qp;
+      reg.PublishCounter("qp.hops", qs.hops);
+      reg.PublishCounter("qp.request_hops", qs.request_hops);
+      reg.PublishCounter("qp.qnode_hops", qs.qnode_hops);
+      reg.PublishCounter("qp.result_hops", qs.result_hops);
+      reg.PublishCounter("qp.home_arrivals", qs.home_arrivals);
+      reg.PublishCounter("qp.sector_results", qs.sector_results);
+      reg.PublishCounter("qp.replies", qs.replies);
+      reg.PublishCounter("qp.collections", qs.collections);
+      reg.PublishCounter("qp.retries", qs.retries);
+      reg.PublishCounter("qp.drops_loss", qs.drops_loss);
+      reg.PublishCounter("qp.drops_stuck", qs.drops_stuck);
+      reg.PublishCounter("qp.drops_dead", qs.drops_dead);
+      reg.PublishCounter("qp.drops_ttl", qs.drops_ttl);
+      reg.PublishCounter("qp.late_replies", qs.late_replies);
+      reg.PublishCounter("qp.boundary_frames", qs.boundary_frames);
+      reg.PublishCounter("qp.foreign_frames", qs.foreign_frames);
+      reg.PublishCounter("qp.remails", qs.remails);
+      reg.PublishCounter("qp.state_migrations", qs.state_migrations);
+      reg.PublishCounter(ShardMetricName(sid, "qp_hops"), qs.hops);
+      reg.PublishCounter(ShardMetricName(sid, "qp_boundary_frames"),
+                         qs.boundary_frames);
+      if (s == 0) {
+        // Sink-side serving/SLO tallies live in world state, not shard
+        // stats; publish them once so the merged snapshot carries the
+        // same rows the serial harness emits.
+        const QueryPlaneState& q = world_->query;
+        reg.PublishCounter("workload.issued", q.slo.issued);
+        reg.PublishCounter("workload.completed", q.slo.completed);
+        reg.PublishCounter("workload.deadline_missed",
+                           q.slo.deadline_missed);
+        reg.PublishCounter("workload.rejected", q.slo.rejected);
+        reg.PublishCounter("workload.timed_out", q.slo.timed_out);
+        reg.PublishGauge("workload.peak_inflight",
+                         static_cast<double>(q.slo.peak_inflight),
+                         GaugeMode::kMax);
+        reg.PublishCounter("serving.cache_hits", q.serving.cache_hits);
+        reg.PublishCounter("serving.cache_misses", q.serving.cache_misses);
+        reg.PublishCounter("serving.cache_expired",
+                           q.serving.cache_expired);
+        reg.PublishCounter("serving.cache_insertions",
+                           q.serving.cache_insertions);
+        reg.PublishCounter("serving.coalesced", q.serving.coalesced);
+        reg.PublishCounter("serving.fanned_out", q.serving.fanned_out);
+        reg.PublishCounter("serving.shed", q.serving.shed);
+        reg.PublishCounter("serving.shed_probes", q.serving.shed_probes);
+      }
+    }
     snaps.push_back(reg.Snapshot());
   }
   return MergeShardSnapshots(snaps);

@@ -1,7 +1,7 @@
 // Conservative parallel discrete-event engine (PDES) for the substrate.
 //
-// PsimEngine builds a PsimWorld (nodes, mobility, the column-strip
-// FieldPartition), hands each strip to a PsimShard with its own
+// PsimEngine builds a PsimWorld (nodes, mobility, the tiled
+// FieldPartition), hands each tile to a PsimShard with its own
 // timer-wheel Simulator, and runs all shards in lock-step over
 // fixed-length lookahead windows:
 //
@@ -21,13 +21,14 @@
 // Determinism contract (docs/ENGINE.md): the serial engine remains the
 // anchor — `--shards 1` in the harness runs the serial path unchanged —
 // and within psim every partition-invariant counter (frames, collisions,
-// losses, neighbor updates) is byte-equal across shard counts, enforced
-// by psim_determinism_test.
+// losses, neighbor updates, query-plane hops, the full SloReport) is
+// byte-equal across shard counts, enforced by psim_determinism_test.
 
 #ifndef DIKNN_PSIM_ENGINE_H_
 #define DIKNN_PSIM_ENGINE_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "obs/metrics_registry.h"
@@ -43,14 +44,24 @@ struct PsimResult {
   std::vector<EngineStats> shard_engine;  ///< Per-shard scheduler counters.
   MetricsSnapshot obs;                    ///< psim.* / net.* / engine.*.
   int shards = 1;                         ///< Effective shard count.
+  int shards_requested = 1;               ///< Before the geometry clamp.
   uint64_t windows = 0;
   double lookahead_s = 0.0;
   double wall_s = 0.0;                    ///< Run() wall-clock seconds.
   double average_degree = 0.0;            ///< Mean fresh neighbors at end.
+  bool query_ran = false;                 ///< Query plane was enabled.
+  SloReport slo;                          ///< Query-plane outcome (if ran).
 };
 
 /// Sums counters and maxes the peak gauges across shards.
 EngineStats MergeEngineStats(const std::vector<EngineStats>& stats);
+
+/// Deterministic JSON of the snapshot's partition-invariant subset: drops
+/// the per-shard rows, the exchange counters (boundary/foreign/remail/
+/// migration/sweep traffic), scheduler internals, and the allocation
+/// tallies — everything that legitimately varies with the shard count —
+/// so the result is byte-comparable across --shards 1/2/4/8.
+std::string InvariantObsJson(const MetricsSnapshot& snapshot);
 
 class PsimEngine {
  public:

@@ -6,6 +6,31 @@
 
 namespace diknn {
 
+namespace {
+
+// Deal `count` units across `parts` as evenly as possible: the first
+// count % parts partitions get one extra unit. Fills first/width.
+void DealAxis(int count, int parts, std::vector<int>* unit_tile,
+              std::vector<int>* first, std::vector<int>* width) {
+  unit_tile->resize(static_cast<size_t>(count));
+  first->resize(static_cast<size_t>(parts));
+  width->resize(static_cast<size_t>(parts));
+  const int base = count / parts;
+  const int extra = count % parts;
+  int unit = 0;
+  for (int p = 0; p < parts; ++p) {
+    (*first)[static_cast<size_t>(p)] = unit;
+    const int w = base + (p < extra ? 1 : 0);
+    (*width)[static_cast<size_t>(p)] = w;
+    for (int i = 0; i < w; ++i) {
+      (*unit_tile)[static_cast<size_t>(unit++)] = p;
+    }
+  }
+  assert(unit == count);
+}
+
+}  // namespace
+
 double FieldPartition::Lookahead(const PsimNetParams& params) {
   const double air_time =
       static_cast<double>(params.max_frame_bytes) * 8.0 /
@@ -32,24 +57,68 @@ FieldPartition::FieldPartition(const PsimNetParams& params,
   ny_ = std::max(
       1, static_cast<int>(std::ceil(params.field.Height() / cell_size_)));
 
-  shards_ = std::clamp(requested_shards_, 1,
-                       std::max(1, nx_ / kMinStripColumns));
-
-  // Columns are dealt out as evenly as possible; the first nx % shards
-  // strips get one extra column. Every strip is >= kMinStripColumns wide
-  // (guaranteed by the clamp above) except in the single-shard case.
-  column_owner_.resize(nx_);
-  first_column_.resize(shards_);
-  strip_width_.resize(shards_);
-  const int base = nx_ / shards_;
-  const int extra = nx_ % shards_;
-  int column = 0;
-  for (int s = 0; s < shards_; ++s) {
-    first_column_[s] = column;
-    strip_width_[s] = base + (s < extra ? 1 : 0);
-    for (int i = 0; i < strip_width_[s]; ++i) column_owner_[column++] = s;
+  // Tiling selection. Column strips stay the layout whenever they can
+  // grant the request outright (fewest neighbor links, and the layout
+  // every strips-era result was produced under); the second axis only
+  // engages when the field is too narrow for `requested` strips. Among
+  // the feasible rows x cols factorizations of the largest grantable
+  // shard count, prefer the one whose tiles are closest to square
+  // (maximize the smaller tile dimension).
+  const int max_tx = std::max(1, nx_ / kMinTileSpan);
+  const int max_ty = std::max(1, ny_ / kMinTileSpan);
+  if (requested_shards_ <= max_tx) {
+    tiles_x_ = requested_shards_;
+    tiles_y_ = 1;
+  } else {
+    tiles_x_ = max_tx;
+    tiles_y_ = 1;
+    const int cap = std::min(requested_shards_, max_tx * max_ty);
+    for (int s = cap; s > max_tx; --s) {
+      int best_min_span = -1;
+      int best_tx = 0;
+      int best_ty = 0;
+      for (int ty = 1; ty <= max_ty; ++ty) {
+        if (s % ty != 0) continue;
+        const int tx = s / ty;
+        if (tx > max_tx) continue;
+        const int min_span = std::min(nx_ / tx, ny_ / ty);
+        if (min_span > best_min_span) {
+          best_min_span = min_span;
+          best_tx = tx;
+          best_ty = ty;
+        }
+      }
+      if (best_min_span >= 0) {
+        tiles_x_ = best_tx;
+        tiles_y_ = best_ty;
+        break;
+      }
+    }
   }
-  assert(column == nx_);
+  shards_ = tiles_x_ * tiles_y_;
+  assert(shards_ >= 1 && shards_ <= requested_shards_);
+  assert(tiles_x_ == 1 || nx_ / tiles_x_ >= kMinTileSpan);
+  assert(tiles_y_ == 1 || ny_ / tiles_y_ >= kMinTileSpan);
+
+  DealAxis(nx_, tiles_x_, &col_tile_, &tile_first_col_, &tile_cols_);
+  DealAxis(ny_, tiles_y_, &row_tile_, &tile_first_row_, &tile_rows_);
+
+  // Precompute the 8-neighborhood adjacency (ascending shard ids).
+  neighbors_.resize(static_cast<size_t>(shards_));
+  for (int s = 0; s < shards_; ++s) {
+    const int ox = s % tiles_x_;
+    const int oy = s / tiles_x_;
+    for (int dy = -1; dy <= 1; ++dy) {
+      const int ty = oy + dy;
+      if (ty < 0 || ty >= tiles_y_) continue;
+      for (int dx = -1; dx <= 1; ++dx) {
+        const int tx = ox + dx;
+        if (tx < 0 || tx >= tiles_x_) continue;
+        if (dx == 0 && dy == 0) continue;
+        neighbors_[static_cast<size_t>(s)].push_back(ty * tiles_x_ + tx);
+      }
+    }
+  }
 }
 
 }  // namespace diknn

@@ -2,14 +2,23 @@
 //
 // The field is covered by the same kind of cell grid the serial channel
 // uses (cell side = radio range + worst-case drift between bucket
-// refreshes) and split into vertical column strips, one strip per shard.
-// Columns are the partition unit because the radio's interference
-// neighborhood is a fixed number of columns wide: a frame transmitted
-// from column c can only be sensed, received, or collided with by nodes
-// bucketed within two columns of c (see docs/SIMULATOR.md for the
-// derivation), so with strips at least kMinStripColumns wide every frame
-// concerns at most the owning shard and its immediate west/east
-// neighbors — cross-shard traffic flows only between adjacent strips.
+// refreshes) and split into rectangular tiles, one tile per shard. The
+// tiling is a rows x cols grid over the cell axes: column strips
+// (tiles_y == 1) remain the layout whenever strips alone can satisfy the
+// requested shard count — they minimize the number of neighbor links —
+// and the partition only grows a second tiled axis when the field is too
+// narrow for that many strips (square fields at 8+ shards), which keeps
+// the perimeter/area ratio of each shard sane instead of degenerating
+// into 1-cell slivers.
+//
+// Cells are the partition unit because the radio's interference
+// neighborhood is a fixed number of cells wide: a frame transmitted from
+// cell c can only be sensed, received, or collided with by nodes
+// bucketed within two cells of c (see docs/SIMULATOR.md for the
+// derivation), so with tiles at least kMinTileSpan cells wide on every
+// partitioned axis, every frame concerns at most the owning shard and
+// its 8 immediate neighbors — cross-shard traffic flows only between
+// adjacent tiles.
 //
 // Lookahead: all synchronization happens on a fixed window of length
 // Lookahead() = max(air time of the largest substrate frame, one CSMA
@@ -17,11 +26,14 @@
 // frame transmitted in window k can overlap transmissions only from
 // windows k-1..k+1 and is fully decided by window k+2 — that bound is
 // what lets shards run a whole window ahead of their neighbors between
-// barriers (docs/ENGINE.md).
+// barriers (docs/ENGINE.md). The same bound covers unicast query hops:
+// a GPSR/DIKNN hop is at least one frame air time, so the window
+// protocol already orders multi-hop causality.
 
 #ifndef DIKNN_PSIM_PARTITION_H_
 #define DIKNN_PSIM_PARTITION_H_
 
+#include <array>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -43,11 +55,14 @@ struct PsimNetParams {
 
 class FieldPartition {
  public:
-  /// Strips narrower than this could leak interference past an adjacent
-  /// shard (a frame drifts one column out of its strip and its 2-column
-  /// interference reach would cross a 2-column neighbor entirely), so
-  /// the effective shard count is clamped to nx / kMinStripColumns.
-  static constexpr int kMinStripColumns = 3;
+  /// Tiles narrower than this on a partitioned axis could leak
+  /// interference past an adjacent shard (a frame drifts one cell out of
+  /// its tile and its 2-cell interference reach would cross a 2-cell
+  /// neighbor entirely), so the effective shard count is clamped to what
+  /// (nx / kMinTileSpan) x (ny / kMinTileSpan) tiles can grant.
+  static constexpr int kMinTileSpan = 3;
+  /// Historical name from the strips-only engine; same constant.
+  static constexpr int kMinStripColumns = kMinTileSpan;
 
   FieldPartition(const PsimNetParams& params, int requested_shards);
 
@@ -62,6 +77,10 @@ class FieldPartition {
   int nx() const { return nx_; }
   int ny() const { return ny_; }
   int cell_count() const { return nx_ * ny_; }
+  /// Tiling shape: shards() == tiles_x() * tiles_y(). Column strips have
+  /// tiles_y() == 1.
+  int tiles_x() const { return tiles_x_; }
+  int tiles_y() const { return tiles_y_; }
   /// Windows between bucket-refresh sweeps; sweeps fire on windows k with
   /// k % refresh_windows() == 0, so the effective refresh period is
   /// refresh_windows() * lookahead().
@@ -80,29 +99,81 @@ class FieldPartition {
   }
 
   int ColumnOf(int32_t cell) const { return static_cast<int>(cell) % nx_; }
+  int RowOf(int32_t cell) const { return static_cast<int>(cell) / nx_; }
 
-  int OwnerOfColumn(int column) const { return column_owner_[column]; }
-  int OwnerOfCell(int32_t cell) const {
-    return column_owner_[ColumnOf(cell)];
+  /// Owner shard of the tile containing (column, row).
+  int OwnerAt(int column, int row) const {
+    return row_tile_[row] * tiles_x_ + col_tile_[column];
   }
+  int OwnerOfCell(int32_t cell) const {
+    return OwnerAt(ColumnOf(cell), RowOf(cell));
+  }
+  /// Strip-mode convenience (tiles_y() == 1): the owner of a column.
+  int OwnerOfColumn(int column) const { return col_tile_[column]; }
 
-  /// Inclusive column range [first, last] owned by `shard`.
+  /// Inclusive column range [first, last] of `shard`'s tile.
   std::pair<int, int> ColumnRange(int shard) const {
-    return {first_column_[shard],
-            first_column_[shard] + strip_width_[shard] - 1};
+    const int tx = shard % tiles_x_;
+    return {tile_first_col_[tx], tile_first_col_[tx] + tile_cols_[tx] - 1};
+  }
+  /// Inclusive row range [first, last] of `shard`'s tile.
+  std::pair<int, int> RowRange(int shard) const {
+    const int ty = shard / tiles_x_;
+    return {tile_first_row_[ty], tile_first_row_[ty] + tile_rows_[ty] - 1};
   }
 
   /// True when a frame whose origin falls in `column` must also be
   /// handed to the shard west (resp. east) of the column's owner: its
-  /// 2-column interference reach extends into that neighbor's strip.
-  /// `column` may lie one column outside the owner's strip (a node's
-  /// true position can drift one column past its bucket).
+  /// 2-cell interference reach extends into that neighbor's tile.
+  /// `column` may lie one column outside the owner's tile (a node's
+  /// true position can drift one cell past its bucket).
   bool NeedsWestNeighbor(int column, int owner) const {
-    return owner > 0 && column <= first_column_[owner] + 1;
+    const int tx = owner % tiles_x_;
+    return tx > 0 && column <= tile_first_col_[tx] + 1;
   }
   bool NeedsEastNeighbor(int column, int owner) const {
-    return owner + 1 < shards_ &&
-           column >= first_column_[owner] + strip_width_[owner] - 2;
+    const int tx = owner % tiles_x_;
+    return tx + 1 < tiles_x_ &&
+           column >= tile_first_col_[tx] + tile_cols_[tx] - 2;
+  }
+
+  /// Adjacent shards of `shard` (8-neighborhood over tiles), in ascending
+  /// shard-id order. The partition guarantees every cross-shard exchange —
+  /// boundary frames, node migrations, unicast query hops — stays within
+  /// this set (tiles are >= kMinTileSpan cells wide per partitioned axis,
+  /// and every reach is <= 2 cells + 1 cell of bucket drift).
+  const std::vector<int>& NeighborShards(int shard) const {
+    return neighbors_[static_cast<size_t>(shard)];
+  }
+
+  /// Fills `out` with the neighbor shards (ascending id order) whose tile
+  /// the 2-cell interference reach of a frame bucketed at `cell` touches;
+  /// returns the count. `owner` is the sending shard; `cell` may drift
+  /// one cell outside its tile, never further.
+  int FrameRecipients(int32_t cell, int owner,
+                      std::array<int, 8>* out) const {
+    const int cx = ColumnOf(cell);
+    const int cy = RowOf(cell);
+    const int ox = owner % tiles_x_;
+    const int oy = owner / tiles_x_;
+    int count = 0;
+    for (int dy = -1; dy <= 1; ++dy) {
+      const int ty = oy + dy;
+      if (ty < 0 || ty >= tiles_y_) continue;
+      const int row_lo = tile_first_row_[ty];
+      const int row_hi = row_lo + tile_rows_[ty] - 1;
+      if (cy + 2 < row_lo || cy - 2 > row_hi) continue;
+      for (int dx = -1; dx <= 1; ++dx) {
+        const int tx = ox + dx;
+        if (tx < 0 || tx >= tiles_x_) continue;
+        if (dx == 0 && dy == 0) continue;
+        const int col_lo = tile_first_col_[tx];
+        const int col_hi = col_lo + tile_cols_[tx] - 1;
+        if (cx + 2 < col_lo || cx - 2 > col_hi) continue;
+        (*out)[static_cast<size_t>(count++)] = ty * tiles_x_ + tx;
+      }
+    }
+    return count;
   }
 
  private:
@@ -112,10 +183,16 @@ class FieldPartition {
   double cell_size_ = 0.0;
   int nx_ = 1;
   int ny_ = 1;
+  int tiles_x_ = 1;
+  int tiles_y_ = 1;
   int refresh_windows_ = 1;
-  std::vector<int> column_owner_;  ///< nx entries.
-  std::vector<int> first_column_;  ///< Per shard.
-  std::vector<int> strip_width_;   ///< Per shard.
+  std::vector<int> col_tile_;        ///< nx entries: column -> tile x.
+  std::vector<int> row_tile_;        ///< ny entries: row -> tile y.
+  std::vector<int> tile_first_col_;  ///< Per tile column.
+  std::vector<int> tile_cols_;
+  std::vector<int> tile_first_row_;  ///< Per tile row.
+  std::vector<int> tile_rows_;
+  std::vector<std::vector<int>> neighbors_;  ///< Per shard, ascending.
 };
 
 }  // namespace diknn

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
 
 #include "net/beacon.h"
 #include "net/packet.h"
@@ -46,9 +47,16 @@ PsimStats& PsimStats::operator+=(const PsimStats& o) {
   windows += o.windows;
   audit_probes += o.audit_probes;
   audit_mismatches += o.audit_mismatches;
+  qp += o.qp;
   steady_allocs += o.steady_allocs;
   steady_alloc_bytes += o.steady_alloc_bytes;
   busy_s += o.busy_s;
+  barrier_wait_s += o.barrier_wait_s;
+  frames_mailbox_hwm = std::max(frames_mailbox_hwm, o.frames_mailbox_hwm);
+  queries_mailbox_hwm =
+      std::max(queries_mailbox_hwm, o.queries_mailbox_hwm);
+  migrations_mailbox_hwm =
+      std::max(migrations_mailbox_hwm, o.migrations_mailbox_hwm);
   return *this;
 }
 
@@ -66,17 +74,10 @@ PsimShard::PsimShard(PsimWorld* world, int id)
     : world_(world),
       id_(id),
       sim_(world->config.scheduler),
-      shard_rng_(ShardSeed(world->config.seed, id)),
-      frames_from_west_(world->FrameMailboxCapacity()),
-      frames_from_east_(world->FrameMailboxCapacity()),
-      migrations_from_west_(world->MigrationMailboxCapacity()),
-      migrations_from_east_(world->MigrationMailboxCapacity()) {
-  const auto range = world_->partition.ColumnRange(id_);
-  first_column_ = range.first;
-  last_column_ = range.second;
+      shard_rng_(ShardSeed(world->config.seed, id)) {
   // Pre-size every container the window loop grows, so the steady-state
   // halves of even short runs perform zero allocations (the net.allocs
-  // gate). Frames per window are bounded by the strip population plus
+  // gate). Frames per window are bounded by the tile population plus
   // mailed boundary traffic; scratch vectors by one cell neighborhood.
   const size_t frame_bound = std::max<size_t>(
       1024, 2 * static_cast<size_t>(world_->config.node_count) /
@@ -92,11 +93,53 @@ PsimShard::PsimShard(PsimWorld* world, int id)
   delivery_order_.reserve(frame_bound);
   interferers_.reserve(4096);
   receivers_.reserve(4096);
+  if (world_->config.query.enabled) {
+    // Query slots grow to their per-window high water early in the run
+    // (arrival rates are steady), so a modest reserve suffices for the
+    // steady-state allocation gate.
+    for (std::vector<PsimQueryFrame>& slot : qslots_) slot.reserve(64);
+    qorder_.reserve(256);
+    // Pre-warm the itinerary scratch at the workload's largest radius so
+    // per-hop Rebuild calls never grow its segment buffers.
+    ItineraryParams params;
+    params.radius = std::max<double>(world_->query.max_radius, 1.0);
+    params.num_sectors =
+        std::max(1, world_->query.config.diknn.num_sectors);
+    params.width = std::max(world_->query.itinerary_width, 1e-3);
+    itinerary_scratch_.Rebuild(params);
+  }
 }
 
-void PsimShard::BindNeighbors(PsimShard* west, PsimShard* east) {
-  west_ = west;
-  east_ = east;
+PsimShard::NeighborInbox* PsimShard::CreateInbox(int from) {
+  inboxes_.push_back(std::make_unique<NeighborInbox>(
+      from, world_->FrameMailboxCapacity(),
+      world_->MigrationMailboxCapacity(),
+      world_->QueryMailboxCapacity()));
+  return inboxes_.back().get();
+}
+
+PsimShard::NeighborInbox* PsimShard::InboxFrom(int from) {
+  for (const auto& box : inboxes_) {
+    if (box->from == from) return box.get();
+  }
+  return nullptr;
+}
+
+void PsimShard::AddOutbox(int to, NeighborInbox* inbox) {
+  outboxes_.emplace_back(to, inbox);
+}
+
+PsimShard::NeighborInbox* PsimShard::OutboxFor(int shard) {
+  for (const auto& [to, box] : outboxes_) {
+    if (to == shard) return box;
+  }
+  return nullptr;
+}
+
+PsimShard::NeighborInbox* PsimShard::RequireOutbox(int shard) {
+  NeighborInbox* box = OutboxFor(shard);
+  if (box == nullptr) std::abort();  // Partition adjacency violated.
+  return box;
 }
 
 void PsimShard::AdoptNode(uint32_t i) {
@@ -208,20 +251,16 @@ void PsimShard::Transmit(uint32_t i, SimTime now, const Point& pos) {
   ++stats_.frames_sent;
   AppendFrame(f);
 
-  // Hand a copy to each neighbor whose strip the frame's 2-column
-  // interference reach touches. The origin can drift one column outside
-  // this shard's strip, but never further (the bucket drift bound), and
-  // strips are >= kMinStripColumns wide, so the owner's immediate
-  // neighbors always suffice.
-  const int col = world_->partition.ColumnOf(f.cell);
-  if (west_ != nullptr &&
-      world_->partition.NeedsWestNeighbor(col, id_)) {
-    west_->frames_from_east_.Push(f);
-    ++stats_.boundary_frames;
-  }
-  if (east_ != nullptr &&
-      world_->partition.NeedsEastNeighbor(col, id_)) {
-    east_->frames_from_west_.Push(f);
+  // Hand a copy to each adjacent tile the frame's 2-cell interference
+  // reach touches. The origin can drift one cell outside this shard's
+  // tile, but never further (the bucket drift bound), and tiles are
+  // >= kMinTileSpan cells per axis, so the owner's immediate neighbors
+  // always suffice.
+  std::array<int, 8> recipients;
+  const int nrec =
+      world_->partition.FrameRecipients(f.cell, id_, &recipients);
+  for (int r = 0; r < nrec; ++r) {
+    RequireOutbox(recipients[r])->frames.Push(f);
     ++stats_.boundary_frames;
   }
   ScheduleNextBeacon(i);
@@ -249,15 +288,28 @@ void PsimShard::SweepIfDue(uint64_t k) {
   ++stats_.sweeps;
   const SimTime now = k * part.lookahead();
   migrated_out_.clear();
+  const bool query_enabled = world_->config.query.enabled;
   for (const uint32_t i : owned_) {
     PsimNode& n = world_->nodes[i];
+    if (!world_->alive[i]) continue;
+    if (!world_->kill_window.empty() && world_->kill_window[i] <= k) {
+      // Node fault: silence it in place. The bucket entry stays (the
+      // corpse keeps its last cell), but no event ever fires again and
+      // receivers/collectors skip it via the alive flag.
+      world_->alive[i] = 0;
+      if (n.event != 0) {
+        sim_.Cancel(n.event);
+        n.event = 0;
+      }
+      continue;
+    }
     n.neighbors.Expire(now);
     const Point pos = n.mobility->PositionAt(now);
     const int32_t cell = part.CellOf(pos);
     if (cell == n.cell) continue;
     // Re-bucket: remove from the old cell; insert locally or mail the
     // node to the new owner (always this shard or an adjacent one — a
-    // node drifts at most one column per sweep).
+    // node drifts at most one cell per sweep).
     std::vector<uint32_t>& old_bucket = world_->cell_nodes[n.cell];
     old_bucket.erase(std::find(old_bucket.begin(), old_bucket.end(), i));
     n.cell = cell;
@@ -266,14 +318,16 @@ void PsimShard::SweepIfDue(uint64_t k) {
       world_->cell_nodes[cell].push_back(i);
       continue;
     }
-    assert(owner == id_ - 1 || owner == id_ + 1);
+    NeighborInbox* box = RequireOutbox(owner);
     sim_.Cancel(n.event);
     n.event = 0;
-    if (owner < id_) {
-      west_->migrations_from_east_.Push(i);
-    } else {
-      east_->migrations_from_west_.Push(i);
+    if (query_enabled && world_->query.roles[i] > 0) {
+      // The node carries live query state (home merge state or the sink
+      // front end); the mailbox's release/acquire pair hands every prior
+      // write to the new owner before its first read.
+      ++stats_.qp.state_migrations;
     }
+    box->migrations.Push(i);
     ++stats_.migrations_out;
     migrated_out_.push_back(i);
   }
@@ -285,6 +339,27 @@ void PsimShard::SweepIfDue(uint64_t k) {
                                                    i) != migrated_out_.end();
                                 }),
                  owned_.end());
+    if (query_enabled) {
+      // A migrating node's pending query frames travel with it. The new
+      // owner's drain of this same window files them, and no frame
+      // applies *on* a sweep window (SkipSweepWindow), so every
+      // forwarded frame is re-filed strictly before its apply window —
+      // application timing stays a pure function of the traffic.
+      for (auto& slot : qslots_) {
+        size_t kept = 0;
+        for (const PsimQueryFrame& f : slot) {
+          if (std::find(migrated_out_.begin(), migrated_out_.end(),
+                        f.dest) == migrated_out_.end()) {
+            slot[kept++] = f;
+            continue;
+          }
+          RequireOutbox(part.OwnerOfCell(world_->nodes[f.dest].cell))
+              ->queries.Push(f);
+          ++stats_.qp.boundary_frames;
+        }
+        slot.resize(kept);
+      }
+    }
   }
   // Ownership audit probe: a shard-RNG spot check that the partition
   // mapping and the owned list agree. Uses the per-shard stream forked
@@ -316,15 +391,50 @@ void PsimShard::DrainMailboxes(uint64_t k) {
     // so event_time >= the window start = this shard's clock.
     ScheduleNode(i, n.event_time);
   };
-  migrations_from_west_.Drain(adopt);
-  migrations_from_east_.Drain(adopt);
+  // Inboxes drain in creation order (ascending producer id), so the
+  // adoption order — and every downstream scan — is deterministic.
+  for (const auto& box : inboxes_) {
+    stats_.migrations_mailbox_hwm = std::max(
+        stats_.migrations_mailbox_hwm, box->migrations.SizeApprox());
+    box->migrations.Drain(adopt);
+  }
 
   const auto chain = [this](const PsimFrame& f) {
     AppendFrame(f);
     ++stats_.foreign_frames;
   };
-  frames_from_west_.Drain(chain);
-  frames_from_east_.Drain(chain);
+  for (const auto& box : inboxes_) {
+    // High-water sampling at drain start. Racy against the producer's
+    // current process phase by design — bench-only observability, never
+    // part of the obs snapshot or the invariant comparison.
+    stats_.frames_mailbox_hwm =
+        std::max(stats_.frames_mailbox_hwm, box->frames.SizeApprox());
+    box->frames.Drain(chain);
+  }
+
+  if (world_->config.query.enabled) {
+    const auto file = [this](const PsimQueryFrame& f) {
+      ++stats_.qp.foreign_frames;
+      // The destination may have migrated in this window's sweep while
+      // the frame sat in the mailbox; pass it straight on. The current
+      // owner drains it no later than next window, still ahead of the
+      // frame's apply window (never a sweep window), so the relay costs
+      // no simulated time.
+      const int owner =
+          world_->partition.OwnerOfCell(world_->nodes[f.dest].cell);
+      if (owner != id_) {
+        RequireOutbox(owner)->queries.Push(f);
+        ++stats_.qp.boundary_frames;
+        return;
+      }
+      qslots_[f.window % kQuerySlotCount].push_back(f);
+    };
+    for (const auto& box : inboxes_) {
+      stats_.queries_mailbox_hwm =
+          std::max(stats_.queries_mailbox_hwm, box->queries.SizeApprox());
+      box->queries.Drain(file);
+    }
+  }
 }
 
 void PsimShard::DrainRemaining() {
@@ -335,14 +445,20 @@ void PsimShard::DrainRemaining() {
   // *when* a frame is drained can race benignly against the producer's
   // process phase.
   const auto count = [this](const PsimFrame&) { ++stats_.foreign_frames; };
-  frames_from_west_.Drain(count);
-  frames_from_east_.Drain(count);
+  const auto count_query = [this](const PsimQueryFrame&) {
+    ++stats_.qp.foreign_frames;
+  };
+  for (const auto& box : inboxes_) {
+    box->frames.Drain(count);
+    box->queries.Drain(count_query);
+  }
 }
 
 void PsimShard::ProcessWindow(uint64_t k) {
   current_window_ = k;
   ++stats_.windows;
   if (k >= 2) DeliverWindow(k - 2);
+  if (world_->config.query.enabled) ProcessQueryWindow(k);
   sim_.RunBefore((k + 1) * world_->partition.lookahead());
 }
 
@@ -420,9 +536,10 @@ void PsimShard::DeliverFrame(const PsimFrame& f, SimTime now) {
     for (int dx = -1; dx <= 1; ++dx) {
       const int x = fx + dx;
       if (x < 0 || x >= part.nx()) continue;
-      if (part.OwnerOfColumn(x) != id_) continue;
+      if (part.OwnerAt(x, y) != id_) continue;
       for (const uint32_t i : world_->cell_nodes[y * part.nx() + x]) {
-        if (i != f.sender) receivers_.push_back(i);
+        // Dead nodes keep their bucket entry but never receive.
+        if (i != f.sender && world_->alive[i]) receivers_.push_back(i);
       }
     }
   }
@@ -477,7 +594,10 @@ bool PsimShard::OwnershipInvariantHolds() const {
   for (const uint32_t i : owned_) {
     const PsimNode& n = world_->nodes[i];
     if (world_->partition.OwnerOfCell(n.cell) != id_) return false;
-    if (n.event == 0 || !sim_.IsPending(n.event)) return false;
+    // Dead nodes hold no event but stay bucketed at their last cell.
+    if (world_->alive[i] && (n.event == 0 || !sim_.IsPending(n.event))) {
+      return false;
+    }
     const std::vector<uint32_t>& bucket = world_->cell_nodes[n.cell];
     if (std::count(bucket.begin(), bucket.end(), i) != 1) return false;
   }

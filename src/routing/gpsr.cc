@@ -9,6 +9,7 @@
 #include "core/logging.h"
 #include "net/packet_pool.h"
 #include "obs/tracer.h"
+#include "routing/greedy.h"
 #include "routing/planarize.h"
 
 namespace diknn {
@@ -182,19 +183,11 @@ void GpsrRouting::Forward(Node* node, std::shared_ptr<GeoRoutedMessage> msg,
   }
 
   if (msg->mode == GeoRoutedMessage::Mode::kGreedy) {
-    // Greedy: strictly closer neighbor with the best progress. The
-    // previous hop is excluded — with beacon-stale positions it can look
-    // closer than it is and cause A<->B ping-pong until the TTL burns out.
-    const NeighborEntry* best = nullptr;
-    double best_d = d_self;
-    for (const NeighborEntry& n : neighbors) {
-      if (n.id == msg->prev_hop) continue;
-      const double d = Distance(n.position, dest);
-      if (d < best_d) {
-        best_d = d;
-        best = &n;
-      }
-    }
+    // Greedy: strictly closer neighbor with the best progress, previous
+    // hop excluded (routing/greedy.h — the same rule the parallel query
+    // plane applies, so forwarding behaviour is engine-independent).
+    const NeighborEntry* best =
+        GreedyNextHop(neighbors, dest, d_self, msg->prev_hop);
     if (best != nullptr) {
       ++stats_.greedy_hops;
       --msg->ttl;

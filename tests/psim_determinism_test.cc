@@ -11,8 +11,14 @@
 //      steady-state allocation gate (net.allocs == 0) holds on every
 //      worker thread.
 //
-// The sharded soak here doubles as the TSan workload: run this binary
-// under the tsan preset to sweep the barrier/mailbox protocol.
+//   4. The query plane rides the same contract: with a workload spec the
+//      SloReport, every qp.* invariant counter, and the filtered obs
+//      snapshot (InvariantObsJson) are byte-equal across shard counts,
+//      with node kills and per-hop losses in play.
+//
+// The sharded soaks here double as the TSan workload: run this binary
+// under the tsan preset to sweep the barrier/mailbox protocol (query
+// mailboxes and state migration included).
 
 #include <cstdint>
 #include <string>
@@ -156,6 +162,93 @@ TEST(PsimDeterminismTest, ShardsOneIsTheSerialEngineBitForBit) {
   EXPECT_EQ(a.obs.ToJson(), b.obs.ToJson());
 }
 
+// --- Contract 4: query-plane soak — 200+ mixed-class queries over GPSR
+// --- + DIKNN itineraries, with kills and losses, across shard counts.
+
+PsimConfig QuerySoakConfig() {
+  PsimConfig config;
+  config.node_count = 1024;
+  config.field = Rect::Field(560.0, 115.0);
+  config.beacon_interval = 0.1;
+  config.loss_rate = 0.03;  // Per-hop query losses -> retries.
+  config.duration = 2.5;
+  config.seed = 42;
+  // Kills land mid-run on nodes that carry traffic (never the sink).
+  config.node_kills = {{0.6, 101}, {0.9, 333}, {1.4, 512}, {1.4, 700}};
+  std::string error;
+  const auto spec = WorkloadSpec::Parse(
+      "arrival@kind=poisson,rate=100;mix@knn=50,window=25,aggregate=25;"
+      "k@lo=4,hi=12;deadline@s=1.0;admit@inflight=48,queue=32;"
+      "cache@ttl=0.4;coalesce@window=0.15",
+      &error);
+  EXPECT_TRUE(spec.has_value()) << error;
+  config.query.enabled = true;
+  config.query.spec = *spec;
+  config.query.sink = 0;
+  config.query.warmup = 0.2;  // Let neighbor tables fill first.
+  return config;
+}
+
+TEST(PsimDeterminismTest, QueryPlaneInvariantAcrossShardCounts) {
+  PsimConfig config = QuerySoakConfig();
+  config.shards = 1;
+  const PsimResult anchor = RunPsim(config);
+
+  // The soak must genuinely exercise the plane: hundreds of mixed-class
+  // queries, itinerary traversals, merges, replies, and lossy retries.
+  ASSERT_GE(anchor.slo.issued, 200u);
+  ASSERT_GT(anchor.slo.completed, 0u);
+  ASSERT_GT(anchor.totals.qp.home_arrivals, 0u);
+  ASSERT_GT(anchor.totals.qp.qnode_hops, 0u);
+  ASSERT_GT(anchor.totals.qp.sector_results, 0u);
+  ASSERT_GT(anchor.totals.qp.replies, 0u);
+  ASSERT_GT(anchor.totals.qp.retries, 0u);
+  const std::string anchor_slo = anchor.slo.ToJson();
+  const std::string anchor_obs = InvariantObsJson(anchor.obs);
+
+  for (int shards : {2, 4, 8}) {
+    config.shards = shards;
+    PsimEngine engine(config);
+    ASSERT_EQ(engine.shards(), shards) << "field too narrow for test";
+    const PsimResult result = engine.Run();
+    EXPECT_EQ(result.slo.ToJson(), anchor_slo) << "shards=" << shards;
+    EXPECT_EQ(InvariantObsJson(result.obs), anchor_obs)
+        << "shards=" << shards;
+    EXPECT_EQ(result.totals.qp.InvariantCounters(),
+              anchor.totals.qp.InvariantCounters())
+        << "query traffic drifted at shards=" << shards;
+    // Query frames really cross shard mailboxes, and the exchange
+    // balances (drained remails re-enter the boundary tally).
+    EXPECT_GT(result.totals.qp.boundary_frames, 0u);
+    EXPECT_EQ(result.totals.qp.boundary_frames,
+              result.totals.qp.foreign_frames);
+    // The allocation gate holds with query traffic in the mailboxes.
+    for (size_t s = 0; s < result.shard_stats.size(); ++s) {
+      EXPECT_EQ(result.shard_stats[s].steady_allocs, 0u)
+          << "shard " << s << " allocated with queries enabled";
+    }
+    EXPECT_TRUE(engine.OwnershipInvariantHolds());
+  }
+}
+
+TEST(PsimDeterminismTest, QueryPlaneShardedRunRepeatsExactly) {
+  PsimConfig config = QuerySoakConfig();
+  config.shards = 4;
+  const PsimResult a = RunPsim(config);
+  const PsimResult b = RunPsim(config);
+  EXPECT_EQ(a.slo.ToJson(), b.slo.ToJson());
+  EXPECT_EQ(a.obs.ToJson(), b.obs.ToJson());  // Full snapshot this time.
+  ASSERT_EQ(a.shard_stats.size(), b.shard_stats.size());
+  for (size_t s = 0; s < a.shard_stats.size(); ++s) {
+    EXPECT_EQ(a.shard_stats[s].qp.InvariantCounters(),
+              b.shard_stats[s].qp.InvariantCounters());
+    EXPECT_EQ(a.shard_stats[s].qp.boundary_frames,
+              b.shard_stats[s].qp.boundary_frames);
+    EXPECT_EQ(a.shard_stats[s].qp.state_migrations,
+              b.shard_stats[s].qp.state_migrations);
+  }
+}
+
 // --- Harness integration: --shards > 1 runs the substrate and reports
 // --- through the standard RunMetrics/obs plumbing. -------------------
 
@@ -169,6 +262,8 @@ TEST(PsimDeterminismTest, HarnessShardedRunReportsSubstrateMetrics) {
   config.shards = 4;
   const RunMetrics m = RunOnce(config, 42);
   EXPECT_EQ(m.queries, 0);  // Substrate-only: no query workload.
+  EXPECT_EQ(m.shards_requested, 4);
+  EXPECT_EQ(m.shards_effective, 4);
   EXPECT_GT(m.average_degree, 0.0);
   EXPECT_GT(m.obs.CounterValue("psim.frames_sent"), 0u);
   EXPECT_GT(m.obs.CounterValue("psim.boundary_frames"), 0u);

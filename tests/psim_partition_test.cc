@@ -1,14 +1,18 @@
-// Partition-plane unit tests for the parallel engine: column ownership
-// must be total and disjoint, the lookahead window must follow the
-// frame-air-time formula, the SPSC mailboxes must preserve FIFO order
-// under same-timestamp storms and concurrent production, and mobility
-// must hand nodes between partitions without breaking the ownership
-// invariant.
+// Partition-plane unit tests for the parallel engine: tile ownership
+// must be total and disjoint (strips or 2-D tilings alike), the
+// lookahead window must follow the frame-air-time formula, the frame
+// recipient / neighbor-shard geometry must match tile adjacency, the
+// SPSC mailboxes must preserve FIFO order under same-timestamp storms
+// and concurrent production, and mobility must hand nodes between
+// partitions without breaking the ownership invariant.
 
+#include <algorithm>
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <set>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -28,42 +32,106 @@ PsimNetParams WideParams(double width, double height) {
   return net;
 }
 
-// --- Ownership: every column has exactly one owner, strips tile the
-// --- column axis, and the per-shard ranges are disjoint.
+// --- Ownership: every (column, row) cell has exactly one owner, the
+// --- tiles cover the grid, and partitioned axes respect the minimum
+// --- tile span.
 
 TEST(FieldPartitionTest, OwnershipTotalAndDisjoint) {
   for (int requested : {1, 2, 3, 4, 8, 16}) {
     FieldPartition part(WideParams(560.0, 115.0), requested);
     ASSERT_GE(part.shards(), 1);
     ASSERT_LE(part.shards(), requested);
-    std::set<int> covered;
+    ASSERT_EQ(part.shards(), part.tiles_x() * part.tiles_y());
+    std::set<std::pair<int, int>> covered;
     for (int s = 0; s < part.shards(); ++s) {
-      const auto [first, last] = part.ColumnRange(s);
-      ASSERT_LE(first, last);
-      if (part.shards() > 1) {
-        EXPECT_GE(last - first + 1, FieldPartition::kMinStripColumns);
+      const auto [first_col, last_col] = part.ColumnRange(s);
+      const auto [first_row, last_row] = part.RowRange(s);
+      ASSERT_LE(first_col, last_col);
+      ASSERT_LE(first_row, last_row);
+      if (part.tiles_x() > 1) {
+        EXPECT_GE(last_col - first_col + 1, FieldPartition::kMinTileSpan);
       }
-      for (int c = first; c <= last; ++c) {
-        EXPECT_TRUE(covered.insert(c).second)
-            << "column " << c << " owned twice";
-        EXPECT_EQ(part.OwnerOfColumn(c), s);
+      if (part.tiles_y() > 1) {
+        EXPECT_GE(last_row - first_row + 1, FieldPartition::kMinTileSpan);
+      }
+      for (int r = first_row; r <= last_row; ++r) {
+        for (int c = first_col; c <= last_col; ++c) {
+          EXPECT_TRUE(covered.insert({c, r}).second)
+              << "cell (" << c << ", " << r << ") owned twice";
+          EXPECT_EQ(part.OwnerAt(c, r), s);
+          if (part.tiles_y() == 1) {
+            EXPECT_EQ(part.OwnerOfColumn(c), s);  // Strip-mode alias.
+          }
+        }
       }
     }
-    EXPECT_EQ(static_cast<int>(covered.size()), part.nx());
-    EXPECT_EQ(*covered.begin(), 0);
-    EXPECT_EQ(*covered.rbegin(), part.nx() - 1);
+    EXPECT_EQ(static_cast<int>(covered.size()), part.cell_count());
   }
 }
 
-TEST(FieldPartitionTest, ShardCountClampedToStripWidth) {
-  // The paper's 115 m field is only a handful of cells wide; absurd
-  // requests must clamp to nx / kMinStripColumns, never below 1.
+TEST(FieldPartitionTest, ShardCountClampedToTileGeometry) {
+  // The paper's 115 m field is only 6 cells on a side: strips top out at
+  // 2, but a 2x2 tiling of 3-cell tiles grants 4 — and nothing more.
   FieldPartition part(WideParams(115.0, 115.0), 64);
   EXPECT_EQ(part.requested_shards(), 64);
-  EXPECT_LE(part.shards(),
-            std::max(1, part.nx() / FieldPartition::kMinStripColumns));
+  const int max_tiles =
+      std::max(1, part.nx() / FieldPartition::kMinTileSpan) *
+      std::max(1, part.ny() / FieldPartition::kMinTileSpan);
+  EXPECT_LE(part.shards(), max_tiles);
+  EXPECT_GT(part.shards(),
+            std::max(1, part.nx() / FieldPartition::kMinTileSpan))
+      << "square fields must tile the second axis, not stay strips";
   FieldPartition one(WideParams(30.0, 30.0), 8);
   EXPECT_EQ(one.shards(), 1);
+}
+
+TEST(FieldPartitionTest, StripsPreferredWhenSufficient) {
+  // A wide field satisfies 4 shards with column strips alone; the
+  // partition must not grow a second axis it does not need.
+  FieldPartition part(WideParams(560.0, 115.0), 4);
+  EXPECT_EQ(part.shards(), 4);
+  EXPECT_EQ(part.tiles_x(), 4);
+  EXPECT_EQ(part.tiles_y(), 1);
+}
+
+TEST(FieldPartitionTest, NeighborShardsMatchTileAdjacency) {
+  // 115 x 115 at 4 shards is a 2x2 tiling: everyone borders everyone.
+  FieldPartition grid(WideParams(115.0, 115.0), 4);
+  ASSERT_EQ(grid.tiles_x(), 2);
+  ASSERT_EQ(grid.tiles_y(), 2);
+  EXPECT_EQ(grid.NeighborShards(0), (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(grid.NeighborShards(3), (std::vector<int>{0, 1, 2}));
+  // Strip mode: interior strips have exactly their two flanks.
+  FieldPartition strips(WideParams(560.0, 115.0), 4);
+  ASSERT_EQ(strips.tiles_y(), 1);
+  EXPECT_EQ(strips.NeighborShards(0), (std::vector<int>{1}));
+  EXPECT_EQ(strips.NeighborShards(1), (std::vector<int>{0, 2}));
+  EXPECT_EQ(strips.NeighborShards(3), (std::vector<int>{2}));
+}
+
+TEST(FieldPartitionTest, FrameRecipientsFollowInterferenceReach) {
+  FieldPartition grid(WideParams(115.0, 115.0), 4);
+  ASSERT_EQ(grid.shards(), 4);
+  std::array<int, 8> out;
+  // Far corner of shard 0's tile: the 2-cell reach stays inside.
+  const auto [c0, cl] = grid.ColumnRange(0);
+  const auto [r0, rl] = grid.RowRange(0);
+  EXPECT_EQ(grid.FrameRecipients(r0 * grid.nx() + c0, 0, &out), 0);
+  // Inner corner: reach crosses into the east, south, and diagonal
+  // neighbors, reported in ascending shard order.
+  const int inner = rl * grid.nx() + cl;
+  ASSERT_EQ(grid.FrameRecipients(inner, 0, &out), 3);
+  EXPECT_EQ(out[0], 1);
+  EXPECT_EQ(out[1], 2);
+  EXPECT_EQ(out[2], 3);
+  // Strip mode: an interior cell of a wide strip mails nobody.
+  FieldPartition strips(WideParams(560.0, 115.0), 4);
+  const auto [sc0, scl] = strips.ColumnRange(1);
+  const int mid = (sc0 + scl) / 2;
+  EXPECT_EQ(strips.FrameRecipients(mid, 1, &out), 0);
+  // Its westmost column mails exactly the west flank.
+  ASSERT_EQ(strips.FrameRecipients(sc0, 1, &out), 1);
+  EXPECT_EQ(out[0], 0);
 }
 
 TEST(FieldPartitionTest, CellOfClampsAndMapsToOwner) {

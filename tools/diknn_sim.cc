@@ -37,11 +37,16 @@ void PrintUsage(const char* argv0) {
       "  --jobs N          worker threads across repetitions (default 1;\n"
       "                    metrics are bit-identical at any job count)\n"
       "  --shards N        worker threads inside each run (default 1 =\n"
-      "                    the serial engine). > 1 shards the field into\n"
-      "                    column strips on the conservative parallel\n"
-      "                    engine (src/psim): beacon-substrate only,\n"
-      "                    queries=0, traffic counters equal at any\n"
-      "                    shard count; total threads = jobs x shards\n"
+      "                    the serial engine). > 1 tiles the field\n"
+      "                    (strips, or a 2-D grid on narrow fields) on\n"
+      "                    the conservative parallel engine (src/psim):\n"
+      "                    beacons plus — with --workload — the full\n"
+      "                    query plane; SLO report and traffic counters\n"
+      "                    equal at any shard count; total threads =\n"
+      "                    jobs x shards\n"
+      "  --windowed        run the windowed parallel engine even at\n"
+      "                    --shards 1 (the single-shard baseline for\n"
+      "                    cross-shard comparisons)\n"
       "  --duration S      simulated seconds per run (default 100)\n"
       "  --seed N          base seed (default 42)\n"
       "  --interval S      mean query interval, exponential (default 4)\n"
@@ -142,6 +147,8 @@ int main(int argc, char** argv) {
       config.jobs = std::atoi(next_value());
     } else if (arg == "--shards") {
       config.shards = std::atoi(next_value());
+    } else if (arg == "--windowed") {
+      config.force_windowed = true;
     } else if (arg == "--duration") {
       config.duration = std::atof(next_value());
     } else if (arg == "--seed") {
@@ -290,6 +297,14 @@ int main(int argc, char** argv) {
   }
 
   const std::vector<RunMetrics> runs = RunExperimentRuns(config);
+  if (!runs.empty() &&
+      runs.front().shards_effective < runs.front().shards_requested) {
+    std::fprintf(stderr,
+                 "warning: --shards %d clamped to %d by the partition "
+                 "geometry (field too small for that many tiles)\n",
+                 runs.front().shards_requested,
+                 runs.front().shards_effective);
+  }
   for (int i = 0; i < static_cast<int>(runs.size()); ++i) {
     const uint64_t seed = config.base_seed + i;
     const RunMetrics& m = runs[i];

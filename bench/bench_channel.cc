@@ -24,6 +24,8 @@
 
 #include "net/network.h"
 
+#include "bench_common.h"
+
 namespace {
 
 using namespace diknn;
@@ -119,7 +121,8 @@ bool SameTraffic(const ChannelStats& a, const ChannelStats& b) {
 
 void WriteJson(const std::vector<Result>& results, bool all_equal) {
   std::ofstream out("BENCH_channel.json");
-  out << "{\n  \"bench\": \"channel\",\n  \"equivalent\": "
+  out << "{\n  \"bench\": \"channel\",\n  " << bench::ProvenanceJson()
+      << ",\n  \"equivalent\": "
       << (all_equal ? "true" : "false") << ",\n  \"results\": [\n";
   for (size_t i = 0; i < results.size(); ++i) {
     const Result& r = results[i];

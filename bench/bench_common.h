@@ -62,6 +62,24 @@ inline bool WindowedFromEnv() {
   return env != nullptr && std::atoi(env) != 0;
 }
 
+/// Provenance header for every BENCH_*.json: perf numbers are only
+/// comparable between runs from the same machine class and build, so
+/// each artifact records where it came from. The sha / build type come
+/// from CMake compile definitions (configure-time `git rev-parse`);
+/// "unknown" outside a git checkout.
+inline std::string ProvenanceJson() {
+#ifndef DIKNN_GIT_SHA
+#define DIKNN_GIT_SHA "unknown"
+#endif
+#ifndef DIKNN_BUILD_TYPE
+#define DIKNN_BUILD_TYPE "unknown"
+#endif
+  return std::string("\"provenance\": {\"host_cpus\": ") +
+         std::to_string(std::thread::hardware_concurrency()) +
+         ", \"build_type\": \"" DIKNN_BUILD_TYPE
+         "\", \"git_sha\": \"" DIKNN_GIT_SHA "\"}";
+}
+
 /// The paper's Section 5.1 default experiment, parameterized by protocol.
 inline ExperimentConfig PaperDefaults(ProtocolKind kind) {
   ExperimentConfig config;

@@ -36,6 +36,8 @@
 #include "net/network.h"
 #include "sim/event_queue.h"
 
+#include "bench_common.h"
+
 namespace {
 
 using namespace diknn;
@@ -177,8 +179,8 @@ void WriteJson(const std::vector<ChurnResult>& churn,
                const std::vector<EndResult>& end, double churn_speedup,
                bool all_equal) {
   std::ofstream out("BENCH_engine.json");
-  out << "{\n  \"bench\": \"engine\",\n  \"equivalent\": "
-      << (all_equal ? "true" : "false")
+  out << "{\n  \"bench\": \"engine\",\n  " << bench::ProvenanceJson()
+      << ",\n  \"equivalent\": " << (all_equal ? "true" : "false")
       << ",\n  \"churn_speedup\": " << churn_speedup
       << ",\n  \"churn\": [\n";
   for (size_t i = 0; i < churn.size(); ++i) {

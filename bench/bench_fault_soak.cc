@@ -76,6 +76,7 @@ int main() {
 
   std::ofstream out("BENCH_faults.json");
   out << "{\n  \"bench\": \"fault_soak\",\n"
+      << "  " << bench::ProvenanceJson() << ",\n"
       << "  \"plan\": \"" << config.faults.ToSpec() << "\",\n"
       << "  \"runs\": " << runs.size() << ",\n"
       << "  \"faults_injected\": " << faults << ",\n"

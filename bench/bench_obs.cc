@@ -1,6 +1,7 @@
 // bench_obs — observability overhead benchmark.
 //
-// Runs the same workload-driven DIKNN experiment at four trace settings:
+// Runs the same workload-driven DIKNN experiment at five observability
+// settings:
 //
 //   off     trace rate 0: no Tracer is constructed at all; every hot
 //           path sees only a null-pointer check. This is the shipping
@@ -10,6 +11,11 @@
 //           Measures the cost of the per-call sampled() checks.
 //   1pct    1% of queries traced (the recommended production rate).
 //   full    every query traced (spans + events for the whole run).
+//   timeseries  tracing off, the flight recorder sampling every 0.25
+//           sim-seconds (src/obs/flight_recorder.h). The "off" stage is
+//           the recorder's disabled path too (a null-pointer check), so
+//           the <2% disabled gate covers both subsystems; the enabled
+//           recorder is budgeted at <5%.
 //
 // Each stage replays the identical seeded simulation, so the traffic
 // counters must match bit-for-bit across stages (asserted) and frames/sec
@@ -34,6 +40,8 @@
 
 #include "harness/experiment.h"
 #include "obs/tracer.h"
+
+#include "bench_common.h"
 
 namespace {
 
@@ -61,6 +69,7 @@ int RepsFromEnv() {
 struct Stage {
   const char* name;
   double rate;
+  double ts_interval;  ///< Flight-recorder cadence; 0 = disabled.
 };
 
 // The unsampled-path stage wants a tracer object whose threshold is zero;
@@ -68,17 +77,19 @@ struct Stage {
 constexpr double kEffectivelyZero = 1e-30;
 
 constexpr Stage kStages[] = {
-    {"off", 0.0},
-    {"rate0", kEffectivelyZero},
-    {"1pct", 0.01},
-    {"full", 1.0},
+    {"off", 0.0, 0.0},
+    {"rate0", kEffectivelyZero, 0.0},
+    {"1pct", 0.01, 0.0},
+    {"full", 1.0, 0.0},
+    {"timeseries", 0.0, 0.25},
 };
-constexpr int kNumStages = 4;
+constexpr int kNumStages = 5;
 
 struct StageResult {
   uint64_t frames = 0;
   uint64_t queries_sampled = 0;
   uint64_t spans = 0;
+  uint64_t ts_samples = 0;
   double best_wall_s = 1e300;
   double frames_per_s = 0.0;
 };
@@ -111,8 +122,8 @@ int main() {
 
   std::printf("=== bench_obs: %.0fs sim x %d reps per stage ===\n", span,
               reps);
-  std::printf("%-6s %12s %10s %14s %10s %10s\n", "stage", "frames",
-              "wall(s)", "frames/sec", "sampled", "spans");
+  std::printf("%-10s %12s %10s %14s %10s %10s %10s\n", "stage", "frames",
+              "wall(s)", "frames/sec", "sampled", "spans", "ts_samples");
 
   // One discarded pass warms code and allocator caches so the first
   // measured stage is not systematically penalized.
@@ -127,6 +138,7 @@ int main() {
     for (int s = 0; s < kNumStages; ++s) {
       ExperimentConfig config = base;
       config.trace_sample = kStages[s].rate;
+      config.ts_interval = kStages[s].ts_interval;
       TraceData trace;
       const auto start = std::chrono::steady_clock::now();
       const RunMetrics m = RunOnce(config, 42, nullptr, &trace);
@@ -144,6 +156,8 @@ int main() {
       r.frames = frames;
       r.queries_sampled = trace.stats.queries_sampled;
       r.spans = trace.stats.spans;
+      r.ts_samples = 0;
+      for (const TimeSeries& ts : m.ts.series()) r.ts_samples += ts.size();
       if (wall < r.best_wall_s) r.best_wall_s = wall;
     }
   }
@@ -151,12 +165,13 @@ int main() {
   for (int s = 0; s < kNumStages; ++s) {
     StageResult& r = results[s];
     r.frames_per_s = static_cast<double>(r.frames) / r.best_wall_s;
-    std::printf("%-6s %12llu %10.3f %14.0f %10llu %10llu\n",
+    std::printf("%-10s %12llu %10.3f %14.0f %10llu %10llu %10llu\n",
                 kStages[s].name,
                 static_cast<unsigned long long>(r.frames), r.best_wall_s,
                 r.frames_per_s,
                 static_cast<unsigned long long>(r.queries_sampled),
-                static_cast<unsigned long long>(r.spans));
+                static_cast<unsigned long long>(r.spans),
+                static_cast<unsigned long long>(r.ts_samples));
   }
 
   const auto overhead_pct = [&](int s) {
@@ -165,26 +180,33 @@ int main() {
   const double disabled = overhead_pct(1);
   const double sampled_1pct = overhead_pct(2);
   const double full = overhead_pct(3);
-  std::printf("overhead vs off: rate0 %+.2f%%, 1%% %+.2f%%, full %+.2f%%\n",
-              disabled, sampled_1pct, full);
+  const double timeseries = overhead_pct(4);
+  std::printf("overhead vs off: rate0 %+.2f%%, 1%% %+.2f%%, full %+.2f%%, "
+              "timeseries %+.2f%%\n",
+              disabled, sampled_1pct, full, timeseries);
   std::printf("traffic identical across stages: %s\n",
               traffic_equal ? "yes" : "NO (observer effect!)");
 
   std::ofstream out("BENCH_obs.json");
-  out << "{\n  \"bench\": \"obs\",\n  \"sim_span_s\": " << span
+  out << "{\n  \"bench\": \"obs\",\n  " << bench::ProvenanceJson()
+      << ",\n  \"sim_span_s\": " << span
       << ",\n  \"reps\": " << reps
       << ",\n  \"traffic_identical\": " << (traffic_equal ? "true" : "false")
       << ",\n  \"overhead_disabled_pct\": " << disabled
       << ",\n  \"overhead_1pct_pct\": " << sampled_1pct
-      << ",\n  \"overhead_full_pct\": " << full << ",\n  \"stages\": [\n";
+      << ",\n  \"overhead_full_pct\": " << full
+      << ",\n  \"overhead_timeseries_pct\": " << timeseries
+      << ",\n  \"stages\": [\n";
   for (int s = 0; s < kNumStages; ++s) {
     const StageResult& r = results[s];
     out << "    {\"stage\": \"" << kStages[s].name
         << "\", \"trace_rate\": " << kStages[s].rate
+        << ", \"ts_interval_s\": " << kStages[s].ts_interval
         << ", \"frames\": " << r.frames << ", \"wall_s\": " << r.best_wall_s
         << ", \"frames_per_s\": " << r.frames_per_s
         << ", \"queries_sampled\": " << r.queries_sampled
-        << ", \"spans\": " << r.spans << "}"
+        << ", \"spans\": " << r.spans
+        << ", \"ts_samples\": " << r.ts_samples << "}"
         << (s + 1 < kNumStages ? "," : "") << "\n";
   }
   out << "  ]\n}\n";

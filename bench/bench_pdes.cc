@@ -50,6 +50,8 @@
 
 #include "psim/engine.h"
 
+#include "bench_common.h"
+
 namespace {
 
 using namespace diknn;
@@ -235,8 +237,7 @@ void WriteRows(std::ofstream& out, const std::vector<Row>& rows,
 void WriteJson(const std::vector<Row>& rows,
                const std::vector<Row>& query_rows, bool all_ok) {
   std::ofstream out("BENCH_pdes.json");
-  out << "{\n  \"bench\": \"pdes\",\n  \"host_cpus\": "
-      << std::thread::hardware_concurrency()
+  out << "{\n  \"bench\": \"pdes\",\n  " << bench::ProvenanceJson()
       << ",\n  \"equivalent\": " << (all_ok ? "true" : "false")
       << ",\n  \"results\": [\n";
   WriteRows(out, rows, /*query=*/false);

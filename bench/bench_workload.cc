@@ -184,6 +184,7 @@ int main() {
 
   std::ofstream out("BENCH_workload.json");
   out << "{\n  \"bench\": \"workload\",\n"
+      << "  " << bench::ProvenanceJson() << ",\n"
       << "  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n"
       << "  \"plain_template\": \"" << kPlainTemplate << "\",\n"
       << "  \"served_template\": \"" << kServedTemplate << "\",\n"

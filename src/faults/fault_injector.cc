@@ -129,6 +129,7 @@ void FaultInjector::SetAlive(NodeId id, bool alive) {
   } else {
     ++stats_.nodes_killed;
   }
+  if (observer_) observer_(network_->sim().Now(), id, alive);
 }
 
 Channel::FrameFault FaultInjector::OnFrame(const Packet& packet,

@@ -13,6 +13,7 @@
 #define DIKNN_FAULTS_FAULT_INJECTOR_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -59,6 +60,16 @@ class FaultInjector {
   /// Fault counters, with churn failures/recoveries folded in.
   FaultStats stats() const;
 
+  /// Called after every liveness flip the injector applies (kill and
+  /// revive edges; churn processes flip liveness internally and are not
+  /// reported) with (sim time, node, alive). Observation only — the
+  /// flight recorder uses it to annotate the run timeline; it must not
+  /// mutate simulation state.
+  using LivenessObserver = std::function<void(SimTime, NodeId, bool)>;
+  void set_observer(LivenessObserver observer) {
+    observer_ = std::move(observer);
+  }
+
  private:
   // A [start, end) window during which OnFrame may fault matching frames.
   struct FrameWindow {
@@ -84,6 +95,7 @@ class FaultInjector {
   bool armed_ = false;
   bool hook_installed_ = false;
   FaultStats stats_;
+  LivenessObserver observer_;
   std::vector<FrameWindow> windows_;
   // Churn processes live for the network's run; kept here so their
   // counters can be merged into stats().

@@ -8,6 +8,7 @@
 
 #include "faults/fault_injector.h"
 #include "faults/lifecycle_auditor.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics_registry.h"
 #include "obs/tracer.h"
 #include "psim/engine.h"
@@ -243,6 +244,132 @@ void PublishObsMetrics(Network& net, const GpsrRouting& gpsr,
   metrics->obs = reg.Snapshot();
 }
 
+// CLI flags override the workload spec's timeseries@ clause; either
+// source alone enables the recorder.
+TimeSeriesOptions ResolveTsOptions(const ExperimentConfig& config) {
+  TimeSeriesOptions opts;
+  opts.interval = config.ts_interval;
+  if (config.ts_capacity > 0) {
+    opts.capacity = static_cast<size_t>(config.ts_capacity);
+  }
+  if (config.workload.has_value()) {
+    if (!(opts.interval > 0.0)) opts.interval = config.workload->ts_interval;
+    if (opts.capacity == 0 && config.workload->ts_capacity > 0) {
+      opts.capacity = static_cast<size_t>(config.workload->ts_capacity);
+    }
+  }
+  return opts;
+}
+
+// Channel / MAC series: per-interval frame rate, airtime share of the
+// medium, collision and loss rates. The probe only reads ChannelStats /
+// MacStats, and the deltas are integer counters (airtime is a sum of
+// per-frame durations accumulated in simulation order), so the series
+// are deterministic on the serial engine.
+void InstallNetProbes(FlightRecorder* rec, Network* net) {
+  struct State {
+    CounterDelta frames, attempted, collided, lost, mac_tx;
+    double prev_airtime = 0.0;
+  };
+  auto state = std::make_shared<State>();
+  const ChannelStats& ch = net->channel().stats();
+  state->frames.prev = ch.frames_sent;
+  state->attempted.prev = ch.receptions_attempted;
+  state->collided.prev = ch.receptions_collided;
+  state->lost.prev = ch.receptions_lost;
+  state->prev_airtime = ch.airtime_s;
+  uint64_t tx0 = 0;
+  for (Node* node : net->AllNodes()) tx0 += node->mac().stats().tx_attempts;
+  state->mac_tx.prev = tx0;
+
+  TimeSeries* frames_per_s = rec->AddSeries("net.frames_per_s");
+  TimeSeries* airtime_share = rec->AddSeries("net.airtime_share");
+  TimeSeries* collision_rate = rec->AddSeries("net.collision_rate");
+  TimeSeries* loss_rate = rec->AddSeries("net.loss_rate");
+  TimeSeries* mac_tx_per_s = rec->AddSeries("mac.tx_attempts_per_s");
+  const double interval = rec->options().interval;
+  rec->AddProbe([state, net, interval, frames_per_s, airtime_share,
+                 collision_rate, loss_rate, mac_tx_per_s](double t) {
+    const ChannelStats& ch = net->channel().stats();
+    const uint64_t attempted = state->attempted.Take(ch.receptions_attempted);
+    frames_per_s->Append(
+        t, static_cast<double>(state->frames.Take(ch.frames_sent)) /
+               interval);
+    airtime_share->Append(t,
+                          (ch.airtime_s - state->prev_airtime) / interval);
+    state->prev_airtime = ch.airtime_s;
+    collision_rate->Append(
+        t, SafeRate(state->collided.Take(ch.receptions_collided), attempted));
+    loss_rate->Append(
+        t, SafeRate(state->lost.Take(ch.receptions_lost), attempted));
+    uint64_t tx = 0;
+    for (Node* node : net->AllNodes()) tx += node->mac().stats().tx_attempts;
+    mac_tx_per_s->Append(
+        t, static_cast<double>(state->mac_tx.Take(tx)) / interval);
+  });
+}
+
+// Workload / serving series from the live SloReport (counts update at
+// every resolution; the per-interval percentiles come from bucket-count
+// subtraction, so they stay integer-derived and deterministic).
+void InstallWorkloadProbes(FlightRecorder* rec, const QueryDriver* driver) {
+  struct State {
+    SloReport prev;
+    ServingCounters prev_serving;
+  };
+  auto state = std::make_shared<State>();
+  state->prev = driver->report();
+  if (driver->serving() != nullptr) {
+    state->prev_serving = driver->serving()->counters();
+  }
+
+  TimeSeries* issued_per_s = rec->AddSeries("workload.issued_per_s");
+  TimeSeries* goodput = rec->AddSeries("workload.goodput_qps");
+  TimeSeries* p50_ms = rec->AddSeries("workload.p50_ms");
+  TimeSeries* p99_ms = rec->AddSeries("workload.p99_ms");
+  TimeSeries* miss_rate = rec->AddSeries("workload.miss_rate");
+  TimeSeries* reject_rate = rec->AddSeries("workload.reject_rate");
+  TimeSeries* timeout_rate = rec->AddSeries("workload.timeout_rate");
+  TimeSeries* inflight = rec->AddSeries("workload.inflight");
+  const bool serving = driver->serving() != nullptr;
+  TimeSeries* cache_hit_rate =
+      serving ? rec->AddSeries("serving.cache_hit_rate") : nullptr;
+  TimeSeries* coalesce_rate =
+      serving ? rec->AddSeries("serving.coalesce_rate") : nullptr;
+  TimeSeries* shed_per_s =
+      serving ? rec->AddSeries("serving.shed_per_s") : nullptr;
+  const double interval = rec->options().interval;
+  rec->AddProbe([state, driver, interval, issued_per_s, goodput, p50_ms,
+                 p99_ms, miss_rate, reject_rate, timeout_rate, inflight,
+                 cache_hit_rate, coalesce_rate, shed_per_s](double t) {
+    const SloReport& now = driver->report();
+    const SloReport& prev = state->prev;
+    const uint64_t issued = now.issued - prev.issued;
+    issued_per_s->Append(t, static_cast<double>(issued) / interval);
+    goodput->Append(
+        t, static_cast<double>(now.completed - prev.completed) / interval);
+    p50_ms->Append(t, 1e3 * now.latency.DeltaPercentile(prev.latency, 50.0));
+    p99_ms->Append(t, 1e3 * now.latency.DeltaPercentile(prev.latency, 99.0));
+    miss_rate->Append(
+        t, SafeRate(now.deadline_missed - prev.deadline_missed, issued));
+    reject_rate->Append(t, SafeRate(now.rejected - prev.rejected, issued));
+    timeout_rate->Append(t, SafeRate(now.timed_out - prev.timed_out, issued));
+    inflight->Append(t, static_cast<double>(driver->inflight_count()));
+    if (driver->serving() != nullptr) {
+      const ServingCounters& sc = driver->serving()->counters();
+      const ServingCounters& sp = state->prev_serving;
+      const uint64_t hits = sc.cache_hits - sp.cache_hits;
+      const uint64_t misses = sc.cache_misses - sp.cache_misses;
+      cache_hit_rate->Append(t, SafeRate(hits, hits + misses));
+      coalesce_rate->Append(t, SafeRate(sc.coalesced - sp.coalesced, issued));
+      shed_per_s->Append(
+          t, static_cast<double>(sc.shed - sp.shed) / interval);
+      state->prev_serving = sc;
+    }
+    state->prev = now;
+  });
+}
+
 // A sharded (or force-windowed) run: hand the substrate to the parallel
 // engine. With a workload spec the engine also runs the query plane
 // (GPSR forwarding + DIKNN itineraries + the serving front end across
@@ -266,6 +393,7 @@ RunMetrics RunPsimSubstrate(const ExperimentConfig& config, uint64_t seed) {
   pc.shards = config.shards;
   pc.duration = config.warmup + config.duration;
   pc.seed = seed;
+  pc.ts = ResolveTsOptions(config);
   if (config.workload.has_value()) {
     // The sink mirrors the serial harness' static sink (node 0). Arrivals
     // cover the measured interval; the drain tail lets in-flight replies
@@ -306,6 +434,7 @@ RunMetrics RunPsimSubstrate(const ExperimentConfig& config, uint64_t seed) {
   en.peak_resident = result.engine.peak_resident;
   en.peak_pool_slots = result.engine.peak_pool_slots;
   metrics.obs = result.obs;
+  metrics.ts = std::move(result.ts);
   return metrics;
 }
 
@@ -354,6 +483,27 @@ RunMetrics RunOnce(const ExperimentConfig& config, uint64_t seed,
         std::make_unique<LifecycleAuditor>(stack.diknn(), &stack.gpsr());
   }
 
+  // Flight recorder: sampled only when a timeseries cadence is configured
+  // (the disabled path is this null check). Probes are primed after
+  // warmup so warmup traffic never enters the series, and the tick events
+  // read state without writing any, so a recorded run carries the exact
+  // same traffic as an unrecorded one.
+  const TimeSeriesOptions ts_options = ResolveTsOptions(config);
+  std::unique_ptr<FlightRecorder> recorder;
+  if (ts_options.enabled()) {
+    recorder = std::make_unique<FlightRecorder>(ts_options);
+    InstallNetProbes(recorder.get(), &net);
+    if (injector != nullptr) {
+      FlightRecorder* rec = recorder.get();
+      injector->set_observer([rec](SimTime t, NodeId id, bool alive) {
+        rec->Annotate(t, alive ? "node.revive" : "node.kill",
+                      static_cast<double>(id));
+      });
+    }
+    recorder->ScheduleTicks(&sim, sim.Now(),
+                            sim.Now() + config.duration + config.drain);
+  }
+
   // Exclude warm-up traffic (registration floods, initial beacons) from
   // the energy accounting, matching a steady-state measurement.
   const double maintenance_baseline =
@@ -390,6 +540,7 @@ RunMetrics RunOnce(const ExperimentConfig& config, uint64_t seed,
                        *config.workload, seed * 0x9e3779b97f4a7c15ULL + 17,
                        config.static_sink ? 0 : kInvalidNodeId);
     driver.set_tracer(tracer.get());
+    if (recorder != nullptr) InstallWorkloadProbes(recorder.get(), &driver);
     metrics.slo = driver.Run(config.duration, config.drain);
 
     metrics.queries = static_cast<int>(metrics.slo.issued);
@@ -439,6 +590,7 @@ RunMetrics RunOnce(const ExperimentConfig& config, uint64_t seed,
     PublishObsMetrics(net, stack.gpsr(), stack.diknn(),
                       tracer.get(), resolved, *steady_frames_baseline,
                       &metrics);
+    if (recorder != nullptr) metrics.ts = recorder->series();
     if (trace_out != nullptr && tracer != nullptr) {
       *trace_out = tracer->Snapshot();
     }
@@ -542,6 +694,7 @@ RunMetrics RunOnce(const ExperimentConfig& config, uint64_t seed,
   PublishObsMetrics(net, stack.gpsr(), stack.diknn(),
                     tracer.get(), resolved, *steady_frames_baseline,
                     &metrics);
+  if (recorder != nullptr) metrics.ts = recorder->series();
   if (trace_out != nullptr && tracer != nullptr) {
     *trace_out = tracer->Snapshot();
   }

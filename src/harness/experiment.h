@@ -101,6 +101,15 @@ struct ExperimentConfig {
   /// check. Tracing never perturbs the simulation — a traced run's
   /// metrics are bit-identical to an untraced one.
   double trace_sample = 0.0;
+  /// Flight-recorder cadence (sim-seconds between samples). The effective
+  /// cadence is this value when > 0, else workload->ts_interval; 0 (the
+  /// default) records nothing and the hot paths see no recorder at all.
+  /// Recording never perturbs the simulation either — see
+  /// docs/OBSERVABILITY.md "Time series & flight recorder".
+  double ts_interval = 0.0;
+  /// Ring depth per series; 0 defers to workload->ts_capacity, then to
+  /// TimeSeriesOptions::kDefaultCapacity.
+  int ts_capacity = 0;
   DiknnParams diknn;
   KptParams kpt;
   PeerTreeParams peertree;

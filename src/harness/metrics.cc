@@ -90,6 +90,7 @@ ExperimentMetrics AggregateRuns(const std::vector<RunMetrics>& runs) {
   out.energy = Summarize(energy);
   out.timeout_rate = Summarize(to_rate);
   out.goodput = Summarize(goodput);
+  if (!runs.empty()) out.ts = runs.front().ts;
   return out;
 }
 

@@ -19,6 +19,7 @@
 
 #include "net/packet.h"
 #include "obs/metrics_registry.h"
+#include "obs/timeseries.h"
 #include "workload/latency_histogram.h"
 
 namespace diknn {
@@ -96,6 +97,10 @@ struct RunMetrics {
   /// query-latency histogram). Merged across runs in seed order, so the
   /// aggregate is bit-identical at any jobs count.
   MetricsSnapshot obs;
+  /// Flight recording of the run (empty unless a timeseries cadence was
+  /// configured). Deterministic series are bit-identical across --jobs
+  /// and --shards; diagnostic series follow the busy_s precedent.
+  TimeSeriesSet ts;
 };
 
 /// Mean/stddev summary of a sample.
@@ -136,6 +141,11 @@ struct ExperimentMetrics {
   SloReport slo;
   /// Merged observability metrics across runs (seed order).
   MetricsSnapshot obs;
+  /// The base seed's (runs[0]'s) flight recording. Time series are not
+  /// merged across seeds — each run has its own timeline — so the
+  /// aggregate carries the first run's recording verbatim, which keeps
+  /// the exported artifact independent of --jobs.
+  TimeSeriesSet ts;
   int runs = 0;
 };
 

@@ -188,6 +188,7 @@ void Channel::Transmit(Node* sender, const Packet& packet) {
   }
 
   ++stats_.frames_sent;
+  stats_.airtime_s += duration;
   sender->energy().ChargeTx(packet.size_bytes, params_.radio_range_m,
                             packet.category);
   for (const auto& entry : transmit_observers_) {

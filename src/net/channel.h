@@ -72,6 +72,10 @@ struct ChannelStats {
   /// Receiver candidates examined across all transmissions (range checks
   /// performed). The grid's win over the brute-force scan shows up here.
   uint64_t candidates_scanned = 0;
+  /// Summed on-air time of every transmitted frame (seconds). Divided by
+  /// elapsed sim time this is the medium's offered-load share — the
+  /// airtime-utilization series of the flight recorder.
+  double airtime_s = 0.0;
 };
 
 /// The shared medium. One instance per Network; all nodes attach to it.

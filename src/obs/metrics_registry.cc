@@ -16,6 +16,15 @@ const char* GaugeModeName(GaugeMode mode) {
   return "?";
 }
 
+const char* MetricKindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
 // ---------------------------------------------------------------------------
 // MetricsHistogram
 
@@ -201,28 +210,61 @@ MetricsSnapshot MergeShardSnapshots(
 // ---------------------------------------------------------------------------
 // MetricsRegistry
 
-bool MetricsRegistry::ClaimName(const std::string& name) {
-  const auto it = std::lower_bound(names_.begin(), names_.end(), name);
-  if (it != names_.end() && *it == name) return false;
-  names_.insert(it, name);
+namespace {
+
+// "counter", "gauge(max)", "histogram" — the registration's shape in one
+// word, so a duplicate-name error reads without cross-referencing code.
+std::string DescribeRegistration(MetricKind kind, GaugeMode mode) {
+  std::string desc = MetricKindName(kind);
+  if (kind == MetricKind::kGauge) {
+    desc += '(';
+    desc += GaugeModeName(mode);
+    desc += ')';
+  }
+  return desc;
+}
+
+}  // namespace
+
+bool MetricsRegistry::ClaimName(const std::string& name, MetricKind kind,
+                                GaugeMode mode) {
+  const auto it = std::lower_bound(
+      names_.begin(), names_.end(), name,
+      [](const NameEntry& e, const std::string& n) { return e.name < n; });
+  if (it != names_.end() && it->name == name) {
+    last_error_ = "duplicate metric \"" + name + "\": registered as " +
+                  DescribeRegistration(it->kind, it->gauge_mode) +
+                  ", re-registered as " + DescribeRegistration(kind, mode);
+    if (kind == MetricKind::kGauge && it->kind == MetricKind::kGauge &&
+        it->gauge_mode != mode) {
+      last_error_ += " (gauge merge-mode mismatch)";
+    }
+    return false;
+  }
+  names_.insert(it, NameEntry{name, kind, mode});
+  last_error_.clear();
   return true;
 }
 
 MetricId MetricsRegistry::RegisterCounter(const std::string& name) {
-  if (!ClaimName(name)) return kInvalidMetricId;
+  if (!ClaimName(name, MetricKind::kCounter, GaugeMode::kMax)) {
+    return kInvalidMetricId;
+  }
   counters_.push_back(MetricsSnapshot::Counter{name, 0});
   return static_cast<MetricId>(counters_.size() - 1);
 }
 
 MetricId MetricsRegistry::RegisterGauge(const std::string& name,
                                         GaugeMode mode) {
-  if (!ClaimName(name)) return kInvalidMetricId;
+  if (!ClaimName(name, MetricKind::kGauge, mode)) return kInvalidMetricId;
   gauges_.push_back(MetricsSnapshot::Gauge{name, mode, 0.0, false});
   return static_cast<MetricId>(gauges_.size() - 1);
 }
 
 MetricId MetricsRegistry::RegisterHistogram(const std::string& name) {
-  if (!ClaimName(name)) return kInvalidMetricId;
+  if (!ClaimName(name, MetricKind::kHistogram, GaugeMode::kMax)) {
+    return kInvalidMetricId;
+  }
   histograms_.push_back(MetricsSnapshot::Histogram{name, {}});
   return static_cast<MetricId>(histograms_.size() - 1);
 }

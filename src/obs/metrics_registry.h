@@ -29,6 +29,16 @@ enum class GaugeMode : uint8_t {
 
 const char* GaugeModeName(GaugeMode mode);
 
+/// What a registered name refers to; used for duplicate-registration
+/// diagnostics.
+enum class MetricKind : uint8_t {
+  kCounter = 0,
+  kGauge,
+  kHistogram,
+};
+
+const char* MetricKindName(MetricKind kind);
+
 /// Handle returned by registration; indexes are per-kind.
 using MetricId = int32_t;
 inline constexpr MetricId kInvalidMetricId = -1;
@@ -127,8 +137,11 @@ MetricsSnapshot MergeShardSnapshots(const std::vector<MetricsSnapshot>& shards);
 
 /// Per-run metrics store. Registration is explicit and duplicate names
 /// are rejected (returns kInvalidMetricId) so two subsystems cannot
-/// silently alias one metric. All mutation paths are branch-and-store on
-/// a dense vector — no locks, no hashing.
+/// silently alias one metric; the rejection reason — which name, what it
+/// was already registered as, what the clashing registration asked for,
+/// including gauge-mode mismatches — is retained in last_error(). All
+/// mutation paths are branch-and-store on a dense vector — no locks, no
+/// hashing.
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
@@ -171,13 +184,25 @@ class MetricsRegistry {
   /// Freezes the registry into a name-sorted snapshot.
   MetricsSnapshot Snapshot() const;
 
+  /// Human-readable reason for the most recent rejected registration
+  /// ("duplicate metric \"x\": registered as counter, re-registered as
+  /// gauge(max)"); empty after a successful registration.
+  const std::string& last_error() const { return last_error_; }
+
  private:
-  bool ClaimName(const std::string& name);
+  struct NameEntry {
+    std::string name;
+    MetricKind kind = MetricKind::kCounter;
+    GaugeMode gauge_mode = GaugeMode::kMax;  ///< Meaningful for kGauge only.
+  };
+
+  bool ClaimName(const std::string& name, MetricKind kind, GaugeMode mode);
 
   std::vector<MetricsSnapshot::Counter> counters_;
   std::vector<MetricsSnapshot::Gauge> gauges_;
   std::vector<MetricsSnapshot::Histogram> histograms_;
-  std::vector<std::string> names_;  ///< Sorted; one namespace, all kinds.
+  std::vector<NameEntry> names_;  ///< Sorted; one namespace, all kinds.
+  std::string last_error_;
 };
 
 }  // namespace diknn

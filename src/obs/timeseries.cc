@@ -1,0 +1,212 @@
+#include "obs/timeseries.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace diknn {
+
+namespace {
+
+// Same shortest-round-trip convention as MetricsSnapshot::ToJson: the
+// exported bytes must be identical wherever the doubles are identical.
+void AppendNumber(std::ostringstream& os, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os << buf;
+}
+
+void AppendSeriesObject(std::ostringstream& os, const TimeSeries& s) {
+  os << '"' << JsonEscape(s.name()) << "\": {\"t\": [";
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (i > 0) os << ", ";
+    AppendNumber(os, s.TimeAt(i));
+  }
+  os << "], \"v\": [";
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (i > 0) os << ", ";
+    AppendNumber(os, s.ValueAt(i));
+  }
+  os << "], \"dropped\": " << s.dropped() << "}";
+}
+
+// Indices of `all` with the requested diagnostic flag, name-sorted so the
+// export order never depends on producer registration order.
+std::vector<size_t> SortedIndices(const std::deque<TimeSeries>& all,
+                                  bool diagnostic) {
+  std::vector<size_t> idx;
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (all[i].diagnostic() == diagnostic) idx.push_back(i);
+  }
+  std::sort(idx.begin(), idx.end(), [&all](size_t a, size_t b) {
+    return all[a].name() < all[b].name();
+  });
+  return idx;
+}
+
+void AppendSeriesMap(std::ostringstream& os,
+                     const std::deque<TimeSeries>& all, bool diagnostic) {
+  os << '{';
+  bool first = true;
+  for (size_t i : SortedIndices(all, diagnostic)) {
+    if (!first) os << ", ";
+    first = false;
+    AppendSeriesObject(os, all[i]);
+  }
+  os << '}';
+}
+
+void AppendAnnotations(std::ostringstream& os,
+                       const std::vector<TimeSeriesAnnotation>& anns) {
+  os << '[';
+  for (size_t i = 0; i < anns.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << "{\"t\": ";
+    AppendNumber(os, anns[i].t);
+    os << ", \"label\": \"" << JsonEscape(anns[i].label) << "\", \"value\": ";
+    AppendNumber(os, anns[i].value);
+    os << '}';
+  }
+  os << ']';
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string CsvEscape(const std::string& field) {
+  if (field.find_first_of(",\"\n\r") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void TimeSeries::Append(double t, double value) {
+  if (times_.size() < capacity_) {
+    times_.push_back(t);
+    values_.push_back(value);
+    return;
+  }
+  // Ring is full: overwrite the oldest slot and advance the head.
+  times_[head_] = t;
+  values_[head_] = value;
+  head_ = (head_ + 1) % times_.size();
+  ++dropped_;
+}
+
+double TimeSeries::Min() const {
+  if (empty()) return 0.0;
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double TimeSeries::Max() const {
+  if (empty()) return 0.0;
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double TimeSeries::Mean() const {
+  if (empty()) return 0.0;
+  double sum = 0.0;
+  // Chronological order, so the float accumulation is deterministic.
+  for (size_t i = 0; i < size(); ++i) sum += ValueAt(i);
+  return sum / static_cast<double>(size());
+}
+
+TimeSeries* TimeSeriesSet::Add(const std::string& name, bool diagnostic) {
+  for (TimeSeries& s : series_) {
+    if (s.name() == name) return &s;
+  }
+  series_.emplace_back(name, options_.EffectiveCapacity(), diagnostic);
+  return &series_.back();
+}
+
+const TimeSeries* TimeSeriesSet::Find(const std::string& name) const {
+  for (const TimeSeries& s : series_) {
+    if (s.name() == name) return &s;
+  }
+  return nullptr;
+}
+
+void TimeSeriesSet::Annotate(double t, std::string label, double value) {
+  annotations_.push_back(TimeSeriesAnnotation{t, std::move(label), value});
+}
+
+std::string TimeSeriesSet::DeterministicJson() const {
+  std::ostringstream os;
+  os << "{\"interval_s\": ";
+  AppendNumber(os, options_.interval);
+  os << ", \"series\": ";
+  AppendSeriesMap(os, series_, /*diagnostic=*/false);
+  os << ", \"annotations\": ";
+  AppendAnnotations(os, annotations_);
+  os << '}';
+  return os.str();
+}
+
+void TimeSeriesSet::WriteJson(std::ostream& os) const {
+  std::ostringstream body;
+  body << "{\"interval_s\": ";
+  AppendNumber(body, options_.interval);
+  body << ",\n\"capacity\": " << options_.EffectiveCapacity();
+  body << ",\n\"series\": ";
+  AppendSeriesMap(body, series_, /*diagnostic=*/false);
+  body << ",\n\"diagnostics\": ";
+  AppendSeriesMap(body, series_, /*diagnostic=*/true);
+  body << ",\n\"annotations\": ";
+  AppendAnnotations(body, annotations_);
+  body << "}\n";
+  os << body.str();
+}
+
+void TimeSeriesSet::WriteCsv(std::ostream& os) const {
+  os << "series,diagnostic,t,value\n";
+  std::ostringstream row;
+  for (bool diagnostic : {false, true}) {
+    for (size_t i : SortedIndices(series_, diagnostic)) {
+      const TimeSeries& s = series_[i];
+      for (size_t j = 0; j < s.size(); ++j) {
+        row.str("");
+        row << CsvEscape(s.name()) << ',' << (diagnostic ? 1 : 0) << ',';
+        AppendNumber(row, s.TimeAt(j));
+        row << ',';
+        AppendNumber(row, s.ValueAt(j));
+        os << row.str() << '\n';
+      }
+    }
+  }
+  for (const TimeSeriesAnnotation& a : annotations_) {
+    row.str("");
+    row << CsvEscape(a.label) << ",annotation,";
+    AppendNumber(row, a.t);
+    row << ',';
+    AppendNumber(row, a.value);
+    os << row.str() << '\n';
+  }
+}
+
+}  // namespace diknn

@@ -1,0 +1,151 @@
+// Windowed time-series rollups for the flight recorder.
+//
+// A TimeSeries is a bounded ring of (sim-time, value) samples taken on a
+// fixed cadence; when the ring fills, the oldest samples fall off (flight-
+// recorder semantics: the tail of the run is always retained). A
+// TimeSeriesSet groups the series of one run plus point annotations
+// (fault kill/revive edges and similar one-off events).
+//
+// Determinism contract: a series is either *deterministic* — every sample
+// derives from sim-time cadence and integer counter deltas, so the
+// exported bytes are identical at any --jobs / --shards setting — or
+// *diagnostic* (wall-clock shares, per-shard occupancy), which follows
+// the busy_s precedent: useful for load-balance work, excluded from every
+// bit-identity comparison. Exports keep the two classes in separate JSON
+// sections ("series" vs "diagnostics") so the deterministic section can
+// be byte-compared across configurations. Numbers are formatted with the
+// same %.17g convention as MetricsSnapshot::ToJson.
+
+#ifndef DIKNN_OBS_TIMESERIES_H_
+#define DIKNN_OBS_TIMESERIES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace diknn {
+
+/// Sampling cadence and ring capacity of a flight recording. interval <= 0
+/// disables recording entirely (the disabled path is a null check).
+struct TimeSeriesOptions {
+  double interval = 0.0;  ///< Sim-seconds between samples.
+  size_t capacity = 0;    ///< Ring depth per series; 0 = kDefaultCapacity.
+
+  static constexpr size_t kDefaultCapacity = 512;
+
+  bool enabled() const { return interval > 0.0; }
+  size_t EffectiveCapacity() const {
+    return capacity > 0 ? capacity : kDefaultCapacity;
+  }
+};
+
+/// One named series: a bounded ring of (t, value) samples in append order.
+class TimeSeries {
+ public:
+  TimeSeries(std::string name, size_t capacity, bool diagnostic)
+      : name_(std::move(name)),
+        capacity_(capacity > 0 ? capacity : 1),
+        diagnostic_(diagnostic) {}
+
+  const std::string& name() const { return name_; }
+  bool diagnostic() const { return diagnostic_; }
+  size_t capacity() const { return capacity_; }
+
+  /// Appends one sample; drops the oldest when the ring is full.
+  void Append(double t, double value);
+
+  /// Retained samples (<= capacity).
+  size_t size() const { return times_.size(); }
+  bool empty() const { return times_.empty(); }
+  /// Samples dropped off the front of the ring.
+  uint64_t dropped() const { return dropped_; }
+
+  /// i-th retained sample in chronological order (0 = oldest).
+  double TimeAt(size_t i) const { return times_[Index(i)]; }
+  double ValueAt(size_t i) const { return values_[Index(i)]; }
+
+  double Last() const { return empty() ? 0.0 : ValueAt(size() - 1); }
+  double Min() const;
+  double Max() const;
+  double Mean() const;
+
+ private:
+  size_t Index(size_t i) const { return (head_ + i) % times_.size(); }
+
+  std::string name_;
+  size_t capacity_;
+  bool diagnostic_;
+  // Ring storage: head_ points at the oldest sample once wrapped.
+  std::vector<double> times_;
+  std::vector<double> values_;
+  size_t head_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+/// A point event on the shared timeline (e.g. a fault kill edge).
+struct TimeSeriesAnnotation {
+  double t = 0.0;
+  std::string label;
+  double value = 0.0;
+};
+
+/// The series and annotations of one run's flight recording.
+class TimeSeriesSet {
+ public:
+  TimeSeriesSet() = default;
+  explicit TimeSeriesSet(TimeSeriesOptions options) : options_(options) {}
+
+  const TimeSeriesOptions& options() const { return options_; }
+
+  /// Creates (or returns the existing) series of that name. A series is
+  /// keyed by name alone; the diagnostic flag is fixed at creation. The
+  /// returned pointer stays valid across further Add calls (deque
+  /// storage), so probes can hold it for the whole run.
+  TimeSeries* Add(const std::string& name, bool diagnostic = false);
+  /// Existing series by name, nullptr when absent.
+  const TimeSeries* Find(const std::string& name) const;
+
+  void Annotate(double t, std::string label, double value = 0.0);
+
+  const std::deque<TimeSeries>& series() const { return series_; }
+  const std::vector<TimeSeriesAnnotation>& annotations() const {
+    return annotations_;
+  }
+  bool empty() const { return series_.empty() && annotations_.empty(); }
+
+  /// Deterministic JSON of the non-diagnostic series + annotations only —
+  /// the byte-comparable section, name-sorted. This is the string the
+  /// determinism tests and check_all.sh compare across --jobs / --shards.
+  std::string DeterministicJson() const;
+
+  /// Full artifact: {"interval_s": ..., "capacity": ..., "series": {...},
+  /// "diagnostics": {...}, "annotations": [...]}. The "series" object is
+  /// exactly DeterministicJson()'s series payload.
+  void WriteJson(std::ostream& os) const;
+
+  /// One row per sample: series,diagnostic,t,value (names CSV-escaped),
+  /// then one row per annotation ("annotation" in the diagnostic column,
+  /// the label in the series column).
+  void WriteCsv(std::ostream& os) const;
+
+ private:
+  TimeSeriesOptions options_;
+  /// Creation order; export sorts. Deque: Add() must not invalidate the
+  /// TimeSeries pointers probes captured earlier.
+  std::deque<TimeSeries> series_;
+  std::vector<TimeSeriesAnnotation> annotations_;
+};
+
+/// RFC-4180 field escaping: quotes the field when it contains a comma,
+/// quote, or newline (embedded quotes double). Exposed for tests.
+std::string CsvEscape(const std::string& field);
+
+/// JSON string escaping for series names / annotation labels.
+std::string JsonEscape(const std::string& s);
+
+}  // namespace diknn
+
+#endif  // DIKNN_OBS_TIMESERIES_H_

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <map>
 #include <set>
+#include <string>
 
 namespace diknn {
 
@@ -21,6 +23,31 @@ double Duration(const Span& s) { return s.closed() ? s.end - s.start : 0.0; }
 
 // Chrome trace "thread" row of a span within its query's track group.
 int TidOf(const Span& s) { return s.sector >= 0 ? s.sector + 1 : 0; }
+
+// Counter tracks live far above any query pid so the synthetic
+// "timeseries" processes never collide with a trace id.
+constexpr int64_t kCounterPidBase = 1000000;
+
+// psim.shardK.* series get their own process row (pid base+1+K); every
+// other series shares the run-level row (pid base).
+int64_t CounterPidOf(const std::string& series_name) {
+  constexpr const char* kPrefix = "psim.shard";
+  const size_t plen = std::char_traits<char>::length(kPrefix);
+  if (series_name.compare(0, plen, kPrefix) != 0) return kCounterPidBase;
+  size_t i = plen;
+  int64_t shard = 0;
+  bool any = false;
+  while (i < series_name.size() && series_name[i] >= '0' &&
+         series_name[i] <= '9') {
+    shard = shard * 10 + (series_name[i] - '0');
+    any = true;
+    ++i;
+  }
+  if (!any || i >= series_name.size() || series_name[i] != '.') {
+    return kCounterPidBase;
+  }
+  return kCounterPidBase + 1 + shard;
+}
 
 }  // namespace
 
@@ -193,6 +220,45 @@ void TraceSink::WriteChromeTrace(std::ostream& os) const {
        << Num(e.time * 1e6) << ", \"pid\": " << e.trace_id
        << ", \"tid\": " << tid << ", \"args\": {\"node\": " << e.node
        << ", \"value\": " << Num(e.value, "%.6g") << "}}";
+  }
+  // Flight-recorder counter tracks: one ph "C" track per series, plus
+  // instant annotations (fault edges) on the run-level row.
+  if (timeseries_ != nullptr && !timeseries_->empty()) {
+    std::set<int64_t> counter_pids;
+    for (const TimeSeries& ts : timeseries_->series()) {
+      counter_pids.insert(CounterPidOf(ts.name()));
+    }
+    if (!timeseries_->annotations().empty()) {
+      counter_pids.insert(kCounterPidBase);
+    }
+    for (const int64_t pid : counter_pids) {
+      sep();
+      os << "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " << pid
+         << ", \"tid\": 0, \"args\": {\"name\": \"timeseries";
+      if (pid != kCounterPidBase) {
+        os << " shard " << (pid - kCounterPidBase - 1);
+      }
+      os << "\"}}";
+    }
+    for (const TimeSeries& ts : timeseries_->series()) {
+      const int64_t pid = CounterPidOf(ts.name());
+      const std::string name = JsonEscape(ts.name());
+      for (size_t i = 0; i < ts.size(); ++i) {
+        sep();
+        os << "{\"name\": \"" << name << "\", \"cat\": \"timeseries\""
+           << ", \"ph\": \"C\", \"ts\": " << Num(ts.TimeAt(i) * 1e6)
+           << ", \"pid\": " << pid << ", \"tid\": 0, \"args\": {\"value\": "
+           << Num(ts.ValueAt(i), "%.6g") << "}}";
+      }
+    }
+    for (const TimeSeriesAnnotation& a : timeseries_->annotations()) {
+      sep();
+      os << "{\"name\": \"" << JsonEscape(a.label)
+         << "\", \"cat\": \"annotation\", \"ph\": \"i\", \"s\": \"p\""
+         << ", \"ts\": " << Num(a.t * 1e6) << ", \"pid\": "
+         << kCounterPidBase << ", \"tid\": 0, \"args\": {\"value\": "
+         << Num(a.value, "%.6g") << "}}";
+    }
   }
   os << "\n],\n\"criticalPaths\": [";
   for (size_t i = 0; i < paths_.size(); ++i) {

@@ -8,6 +8,13 @@
 // their own row. Point events are emitted as instant events on the same
 // rows. The top-level object also carries a "criticalPaths" array
 // (Perfetto ignores unknown keys) sorted slowest-first.
+//
+// When a flight recording is attached (set_timeseries), every series is
+// exported as a Perfetto counter track (ph "C"): run-level series share
+// one synthetic process ("timeseries", pid 1000000, far above any trace
+// id) and each psim shard's diagnostics get their own process row
+// ("timeseries shard K", pid 1000001+K), so shard health plots next to
+// the query slices on the same timeline.
 
 #ifndef DIKNN_OBS_TRACE_SINK_H_
 #define DIKNN_OBS_TRACE_SINK_H_
@@ -16,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/timeseries.h"
 #include "obs/tracer.h"
 
 namespace diknn {
@@ -47,6 +55,11 @@ class TraceSink {
  public:
   explicit TraceSink(TraceData data);
 
+  /// Attaches a flight recording (not owned; may be null) so
+  /// WriteChromeTrace emits its series as Perfetto counter tracks. Must
+  /// outlive the sink's export calls.
+  void set_timeseries(const TimeSeriesSet* ts) { timeseries_ = ts; }
+
   /// Chrome trace-event JSON; loadable by Perfetto and chrome://tracing.
   void WriteChromeTrace(std::ostream& os) const;
 
@@ -70,6 +83,7 @@ class TraceSink {
 
   TraceData data_;
   std::vector<CriticalPath> paths_;
+  const TimeSeriesSet* timeseries_ = nullptr;
 };
 
 }  // namespace diknn

@@ -10,6 +10,7 @@
 
 #include "net/beacon.h"
 #include "net/packet.h"
+#include "obs/flight_recorder.h"
 
 namespace diknn {
 
@@ -233,8 +234,161 @@ PsimResult PsimEngine::Run() {
       1, static_cast<uint64_t>(
              std::ceil(config_.duration / part.lookahead())));
   const uint64_t midpoint = windows / 2;
+  const double lookahead = part.lookahead();
 
-  std::barrier<> sync(shard_count);
+  // Flight recorder: sampled from the window barrier's completion step.
+  // The first barrier of window k completes once every shard has finished
+  // window k-1 and arrived — a global quiescent point at sim time k*L
+  // where the partition-invariant counter sums are exact functions of
+  // (seed, config, k), independent of the shard count, and every read is
+  // ordered by the barrier (no races). The completion function samples
+  // whenever a window boundary crosses the configured cadence.
+  FlightRecorder recorder(config_.ts);
+  const bool ts_on = config_.ts.enabled();
+  struct TsState {
+    CounterDelta frames, attempted, collided, lost, qp_hops;
+    SloReport prev_slo;
+    ServingCounters prev_serving;
+    double prev_t = 0.0;
+    double next_sample_t = 0.0;
+    uint64_t prev_k = 0;
+    uint64_t sample_windows = 0;  ///< Windows covered by the current tick.
+    std::chrono::steady_clock::time_point prev_wall;
+  };
+  TsState ts_state;
+  if (ts_on) {
+    ts_state.next_sample_t = config_.ts.interval;
+    ts_state.prev_wall = std::chrono::steady_clock::now();
+
+    TimeSeries* frames_per_s = recorder.AddSeries("net.frames_per_s");
+    TimeSeries* airtime_share = recorder.AddSeries("net.airtime_share");
+    TimeSeries* collision_rate = recorder.AddSeries("net.collision_rate");
+    TimeSeries* loss_rate = recorder.AddSeries("net.loss_rate");
+    recorder.AddProbe([this, &ts_state, frames_per_s, airtime_share,
+                       collision_rate, loss_rate](double t) {
+      uint64_t frames = 0, attempted = 0, collided = 0, lost = 0;
+      for (const std::unique_ptr<PsimShard>& sh : shards_) {
+        const PsimStats& st = sh->stats();
+        frames += st.frames_sent;
+        attempted += st.receptions_attempted;
+        collided += st.receptions_collided;
+        lost += st.receptions_lost;
+      }
+      const double dt = t - ts_state.prev_t;
+      const uint64_t df = ts_state.frames.Take(frames);
+      const uint64_t da = ts_state.attempted.Take(attempted);
+      frames_per_s->Append(t, dt > 0.0 ? df / dt : 0.0);
+      airtime_share->Append(
+          t, dt > 0.0 ? df * world_->frame_air_time / dt : 0.0);
+      collision_rate->Append(t, SafeRate(ts_state.collided.Take(collided),
+                                         da));
+      loss_rate->Append(t, SafeRate(ts_state.lost.Take(lost), da));
+    });
+    if (config_.query.enabled) {
+      TimeSeries* hops_per_s = recorder.AddSeries("qp.hops_per_s");
+      TimeSeries* issued_per_s = recorder.AddSeries("workload.issued_per_s");
+      TimeSeries* goodput = recorder.AddSeries("workload.goodput_qps");
+      TimeSeries* p50_ms = recorder.AddSeries("workload.p50_ms");
+      TimeSeries* p99_ms = recorder.AddSeries("workload.p99_ms");
+      TimeSeries* miss_rate = recorder.AddSeries("workload.miss_rate");
+      TimeSeries* reject_rate = recorder.AddSeries("workload.reject_rate");
+      TimeSeries* timeout_rate = recorder.AddSeries("workload.timeout_rate");
+      TimeSeries* cache_hit_rate =
+          recorder.AddSeries("serving.cache_hit_rate");
+      TimeSeries* coalesce_rate = recorder.AddSeries("serving.coalesce_rate");
+      TimeSeries* shed_per_s = recorder.AddSeries("serving.shed_per_s");
+      recorder.AddProbe([this, &ts_state, hops_per_s, issued_per_s, goodput,
+                         p50_ms, p99_ms, miss_rate, reject_rate,
+                         timeout_rate, cache_hit_rate, coalesce_rate,
+                         shed_per_s](double t) {
+        uint64_t hops = 0;
+        for (const std::unique_ptr<PsimShard>& sh : shards_) {
+          hops += sh->stats().qp.hops;
+        }
+        const double dt = t - ts_state.prev_t;
+        hops_per_s->Append(
+            t, dt > 0.0 ? ts_state.qp_hops.Take(hops) / dt : 0.0);
+        const SloReport& now = world_->query.slo;
+        const SloReport& prev = ts_state.prev_slo;
+        const uint64_t issued = now.issued - prev.issued;
+        issued_per_s->Append(t, dt > 0.0 ? issued / dt : 0.0);
+        goodput->Append(
+            t, dt > 0.0 ? (now.completed - prev.completed) / dt : 0.0);
+        p50_ms->Append(t,
+                       1e3 * now.latency.DeltaPercentile(prev.latency, 50.0));
+        p99_ms->Append(t,
+                       1e3 * now.latency.DeltaPercentile(prev.latency, 99.0));
+        miss_rate->Append(
+            t, SafeRate(now.deadline_missed - prev.deadline_missed, issued));
+        reject_rate->Append(t, SafeRate(now.rejected - prev.rejected,
+                                        issued));
+        timeout_rate->Append(t, SafeRate(now.timed_out - prev.timed_out,
+                                         issued));
+        const ServingCounters& sc = world_->query.serving;
+        const ServingCounters& sp = ts_state.prev_serving;
+        const uint64_t hits = sc.cache_hits - sp.cache_hits;
+        const uint64_t misses = sc.cache_misses - sp.cache_misses;
+        cache_hit_rate->Append(t, SafeRate(hits, hits + misses));
+        coalesce_rate->Append(t, SafeRate(sc.coalesced - sp.coalesced,
+                                          issued));
+        shed_per_s->Append(t, dt > 0.0 ? (sc.shed - sp.shed) / dt : 0.0);
+        ts_state.prev_serving = sc;
+        ts_state.prev_slo = now;
+      });
+    }
+    // Per-shard health diagnostics: wall-clock shares and live mailbox
+    // occupancy. Partition-dependent by nature (busy_s precedent) —
+    // exported under "diagnostics", never byte-compared.
+    for (int s = 0; s < shard_count; ++s) {
+      PsimShard* sh = shards_[static_cast<size_t>(s)].get();
+      TimeSeries* busy_share = recorder.AddSeries(
+          ShardMetricName(s, "busy_share"), /*diagnostic=*/true);
+      TimeSeries* mbox = recorder.AddSeries(
+          ShardMetricName(s, "mbox_frames"), /*diagnostic=*/true);
+      TimeSeries* migrations = recorder.AddSeries(
+          ShardMetricName(s, "migrations_in"), /*diagnostic=*/true);
+      recorder.AddProbe([sh, busy_share, mbox, migrations](double t) {
+        const double total = sh->live_busy_s + sh->live_wait_s;
+        busy_share->Append(t, total > 0.0 ? sh->live_busy_s / total : 0.0);
+        size_t depth = 0;
+        for (const auto& inbox : sh->inboxes_) {
+          depth += inbox->frames.SizeApprox();
+        }
+        mbox->Append(t, static_cast<double>(depth));
+        migrations->Append(t, static_cast<double>(
+                                  sh->stats().migrations_in));
+      });
+    }
+    TimeSeries* windows_per_s =
+        recorder.AddSeries("psim.windows_per_s", /*diagnostic=*/true);
+    recorder.AddProbe([&ts_state, windows_per_s](double t) {
+      const auto now_wall = std::chrono::steady_clock::now();
+      const double wall_dt = Seconds(now_wall - ts_state.prev_wall);
+      ts_state.prev_wall = now_wall;
+      windows_per_s->Append(
+          t, wall_dt > 0.0
+                 ? static_cast<double>(ts_state.sample_windows) / wall_dt
+                 : 0.0);
+    });
+  }
+
+  uint64_t barrier_phase = 0;
+  auto on_phase = [&]() noexcept {
+    const uint64_t p = barrier_phase++;
+    if (!ts_on || p % 2 != 0) return;
+    const uint64_t k = p / 2;  // Windows 0..k-1 fully processed.
+    if (k == 0 || k > windows) return;
+    const double t = k * lookahead;
+    if (t + 1e-12 < ts_state.next_sample_t) return;
+    ts_state.sample_windows = k - ts_state.prev_k;
+    recorder.Tick(t);
+    ts_state.prev_t = t;
+    ts_state.prev_k = k;
+    ts_state.next_sample_t =
+        (std::floor(t / config_.ts.interval) + 1.0) * config_.ts.interval;
+  };
+
+  std::barrier<decltype(on_phase)> sync(shard_count, on_phase);
   const auto worker = [&](int s) {
     PsimShard& shard = *shards_[static_cast<size_t>(s)];
     // Attribute this worker's allocations to its shard so the
@@ -247,6 +401,11 @@ PsimResult PsimEngine::Run() {
     double wait = 0.0;
     for (uint64_t k = 0; k < windows; ++k) {
       auto w0 = Clock::now();
+      // Publish the running wall-clock totals for the recorder's
+      // diagnostic probes; the barrier orders this store before the
+      // completion step's read.
+      shard.live_busy_s = busy;
+      shard.live_wait_s = wait;
       sync.arrive_and_wait();
       auto t0 = Clock::now();
       wait += Seconds(t0 - w0);
@@ -285,6 +444,20 @@ PsimResult PsimEngine::Run() {
   // report before it is published into the snapshot.
   if (config_.query.enabled) FinalizeQueryPlane(&world_->query);
 
+  // Kill-edge annotations, recomputed from the schedule: each kill lands
+  // at its sweep window's boundary, a pure function of (schedule, L) —
+  // identical at every shard count.
+  if (ts_on && !world_->kill_window.empty()) {
+    for (size_t i = 0; i < world_->kill_window.size(); ++i) {
+      const uint64_t kw = world_->kill_window[i];
+      if (kw == std::numeric_limits<uint64_t>::max() || kw > windows) {
+        continue;
+      }
+      recorder.Annotate(kw * lookahead, "node.kill",
+                        static_cast<double>(i));
+    }
+  }
+
   PsimResult result;
   result.shards = shard_count;
   result.shards_requested = part.requested_shards();
@@ -311,6 +484,7 @@ PsimResult PsimEngine::Run() {
                             : degree_sum / static_cast<double>(
                                                world_->nodes.size());
   result.obs = BuildObsSnapshot(result);
+  result.ts = std::move(recorder.series());
   return result;
 }
 

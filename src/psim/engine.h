@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "obs/metrics_registry.h"
+#include "obs/timeseries.h"
 #include "psim/shard.h"
 
 namespace diknn {
@@ -51,6 +52,10 @@ struct PsimResult {
   double average_degree = 0.0;            ///< Mean fresh neighbors at end.
   bool query_ran = false;                 ///< Query plane was enabled.
   SloReport slo;                          ///< Query-plane outcome (if ran).
+  /// Flight recording (empty unless PsimConfig::ts enables a cadence).
+  /// Deterministic series are bit-identical across shard counts; the
+  /// psim.shardK.* diagnostics are not (busy_s precedent).
+  TimeSeriesSet ts;
 };
 
 /// Sums counters and maxes the peak gauges across shards.

@@ -50,6 +50,7 @@
 #include "core/alloc_probe.h"
 #include "core/rng.h"
 #include "knn/itinerary.h"
+#include "obs/timeseries.h"
 #include "net/mac.h"
 #include "net/mobility.h"
 #include "net/neighbor_table.h"
@@ -86,6 +87,12 @@ struct PsimConfig {
   /// first sweep window at or after its time — sweeps are global sync
   /// points, so the fault lands identically at every shard count.
   std::vector<std::pair<double, uint32_t>> node_kills;
+  /// Flight-recorder cadence/capacity. Sampling happens in the window
+  /// barrier's completion step — a global sync point — so deterministic
+  /// series read partition-invariant sums race-free and bit-identically
+  /// at any shard count (per-shard diagnostics follow busy_s and stay
+  /// out of the invariant comparison). Disabled (interval 0) by default.
+  TimeSeriesOptions ts;
 };
 
 /// A transmission on the air, as exchanged between shards. `origin` is
@@ -308,6 +315,12 @@ class PsimShard {
 
   const PsimStats& stats() const { return stats_; }
   PsimStats& stats() { return stats_; }
+  /// Live wall-clock scratch for the flight recorder's diagnostic
+  /// series: the worker publishes its running busy / barrier-wait totals
+  /// here just before arriving at each window's first barrier, and the
+  /// barrier's completion step reads them (the barrier orders the two).
+  double live_busy_s = 0.0;
+  double live_wait_s = 0.0;
   AllocCounters* allocs() { return &allocs_; }
   Simulator& sim() { return sim_; }
   const Simulator& sim() const { return sim_; }

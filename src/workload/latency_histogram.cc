@@ -62,6 +62,27 @@ double LatencyHistogram::Percentile(double p) const {
   return max_;
 }
 
+double LatencyHistogram::DeltaPercentile(const LatencyHistogram& prev,
+                                         double p) const {
+  const uint64_t delta_count = count_ - std::min(count_, prev.count_);
+  if (delta_count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(p / 100.0 * delta_count)));
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const uint64_t in_window =
+        buckets_[i] - std::min(buckets_[i], prev.buckets_[i]);
+    seen += in_window;
+    if (seen >= rank) {
+      // The window's exact min/max are not retained, so clamp to the
+      // whole-run observed range (a superset of the window's).
+      return std::clamp(BucketMidpoint(i), min_, max_);
+    }
+  }
+  return max_;
+}
+
 const char* QueryOutcomeName(QueryOutcome outcome) {
   switch (outcome) {
     case QueryOutcome::kCompleted:

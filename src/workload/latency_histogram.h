@@ -53,6 +53,13 @@ class LatencyHistogram {
   /// 0 when empty. Deterministic given equal counts.
   double Percentile(double p) const;
 
+  /// Percentile of the samples added since `prev` was a copy of this
+  /// histogram (bucket-count subtraction — `prev` must be an earlier
+  /// state of *this*). 0 when no samples arrived in between. Integer
+  /// bucket math, so windowed percentiles stay deterministic — this is
+  /// what the flight recorder uses for per-interval p50/p99.
+  double DeltaPercentile(const LatencyHistogram& prev, double p) const;
+
  private:
   static int BucketOf(double latency);
   static double BucketMidpoint(int bucket);

@@ -92,6 +92,8 @@ class QueryDriver {
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
 
   const SloReport& report() const { return report_; }
+  /// Queries currently in flight (live; the flight recorder samples it).
+  int inflight_count() const { return inflight_count_; }
   const std::vector<WorkloadQueryRecord>& records() const {
     return records_;
   }

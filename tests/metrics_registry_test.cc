@@ -49,6 +49,38 @@ TEST(MetricsRegistryTest, DuplicateNamesRejectedAcrossKinds) {
   reg.Observe(kInvalidMetricId, 1.0);
 }
 
+TEST(MetricsRegistryTest, DuplicateDiagnosticNamesTheCollision) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.last_error(), "");
+  ASSERT_NE(reg.RegisterGauge("queue.depth", GaugeMode::kMax),
+            kInvalidMetricId);
+  EXPECT_EQ(reg.last_error(), "");  // Success leaves no stale error.
+
+  // Kind collision: the message names the metric and both shapes.
+  EXPECT_EQ(reg.RegisterCounter("queue.depth"), kInvalidMetricId);
+  EXPECT_EQ(reg.last_error(),
+            "duplicate metric \"queue.depth\": registered as gauge(max), "
+            "re-registered as counter");
+
+  // Same-kind gauge with a different merge mode gets the explicit
+  // mismatch suffix — the silent-wrong-aggregation trap this guards.
+  EXPECT_EQ(reg.RegisterGauge("queue.depth", GaugeMode::kSum),
+            kInvalidMetricId);
+  EXPECT_EQ(reg.last_error(),
+            "duplicate metric \"queue.depth\": registered as gauge(max), "
+            "re-registered as gauge(sum) (gauge merge-mode mismatch)");
+
+  // Identical re-registration is still rejected, without the suffix.
+  EXPECT_EQ(reg.RegisterGauge("queue.depth", GaugeMode::kMax),
+            kInvalidMetricId);
+  EXPECT_EQ(reg.last_error().find("merge-mode mismatch"),
+            std::string::npos);
+
+  // The next successful registration clears the error again.
+  ASSERT_NE(reg.RegisterHistogram("queue.wait_s"), kInvalidMetricId);
+  EXPECT_EQ(reg.last_error(), "");
+}
+
 TEST(MetricsRegistryTest, SnapshotIsNameSorted) {
   MetricsRegistry reg;
   reg.PublishCounter("zeta", 1);

@@ -231,6 +231,42 @@ TEST(PsimDeterminismTest, QueryPlaneInvariantAcrossShardCounts) {
   }
 }
 
+// --- Contract 4, flight-recorder extension: the deterministic series
+// --- sampled at window boundaries are byte-equal across shard counts.
+
+TEST(PsimDeterminismTest, FlightRecordingInvariantAcrossShardCounts) {
+  PsimConfig config = QuerySoakConfig();
+  config.ts = TimeSeriesOptions{0.25, 256};
+  config.shards = 1;
+  const PsimResult anchor = RunPsim(config);
+
+  // The recording must carry real data, not just empty series.
+  ASSERT_FALSE(anchor.ts.series().empty());
+  const TimeSeries* issued = anchor.ts.Find("workload.issued_per_s");
+  ASSERT_NE(issued, nullptr);
+  ASSERT_GT(issued->size(), 2u);
+  EXPECT_GT(issued->Max(), 0.0);
+  const std::string anchor_json = anchor.ts.DeterministicJson();
+
+  for (int shards : {2, 4, 8}) {
+    config.shards = shards;
+    PsimEngine engine(config);
+    ASSERT_EQ(engine.shards(), shards) << "field too narrow for test";
+    const PsimResult result = engine.Run();
+    EXPECT_EQ(result.ts.DeterministicJson(), anchor_json)
+        << "recording drifted at shards=" << shards;
+    // Each shard contributes its own diagnostic occupancy series; those
+    // are partition-dependent by design and live outside the contract.
+    size_t shard_series = 0;
+    for (const TimeSeries& s : result.ts.series()) {
+      if (s.diagnostic() && s.name().rfind("psim.shard", 0) == 0) {
+        ++shard_series;
+      }
+    }
+    EXPECT_GT(shard_series, 0u) << "shards=" << shards;
+  }
+}
+
 TEST(PsimDeterminismTest, QueryPlaneShardedRunRepeatsExactly) {
   PsimConfig config = QuerySoakConfig();
   config.shards = 4;

@@ -1,0 +1,370 @@
+// diknn-report — plain-text run report from the simulator's artifacts.
+//
+// Reads back the JSON the runner writes and renders the run the way an
+// on-call engineer would want to see it: a sparkline table of every
+// flight-recorder series, an SLO burn summary (where the deadline budget
+// went, interval by interval), and the top critical-path contributors
+// from the Chrome trace. No plotting stack required — the report is the
+// terminal.
+//
+//   $ diknn-sim --workload "arrival@kind=poisson,rate=8;deadline@s=2"
+//       --ts-interval 1 --ts-out ts.json --metrics-out m.json
+//   $ diknn-report --ts ts.json --metrics m.json
+//   $ diknn-report --ts ts.json --trace trace.json
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/json.h"
+
+namespace {
+
+using diknn::JsonValue;
+
+constexpr int kSparkWidth = 40;
+
+void PrintUsage(const char* argv0) {
+  std::printf(
+      "usage: %s [--ts FILE] [--metrics FILE] [--trace FILE]\n"
+      "\n"
+      "  --ts FILE       flight recording (diknn-sim --ts-out)\n"
+      "  --metrics FILE  merged metrics registry (--metrics-out)\n"
+      "  --trace FILE    Chrome trace with criticalPaths (--trace-out)\n"
+      "\n"
+      "Renders a plain-text run report: per-series sparklines, the SLO\n"
+      "burn timeline, and the top critical-path contributors. At least\n"
+      "one input file is required.\n",
+      argv0);
+}
+
+std::optional<JsonValue> LoadJson(const std::string& path,
+                                  const char* what) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s file %s\n", what, path.c_str());
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string error;
+  auto doc = JsonValue::Parse(buf.str(), &error);
+  if (!doc) {
+    std::fprintf(stderr, "bad JSON in %s (%s): %s\n", path.c_str(), what,
+                 error.c_str());
+  }
+  return doc;
+}
+
+// Eight-level unicode sparkline, downsampled (bucket means) to at most
+// kSparkWidth columns. A flat series renders as a mid-level line.
+std::string Sparkline(const std::vector<double>& values) {
+  static const char* kLevels[] = {"▁", "▂", "▃", "▄",
+                                  "▅", "▆", "▇", "█"};
+  if (values.empty()) return "";
+  const size_t cols = std::min<size_t>(values.size(), kSparkWidth);
+  std::vector<double> bucketed(cols, 0.0);
+  for (size_t c = 0; c < cols; ++c) {
+    const size_t lo = c * values.size() / cols;
+    const size_t hi = std::max(lo + 1, (c + 1) * values.size() / cols);
+    double sum = 0.0;
+    for (size_t i = lo; i < hi; ++i) sum += values[i];
+    bucketed[c] = sum / static_cast<double>(hi - lo);
+  }
+  const auto [mn_it, mx_it] =
+      std::minmax_element(bucketed.begin(), bucketed.end());
+  const double mn = *mn_it, mx = *mx_it;
+  std::string out;
+  for (const double v : bucketed) {
+    int level = 3;  // Flat series: mid-level line.
+    if (mx > mn) {
+      level = static_cast<int>(std::floor((v - mn) / (mx - mn) * 7.999));
+      level = std::clamp(level, 0, 7);
+    }
+    out += kLevels[level];
+  }
+  return out;
+}
+
+/// One flight-recorder series pulled out of the artifact.
+struct Series {
+  std::string name;
+  bool diagnostic = false;
+  std::vector<double> t;
+  std::vector<double> v;
+  uint64_t dropped = 0;
+};
+
+std::vector<double> Doubles(const JsonValue* arr) {
+  std::vector<double> out;
+  if (arr == nullptr || !arr->IsArray()) return out;
+  out.reserve(arr->array.size());
+  for (const JsonValue& x : arr->array) out.push_back(x.NumberOr(0.0));
+  return out;
+}
+
+void CollectSeries(const JsonValue& doc, const char* section,
+                   bool diagnostic, std::vector<Series>* out) {
+  const JsonValue* map = doc.Find(section);
+  if (map == nullptr || !map->IsObject()) return;
+  for (const auto& [name, body] : map->object) {
+    Series s;
+    s.name = name;
+    s.diagnostic = diagnostic;
+    s.t = Doubles(body.Find("t"));
+    s.v = Doubles(body.Find("v"));
+    if (const JsonValue* d = body.Find("dropped")) {
+      s.dropped = static_cast<uint64_t>(d->NumberOr(0.0));
+    }
+    out->push_back(std::move(s));
+  }
+}
+
+double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double x : v) sum += x;
+  return sum / static_cast<double>(v.size());
+}
+
+const Series* FindSeries(const std::vector<Series>& all,
+                         const char* name) {
+  for (const Series& s : all) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+void PrintSeriesTable(const std::vector<Series>& all, bool diagnostic) {
+  size_t width = 0;
+  for (const Series& s : all) {
+    if (s.diagnostic == diagnostic) width = std::max(width, s.name.size());
+  }
+  for (const Series& s : all) {
+    if (s.diagnostic != diagnostic || s.v.empty()) continue;
+    const double mn = *std::min_element(s.v.begin(), s.v.end());
+    const double mx = *std::max_element(s.v.begin(), s.v.end());
+    std::printf("  %-*s %10.4g %10.4g %10.4g %10.4g  %s",
+                static_cast<int>(width), s.name.c_str(), mn, Mean(s.v), mx,
+                s.v.back(), Sparkline(s.v).c_str());
+    if (s.dropped > 0) {
+      std::printf("  (+%llu dropped)",
+                  static_cast<unsigned long long>(s.dropped));
+    }
+    std::printf("\n");
+  }
+}
+
+void ReportTimeSeries(const JsonValue& doc) {
+  std::vector<Series> all;
+  CollectSeries(doc, "series", /*diagnostic=*/false, &all);
+  CollectSeries(doc, "diagnostics", /*diagnostic=*/true, &all);
+  const double interval =
+      doc.Find("interval_s") ? doc.Find("interval_s")->NumberOr(0.0) : 0.0;
+
+  size_t samples = 0;
+  for (const Series& s : all) samples += s.v.size();
+  std::printf("time series: %zu series, %zu samples, interval %.4g s\n",
+              all.size(), samples, interval);
+  size_t width = 0;
+  for (const Series& s : all) width = std::max(width, s.name.size());
+  std::printf("  %-*s %10s %10s %10s %10s\n", static_cast<int>(width),
+              "series", "min", "mean", "max", "last");
+  PrintSeriesTable(all, /*diagnostic=*/false);
+  bool any_diag = false;
+  for (const Series& s : all) any_diag |= s.diagnostic;
+  if (any_diag) {
+    std::printf("  -- diagnostics (wall-clock / per-shard; not part of "
+                "the determinism contract) --\n");
+    PrintSeriesTable(all, /*diagnostic=*/true);
+  }
+
+  if (const JsonValue* anns = doc.Find("annotations");
+      anns != nullptr && anns->IsArray() && !anns->array.empty()) {
+    std::printf("annotations:\n");
+    for (const JsonValue& a : anns->array) {
+      const JsonValue* label = a.Find("label");
+      std::printf("  t=%-10.4g %s value=%g\n",
+                  a.Find("t") ? a.Find("t")->NumberOr(0.0) : 0.0,
+                  label ? label->StringOr("?").c_str() : "?",
+                  a.Find("value") ? a.Find("value")->NumberOr(0.0) : 0.0);
+    }
+  }
+
+  // SLO burn: walk the workload series interval by interval and show
+  // where the error budget went.
+  const Series* issued = FindSeries(all, "workload.issued_per_s");
+  const Series* goodput = FindSeries(all, "workload.goodput_qps");
+  const Series* miss = FindSeries(all, "workload.miss_rate");
+  const Series* p99 = FindSeries(all, "workload.p99_ms");
+  if (issued != nullptr && goodput != nullptr && interval > 0.0) {
+    double total_issued = 0.0, total_good = 0.0, total_missed = 0.0;
+    double worst_miss = 0.0, worst_miss_t = 0.0;
+    for (size_t i = 0; i < issued->v.size(); ++i) {
+      const double in_window = issued->v[i] * interval;
+      total_issued += in_window;
+      if (i < goodput->v.size()) total_good += goodput->v[i] * interval;
+      if (miss != nullptr && i < miss->v.size() && i < miss->t.size()) {
+        total_missed += miss->v[i] * in_window;
+        if (miss->v[i] > worst_miss) {
+          worst_miss = miss->v[i];
+          worst_miss_t = miss->t[i];
+        }
+      }
+    }
+    std::printf("slo burn: ~%.0f issued, ~%.0f within deadline, "
+                "~%.0f missed over the recorded window\n",
+                total_issued, total_good, total_missed);
+    if (worst_miss > 0.0) {
+      std::printf("  worst interval: t=%.4g s, miss rate %.1f%%\n",
+                  worst_miss_t, 100.0 * worst_miss);
+    }
+    if (p99 != nullptr && !p99->v.empty()) {
+      const double peak = *std::max_element(p99->v.begin(), p99->v.end());
+      std::printf("  p99 latency: %.3g ms mean, %.3g ms peak\n",
+                  Mean(p99->v), peak);
+    }
+  }
+}
+
+void ReportMetrics(const JsonValue& doc) {
+  // The SLO scorecard and serving funnel, from the merged registry.
+  const JsonValue* counters = doc.Find("counters");
+  if (counters != nullptr && counters->IsObject()) {
+    bool header = false;
+    for (const auto& [name, value] : counters->object) {
+      const bool interesting =
+          name.rfind("workload.", 0) == 0 || name.rfind("serving.", 0) == 0;
+      if (!interesting) continue;
+      if (!header) {
+        std::printf("slo counters (merged across runs):\n");
+        header = true;
+      }
+      std::printf("  %-28s %12.0f\n", name.c_str(), value.NumberOr(0.0));
+    }
+  }
+  const JsonValue* hists = doc.Find("histograms");
+  if (hists != nullptr && hists->IsObject() && !hists->object.empty()) {
+    std::printf("histograms:\n");
+    std::printf("  %-28s %10s %10s %10s %10s %10s\n", "name", "count",
+                "mean", "p50", "p99", "max");
+    for (const auto& [name, h] : hists->object) {
+      std::printf("  %-28s %10.0f %10.4g %10.4g %10.4g %10.4g\n",
+                  name.c_str(),
+                  h.Find("count") ? h.Find("count")->NumberOr(0.0) : 0.0,
+                  h.Find("mean") ? h.Find("mean")->NumberOr(0.0) : 0.0,
+                  h.Find("p50") ? h.Find("p50")->NumberOr(0.0) : 0.0,
+                  h.Find("p99") ? h.Find("p99")->NumberOr(0.0) : 0.0,
+                  h.Find("max") ? h.Find("max")->NumberOr(0.0) : 0.0);
+    }
+  }
+}
+
+void ReportCriticalPaths(const JsonValue& doc) {
+  const JsonValue* paths = doc.Find("criticalPaths");
+  if (paths == nullptr || !paths->IsArray() || paths->array.empty()) {
+    std::printf("critical paths: none in the trace "
+                "(no traced query completed)\n");
+    return;
+  }
+  // Phase attribution summed across every traced query: which phase is
+  // eating the latency fleet-wide, not just on the single slowest query.
+  static const char* kPhases[] = {"queue_s",      "route_s",
+                                  "collection_s", "forwarding_s",
+                                  "reply_route_s", "sink_wait_s"};
+  double phase_sum[6] = {0.0};
+  double total = 0.0;
+  for (const JsonValue& p : paths->array) {
+    for (int i = 0; i < 6; ++i) {
+      const JsonValue* v = p.Find(kPhases[i]);
+      phase_sum[i] += v ? v->NumberOr(0.0) : 0.0;
+    }
+    const JsonValue* t = p.Find("total_s");
+    total += t ? t->NumberOr(0.0) : 0.0;
+  }
+  std::printf("critical paths: %zu traced queries, %.3f s total latency\n",
+              paths->array.size(), total);
+  std::printf("  top contributors:\n");
+  std::vector<std::pair<double, const char*>> ranked;
+  for (int i = 0; i < 6; ++i) ranked.push_back({phase_sum[i], kPhases[i]});
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (const auto& [sum, name] : ranked) {
+    if (sum <= 0.0) continue;
+    std::printf("    %-14s %8.3f s  (%4.1f%%)\n", name, sum,
+                total > 0.0 ? 100.0 * sum / total : 0.0);
+  }
+  std::printf("  slowest queries:\n");
+  const size_t show = std::min<size_t>(paths->array.size(), 5);
+  for (size_t i = 0; i < show; ++i) {  // Writer sorts slowest-first.
+    const JsonValue& p = paths->array[i];
+    const JsonValue* dom = p.Find("dominant");
+    std::printf("    query %-6.0f total %7.3f s  dominant %s\n",
+                p.Find("query") ? p.Find("query")->NumberOr(0.0) : 0.0,
+                p.Find("total_s") ? p.Find("total_s")->NumberOr(0.0) : 0.0,
+                dom ? dom->StringOr("?").c_str() : "?");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string ts_path, metrics_path, trace_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      PrintUsage(argv[0]);
+      return 0;
+    } else if (arg == "--ts") {
+      ts_path = next_value();
+    } else if (arg == "--metrics") {
+      metrics_path = next_value();
+    } else if (arg == "--trace") {
+      trace_path = next_value();
+    } else {
+      std::fprintf(stderr, "unknown option %s (try --help)\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (ts_path.empty() && metrics_path.empty() && trace_path.empty()) {
+    PrintUsage(argv[0]);
+    return 2;
+  }
+
+  bool ok = true;
+  if (!ts_path.empty()) {
+    if (const auto doc = LoadJson(ts_path, "time series")) {
+      ReportTimeSeries(*doc);
+    } else {
+      ok = false;
+    }
+  }
+  if (!metrics_path.empty()) {
+    if (const auto doc = LoadJson(metrics_path, "metrics")) {
+      ReportMetrics(*doc);
+    } else {
+      ok = false;
+    }
+  }
+  if (!trace_path.empty()) {
+    if (const auto doc = LoadJson(trace_path, "trace")) {
+      ReportCriticalPaths(*doc);
+    } else {
+      ok = false;
+    }
+  }
+  return ok ? 0 : 1;
+}

@@ -95,6 +95,17 @@ void PrintUsage(const char* argv0) {
       "  --metrics-out FILE\n"
       "                    write the merged metrics registry (counters,\n"
       "                    gauges, histograms across all runs) as JSON\n"
+      "  --ts-interval S   flight-recorder sampling cadence in simulated\n"
+      "                    seconds (overrides the workload spec's\n"
+      "                    timeseries@ clause; 0 disables)\n"
+      "  --ts-capacity N   ring depth per series (default 512; the oldest\n"
+      "                    samples fall off once full)\n"
+      "  --ts-out FILE     write the base seed's flight recording; JSON\n"
+      "                    (deterministic \"series\" section is\n"
+      "                    byte-identical at any --jobs / --shards), or\n"
+      "                    CSV when FILE ends in .csv. Also attaches the\n"
+      "                    recording to --trace-out as Perfetto counter\n"
+      "                    tracks.\n"
       "  --help            this text\n",
       argv0);
 }
@@ -117,6 +128,7 @@ int main(int argc, char** argv) {
   std::string trace_path;
   std::string trace_out_path;
   std::string metrics_out_path;
+  std::string ts_out_path;
   double trace_sample = -1.0;  // < 0 = not set on the command line.
 
   for (int i = 1; i < argc; ++i) {
@@ -225,6 +237,17 @@ int main(int argc, char** argv) {
       trace_sample = std::atof(next_value());
     } else if (arg == "--metrics-out") {
       metrics_out_path = next_value();
+    } else if (arg == "--ts-interval") {
+      config.ts_interval = std::atof(next_value());
+    } else if (arg == "--ts-capacity") {
+      const int cap = std::atoi(next_value());
+      if (cap < 0) {
+        std::fprintf(stderr, "--ts-capacity must be >= 0\n");
+        return 2;
+      }
+      config.ts_capacity = cap;
+    } else if (arg == "--ts-out") {
+      ts_out_path = next_value();
     } else {
       std::fprintf(stderr, "unknown option %s (try --help)\n", arg.c_str());
       return 2;
@@ -282,8 +305,11 @@ int main(int argc, char** argv) {
     // trace-event JSON (loadable in Perfetto / chrome://tracing) and
     // print the slowest query's critical-path summary.
     TraceData trace;
-    RunOnce(config, config.base_seed, nullptr, &trace);
+    const RunMetrics traced = RunOnce(config, config.base_seed, nullptr,
+                                      &trace);
     TraceSink sink(std::move(trace));
+    // Flight-recorder series ride along as Perfetto counter tracks.
+    sink.set_timeseries(&traced.ts);
     std::ofstream out(trace_out_path);
     sink.WriteChromeTrace(out);
     std::fprintf(stderr, "wrote %llu spans across %zu traced queries to %s\n",
@@ -338,7 +364,7 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
   }
 
-  if (!csv || !metrics_out_path.empty()) {
+  if (!csv || !metrics_out_path.empty() || !ts_out_path.empty()) {
     const ExperimentMetrics agg = AggregateRuns(runs);
     if (!csv) {
       std::printf("mean: latency %.2f±%.2fs, energy %.3fJ, pre %.2f, "
@@ -355,6 +381,27 @@ int main(int argc, char** argv) {
       out << agg.obs.ToJson() << '\n';
       std::fprintf(stderr, "wrote merged metrics of %d run(s) to %s\n",
                    agg.runs, metrics_out_path.c_str());
+    }
+    if (!ts_out_path.empty()) {
+      // The base seed's recording (runs[0]); independent of --jobs.
+      std::ofstream out(ts_out_path);
+      const bool as_csv =
+          ts_out_path.size() >= 4 &&
+          ts_out_path.compare(ts_out_path.size() - 4, 4, ".csv") == 0;
+      if (as_csv) {
+        agg.ts.WriteCsv(out);
+      } else {
+        agg.ts.WriteJson(out);
+      }
+      size_t samples = 0;
+      for (const TimeSeries& s : agg.ts.series()) samples += s.size();
+      std::fprintf(stderr, "wrote %zu series (%zu samples) to %s\n",
+                   agg.ts.series().size(), samples, ts_out_path.c_str());
+      if (agg.ts.series().empty()) {
+        std::fprintf(stderr,
+                     "note: flight recorder was disabled; pass "
+                     "--ts-interval or a timeseries@ workload clause\n");
+      }
     }
   }
   return 0;
